@@ -1,0 +1,194 @@
+//! GraphKernels-style fixed-point solver.
+//!
+//! Instead of solving the symmetric system of Eq. (14), this baseline
+//! iterates the defining recurrence of the marginalized kernel directly
+//! (Eq. 9 / Appendix A):
+//!
+//! ```text
+//! r ← q× + (P× ∘ E×) V× r,        P× = D×⁻¹ A×
+//! K  = p×ᵀ V× r
+//! ```
+//!
+//! Each iteration adds the contribution of one more random-walk step, so a
+//! truncation of the iteration is exactly the truncated path-sum of
+//! Eq. (4). This doubles as an algorithm-independent reference for the
+//! random-walk semantics of the kernel.
+
+use crate::DenseSystem;
+use mgk_graph::Graph;
+use mgk_kernels::BaseKernel;
+
+/// Result of a fixed-point evaluation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FixedPointResult {
+    /// The kernel value.
+    pub value: f64,
+    /// Number of iterations (random-walk steps) accumulated.
+    pub iterations: usize,
+    /// Whether the iteration converged before hitting the budget.
+    pub converged: bool,
+}
+
+/// Single-threaded fixed-point / power-iteration baseline in the style of
+/// the GraphKernels package.
+#[derive(Debug, Clone)]
+pub struct FixedPointSolver<KV, KE> {
+    vertex_kernel: KV,
+    edge_kernel: KE,
+    /// Convergence threshold on the relative change of the solution vector.
+    pub tolerance: f64,
+    /// Maximum number of iterations (maximum walk length considered).
+    pub max_iterations: usize,
+}
+
+impl<KV, KE> FixedPointSolver<KV, KE> {
+    /// Create the baseline from a pair of base kernels.
+    pub fn new(vertex_kernel: KV, edge_kernel: KE) -> Self {
+        FixedPointSolver { vertex_kernel, edge_kernel, tolerance: 1e-10, max_iterations: 10_000 }
+    }
+
+    /// Evaluate the kernel between two graphs.
+    pub fn kernel<V, E>(&self, g1: &Graph<V, E>, g2: &Graph<V, E>) -> FixedPointResult
+    where
+        E: Copy + Default,
+        KV: BaseKernel<V>,
+        KE: BaseKernel<E>,
+    {
+        let sys = DenseSystem::assemble(g1, g2, &self.vertex_kernel, &self.edge_kernel);
+        let dim = sys.dim;
+        // transition-probability-weighted product matrix: P× ∘ E× = D×⁻¹ (A× ∘ E×)
+        // iterate r ← q× + (P× ∘ E×) V× r
+        let mut r = sys.stop_product.clone();
+        let mut next = vec![0.0f64; dim];
+        let mut iterations = 0;
+        let mut converged = false;
+        while iterations < self.max_iterations {
+            // w = V× r (element-wise)
+            let w: Vec<f64> = r.iter().zip(&sys.vertex_product).map(|(a, b)| a * b).collect();
+            for i in 0..dim {
+                let row = &sys.off_diagonal[i * dim..(i + 1) * dim];
+                let mut acc = 0.0;
+                for (a, b) in row.iter().zip(&w) {
+                    acc += a * b;
+                }
+                next[i] = sys.stop_product[i] + acc / sys.degree_product[i];
+            }
+            iterations += 1;
+            let diff: f64 =
+                next.iter().zip(&r).map(|(a, b)| (a - b) * (a - b)).sum::<f64>().sqrt();
+            let norm: f64 = next.iter().map(|a| a * a).sum::<f64>().sqrt();
+            std::mem::swap(&mut r, &mut next);
+            if diff <= self.tolerance * norm.max(1e-300) {
+                converged = true;
+                break;
+            }
+        }
+        // K = p×ᵀ V× r
+        let value = sys
+            .start_product
+            .iter()
+            .zip(&sys.vertex_product)
+            .zip(&r)
+            .map(|((&p, &v), &ri)| p * v * ri)
+            .sum();
+        FixedPointResult { value, iterations, converged }
+    }
+
+    /// Evaluate the kernel truncated at a fixed maximum walk length — the
+    /// explicit path-sum of Eq. (4) up to `max_length` steps.
+    pub fn truncated_kernel<V, E>(
+        &self,
+        g1: &Graph<V, E>,
+        g2: &Graph<V, E>,
+        max_length: usize,
+    ) -> f64
+    where
+        E: Copy + Default,
+        KV: BaseKernel<V> + Clone,
+        KE: BaseKernel<E> + Clone,
+    {
+        let mut solver = self.clone();
+        solver.max_iterations = max_length;
+        solver.tolerance = 0.0;
+        solver.kernel(g1, g2).value
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mgk_core::{MarginalizedKernelSolver, SolverConfig};
+    use mgk_graph::{Graph, GraphBuilder};
+    use mgk_kernels::{KroneckerDelta, SquareExponential, UnitKernel};
+
+    #[test]
+    fn fixed_point_matches_core_solver_unlabeled() {
+        let g1 = Graph::from_edge_list(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]);
+        let g2 = Graph::from_edge_list(4, &[(0, 1), (1, 2), (2, 3)]);
+        let baseline = FixedPointSolver::new(UnitKernel, UnitKernel);
+        let result = baseline.kernel(&g1, &g2);
+        assert!(result.converged);
+        let fast = MarginalizedKernelSolver::unlabeled(SolverConfig::default())
+            .kernel(&g1, &g2)
+            .unwrap()
+            .value as f64;
+        assert!((result.value - fast).abs() / fast.abs() < 1e-4, "{} vs {fast}", result.value);
+    }
+
+    #[test]
+    fn fixed_point_matches_core_solver_labeled() {
+        let mut b1: GraphBuilder<u8, f32> = GraphBuilder::new();
+        for l in [1u8, 2, 3] {
+            b1.add_vertex(l);
+        }
+        b1.add_edge(0, 1, 1.0, 0.4).unwrap();
+        b1.add_edge(1, 2, 0.7, 1.2).unwrap();
+        let g1 = b1.build().unwrap();
+        let mut b2: GraphBuilder<u8, f32> = GraphBuilder::new();
+        for l in [3u8, 1] {
+            b2.add_vertex(l);
+        }
+        b2.add_edge(0, 1, 0.9, 0.8).unwrap();
+        let g2 = b2.build().unwrap();
+        let kv = KroneckerDelta::new(0.4);
+        let ke = SquareExponential::new(1.0);
+        let baseline = FixedPointSolver::new(kv, ke);
+        let result = baseline.kernel(&g1, &g2);
+        let fast = MarginalizedKernelSolver::new(kv, ke, SolverConfig::default())
+            .kernel(&g1, &g2)
+            .unwrap()
+            .value as f64;
+        assert!((result.value - fast).abs() / fast.abs() < 1e-4, "{} vs {fast}", result.value);
+    }
+
+    #[test]
+    fn truncated_walk_sum_is_monotone_and_converges_to_fixed_point() {
+        let g1 = Graph::from_edge_list(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let g2 = Graph::from_edge_list(4, &[(0, 1), (1, 2), (2, 3)]);
+        let baseline = FixedPointSolver::new(UnitKernel, UnitKernel);
+        let full = baseline.kernel(&g1, &g2).value;
+        let mut previous = 0.0;
+        for len in [1usize, 2, 4, 8, 16, 64, 256, 1024] {
+            let truncated = baseline.truncated_kernel(&g1, &g2, len);
+            assert!(truncated >= previous - 1e-12, "walk sum should be monotone in length");
+            assert!(truncated <= full + 1e-9);
+            previous = truncated;
+        }
+        assert!((previous - full).abs() / full < 1e-6, "{previous} vs {full}");
+    }
+
+    #[test]
+    fn longer_walks_matter_more_for_small_stopping_probability() {
+        // with a small stopping probability the walk continues longer, so
+        // truncating at length 2 misses more of the kernel mass
+        let g1 = Graph::from_edge_list(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]);
+        let g2 = g1.clone();
+        let baseline = FixedPointSolver::new(UnitKernel, UnitKernel);
+        let fraction = |q: f32| {
+            let a = g1.clone().with_uniform_stopping_probability(q);
+            let b = g2.clone().with_uniform_stopping_probability(q);
+            baseline.truncated_kernel(&a, &b, 2) / baseline.kernel(&a, &b).value
+        };
+        assert!(fraction(0.5) > fraction(0.05));
+    }
+}

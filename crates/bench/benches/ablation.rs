@@ -1,0 +1,34 @@
+//! Criterion benchmark backing Fig. 9: the incremental optimization levels
+//! on a small slice of the small-world dataset.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mgk_bench::bench_rng;
+use mgk_core::{GramConfig, GramEngine, MarginalizedKernelSolver, OptimizationLevel, SolverConfig};
+use mgk_graph::generators;
+use mgk_kernels::UnitKernel;
+
+fn bench_ablation(c: &mut Criterion) {
+    let mut rng = bench_rng();
+    let graphs: Vec<_> =
+        (0..6).map(|_| generators::newman_watts_strogatz(48, 3, 0.1, &mut rng)).collect();
+    let base = SolverConfig::default();
+
+    let mut group = c.benchmark_group("fig9_ablation_small_world");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    for level in OptimizationLevel::ALL {
+        group.bench_function(BenchmarkId::from_parameter(level.label()), |b| {
+            let solver = MarginalizedKernelSolver::new(UnitKernel, UnitKernel, level.solver_config(&base));
+            let engine = GramEngine::new(
+                solver,
+                GramConfig { scheduling: level.scheduling(), ..GramConfig::default() },
+            );
+            b.iter(|| engine.compute(&graphs))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

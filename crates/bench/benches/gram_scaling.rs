@@ -1,0 +1,49 @@
+//! Criterion benchmark for the Gram-matrix engine: static versus dynamic
+//! scheduling on a size-skewed molecule dataset (the Section V-B argument)
+//! and thread-count scaling.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mgk_bench::{bench_rng, AtomKernel, BondKernel};
+use mgk_core::{GramConfig, GramEngine, MarginalizedKernelSolver, Scheduling, SolverConfig};
+use mgk_datasets::drugbank_like;
+
+fn bench_gram(c: &mut Criterion) {
+    let mut rng = bench_rng();
+    // heavy-tailed sizes: exactly the case where dynamic scheduling helps
+    let molecules = drugbank_like(16, 4, 80, &mut rng);
+    let solver =
+        MarginalizedKernelSolver::new(AtomKernel::default(), BondKernel::default(), SolverConfig::default());
+
+    let mut group = c.benchmark_group("gram_engine_drugbank_like");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    for scheduling in [Scheduling::Static, Scheduling::Dynamic] {
+        let engine = GramEngine::new(
+            solver.clone(),
+            GramConfig { scheduling, ..GramConfig::default() },
+        );
+        group.bench_function(
+            BenchmarkId::from_parameter(format!("{scheduling:?}")),
+            |b| b.iter(|| engine.compute(&molecules)),
+        );
+    }
+    group.finish();
+
+    // thread scaling with dynamic scheduling
+    let mut group = c.benchmark_group("gram_engine_thread_scaling");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    for threads in [1usize, 2, 4] {
+        let engine = GramEngine::new(solver.clone(), GramConfig::default());
+        let pool = rayon::ThreadPoolBuilder::new().num_threads(threads).build().unwrap();
+        group.bench_function(BenchmarkId::from_parameter(threads), |b| {
+            b.iter(|| pool.install(|| engine.compute(&molecules)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_gram);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Criterion micro-benchmark backing Fig. 8: the three tile-pair product
+//! primitives at varying tile populations.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mgk_bench::bench_rng;
+use mgk_core::octile_ops::{tile_pair_product, TileCosts, TileProductKind};
+use mgk_gpusim::TrafficCounters;
+use mgk_kernels::SquareExponential;
+use mgk_tile::Octile;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+fn random_octile<R: Rng>(nnz: usize, rng: &mut R) -> Octile<f32> {
+    let mut positions: Vec<u8> = (0..64).collect();
+    positions.shuffle(rng);
+    let mut chosen: Vec<u8> = positions[..nnz].to_vec();
+    chosen.sort_unstable();
+    let mut mask = 0u64;
+    let mut weights = Vec::new();
+    let mut labels = Vec::new();
+    for &bit in &chosen {
+        mask |= 1u64 << bit;
+        weights.push(rng.gen_range(0.1..1.0));
+        labels.push(rng.gen_range(0.0..3.0));
+    }
+    Octile { row: 0, col: 0, mask, weights, labels }
+}
+
+fn bench_octile_products(c: &mut Criterion) {
+    let mut rng = bench_rng();
+    let kernel = SquareExponential::new(1.0);
+    let costs = TileCosts { label_bytes: 4, float_bytes: 4, kernel_flops: 11 };
+    let p = vec![0.5f32; 64];
+
+    let mut group = c.benchmark_group("octile_products");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    for nnz in [4usize, 8, 16, 32, 64] {
+        let t1 = random_octile(nnz, &mut rng);
+        let t2 = random_octile(nnz, &mut rng);
+        for kind in [
+            TileProductKind::SparseSparse,
+            TileProductKind::DenseSparse,
+            TileProductKind::DenseDense,
+        ] {
+            group.bench_function(BenchmarkId::new(kind.name(), nnz), |b| {
+                b.iter(|| {
+                    let mut y = vec![0.0f32; 64];
+                    let mut counters = TrafficCounters::new();
+                    tile_pair_product(kind, &t1, &t2, 8, 8, &kernel, &costs, &p, &mut y, &mut counters);
+                    y
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_octile_products);
+criterion_main!(benches);

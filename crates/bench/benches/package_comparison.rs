@@ -1,0 +1,42 @@
+//! Criterion benchmark backing Fig. 10: one kernel evaluation with the
+//! present solver versus the GraKeL-style and GraphKernels-style baselines.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mgk_baselines::{ExplicitSolver, FixedPointSolver, SpectralSolver};
+use mgk_bench::bench_rng;
+use mgk_core::{MarginalizedKernelSolver, SolverConfig};
+use mgk_datasets::pdb_like;
+use mgk_kernels::UnitKernel;
+
+fn bench_package_comparison(c: &mut Criterion) {
+    let mut rng = bench_rng();
+    let structures = pdb_like(2, 60, 80, &mut rng);
+    let g1 = structures[0].graph.to_unlabeled();
+    let g2 = structures[1].graph.to_unlabeled();
+
+    let mut group = c.benchmark_group("fig10_single_pair_unlabeled");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+
+    let present = MarginalizedKernelSolver::unlabeled(SolverConfig::default());
+    group.bench_function("present_octile_solver", |b| {
+        b.iter(|| present.kernel(&g1, &g2).unwrap().value)
+    });
+
+    let explicit = ExplicitSolver::new(UnitKernel, UnitKernel);
+    group.bench_function("grakel_style_explicit", |b| b.iter(|| explicit.kernel(&g1, &g2)));
+
+    let fixed = FixedPointSolver::new(UnitKernel, UnitKernel);
+    group.bench_function("graphkernels_style_fixed_point", |b| {
+        b.iter(|| fixed.kernel(&g1, &g2).value)
+    });
+
+    let spectral = SpectralSolver::new();
+    group.bench_function("spectral_unlabeled", |b| b.iter(|| spectral.kernel(&g1, &g2)));
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_package_comparison);
+criterion_main!(benches);

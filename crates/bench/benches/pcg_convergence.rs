@@ -1,0 +1,41 @@
+//! Criterion benchmark for the per-pair solve: PCG iterations versus the
+//! fixed-point iteration, and the effect of the stopping probability
+//! (Section VII-B notes the present solver converges even at q = 0.0005).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mgk_baselines::FixedPointSolver;
+use mgk_bench::bench_rng;
+use mgk_core::{MarginalizedKernelSolver, SolverConfig};
+use mgk_graph::generators;
+use mgk_kernels::UnitKernel;
+
+fn bench_pcg(c: &mut Criterion) {
+    let mut rng = bench_rng();
+    let g1 = generators::newman_watts_strogatz(64, 3, 0.1, &mut rng);
+    let g2 = generators::newman_watts_strogatz(64, 3, 0.1, &mut rng);
+
+    let mut group = c.benchmark_group("per_pair_solver");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    for q in [0.2f32, 0.05, 0.005] {
+        let solver = MarginalizedKernelSolver::unlabeled(SolverConfig {
+            stopping_probability: Some(q),
+            max_iterations: 5000,
+            ..SolverConfig::default()
+        });
+        group.bench_function(BenchmarkId::new("pcg", format!("q={q}")), |b| {
+            b.iter(|| solver.kernel(&g1, &g2).unwrap().value)
+        });
+        let fixed = FixedPointSolver::new(UnitKernel, UnitKernel);
+        group.bench_function(BenchmarkId::new("fixed_point", format!("q={q}")), |b| {
+            let a = g1.clone().with_uniform_stopping_probability(q);
+            let bb = g2.clone().with_uniform_stopping_probability(q);
+            b.iter(|| fixed.kernel(&a, &bb).value)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pcg);
+criterion_main!(benches);

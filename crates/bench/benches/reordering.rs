@@ -1,0 +1,28 @@
+//! Criterion benchmark for the reordering algorithms of Section IV-A,
+//! including the runtime-cost comparison behind the amortization argument
+//! (PBR and RCM are fast; the TSP heuristic is orders of magnitude slower).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mgk_bench::bench_rng;
+use mgk_datasets::pdb_like;
+use mgk_reorder::{pbr_order, rcm_order, tsp_order, PbrConfig};
+
+fn bench_reordering(c: &mut Criterion) {
+    let mut rng = bench_rng();
+    let structures = pdb_like(1, 150, 150, &mut rng);
+    let graph = &structures[0].graph;
+
+    let mut group = c.benchmark_group("reordering_protein_150_atoms");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.bench_function(BenchmarkId::from_parameter("rcm"), |b| b.iter(|| rcm_order(graph)));
+    group.bench_function(BenchmarkId::from_parameter("pbr"), |b| {
+        b.iter(|| pbr_order(graph, &PbrConfig::default()))
+    });
+    group.bench_function(BenchmarkId::from_parameter("tsp"), |b| b.iter(|| tsp_order(graph)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_reordering);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Criterion micro-benchmark backing Fig. 5 / Table I: one on-the-fly XMV
+//! application per primitive configuration on a dense graph pair.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mgk_bench::bench_rng;
+use mgk_core::xmv::NaiveProduct;
+use mgk_core::{DensePairData, XmvPrimitive};
+use mgk_gpusim::TrafficCounters;
+use mgk_graph::generators;
+use mgk_kernels::UnitKernel;
+
+const NODES: usize = 48;
+
+fn bench_xmv(c: &mut Criterion) {
+    let mut rng = bench_rng();
+    let g1 = generators::complete_labeled(NODES, &mut rng).to_unlabeled();
+    let g2 = generators::complete_labeled(NODES, &mut rng).to_unlabeled();
+    let data = DensePairData::new(&g1, &g2, &UnitKernel);
+    let p: Vec<f32> = (0..data.product_dim()).map(|k| ((k % 17) as f32) * 0.05).collect();
+    let flops = (NODES * NODES * NODES * NODES) as u64 * 3;
+
+    let mut group = c.benchmark_group("xmv_primitives");
+    group.throughput(Throughput::Elements(flops));
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+
+    let naive = NaiveProduct::new(&data, &UnitKernel);
+    group.bench_function(BenchmarkId::new("naive", format!("{NODES}x{NODES}")), |b| {
+        b.iter(|| {
+            let mut y = vec![0.0f32; data.product_dim()];
+            let mut counters = TrafficCounters::new();
+            naive.apply(&p, &mut y, &mut counters);
+            y
+        })
+    });
+
+    let configs = [
+        XmvPrimitive::SharedTiling { t: 8, r: 4 },
+        XmvPrimitive::SharedTiling { t: 8, r: 8 },
+        XmvPrimitive::RegisterBlocking { t: 8, r: 8 },
+        XmvPrimitive::RegisterBlocking { t: 8, r: 16 },
+        XmvPrimitive::TilingBlocking { t: 8, r: 4 },
+        XmvPrimitive::TilingBlocking { t: 8, r: 8 },
+    ];
+    for prim in configs {
+        group.bench_function(BenchmarkId::new(prim.name(), format!("{NODES}x{NODES}")), |b| {
+            b.iter(|| {
+                let mut y = vec![0.0f32; data.product_dim()];
+                let mut counters = TrafficCounters::new();
+                prim.apply(&data, &UnitKernel, &p, &mut y, &mut counters);
+                y
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_xmv);
+criterion_main!(benches);

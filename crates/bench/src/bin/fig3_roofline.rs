@@ -1,0 +1,59 @@
+//! Fig. 3 — preliminary Roofline analysis of the naive and on-the-fly
+//! Kronecker-product mat-vec on the Volta V100.
+//!
+//! The paper's model problem is the unlabeled kernel (`E = 0`, `F = 4`,
+//! `X = 3`); the on-the-fly solver reuses each streamed element `c` times,
+//! giving an arithmetic intensity of `c·X / (E + F)`.
+
+use mgk_gpusim::{DeviceSpec, PrimitiveKind, RooflineModel};
+
+fn main() {
+    let device = DeviceSpec::volta_v100();
+    let model = RooflineModel::new(device.clone());
+    let (e, f, x) = (0.0f64, 4.0f64, 3.0f64);
+
+    println!("Fig. 3 — Roofline analysis on {} (per SM)", device.name);
+    println!("  peak SP (FMA)        : {:8.1} GFLOP/s", device.peak_sp_gflops_per_sm());
+    println!("  peak SP (no FMA)     : {:8.1} GFLOP/s", device.peak_sp_gflops_per_sm() / 2.0);
+    println!("  global bandwidth     : {:8.2} GB/s", device.global_bandwidth_gbs_per_sm());
+    println!("  shared bandwidth     : {:8.1} GB/s", device.shared_bandwidth_gbs_per_sm());
+    println!("  global ridge point   : {:8.1} FLOP/B", model.ridge_point_global());
+    println!("  shared ridge point   : {:8.2} FLOP/B", model.ridge_point_shared());
+    println!();
+    println!(
+        "{:<22} {:>12} {:>18} {:>14}",
+        "kernel", "AI (FLOP/B)", "attainable GF/s/SM", "% of peak"
+    );
+
+    // the naive kernel: AI = 2/F
+    let naive_ai = PrimitiveKind::Naive.asymptotic_ai_global(e, f, x);
+    let naive_perf = model.attainable_global(naive_ai);
+    println!(
+        "{:<22} {:>12.2} {:>18.1} {:>13.1}%",
+        "naive (L× in memory)",
+        naive_ai,
+        naive_perf,
+        100.0 * naive_perf / device.peak_sp_gflops_per_sm()
+    );
+
+    // the on-the-fly kernel at reuse factors c = 4, 16, 64
+    for c in [4.0f64, 16.0, 64.0] {
+        let ai = c * x / (e + f);
+        let perf = model.attainable_global(ai);
+        println!(
+            "{:<22} {:>12.2} {:>18.1} {:>13.1}%",
+            format!("on-the-fly, c = {c}"),
+            ai,
+            perf,
+            100.0 * perf / device.peak_sp_gflops_per_sm()
+        );
+    }
+
+    println!();
+    println!(
+        "Paper's observation reproduced: the naive kernel is memory-bound at ~3% of peak, while"
+    );
+    println!(
+        "on-the-fly regeneration with a reuse factor of c = 64 approaches the compute roof."
+    );
+}

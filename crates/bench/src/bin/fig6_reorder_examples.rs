@@ -1,0 +1,45 @@
+//! Fig. 6 — reordering examples on two protein structures.
+//!
+//! The paper shows the adjacency sparsity patterns of two molecular graphs
+//! from the PDB (2ONW: 19/19/13 populated tiles under natural/RCM/PBR;
+//! 1AY3: 44/40/32). With no access to the PDB here, two synthetic
+//! protein-like structures of comparable sizes take their place; the
+//! quantity to compare is the *relative* reduction of the PBR order over
+//! the natural and RCM orders.
+
+use mgk_bench::bench_rng;
+use mgk_datasets::protein::synthetic_structure;
+use mgk_reorder::{nonempty_tiles_of_order, ReorderMethod};
+
+fn main() {
+    let mut rng = bench_rng();
+    // 2ONW has ~220 heavy atoms over 28 residues; 1AY3 is roughly twice the
+    // size — use small/large synthetic structures in the same spirit
+    let small = synthetic_structure(72, &mut rng);
+    let large = synthetic_structure(160, &mut rng);
+
+    println!("Fig. 6 — non-empty 8×8 tiles of protein-like structures under different orders\n");
+    println!(
+        "{:<18} {:>8} {:>10} {:>8} {:>8} {:>8} {:>8}",
+        "structure", "atoms", "contacts", "natural", "RCM", "PBR", "Hilbert"
+    );
+    for (name, s) in [("2ONW-like (small)", &small), ("1AY3-like (large)", &large)] {
+        let tiles = |method: ReorderMethod| {
+            let order = method.compute_order(&s.graph, Some(&s.coordinates));
+            nonempty_tiles_of_order(&s.graph, &order, 8)
+        };
+        println!(
+            "{:<18} {:>8} {:>10} {:>8} {:>8} {:>8} {:>8}",
+            name,
+            s.graph.num_vertices(),
+            s.graph.num_edges(),
+            tiles(ReorderMethod::Natural),
+            tiles(ReorderMethod::Rcm),
+            tiles(ReorderMethod::Pbr),
+            tiles(ReorderMethod::Hilbert),
+        );
+    }
+
+    println!("\nPaper reference points: 2ONW 19/19/13 tiles and 1AY3 44/40/32 tiles under");
+    println!("natural/RCM/PBR — i.e. PBR reduces the tile count by ~25–30% over the natural order.");
+}

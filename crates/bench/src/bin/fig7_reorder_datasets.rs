@@ -1,0 +1,78 @@
+//! Fig. 7 — reordering quality across the four benchmark datasets.
+//!
+//! For every dataset and every ordering (natural, RCM, PBR) the figure
+//! reports the average percentage of non-empty octiles and the distribution
+//! of the fill factor within the non-empty octiles.
+
+use mgk_bench::{benchmark_datasets, scaled};
+use mgk_graph::Graph;
+use mgk_reorder::ReorderMethod;
+use mgk_tile::{OctileMatrix, TileDensityStats};
+
+fn dataset_stats<V: Clone, E: Copy + Default>(
+    graphs: &[Graph<V, E>],
+    coords: Option<&[Vec<[f32; 3]>]>,
+    method: ReorderMethod,
+) -> TileDensityStats {
+    let per_graph: Vec<TileDensityStats> = graphs
+        .iter()
+        .enumerate()
+        .map(|(i, g)| {
+            let order = method.compute_order(g, coords.map(|c| c[i].as_slice()));
+            let permuted = g.permute(&order);
+            TileDensityStats::of(&OctileMatrix::from_graph(&permuted.map_labels(|_| (), |e| *e)))
+        })
+        .collect();
+    TileDensityStats::aggregate(&per_graph)
+}
+
+fn histogram_sketch(hist: &[usize; 16]) -> String {
+    let max = hist.iter().copied().max().unwrap_or(0).max(1);
+    let glyphs = [' ', '.', ':', '-', '=', '+', '*', '#'];
+    hist.iter()
+        .map(|&h| {
+            let level = (h * (glyphs.len() - 1)).div_ceil(max);
+            glyphs[level.min(glyphs.len() - 1)]
+        })
+        .collect()
+}
+
+fn main() {
+    let per_set = scaled(24, 4);
+    let data = benchmark_datasets(per_set);
+    let protein_graphs: Vec<_> = data.protein.iter().map(|s| s.graph.clone()).collect();
+    let protein_coords: Vec<_> = data.protein.iter().map(|s| s.coordinates.clone()).collect();
+
+    println!(
+        "Fig. 7 — octile occupancy across datasets ({per_set} graphs per dataset), tile size 8\n"
+    );
+    println!(
+        "{:<24} {:<9} {:>16} {:>14}   {}",
+        "dataset", "order", "% non-empty", "avg density", "density distribution (sparse -> dense)"
+    );
+
+    let methods = [ReorderMethod::Natural, ReorderMethod::Rcm, ReorderMethod::Pbr];
+
+    let report = |name: &str, stats_for: &dyn Fn(ReorderMethod) -> TileDensityStats| {
+        for method in methods {
+            let s = stats_for(method);
+            println!(
+                "{:<24} {:<9} {:>15.1}% {:>13.1}%   [{}]",
+                if method == ReorderMethod::Natural { name } else { "" },
+                method.name(),
+                100.0 * s.nonempty_fraction,
+                100.0 * s.mean_density,
+                histogram_sketch(&s.density_histogram),
+            );
+        }
+        println!();
+    };
+
+    report("Protein crystal structure", &|m| dataset_stats(&protein_graphs, Some(&protein_coords), m));
+    report("DrugBank-like molecules", &|m| dataset_stats(&data.drugbank, None, m));
+    report("Newman-Watts-Strogatz", &|m| dataset_stats(&data.small_world, None, m));
+    report("Barabási-Albert", &|m| dataset_stats(&data.scale_free, None, m));
+
+    println!("Paper reference (non-empty tiles, natural/RCM/PBR):");
+    println!("  protein 36%/37%/27%   DrugBank 50%/43%/43%   NWS 51%/57%/41%   BA 97%/93%/74%");
+}

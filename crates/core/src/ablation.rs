@@ -1,0 +1,157 @@
+//! The incremental optimization levels of the Fig. 9 ablation study.
+//!
+//! Each level inherits everything from the previous one and enables one
+//! additional technique, in the same order the paper presents them:
+//!
+//! | level | adds |
+//! |---|---|
+//! | `Dense` | the dense on-the-fly tiling-blocking kernel (all tiles processed) |
+//! | `Sparse` | inter-tile sparsity: only non-empty octiles are streamed |
+//! | `Reorder` | PBR vertex reordering |
+//! | `Adaptive` | dynamic dense/sparse tile-primitive selection |
+//! | `Compact` | compact (bitmap + packed) tile storage |
+//! | `Block` | block-level octile sharing between warps |
+//! | `DynamicScheduling` | dynamic scheduling of graph pairs |
+
+use crate::gram::Scheduling;
+use crate::solver::{SolverConfig, XmvMode};
+use crate::xmv::XmvPrimitive;
+use mgk_reorder::ReorderMethod;
+
+/// One level of the incremental ablation of Fig. 9.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum OptimizationLevel {
+    /// The dense on-the-fly kernel (no sparsity exploitation).
+    Dense,
+    /// Prune empty octiles.
+    Sparse,
+    /// Add PBR reordering.
+    Reorder,
+    /// Add adaptive dense/sparse tile primitives.
+    Adaptive,
+    /// Add compact tile storage.
+    Compact,
+    /// Add block-level tile sharing.
+    Block,
+    /// Add dynamic scheduling of graph pairs.
+    DynamicScheduling,
+}
+
+impl OptimizationLevel {
+    /// All levels in the order they appear in Fig. 9.
+    pub const ALL: [OptimizationLevel; 7] = [
+        OptimizationLevel::Dense,
+        OptimizationLevel::Sparse,
+        OptimizationLevel::Reorder,
+        OptimizationLevel::Adaptive,
+        OptimizationLevel::Compact,
+        OptimizationLevel::Block,
+        OptimizationLevel::DynamicScheduling,
+    ];
+
+    /// The bar label used in Fig. 9.
+    pub fn label(self) -> &'static str {
+        match self {
+            OptimizationLevel::Dense => "Dense",
+            OptimizationLevel::Sparse => "Sparse",
+            OptimizationLevel::Reorder => "+Reorder",
+            OptimizationLevel::Adaptive => "+Adaptive",
+            OptimizationLevel::Compact => "+Compact",
+            OptimizationLevel::Block => "+Block",
+            OptimizationLevel::DynamicScheduling => "+DynSched",
+        }
+    }
+
+    /// The per-pair solver configuration of this level, inheriting
+    /// tolerance/iteration settings from `base`.
+    pub fn solver_config(self, base: &SolverConfig) -> SolverConfig {
+        let mut cfg = SolverConfig {
+            xmv_mode: XmvMode::DenseOnTheFly(XmvPrimitive::OCTILE),
+            reorder: ReorderMethod::Natural,
+            adaptive_tiles: false,
+            compact_storage: false,
+            block_sharing: 1,
+            ..*base
+        };
+        if self >= OptimizationLevel::Sparse {
+            cfg.xmv_mode = XmvMode::Octile;
+        }
+        if self >= OptimizationLevel::Reorder {
+            cfg.reorder = ReorderMethod::Pbr;
+        }
+        if self >= OptimizationLevel::Adaptive {
+            cfg.adaptive_tiles = true;
+        }
+        if self >= OptimizationLevel::Compact {
+            cfg.compact_storage = true;
+        }
+        if self >= OptimizationLevel::Block {
+            cfg.block_sharing = 8;
+        }
+        cfg
+    }
+
+    /// The Gram-matrix scheduling policy of this level.
+    pub fn scheduling(self) -> Scheduling {
+        if self >= OptimizationLevel::DynamicScheduling {
+            Scheduling::Dynamic
+        } else {
+            Scheduling::Static
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_are_cumulative() {
+        let base = SolverConfig::default();
+        let dense = OptimizationLevel::Dense.solver_config(&base);
+        assert!(matches!(dense.xmv_mode, XmvMode::DenseOnTheFly(_)));
+        assert_eq!(dense.reorder, ReorderMethod::Natural);
+
+        let sparse = OptimizationLevel::Sparse.solver_config(&base);
+        assert_eq!(sparse.xmv_mode, XmvMode::Octile);
+        assert!(!sparse.adaptive_tiles);
+
+        let reorder = OptimizationLevel::Reorder.solver_config(&base);
+        assert_eq!(reorder.reorder, ReorderMethod::Pbr);
+
+        let adaptive = OptimizationLevel::Adaptive.solver_config(&base);
+        assert!(adaptive.adaptive_tiles);
+        assert!(!adaptive.compact_storage);
+
+        let compact = OptimizationLevel::Compact.solver_config(&base);
+        assert!(compact.compact_storage);
+        assert_eq!(compact.block_sharing, 1);
+
+        let block = OptimizationLevel::Block.solver_config(&base);
+        assert_eq!(block.block_sharing, 8);
+
+        let dyn_sched = OptimizationLevel::DynamicScheduling.solver_config(&base);
+        assert_eq!(dyn_sched.block_sharing, 8);
+        assert_eq!(OptimizationLevel::DynamicScheduling.scheduling(), Scheduling::Dynamic);
+        assert_eq!(OptimizationLevel::Block.scheduling(), Scheduling::Static);
+    }
+
+    #[test]
+    fn labels_match_figure_9() {
+        let labels: Vec<&str> = OptimizationLevel::ALL.iter().map(|l| l.label()).collect();
+        assert_eq!(
+            labels,
+            vec!["Dense", "Sparse", "+Reorder", "+Adaptive", "+Compact", "+Block", "+DynSched"]
+        );
+    }
+
+    #[test]
+    fn tolerance_is_inherited_from_base() {
+        let base = SolverConfig { tolerance: 1e-3, max_iterations: 7, ..SolverConfig::default() };
+        for level in OptimizationLevel::ALL {
+            let cfg = level.solver_config(&base);
+            assert_eq!(cfg.tolerance, 1e-3);
+            assert_eq!(cfg.max_iterations, 7);
+        }
+    }
+}

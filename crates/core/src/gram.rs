@@ -1,0 +1,386 @@
+//! The parallel pairwise Gram-matrix engine (Section V).
+//!
+//! Training a kernel-based model requires the full pairwise similarity
+//! matrix of a dataset — for `N` graphs that is `N (N + 1) / 2` independent
+//! linear-system solves, which the paper distributes over the GPU by
+//! assigning graph pairs to thread blocks. Here the pairs are distributed
+//! over CPU threads with rayon; the [`Scheduling`] policy mirrors the
+//! static-vs-dynamic work assignment the paper studies for size-skewed
+//! datasets (Section V-B, Fig. 9's `+DynSched` level).
+
+use std::time::{Duration, Instant};
+
+use rayon::prelude::*;
+
+use mgk_gpusim::TrafficCounters;
+use mgk_graph::Graph;
+use mgk_kernels::BaseKernel;
+use mgk_reorder::ReorderMethod;
+
+use crate::solver::{MarginalizedKernelSolver, SolverConfig, SolverError};
+
+/// How graph pairs are assigned to worker threads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Scheduling {
+    /// Pairs are split into one contiguous chunk per thread up front. Cheap,
+    /// but a chunk holding the largest graphs straggles when the dataset
+    /// has a skewed size distribution.
+    Static,
+    /// Pairs are handed out one at a time through work stealing — the CPU
+    /// analogue of the paper's dynamic scheduling across thread blocks.
+    #[default]
+    Dynamic,
+}
+
+/// Configuration of the Gram-matrix engine.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GramConfig {
+    /// Normalize the matrix to unit self-similarity:
+    /// `K̂_ij = K_ij / sqrt(K_ii K_jj)`.
+    pub normalize: bool,
+    /// Work-distribution policy.
+    pub scheduling: Scheduling,
+    /// Reorder every graph once before the pairwise sweep instead of once
+    /// per pair (the amortization argument of Section IV-A).
+    pub reorder_once: bool,
+}
+
+impl Default for GramConfig {
+    fn default() -> Self {
+        GramConfig { normalize: true, scheduling: Scheduling::Dynamic, reorder_once: true }
+    }
+}
+
+/// Result of a Gram-matrix computation.
+#[derive(Debug, Clone)]
+pub struct GramResult {
+    /// Row-major `N × N` kernel matrix. Entries of pairs that failed to
+    /// converge are `NaN`.
+    pub matrix: Vec<f32>,
+    /// Number of graphs.
+    pub num_graphs: usize,
+    /// Total PCG iterations across all pairs.
+    pub total_iterations: usize,
+    /// Aggregate memory traffic of all solves (feeds the GPU cost model).
+    pub traffic: TrafficCounters,
+    /// Number of pairs whose solve failed to converge.
+    pub failures: usize,
+    /// Wall-clock time of the pairwise sweep (excluding one-off
+    /// reordering).
+    pub elapsed: Duration,
+    /// Wall-clock time of the one-off per-graph preprocessing.
+    pub preprocessing: Duration,
+}
+
+impl GramResult {
+    /// Access entry `(i, j)`.
+    pub fn get(&self, i: usize, j: usize) -> f32 {
+        self.matrix[i * self.num_graphs + j]
+    }
+}
+
+/// The parallel pairwise Gram-matrix engine.
+#[derive(Debug, Clone)]
+pub struct GramEngine<KV, KE> {
+    solver: MarginalizedKernelSolver<KV, KE>,
+    config: GramConfig,
+}
+
+impl<KV, KE> GramEngine<KV, KE> {
+    /// Create an engine from a per-pair solver and an engine configuration.
+    pub fn new(solver: MarginalizedKernelSolver<KV, KE>, config: GramConfig) -> Self {
+        GramEngine { solver, config }
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &GramConfig {
+        &self.config
+    }
+
+    /// Compute the symmetric pairwise kernel matrix of a dataset.
+    pub fn compute<V, E>(&self, graphs: &[Graph<V, E>]) -> GramResult
+    where
+        V: Clone + Send + Sync,
+        E: Copy + Default + Send + Sync,
+        KV: BaseKernel<V> + Clone + Send + Sync,
+        KE: BaseKernel<E> + Clone + Send + Sync,
+    {
+        let n = graphs.len();
+        let mut matrix = vec![f32::NAN; n * n];
+
+        // one-off preprocessing: reorder (and re-weight) each graph once
+        let prep_start = Instant::now();
+        let (prepared, pair_solver) = if self.config.reorder_once {
+            let prepared: Vec<Graph<V, E>> = graphs
+                .par_iter()
+                .map(|g| self.solver.prepare(g).unwrap_or_else(|| g.clone()))
+                .collect();
+            let cfg = SolverConfig {
+                reorder: ReorderMethod::Natural,
+                stopping_probability: None,
+                ..*self.solver.config()
+            };
+            (prepared, self.solver.with_config(cfg))
+        } else {
+            (graphs.to_vec(), self.solver.clone())
+        };
+        let preprocessing = prep_start.elapsed();
+
+        // upper-triangular pair list
+        let pairs: Vec<(usize, usize)> =
+            (0..n).flat_map(|i| (i..n).map(move |j| (i, j))).collect();
+
+        let start = Instant::now();
+        let solve_pair = |&(i, j): &(usize, usize)| {
+            let result = pair_solver.kernel(&prepared[i], &prepared[j]);
+            (i, j, result)
+        };
+        let results: Vec<(usize, usize, Result<crate::solver::KernelResult, SolverError>)> =
+            match self.config.scheduling {
+                Scheduling::Dynamic => pairs.par_iter().map(solve_pair).collect(),
+                Scheduling::Static => {
+                    // one contiguous chunk per thread, assigned up front
+                    let threads = rayon::current_num_threads().max(1);
+                    let chunk = pairs.len().div_ceil(threads).max(1);
+                    pairs
+                        .par_chunks(chunk)
+                        .flat_map_iter(|chunk| chunk.iter().map(solve_pair).collect::<Vec<_>>())
+                        .collect()
+                }
+            };
+        let elapsed = start.elapsed();
+
+        let mut traffic = TrafficCounters::new();
+        let mut total_iterations = 0usize;
+        let mut failures = 0usize;
+        for (i, j, result) in results {
+            match result {
+                Ok(r) => {
+                    matrix[i * n + j] = r.value;
+                    matrix[j * n + i] = r.value;
+                    traffic.accumulate(&r.traffic);
+                    total_iterations += r.iterations;
+                }
+                Err(_) => {
+                    failures += 1;
+                }
+            }
+        }
+
+        if self.config.normalize {
+            let diag: Vec<f32> = (0..n).map(|i| matrix[i * n + i]).collect();
+            for i in 0..n {
+                for j in 0..n {
+                    let d = (diag[i] * diag[j]).sqrt();
+                    if d > 0.0 {
+                        matrix[i * n + j] /= d;
+                    }
+                }
+            }
+        }
+
+        GramResult {
+            matrix,
+            num_graphs: n,
+            total_iterations,
+            traffic,
+            failures,
+            elapsed,
+            preprocessing,
+        }
+    }
+
+    /// Compute the rectangular kernel matrix between two datasets (rows
+    /// indexed by `rows`, columns by `cols`) without normalization.
+    pub fn compute_cross<V, E>(
+        &self,
+        rows: &[Graph<V, E>],
+        cols: &[Graph<V, E>],
+    ) -> GramResult
+    where
+        V: Clone + Send + Sync,
+        E: Copy + Default + Send + Sync,
+        KV: BaseKernel<V> + Clone + Send + Sync,
+        KE: BaseKernel<E> + Clone + Send + Sync,
+    {
+        let (nr, nc) = (rows.len(), cols.len());
+        let mut matrix = vec![f32::NAN; nr * nc];
+        let start = Instant::now();
+        let pairs: Vec<(usize, usize)> =
+            (0..nr).flat_map(|i| (0..nc).map(move |j| (i, j))).collect();
+        let results: Vec<(usize, usize, Result<crate::solver::KernelResult, SolverError>)> = pairs
+            .par_iter()
+            .map(|&(i, j)| (i, j, self.solver.kernel(&rows[i], &cols[j])))
+            .collect();
+        let mut traffic = TrafficCounters::new();
+        let mut total_iterations = 0;
+        let mut failures = 0;
+        for (i, j, result) in results {
+            match result {
+                Ok(r) => {
+                    matrix[i * nc + j] = r.value;
+                    traffic.accumulate(&r.traffic);
+                    total_iterations += r.iterations;
+                }
+                Err(_) => failures += 1,
+            }
+        }
+        GramResult {
+            matrix,
+            num_graphs: nr.max(nc),
+            total_iterations,
+            traffic,
+            failures,
+            elapsed: start.elapsed(),
+            preprocessing: Duration::ZERO,
+        }
+    }
+
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solver::{MarginalizedKernelSolver, SolverConfig};
+    use mgk_graph::generators;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn small_dataset(n: usize) -> Vec<Graph> {
+        let mut rng = StdRng::seed_from_u64(17);
+        (0..n)
+            .map(|k| {
+                if k % 2 == 0 {
+                    generators::newman_watts_strogatz(12 + k, 2, 0.2, &mut rng)
+                } else {
+                    generators::barabasi_albert(10 + k, 2, &mut rng)
+                }
+            })
+            .collect()
+    }
+
+    fn engine(config: GramConfig) -> GramEngine<mgk_kernels::UnitKernel, mgk_kernels::UnitKernel> {
+        GramEngine::new(MarginalizedKernelSolver::unlabeled(SolverConfig::default()), config)
+    }
+
+    #[test]
+    fn gram_matrix_is_symmetric_with_unit_diagonal_when_normalized() {
+        let graphs = small_dataset(5);
+        let result = engine(GramConfig::default()).compute(&graphs);
+        assert_eq!(result.num_graphs, 5);
+        assert_eq!(result.failures, 0);
+        for i in 0..5 {
+            assert!((result.get(i, i) - 1.0).abs() < 1e-5);
+            for j in 0..5 {
+                assert!((result.get(i, j) - result.get(j, i)).abs() < 1e-6);
+                assert!(result.get(i, j) > 0.0 && result.get(i, j) <= 1.0 + 1e-5);
+            }
+        }
+        assert!(result.total_iterations > 0);
+        assert!(result.traffic.flops > 0);
+    }
+
+    #[test]
+    fn unnormalized_matrix_matches_individual_solves() {
+        let graphs = small_dataset(4);
+        let cfg = GramConfig { normalize: false, ..GramConfig::default() };
+        let result = engine(cfg).compute(&graphs);
+        let solver = MarginalizedKernelSolver::unlabeled(SolverConfig::default());
+        for i in 0..4 {
+            for j in i..4 {
+                let direct = solver.kernel(&graphs[i], &graphs[j]).unwrap().value;
+                let rel = (result.get(i, j) - direct).abs() / direct.abs().max(1e-6);
+                assert!(rel < 1e-4, "({i},{j}): {} vs {direct}", result.get(i, j));
+            }
+        }
+    }
+
+    #[test]
+    fn static_and_dynamic_scheduling_agree() {
+        let graphs = small_dataset(5);
+        let dynamic = engine(GramConfig {
+            scheduling: Scheduling::Dynamic,
+            ..GramConfig::default()
+        })
+        .compute(&graphs);
+        let static_ = engine(GramConfig {
+            scheduling: Scheduling::Static,
+            ..GramConfig::default()
+        })
+        .compute(&graphs);
+        for (a, b) in dynamic.matrix.iter().zip(&static_.matrix) {
+            assert!((a - b).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn reorder_once_matches_per_pair_reordering() {
+        let graphs = small_dataset(4);
+        let once = engine(GramConfig { reorder_once: true, ..GramConfig::default() })
+            .compute(&graphs);
+        let per_pair = engine(GramConfig { reorder_once: false, ..GramConfig::default() })
+            .compute(&graphs);
+        for (a, b) in once.matrix.iter().zip(&per_pair.matrix) {
+            assert!((a - b).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn gram_matrix_is_positive_semidefinite() {
+        // check via the determinant of leading principal minors of a small
+        // normalized Gram matrix (all must be non-negative)
+        let graphs = small_dataset(4);
+        let result = engine(GramConfig::default()).compute(&graphs);
+        let n = 4;
+        for k in 1..=n {
+            let sub: Vec<f64> = (0..k * k)
+                .map(|idx| result.get(idx / k, idx % k) as f64)
+                .collect();
+            let det = determinant(&sub, k);
+            assert!(det > -1e-6, "leading minor {k} has determinant {det}");
+        }
+    }
+
+    fn determinant(a: &[f64], n: usize) -> f64 {
+        let mut m = a.to_vec();
+        let mut det = 1.0;
+        for col in 0..n {
+            let pivot = (col..n).max_by(|&i, &j| {
+                m[i * n + col].abs().partial_cmp(&m[j * n + col].abs()).unwrap()
+            });
+            let p = pivot.unwrap();
+            if m[p * n + col].abs() < 1e-12 {
+                return 0.0;
+            }
+            if p != col {
+                for k in 0..n {
+                    m.swap(col * n + k, p * n + k);
+                }
+                det = -det;
+            }
+            det *= m[col * n + col];
+            for row in (col + 1)..n {
+                let f = m[row * n + col] / m[col * n + col];
+                for k in col..n {
+                    m[row * n + k] -= f * m[col * n + k];
+                }
+            }
+        }
+        det
+    }
+
+    #[test]
+    fn cross_matrix_has_expected_shape() {
+        let graphs = small_dataset(5);
+        let result = engine(GramConfig::default()).compute_cross(&graphs[..2], &graphs[2..]);
+        assert_eq!(result.matrix.len(), 2 * 3);
+        assert!(result.matrix.iter().all(|v| v.is_finite() && *v > 0.0));
+    }
+
+    #[test]
+    fn empty_dataset() {
+        let result = engine(GramConfig::default()).compute::<mgk_graph::Unlabeled, mgk_graph::Unlabeled>(&[]);
+        assert_eq!(result.num_graphs, 0);
+        assert!(result.matrix.is_empty());
+    }
+}

@@ -1,0 +1,452 @@
+//! Sparse tile-pair product primitives — Section IV-B of the paper.
+//!
+//! Given one octile of each graph, the tensor product of the two tiles
+//! contributes
+//!
+//! ```text
+//! y_{(8·I+i)(8·I'+i')} += A_ij · A'_i'j' · κ_e(E_ij, E'_i'j') · p_{(8·J+j)(8·J'+j')}
+//! ```
+//!
+//! for every pair of nonzeros `(i, j) ∈ tile₁`, `(i', j') ∈ tile₂`. Three
+//! primitives cover the density spectrum:
+//!
+//! * [`TileProductKind::DenseDense`] — both tiles expanded to dense 8×8
+//!   blocks; all 64×64 products are evaluated (fast, regular, but wasteful
+//!   on near-empty tiles).
+//! * [`TileProductKind::DenseSparse`] — the sparser tile is iterated via
+//!   its occupancy bitmap, the denser one as a dense block.
+//! * [`TileProductKind::SparseSparse`] — both tiles iterated via their
+//!   bitmaps; only `nnz₁ · nnz₂` products are formed.
+//!
+//! [`select_kind`] implements the dynamic selection rule of Fig. 8 using a
+//! per-primitive cycle estimate that mirrors the GPU execution efficiency
+//! of each variant.
+
+use mgk_gpusim::TrafficCounters;
+use mgk_kernels::BaseKernel;
+use mgk_tile::{Octile, TILE_SIZE};
+
+/// Which tile-pair primitive to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TileProductKind {
+    /// Expand both tiles and evaluate all 64×64 products.
+    DenseDense,
+    /// Keep the first tile dense and iterate the second tile's nonzeros.
+    DenseSparse,
+    /// Iterate the nonzeros of both tiles.
+    SparseSparse,
+}
+
+impl TileProductKind {
+    /// Display name used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            TileProductKind::DenseDense => "dense×dense",
+            TileProductKind::DenseSparse => "dense×sparse",
+            TileProductKind::SparseSparse => "sparse×sparse",
+        }
+    }
+}
+
+/// Estimated execution cost, in abstract warp-cycles, of applying `kind` to
+/// a tile pair with the given populations, when one base-kernel evaluation
+/// costs `x` FLOPs.
+///
+/// The constants encode the efficiency differences of the GPU variants: the
+/// dense kernel runs in lockstep over all 64 lanes-worth of products with
+/// FMA pairing, the sparse kernel pays per-nonzero index decoding
+/// (bit-manipulation) and divergence, and the mixed kernel sits in between.
+/// The resulting profitable regions reproduce the crossovers of Fig. 8
+/// (sparse×sparse up to ~8–10 nonzeros per tile for unlabeled graphs,
+/// ~13–16 for labeled ones).
+pub fn estimated_cycles(kind: TileProductKind, nnz1: usize, nnz2: usize, x: usize) -> f64 {
+    let x = x as f64;
+    let full = (TILE_SIZE * TILE_SIZE) as f64;
+    match kind {
+        // all products evaluated, 64 products per instruction group (full
+        // warp with FMA pairing), plus the cost of expanding both tiles
+        // into shared memory
+        TileProductKind::DenseDense => full * full * x / 64.0 + full,
+        // the sparse operand is decoded once per nonzero; products proceed
+        // at a reduced rate because one index stream is irregular
+        TileProductKind::DenseSparse => {
+            let s = nnz1.min(nnz2) as f64;
+            full * s * x / 12.0 + 4.0 * s + full
+        }
+        // only nnz1·nnz2 products, but each pays index decoding and the
+        // warp runs partially divergent; the fixed per-product overhead
+        // shrinks relative to the arithmetic as the base kernel gets more
+        // expensive, which is why the labeled crossover sits further out
+        // (Fig. 8, right panel)
+        TileProductKind::SparseSparse => {
+            let prods = (nnz1 * nnz2) as f64;
+            prods * (x / 4.0 + 1.5) + 4.0 * (nnz1 + nnz2) as f64
+        }
+    }
+}
+
+/// Dynamic primitive selection (Fig. 8): pick the cheapest primitive for a
+/// tile pair with `nnz1`/`nnz2` nonzeros under a base kernel costing `x`
+/// FLOPs per evaluation.
+pub fn select_kind(nnz1: usize, nnz2: usize, x: usize) -> TileProductKind {
+    let candidates = [
+        TileProductKind::SparseSparse,
+        TileProductKind::DenseSparse,
+        TileProductKind::DenseDense,
+    ];
+    let mut best = candidates[0];
+    let mut best_cost = f64::INFINITY;
+    for &k in &candidates {
+        let c = estimated_cycles(k, nnz1, nnz2, x);
+        if c < best_cost {
+            best_cost = c;
+            best = k;
+        }
+    }
+    best
+}
+
+/// Cost metadata threaded through the tile product (byte sizes and FLOP
+/// count of the base kernel).
+#[derive(Debug, Clone, Copy)]
+pub struct TileCosts {
+    /// Bytes per edge label.
+    pub label_bytes: usize,
+    /// Bytes per edge weight.
+    pub float_bytes: usize,
+    /// FLOPs per base-kernel evaluation.
+    pub kernel_flops: usize,
+}
+
+/// Accumulate the product of one pair of octiles into the output vector.
+///
+/// `t1` is a tile of the first graph (tile row `I`, tile column `J`), `t2`
+/// of the second (`I'`, `J'`); `n`/`m` are the vertex counts of the two
+/// graphs, `p` the right-hand side of length `n·m`, `y` the output of the
+/// same length.
+#[allow(clippy::too_many_arguments)]
+pub fn tile_pair_product<E: Copy + Default, K: BaseKernel<E>>(
+    kind: TileProductKind,
+    t1: &Octile<E>,
+    t2: &Octile<E>,
+    n: usize,
+    m: usize,
+    kernel: &K,
+    costs: &TileCosts,
+    p: &[f32],
+    y: &mut [f32],
+    counters: &mut TrafficCounters,
+) {
+    debug_assert_eq!(p.len(), n * m);
+    debug_assert_eq!(y.len(), n * m);
+    let row1 = t1.row as usize * TILE_SIZE;
+    let col1 = t1.col as usize * TILE_SIZE;
+    let row2 = t2.row as usize * TILE_SIZE;
+    let col2 = t2.col as usize * TILE_SIZE;
+    let fb = costs.float_bytes as u64;
+    let eb = costs.label_bytes as u64;
+    let xf = costs.kernel_flops as u64;
+
+    match kind {
+        TileProductKind::SparseSparse => {
+            for (i, j, w1, l1) in t1.iter() {
+                let gi = row1 + i;
+                let gj = col1 + j;
+                for (ip, jp, w2, l2) in t2.iter() {
+                    let gip = row2 + ip;
+                    let gjp = col2 + jp;
+                    let ke = kernel.eval(&l1, &l2);
+                    y[gi * m + gip] += w1 * w2 * ke * p[gj * m + gjp];
+                }
+            }
+            let prods = (t1.nnz() * t2.nnz()) as u64;
+            counters.flops += prods * xf;
+            counters.kernel_evaluations += prods;
+            counters.shared_load_bytes += prods * (2 * (fb + eb) + fb);
+        }
+        TileProductKind::DenseSparse => {
+            // iterate the sparser tile's nonzeros, stream the denser tile as
+            // a dense block
+            let (sparse, dense, sparse_is_first) =
+                if t1.nnz() <= t2.nnz() { (t1, t2, true) } else { (t2, t1, false) };
+            let dw = dense.expand_weights();
+            let dl = dense.expand_labels(E::default());
+            counters.shared_store_bytes += (TILE_SIZE * TILE_SIZE) as u64 * (fb + eb);
+            let (drow, dcol) = if sparse_is_first { (row2, col2) } else { (row1, col1) };
+            let (srow, scol) = if sparse_is_first { (row1, col1) } else { (row2, col2) };
+            let dense_rows = if sparse_is_first { m } else { n };
+            for (si, sj, sw, sl) in sparse.iter() {
+                for di in 0..TILE_SIZE {
+                    if drow + di >= dense_rows {
+                        break;
+                    }
+                    for dj in 0..TILE_SIZE {
+                        let w2 = dw[di * TILE_SIZE + dj];
+                        counters.flops += xf;
+                        counters.kernel_evaluations += 1;
+                        counters.shared_load_bytes += fb + eb + fb;
+                        if w2 == 0.0 {
+                            continue;
+                        }
+                        let ke = kernel.eval(&sl, &dl[di * TILE_SIZE + dj]);
+                        let (gi, gj, gip, gjp) = if sparse_is_first {
+                            (srow + si, scol + sj, drow + di, dcol + dj)
+                        } else {
+                            (drow + di, dcol + dj, srow + si, scol + sj)
+                        };
+                        y[gi * m + gip] += sw * w2 * ke * p[gj * m + gjp];
+                    }
+                }
+            }
+        }
+        TileProductKind::DenseDense => {
+            let w1 = t1.expand_weights();
+            let l1 = t1.expand_labels(E::default());
+            let w2 = t2.expand_weights();
+            let l2 = t2.expand_labels(E::default());
+            counters.shared_store_bytes += 2 * (TILE_SIZE * TILE_SIZE) as u64 * (fb + eb);
+            let imax = TILE_SIZE.min(n.saturating_sub(row1));
+            let jmax = TILE_SIZE.min(n.saturating_sub(col1));
+            let ipmax = TILE_SIZE.min(m.saturating_sub(row2));
+            let jpmax = TILE_SIZE.min(m.saturating_sub(col2));
+            // the GPU kernel always evaluates the full 64x64 block; shared
+            // loads follow the tiling-blocking pattern (each row chunk of
+            // either tile is staged in registers and reused across the
+            // other tile's columns), i.e. ~(E+F)/t + (E+F)/r bytes per term
+            counters.flops += (TILE_SIZE * TILE_SIZE * TILE_SIZE * TILE_SIZE) as u64 * xf;
+            counters.kernel_evaluations += (TILE_SIZE * TILE_SIZE * TILE_SIZE * TILE_SIZE) as u64;
+            counters.shared_load_bytes +=
+                (TILE_SIZE * TILE_SIZE * TILE_SIZE * TILE_SIZE) as u64 * (fb + eb) * 2
+                    / TILE_SIZE as u64;
+            for i in 0..imax {
+                for ip in 0..ipmax {
+                    let mut acc = 0.0f32;
+                    for j in 0..jmax {
+                        let a1 = w1[i * TILE_SIZE + j];
+                        if a1 == 0.0 {
+                            continue;
+                        }
+                        for jp in 0..jpmax {
+                            let a2 = w2[ip * TILE_SIZE + jp];
+                            if a2 == 0.0 {
+                                continue;
+                            }
+                            let ke =
+                                kernel.eval(&l1[i * TILE_SIZE + j], &l2[ip * TILE_SIZE + jp]);
+                            acc += a1 * a2 * ke * p[(col1 + j) * m + col2 + jp];
+                        }
+                    }
+                    y[(row1 + i) * m + row2 + ip] += acc;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mgk_graph::{Graph, GraphBuilder, Unlabeled};
+    use mgk_kernels::SquareExponential;
+    use mgk_tile::OctileMatrix;
+
+    fn costs() -> TileCosts {
+        TileCosts { label_bytes: 4, float_bytes: 4, kernel_flops: 11 }
+    }
+
+    fn small_graph(seed: u64, n: usize, extra: &[(u32, u32)]) -> Graph<Unlabeled, f32> {
+        let mut b: GraphBuilder<Unlabeled, f32> = GraphBuilder::new();
+        for _ in 0..n {
+            b.add_vertex(Unlabeled);
+        }
+        for i in 0..n - 1 {
+            b.add_edge(i, i + 1, 1.0 + (i as f32) * 0.1, (seed as f32) * 0.01 + i as f32 * 0.2)
+                .unwrap();
+        }
+        for &(u, v) in extra {
+            b.add_edge(u as usize, v as usize, 0.5, 1.5).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    /// Reference: accumulate the full product over dense matrices.
+    fn reference(
+        g1: &Graph<Unlabeled, f32>,
+        g2: &Graph<Unlabeled, f32>,
+        kernel: &SquareExponential,
+        p: &[f32],
+    ) -> Vec<f32> {
+        let (n, m) = (g1.num_vertices(), g2.num_vertices());
+        let a1 = g1.adjacency_dense();
+        let a2 = g2.adjacency_dense();
+        let e1 = g1.edge_labels_dense(0.0);
+        let e2 = g2.edge_labels_dense(0.0);
+        let mut y = vec![0.0f32; n * m];
+        for i in 0..n {
+            for ip in 0..m {
+                let mut acc = 0.0f64;
+                for j in 0..n {
+                    for jp in 0..m {
+                        let w = a1[i * n + j] * a2[ip * m + jp];
+                        if w != 0.0 {
+                            acc += (w * kernel.eval(&e1[i * n + j], &e2[ip * m + jp])) as f64
+                                * p[j * m + jp] as f64;
+                        }
+                    }
+                }
+                y[i * m + ip] = acc as f32;
+            }
+        }
+        y
+    }
+
+    fn full_product(
+        kind_for: impl Fn(usize, usize) -> TileProductKind,
+        g1: &Graph<Unlabeled, f32>,
+        g2: &Graph<Unlabeled, f32>,
+        kernel: &SquareExponential,
+        p: &[f32],
+    ) -> Vec<f32> {
+        let (n, m) = (g1.num_vertices(), g2.num_vertices());
+        let t1 = OctileMatrix::from_graph(g1);
+        let t2 = OctileMatrix::from_graph(g2);
+        let mut y = vec![0.0f32; n * m];
+        let mut c = TrafficCounters::new();
+        for a in t1.tiles() {
+            for b in t2.tiles() {
+                let kind = kind_for(a.nnz(), b.nnz());
+                tile_pair_product(kind, a, b, n, m, kernel, &costs(), p, &mut y, &mut c);
+            }
+        }
+        y
+    }
+
+    fn assert_close(a: &[f32], b: &[f32], tol: f32) {
+        for (k, (x, y)) in a.iter().zip(b).enumerate() {
+            assert!((x - y).abs() <= tol * (1.0 + y.abs()), "mismatch at {k}: {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn all_three_primitives_match_the_dense_reference() {
+        let g1 = small_graph(1, 19, &[(0, 10), (3, 15)]);
+        let g2 = small_graph(2, 13, &[(1, 9)]);
+        let kernel = SquareExponential::new(1.0);
+        let p: Vec<f32> = (0..19 * 13).map(|k| ((k % 11) as f32) * 0.1 - 0.3).collect();
+        let expect = reference(&g1, &g2, &kernel, &p);
+        for kind in [
+            TileProductKind::DenseDense,
+            TileProductKind::DenseSparse,
+            TileProductKind::SparseSparse,
+        ] {
+            let y = full_product(|_, _| kind, &g1, &g2, &kernel, &p);
+            assert_close(&y, &expect, 1e-4);
+        }
+    }
+
+    #[test]
+    fn adaptive_selection_matches_reference() {
+        let g1 = small_graph(3, 25, &[(0, 20), (5, 17), (2, 11)]);
+        let g2 = small_graph(4, 9, &[]);
+        let kernel = SquareExponential::new(0.5);
+        let p: Vec<f32> = (0..25 * 9).map(|k| ((k * 13 % 17) as f32) * 0.05).collect();
+        let expect = reference(&g1, &g2, &kernel, &p);
+        let flops = mgk_kernels::BaseKernel::<f32>::cost(&kernel).flops;
+        let y = full_product(|n1, n2| select_kind(n1, n2, flops), &g1, &g2, &kernel, &p);
+        assert_close(&y, &expect, 1e-4);
+    }
+
+    #[test]
+    fn selection_rule_reproduces_figure_8_crossovers() {
+        // unlabeled graphs: X = 3
+        let unl = 3;
+        assert_eq!(select_kind(4, 4, unl), TileProductKind::SparseSparse);
+        assert_eq!(select_kind(8, 8, unl), TileProductKind::SparseSparse);
+        assert_eq!(select_kind(16, 16, unl), TileProductKind::DenseDense);
+        assert_eq!(select_kind(64, 64, unl), TileProductKind::DenseDense);
+        // strongly asymmetric pairs favour dense×sparse
+        assert_eq!(select_kind(2, 60, unl), TileProductKind::DenseSparse);
+        // labeled graphs (X = 11): the sparse×sparse region extends further
+        let lab = 11;
+        assert_eq!(select_kind(12, 12, lab), TileProductKind::SparseSparse);
+        assert_eq!(select_kind(32, 32, lab), TileProductKind::DenseDense);
+        let threshold_unlabeled = (1..=64)
+            .find(|&s| select_kind(s, s, unl) != TileProductKind::SparseSparse)
+            .unwrap();
+        let threshold_labeled = (1..=64)
+            .find(|&s| select_kind(s, s, lab) != TileProductKind::SparseSparse)
+            .unwrap();
+        assert!(
+            threshold_labeled > threshold_unlabeled,
+            "labeled threshold {threshold_labeled} should exceed unlabeled {threshold_unlabeled}"
+        );
+        assert!((8..=12).contains(&threshold_unlabeled), "unlabeled threshold {threshold_unlabeled}");
+        assert!((12..=20).contains(&threshold_labeled), "labeled threshold {threshold_labeled}");
+    }
+
+    #[test]
+    fn sparse_sparse_counts_fewer_flops_on_sparse_tiles() {
+        let g1 = small_graph(5, 8, &[]);
+        let g2 = small_graph(6, 8, &[]);
+        let kernel = SquareExponential::new(1.0);
+        let p = vec![1.0f32; 64];
+        let t1 = OctileMatrix::from_graph(&g1);
+        let t2 = OctileMatrix::from_graph(&g2);
+        let (a, b) = (&t1.tiles()[0], &t2.tiles()[0]);
+        let mut y = vec![0.0f32; 64];
+        let mut dense_c = TrafficCounters::new();
+        tile_pair_product(
+            TileProductKind::DenseDense,
+            a,
+            b,
+            8,
+            8,
+            &kernel,
+            &costs(),
+            &p,
+            &mut y,
+            &mut dense_c,
+        );
+        let mut sparse_c = TrafficCounters::new();
+        let mut y2 = vec![0.0f32; 64];
+        tile_pair_product(
+            TileProductKind::SparseSparse,
+            a,
+            b,
+            8,
+            8,
+            &kernel,
+            &costs(),
+            &p,
+            &mut y2,
+            &mut sparse_c,
+        );
+        assert!(sparse_c.flops < dense_c.flops / 5);
+        assert_close(&y, &y2, 1e-5);
+    }
+
+    #[test]
+    fn dense_sparse_handles_either_operand_being_sparser() {
+        // t1 much denser than t2 and vice versa
+        let dense_edges: Vec<(u32, u32)> =
+            (0..8u32).flat_map(|i| ((i + 1)..8).map(move |j| (i, j))).collect();
+        let g_dense = {
+            let mut b: GraphBuilder<Unlabeled, f32> = GraphBuilder::new();
+            for _ in 0..8 {
+                b.add_vertex(Unlabeled);
+            }
+            for &(u, v) in &dense_edges {
+                b.add_edge(u as usize, v as usize, 1.0, 0.3).unwrap();
+            }
+            b.build().unwrap()
+        };
+        let g_sparse = small_graph(7, 8, &[]);
+        let kernel = SquareExponential::new(1.0);
+        let p: Vec<f32> = (0..64).map(|k| (k % 5) as f32 * 0.2).collect();
+        for (ga, gb) in [(&g_dense, &g_sparse), (&g_sparse, &g_dense)] {
+            let expect = reference(ga, gb, &kernel, &p);
+            let y = full_product(|_, _| TileProductKind::DenseSparse, ga, gb, &kernel, &p);
+            assert_close(&y, &expect, 1e-4);
+        }
+    }
+}

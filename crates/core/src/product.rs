@@ -1,0 +1,417 @@
+//! Assembly of the tensor-product linear system of Eq. (1).
+//!
+//! For a pair of graphs the system matrix is `D× V×⁻¹ − A× ∘ E×` where
+//!
+//! * `D× = diag(d ⊗ d')` with `d_i = Σ_j A_ij + q_i`,
+//! * `V× = diag(v κ⊗ v')` holds the vertex base-kernel products,
+//! * `A× ∘ E×` is the weight/edge-kernel product handled by the on-the-fly
+//!   XMV primitives.
+//!
+//! [`ProductSystem`] owns the diagonal data, the right-hand side
+//! `D× q×` and an off-diagonal operator in one of three forms
+//! ([`OffDiagonal`]): the materialized naive product, a dense on-the-fly
+//! primitive, or the two-level sparse octile operator.
+
+use std::cell::RefCell;
+
+use mgk_gpusim::TrafficCounters;
+use mgk_graph::Graph;
+use mgk_kernels::BaseKernel;
+use mgk_linalg::{kron_vec, kronecker::generalized_kron_vec, LinearOperator};
+use mgk_tile::{OctileMatrix, TILE_SIZE};
+
+use crate::octile_ops::{select_kind, tile_pair_product, TileCosts, TileProductKind};
+use crate::solver::{SolverConfig, XmvMode};
+use crate::xmv::{DensePairData, NaiveProduct, XmvPrimitive};
+
+/// The off-diagonal operator `A× ∘ E×` in one of its three realizations.
+pub enum OffDiagonal<E> {
+    /// Materialized product matrix (the naive kernel of Section II-D).
+    Naive(NaiveProduct),
+    /// Dense on-the-fly primitive of Section III.
+    Dense {
+        /// Densified operands.
+        data: DensePairData<E>,
+        /// Which streaming strategy to use.
+        primitive: XmvPrimitive,
+    },
+    /// Two-level sparse octile operator of Section IV.
+    Octile {
+        /// Octiles of the first graph.
+        tiles1: OctileMatrix<E>,
+        /// Octiles of the second graph.
+        tiles2: OctileMatrix<E>,
+        /// Force a specific tile primitive, or `None` for the adaptive rule.
+        forced_kind: Option<TileProductKind>,
+        /// Use the compact (bitmap + packed payload) storage accounting.
+        compact: bool,
+        /// Number of warps sharing octiles within a block (Section V-A);
+        /// 1 means no sharing.
+        block_sharing: usize,
+    },
+}
+
+/// The assembled tensor-product system for one graph pair.
+pub struct ProductSystem<E, KE> {
+    n: usize,
+    m: usize,
+    /// `d ⊗ d'`.
+    degree_product: Vec<f32>,
+    /// `v κ⊗ v'`.
+    vertex_product: Vec<f32>,
+    /// `p ⊗ p'`.
+    start_product: Vec<f32>,
+    /// `q ⊗ q'`.
+    stop_product: Vec<f32>,
+    off_diagonal: OffDiagonal<E>,
+    edge_kernel: KE,
+    tile_costs: TileCosts,
+    counters: RefCell<TrafficCounters>,
+}
+
+impl<E, KE> ProductSystem<E, KE>
+where
+    E: Copy + Default,
+    KE: BaseKernel<E>,
+{
+    /// Assemble the system for a pair of graphs under a solver
+    /// configuration. The graphs are expected to have already been
+    /// reordered if the configuration asks for it (the solver handles
+    /// that).
+    pub fn assemble<V, KV>(
+        g1: &Graph<V, E>,
+        g2: &Graph<V, E>,
+        vertex_kernel: &KV,
+        edge_kernel: KE,
+        config: &SolverConfig,
+    ) -> Self
+    where
+        KV: BaseKernel<V>,
+    {
+        let n = g1.num_vertices();
+        let m = g2.num_vertices();
+        let degree_product = kron_vec(&g1.laplacian_degrees(), &g2.laplacian_degrees());
+        let vertex_product =
+            generalized_kron_vec(g1.vertex_labels(), g2.vertex_labels(), |a, b| {
+                vertex_kernel.eval(a, b)
+            });
+        let start_product = kron_vec(g1.start_probabilities(), g2.start_probabilities());
+        let stop_product = kron_vec(g1.stop_probabilities(), g2.stop_probabilities());
+
+        let cost = edge_kernel.cost();
+        let tile_costs =
+            TileCosts { label_bytes: cost.label_bytes, float_bytes: 4, kernel_flops: cost.flops };
+
+        let off_diagonal = match config.xmv_mode {
+            XmvMode::NaiveMaterialized => {
+                let data = DensePairData::new(g1, g2, &edge_kernel);
+                OffDiagonal::Naive(NaiveProduct::new(&data, &edge_kernel))
+            }
+            XmvMode::DenseOnTheFly(primitive) => {
+                OffDiagonal::Dense { data: DensePairData::new(g1, g2, &edge_kernel), primitive }
+            }
+            XmvMode::Octile => OffDiagonal::Octile {
+                tiles1: OctileMatrix::from_graph(g1),
+                tiles2: OctileMatrix::from_graph(g2),
+                forced_kind: if config.adaptive_tiles {
+                    None
+                } else {
+                    Some(TileProductKind::DenseDense)
+                },
+                compact: config.compact_storage,
+                block_sharing: config.block_sharing.max(1),
+            },
+        };
+
+        ProductSystem {
+            n,
+            m,
+            degree_product,
+            vertex_product,
+            start_product,
+            stop_product,
+            off_diagonal,
+            edge_kernel,
+            tile_costs,
+            counters: RefCell::new(TrafficCounters::new()),
+        }
+    }
+
+    /// Dimension of the product system, `n · m`.
+    pub fn dim(&self) -> usize {
+        self.n * self.m
+    }
+
+    /// Number of vertices of the two graphs.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.n, self.m)
+    }
+
+    /// The right-hand side `D× q×` of Eq. (1).
+    pub fn rhs(&self) -> Vec<f32> {
+        self.degree_product.iter().zip(&self.stop_product).map(|(&d, &q)| d * q).collect()
+    }
+
+    /// The diagonal of the system matrix, `D× V×⁻¹`.
+    pub fn system_diagonal(&self) -> Vec<f32> {
+        self.degree_product.iter().zip(&self.vertex_product).map(|(&d, &v)| d / v).collect()
+    }
+
+    /// The Jacobi preconditioner `M⁻¹ = V× D×⁻¹` used on line 14 of
+    /// Algorithm 1.
+    pub fn preconditioner_diagonal(&self) -> Vec<f32> {
+        self.degree_product.iter().zip(&self.vertex_product).map(|(&d, &v)| v / d).collect()
+    }
+
+    /// The starting-probability product `p ⊗ p'` used to contract the
+    /// solution into the kernel value.
+    pub fn start_product(&self) -> &[f32] {
+        &self.start_product
+    }
+
+    /// Memory traffic accumulated by every operator application so far.
+    pub fn traffic(&self) -> TrafficCounters {
+        *self.counters.borrow()
+    }
+
+    /// Apply the off-diagonal operator: `y ← (A× ∘ E×) x`.
+    pub fn apply_off_diagonal(&self, x: &[f32], y: &mut [f32]) {
+        y.iter_mut().for_each(|v| *v = 0.0);
+        let mut local = TrafficCounters::new();
+        match &self.off_diagonal {
+            OffDiagonal::Naive(naive) => naive.apply(x, y, &mut local),
+            OffDiagonal::Dense { data, primitive } => {
+                primitive.apply(data, &self.edge_kernel, x, y, &mut local)
+            }
+            OffDiagonal::Octile { tiles1, tiles2, forced_kind, compact, block_sharing } => {
+                let fb = self.tile_costs.float_bytes as u64;
+                let eb = self.tile_costs.label_bytes as u64;
+                let tile_bytes = |t: &mgk_tile::Octile<E>| -> u64 {
+                    if *compact {
+                        8 + t.nnz() as u64 * (fb + eb)
+                    } else {
+                        (TILE_SIZE * TILE_SIZE) as u64 * (fb + eb)
+                    }
+                };
+                for t1 in tiles1.tiles() {
+                    // the outer tile is loaded once and kept for the whole
+                    // sweep over the inner graph
+                    local.global_load_bytes += tile_bytes(t1);
+                    for t2 in tiles2.tiles() {
+                        // inner tiles are re-streamed for every outer tile;
+                        // block-level sharing amortizes the load across the
+                        // warps of a block (Section V-A)
+                        local.global_load_bytes +=
+                            tile_bytes(t2).div_ceil(*block_sharing as u64);
+                        // the right-hand-side block for this tile pair
+                        local.global_load_bytes += (TILE_SIZE * TILE_SIZE) as u64 * fb;
+                        let kind = forced_kind.unwrap_or_else(|| {
+                            select_kind(t1.nnz(), t2.nnz(), self.tile_costs.kernel_flops)
+                        });
+                        tile_pair_product(
+                            kind,
+                            t1,
+                            t2,
+                            self.n,
+                            self.m,
+                            &self.edge_kernel,
+                            &self.tile_costs,
+                            x,
+                            y,
+                            &mut local,
+                        );
+                    }
+                }
+                // the output vector is written back once per application
+                local.global_store_bytes += (self.n * self.m) as u64 * fb;
+            }
+        }
+        self.counters.borrow_mut().accumulate(&local);
+    }
+}
+
+/// Adapter making a `ProductSystem` usable as the full system operator
+/// `D× V×⁻¹ − A× ∘ E×` for the conjugate gradient solver.
+pub struct SystemOperator<'a, E, KE> {
+    system: &'a ProductSystem<E, KE>,
+    diagonal: Vec<f32>,
+    scratch: RefCell<Vec<f32>>,
+}
+
+impl<'a, E, KE> SystemOperator<'a, E, KE>
+where
+    E: Copy + Default,
+    KE: BaseKernel<E>,
+{
+    /// Wrap an assembled product system.
+    pub fn new(system: &'a ProductSystem<E, KE>) -> Self {
+        SystemOperator {
+            diagonal: system.system_diagonal(),
+            scratch: RefCell::new(vec![0.0; system.dim()]),
+            system,
+        }
+    }
+}
+
+impl<E, KE> LinearOperator for SystemOperator<'_, E, KE>
+where
+    E: Copy + Default,
+    KE: BaseKernel<E>,
+{
+    fn dim(&self) -> usize {
+        self.system.dim()
+    }
+
+    fn apply(&self, x: &[f32], y: &mut [f32]) {
+        let mut scratch = self.scratch.borrow_mut();
+        self.system.apply_off_diagonal(x, &mut scratch);
+        for ((yi, &xi), (&di, &oi)) in
+            y.iter_mut().zip(x).zip(self.diagonal.iter().zip(scratch.iter()))
+        {
+            *yi = di * xi - oi;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solver::SolverConfig;
+    use mgk_graph::Graph;
+    use mgk_kernels::UnitKernel;
+    use mgk_linalg::LinearOperator;
+
+    fn unlabeled_pair() -> (Graph, Graph) {
+        let g1 = Graph::from_edge_list(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]);
+        let g2 = Graph::from_edge_list(4, &[(0, 1), (1, 2), (2, 3)]);
+        (g1, g2)
+    }
+
+    fn assemble(config: &SolverConfig) -> ProductSystem<mgk_graph::Unlabeled, UnitKernel> {
+        let (g1, g2) = unlabeled_pair();
+        ProductSystem::assemble(&g1, &g2, &UnitKernel, UnitKernel, config)
+    }
+
+    #[test]
+    fn diagonal_and_rhs_shapes() {
+        let sys = assemble(&SolverConfig::default());
+        assert_eq!(sys.dim(), 20);
+        assert_eq!(sys.shape(), (5, 4));
+        assert_eq!(sys.rhs().len(), 20);
+        assert_eq!(sys.system_diagonal().len(), 20);
+        // with unit vertex kernel the diagonal equals the degree product
+        let d = sys.system_diagonal();
+        let (g1, g2) = unlabeled_pair();
+        let expect = kron_vec(&g1.laplacian_degrees(), &g2.laplacian_degrees());
+        for (a, b) in d.iter().zip(&expect) {
+            assert!((a - b).abs() < 1e-6);
+        }
+        // preconditioner is the element-wise inverse of the diagonal here
+        for (p, d) in sys.preconditioner_diagonal().iter().zip(&d) {
+            assert!((p * d - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn all_three_off_diagonal_modes_agree() {
+        let x: Vec<f32> = (0..20).map(|k| 0.05 * k as f32 - 0.3).collect();
+        let mut results = Vec::new();
+        for mode in [
+            XmvMode::NaiveMaterialized,
+            XmvMode::DenseOnTheFly(XmvPrimitive::OCTILE),
+            XmvMode::Octile,
+        ] {
+            let config = SolverConfig { xmv_mode: mode, ..SolverConfig::default() };
+            let sys = assemble(&config);
+            let mut y = vec![0.0f32; 20];
+            sys.apply_off_diagonal(&x, &mut y);
+            results.push(y);
+            assert!(sys.traffic().flops > 0);
+        }
+        for r in &results[1..] {
+            for (a, b) in r.iter().zip(&results[0]) {
+                assert!((a - b).abs() < 1e-5, "{a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn system_operator_is_diagonal_minus_off_diagonal() {
+        let sys = assemble(&SolverConfig::default());
+        let op = SystemOperator::new(&sys);
+        assert_eq!(op.dim(), 20);
+        let x = vec![1.0f32; 20];
+        let y = op.apply_alloc(&x);
+        let diag = sys.system_diagonal();
+        let mut off = vec![0.0f32; 20];
+        sys.apply_off_diagonal(&x, &mut off);
+        for i in 0..20 {
+            assert!((y[i] - (diag[i] - off[i])).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn compact_storage_reduces_global_traffic() {
+        let x = vec![0.5f32; 20];
+        let run = |compact: bool| {
+            let config = SolverConfig {
+                xmv_mode: XmvMode::Octile,
+                compact_storage: compact,
+                ..SolverConfig::default()
+            };
+            let sys = assemble(&config);
+            let mut y = vec![0.0f32; 20];
+            sys.apply_off_diagonal(&x, &mut y);
+            sys.traffic().global_load_bytes
+        };
+        assert!(run(true) < run(false));
+    }
+
+    #[test]
+    fn block_sharing_reduces_global_traffic() {
+        let x = vec![0.5f32; 20];
+        let run = |sharing: usize| {
+            let config = SolverConfig {
+                xmv_mode: XmvMode::Octile,
+                block_sharing: sharing,
+                ..SolverConfig::default()
+            };
+            let sys = assemble(&config);
+            let mut y = vec![0.0f32; 20];
+            sys.apply_off_diagonal(&x, &mut y);
+            sys.traffic().global_load_bytes
+        };
+        assert!(run(8) < run(1));
+    }
+
+    #[test]
+    fn system_matrix_is_symmetric_positive_definite() {
+        // build the dense system matrix column by column and check symmetry
+        // and positive definiteness via Cholesky
+        let sys = assemble(&SolverConfig::default());
+        let op = SystemOperator::new(&sys);
+        let nm = sys.dim();
+        let mut mat = vec![0.0f64; nm * nm];
+        for j in 0..nm {
+            let mut e = vec![0.0f32; nm];
+            e[j] = 1.0;
+            let col = op.apply_alloc(&e);
+            for i in 0..nm {
+                mat[i * nm + j] = col[i] as f64;
+            }
+        }
+        for i in 0..nm {
+            for j in 0..nm {
+                assert!(
+                    (mat[i * nm + j] - mat[j * nm + i]).abs() < 1e-5,
+                    "asymmetry at ({i},{j})"
+                );
+            }
+        }
+        let b = vec![1.0f64; nm];
+        assert!(
+            mgk_linalg::direct::cholesky_solve(&mat, &b).is_some(),
+            "system matrix is not positive definite"
+        );
+    }
+}

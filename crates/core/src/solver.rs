@@ -1,0 +1,477 @@
+//! The per-pair marginalized graph kernel solver (Algorithm 1).
+
+use mgk_gpusim::TrafficCounters;
+use mgk_graph::Graph;
+use mgk_kernels::{BaseKernel, UnitKernel};
+use mgk_linalg::{pcg, vecops, DiagonalOperator, SolveOptions};
+use mgk_reorder::ReorderMethod;
+
+use crate::product::{ProductSystem, SystemOperator};
+use crate::xmv::XmvPrimitive;
+
+/// How the off-diagonal tensor-product operator is applied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum XmvMode {
+    /// Materialize `L× = (A ⊗ A') ∘ (E κ⊗ E')` and re-read it every
+    /// iteration — the naive baseline of Section II-D.
+    NaiveMaterialized,
+    /// Regenerate the product on the fly from dense operands using one of
+    /// the Section III primitives.
+    DenseOnTheFly(XmvPrimitive),
+    /// Regenerate the product on the fly from the two-level sparse octile
+    /// representation (Section IV) — the production path.
+    Octile,
+}
+
+/// Configuration of the marginalized graph kernel solver.
+///
+/// The default configuration is the paper's full production kernel: octile
+/// storage, PBR reordering, adaptive dense/sparse tile primitives, compact
+/// tile payloads and block-level tile sharing. The individual switches
+/// correspond to the ablation levels of Fig. 9 (see
+/// [`OptimizationLevel`](crate::OptimizationLevel)).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SolverConfig {
+    /// Relative-residual convergence threshold of the PCG iteration.
+    pub tolerance: f64,
+    /// Maximum number of PCG iterations.
+    pub max_iterations: usize,
+    /// Off-diagonal operator realization.
+    pub xmv_mode: XmvMode,
+    /// Vertex reordering applied to each graph before tiling.
+    pub reorder: ReorderMethod,
+    /// Dynamically select dense/sparse tile primitives (Fig. 8). Only
+    /// meaningful in [`XmvMode::Octile`].
+    pub adaptive_tiles: bool,
+    /// Store tiles in compact (bitmap + packed payload) form rather than as
+    /// dense 8×8 blocks. Only affects the traffic accounting.
+    pub compact_storage: bool,
+    /// Number of warps per block sharing octiles (Section V-A); 1 disables
+    /// sharing.
+    pub block_sharing: usize,
+    /// Override the graphs' stopping probability with a uniform value.
+    pub stopping_probability: Option<f32>,
+    /// Also return the nodal similarity matrix (the solution vector
+    /// reshaped to `n × m`).
+    pub compute_nodal: bool,
+}
+
+impl Default for SolverConfig {
+    fn default() -> Self {
+        SolverConfig {
+            tolerance: 1e-6,
+            max_iterations: 500,
+            xmv_mode: XmvMode::Octile,
+            reorder: ReorderMethod::Pbr,
+            adaptive_tiles: true,
+            compact_storage: true,
+            block_sharing: 8,
+            stopping_probability: None,
+            compute_nodal: false,
+        }
+    }
+}
+
+/// Result of one kernel evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelResult {
+    /// The kernel value `K(G, G')`.
+    pub value: f32,
+    /// PCG iterations used.
+    pub iterations: usize,
+    /// Whether the iteration converged within the budget.
+    pub converged: bool,
+    /// Final relative residual.
+    pub relative_residual: f64,
+    /// Memory traffic accumulated by the off-diagonal operator across all
+    /// iterations (feeds the GPU cost model).
+    pub traffic: TrafficCounters,
+    /// Nodal similarities (row-major `n × m`), present when
+    /// [`SolverConfig::compute_nodal`] is set.
+    pub nodal: Option<Vec<f32>>,
+}
+
+/// Errors reported by the solver.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SolverError {
+    /// One of the graphs has no vertices.
+    EmptyGraph,
+    /// The PCG iteration did not reach the tolerance within the iteration
+    /// budget.
+    DidNotConverge {
+        /// Iterations performed.
+        iterations: usize,
+        /// Relative residual at the end.
+        relative_residual: f64,
+    },
+}
+
+impl std::fmt::Display for SolverError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SolverError::EmptyGraph => write!(f, "cannot evaluate the kernel of an empty graph"),
+            SolverError::DidNotConverge { iterations, relative_residual } => write!(
+                f,
+                "PCG did not converge after {iterations} iterations (relative residual {relative_residual:.3e})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SolverError {}
+
+/// The marginalized graph kernel solver for a fixed pair of base kernels.
+#[derive(Debug, Clone)]
+pub struct MarginalizedKernelSolver<KV, KE> {
+    vertex_kernel: KV,
+    edge_kernel: KE,
+    config: SolverConfig,
+}
+
+impl MarginalizedKernelSolver<UnitKernel, UnitKernel> {
+    /// A solver for unlabeled graphs — the random-walk kernel of Eq. (2).
+    pub fn unlabeled(config: SolverConfig) -> Self {
+        MarginalizedKernelSolver { vertex_kernel: UnitKernel, edge_kernel: UnitKernel, config }
+    }
+}
+
+impl<KV, KE> MarginalizedKernelSolver<KV, KE> {
+    /// Create a solver from vertex and edge base kernels.
+    pub fn new(vertex_kernel: KV, edge_kernel: KE, config: SolverConfig) -> Self {
+        MarginalizedKernelSolver { vertex_kernel, edge_kernel, config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &SolverConfig {
+        &self.config
+    }
+
+    /// A copy of this solver with a different configuration (same base
+    /// kernels).
+    pub fn with_config(&self, config: SolverConfig) -> Self
+    where
+        KV: Clone,
+        KE: Clone,
+    {
+        MarginalizedKernelSolver {
+            vertex_kernel: self.vertex_kernel.clone(),
+            edge_kernel: self.edge_kernel.clone(),
+            config,
+        }
+    }
+
+    /// Evaluate the kernel between two graphs.
+    pub fn kernel<V, E>(
+        &self,
+        g1: &Graph<V, E>,
+        g2: &Graph<V, E>,
+    ) -> Result<KernelResult, SolverError>
+    where
+        V: Clone,
+        E: Copy + Default,
+        KV: BaseKernel<V>,
+        KE: BaseKernel<E> + Clone,
+    {
+        if g1.num_vertices() == 0 || g2.num_vertices() == 0 {
+            return Err(SolverError::EmptyGraph);
+        }
+
+        // optional stopping-probability override and reordering
+        let prepared1 = self.prepare(g1);
+        let prepared2 = self.prepare(g2);
+        let (g1, g2) = (
+            prepared1.as_ref().unwrap_or(g1),
+            prepared2.as_ref().unwrap_or(g2),
+        );
+
+        let system = ProductSystem::assemble(
+            g1,
+            g2,
+            &self.vertex_kernel,
+            self.edge_kernel.clone(),
+            &self.config,
+        );
+        let rhs = system.rhs();
+        let operator = SystemOperator::new(&system);
+        let preconditioner = DiagonalOperator::new(system.preconditioner_diagonal());
+        let opts = SolveOptions {
+            max_iterations: self.config.max_iterations,
+            tolerance: self.config.tolerance,
+        };
+        let (x, info) = pcg(&operator, &preconditioner, &rhs, &opts);
+        if !info.converged {
+            return Err(SolverError::DidNotConverge {
+                iterations: info.iterations,
+                relative_residual: info.relative_residual,
+            });
+        }
+
+        let value = vecops::dot(system.start_product(), &x) as f32;
+        Ok(KernelResult {
+            value,
+            iterations: info.iterations,
+            converged: info.converged,
+            relative_residual: info.relative_residual,
+            traffic: system.traffic(),
+            nodal: if self.config.compute_nodal { Some(x) } else { None },
+        })
+    }
+
+    /// Apply the configured per-graph preprocessing (stopping-probability
+    /// override and reordering). Returns `None` when the graph can be used
+    /// as-is, so callers avoid cloning in the common case.
+    pub fn prepare<V, E>(&self, g: &Graph<V, E>) -> Option<Graph<V, E>>
+    where
+        V: Clone,
+        E: Copy + Default,
+    {
+        let mut out: Option<Graph<V, E>> = None;
+        if let Some(q) = self.config.stopping_probability {
+            out = Some(g.clone().with_uniform_stopping_probability(q));
+        }
+        if self.config.reorder != ReorderMethod::Natural {
+            let base = out.as_ref().unwrap_or(g);
+            let order = self.config.reorder.compute_order(base, None);
+            out = Some(base.permute(&order));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mgk_graph::{generators, GraphBuilder};
+    use mgk_kernels::{KroneckerDelta, SquareExponential};
+    use mgk_linalg::{direct, kron_dense, kron_vec, kronecker, DenseMatrix};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Ground truth via an explicit dense solve of Eq. (1) in f64.
+    fn dense_reference<V: Clone, E: Copy + Default>(
+        g1: &Graph<V, E>,
+        g2: &Graph<V, E>,
+        kv: &impl BaseKernel<V>,
+        ke: &impl BaseKernel<E>,
+    ) -> f64 {
+        let (n, m) = (g1.num_vertices(), g2.num_vertices());
+        let a1 = DenseMatrix::from_row_major(n, n, g1.adjacency_dense());
+        let a2 = DenseMatrix::from_row_major(m, m, g2.adjacency_dense());
+        let ax = kron_dense(&a1, &a2);
+        let e1 = g1.edge_labels_dense(E::default());
+        let e2 = g2.edge_labels_dense(E::default());
+        let ex = kronecker::generalized_kron(&e1, (n, n), &e2, (m, m), |a, b| ke.eval(a, b));
+        let dx = kron_vec(&g1.laplacian_degrees(), &g2.laplacian_degrees());
+        let vx = kronecker::generalized_kron_vec(g1.vertex_labels(), g2.vertex_labels(), |a, b| {
+            kv.eval(a, b)
+        });
+        let qx = kron_vec(g1.stop_probabilities(), g2.stop_probabilities());
+        let px = kron_vec(g1.start_probabilities(), g2.start_probabilities());
+        let nm = n * m;
+        // system matrix: diag(dx/vx) - Ax .* Ex
+        let mut mat = vec![0.0f64; nm * nm];
+        for i in 0..nm {
+            for j in 0..nm {
+                mat[i * nm + j] = -(ax[(i, j)] as f64) * (ex[(i, j)] as f64);
+            }
+            mat[i * nm + i] += dx[i] as f64 / vx[i] as f64;
+        }
+        let rhs: Vec<f64> = dx.iter().zip(&qx).map(|(&d, &q)| d as f64 * q as f64).collect();
+        let x = direct::lu_solve(&mat, &rhs).expect("reference system solvable");
+        px.iter().zip(&x).map(|(&p, &xi)| p as f64 * xi).sum()
+    }
+
+    fn small_labeled_pair() -> (Graph<u8, f32>, Graph<u8, f32>) {
+        let mut b1: GraphBuilder<u8, f32> = GraphBuilder::new();
+        for label in [1u8, 2, 1, 3, 2] {
+            b1.add_vertex(label);
+        }
+        for (u, v, w, l) in [(0, 1, 1.0, 0.5), (1, 2, 0.8, 1.0), (2, 3, 1.0, 1.5), (3, 4, 0.6, 0.7), (4, 0, 1.0, 2.0)] {
+            b1.add_edge(u, v, w, l).unwrap();
+        }
+        let mut b2: GraphBuilder<u8, f32> = GraphBuilder::new();
+        for label in [2u8, 1, 3, 1] {
+            b2.add_vertex(label);
+        }
+        for (u, v, w, l) in [(0, 1, 1.0, 0.9), (1, 2, 0.7, 1.2), (2, 3, 1.0, 0.4), (3, 0, 0.9, 1.8)] {
+            b2.add_edge(u, v, w, l).unwrap();
+        }
+        (b1.build().unwrap(), b2.build().unwrap())
+    }
+
+    fn labeled_solver(config: SolverConfig) -> MarginalizedKernelSolver<KroneckerDelta, SquareExponential> {
+        MarginalizedKernelSolver::new(KroneckerDelta::new(0.5), SquareExponential::new(1.0), config)
+    }
+
+    #[test]
+    fn solver_matches_dense_reference_labeled() {
+        let (g1, g2) = small_labeled_pair();
+        let reference =
+            dense_reference(&g1, &g2, &KroneckerDelta::new(0.5), &SquareExponential::new(1.0));
+        for mode in [
+            XmvMode::NaiveMaterialized,
+            XmvMode::DenseOnTheFly(XmvPrimitive::OCTILE),
+            XmvMode::Octile,
+        ] {
+            let solver = labeled_solver(SolverConfig {
+                xmv_mode: mode,
+                tolerance: 1e-9,
+                ..SolverConfig::default()
+            });
+            let result = solver.kernel(&g1, &g2).unwrap();
+            let rel = ((result.value as f64) - reference).abs() / reference.abs();
+            assert!(rel < 1e-4, "mode {mode:?}: {} vs reference {reference}", result.value);
+            assert!(result.converged);
+            assert!(result.iterations > 0);
+        }
+    }
+
+    #[test]
+    fn solver_matches_dense_reference_unlabeled() {
+        let g1 = Graph::from_edge_list(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0), (1, 4)]);
+        let g2 = Graph::from_edge_list(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let reference = dense_reference(&g1, &g2, &UnitKernel, &UnitKernel);
+        let solver = MarginalizedKernelSolver::unlabeled(SolverConfig {
+            tolerance: 1e-9,
+            ..SolverConfig::default()
+        });
+        let result = solver.kernel(&g1, &g2).unwrap();
+        let rel = ((result.value as f64) - reference).abs() / reference.abs();
+        assert!(rel < 1e-4, "{} vs {reference}", result.value);
+    }
+
+    #[test]
+    fn kernel_is_symmetric() {
+        let (g1, g2) = small_labeled_pair();
+        let solver = labeled_solver(SolverConfig::default());
+        let k12 = solver.kernel(&g1, &g2).unwrap().value;
+        let k21 = solver.kernel(&g2, &g1).unwrap().value;
+        assert!((k12 - k21).abs() < 1e-5 * k12.abs().max(1.0));
+    }
+
+    #[test]
+    fn kernel_is_invariant_under_vertex_permutation() {
+        let (g1, g2) = small_labeled_pair();
+        let solver = labeled_solver(SolverConfig::default());
+        let base = solver.kernel(&g1, &g2).unwrap().value;
+        let permuted = g1.permute(&[3, 1, 4, 0, 2]);
+        let after = solver.kernel(&permuted, &g2).unwrap().value;
+        assert!((base - after).abs() < 1e-4 * base.abs().max(1.0));
+    }
+
+    #[test]
+    fn cauchy_schwarz_holds() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let graphs: Vec<_> =
+            (0..4).map(|_| generators::newman_watts_strogatz(20, 2, 0.2, &mut rng)).collect();
+        let solver = MarginalizedKernelSolver::unlabeled(SolverConfig::default());
+        for i in 0..graphs.len() {
+            for j in 0..graphs.len() {
+                let kij = solver.kernel(&graphs[i], &graphs[j]).unwrap().value as f64;
+                let kii = solver.kernel(&graphs[i], &graphs[i]).unwrap().value as f64;
+                let kjj = solver.kernel(&graphs[j], &graphs[j]).unwrap().value as f64;
+                assert!(kij * kij <= kii * kjj * (1.0 + 1e-4), "violation at ({i},{j})");
+                assert!(kij > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn small_stopping_probabilities_still_converge() {
+        // Section VII-B: the presented solver handles q as small as 0.0005
+        let (g1, g2) = small_labeled_pair();
+        let solver = labeled_solver(SolverConfig {
+            stopping_probability: Some(0.0005),
+            max_iterations: 2000,
+            ..SolverConfig::default()
+        });
+        let result = solver.kernel(&g1, &g2).unwrap();
+        assert!(result.converged);
+        assert!(result.value.is_finite() && result.value > 0.0);
+    }
+
+    #[test]
+    fn nodal_similarities_have_product_shape_and_contract_to_kernel_value() {
+        let (g1, g2) = small_labeled_pair();
+        let solver = labeled_solver(SolverConfig { compute_nodal: true, ..SolverConfig::default() });
+        let result = solver.kernel(&g1, &g2).unwrap();
+        let nodal = result.nodal.as_ref().unwrap();
+        assert_eq!(nodal.len(), g1.num_vertices() * g2.num_vertices());
+        // the kernel value is the start-probability-weighted contraction
+        let px = kron_vec(g1.start_probabilities(), g2.start_probabilities());
+        let contracted: f64 = px.iter().zip(nodal).map(|(&p, &x)| p as f64 * x as f64).sum();
+        assert!((contracted as f32 - result.value).abs() < 1e-4 * result.value.abs());
+        // all nodal similarities are positive for positive base kernels
+        assert!(nodal.iter().all(|&x| x > 0.0));
+    }
+
+    #[test]
+    fn empty_graph_is_rejected() {
+        let empty: Graph = Graph::from_edge_list(0, &[]);
+        let other = Graph::from_edge_list(3, &[(0, 1), (1, 2)]);
+        let solver = MarginalizedKernelSolver::unlabeled(SolverConfig::default());
+        assert_eq!(solver.kernel(&empty, &other), Err(SolverError::EmptyGraph));
+    }
+
+    #[test]
+    fn iteration_budget_produces_error() {
+        let (g1, g2) = small_labeled_pair();
+        let solver = labeled_solver(SolverConfig {
+            max_iterations: 1,
+            tolerance: 1e-12,
+            ..SolverConfig::default()
+        });
+        match solver.kernel(&g1, &g2) {
+            Err(SolverError::DidNotConverge { iterations, .. }) => assert_eq!(iterations, 1),
+            other => panic!("expected DidNotConverge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ablation_configurations_agree_on_the_kernel_value() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let g1 = generators::newman_watts_strogatz(24, 2, 0.15, &mut rng);
+        let g2 = generators::barabasi_albert(18, 3, &mut rng);
+        let configs = [
+            SolverConfig {
+                xmv_mode: XmvMode::DenseOnTheFly(XmvPrimitive::OCTILE),
+                reorder: ReorderMethod::Natural,
+                ..SolverConfig::default()
+            },
+            SolverConfig {
+                xmv_mode: XmvMode::Octile,
+                reorder: ReorderMethod::Natural,
+                adaptive_tiles: false,
+                ..SolverConfig::default()
+            },
+            SolverConfig {
+                xmv_mode: XmvMode::Octile,
+                reorder: ReorderMethod::Pbr,
+                adaptive_tiles: true,
+                compact_storage: true,
+                block_sharing: 8,
+                ..SolverConfig::default()
+            },
+            SolverConfig { xmv_mode: XmvMode::Octile, reorder: ReorderMethod::Rcm, ..SolverConfig::default() },
+        ];
+        let values: Vec<f32> = configs
+            .iter()
+            .map(|c| {
+                MarginalizedKernelSolver::unlabeled(*c).kernel(&g1, &g2).unwrap().value
+            })
+            .collect();
+        for v in &values[1..] {
+            assert!((v - values[0]).abs() < 1e-4 * values[0].abs(), "{v} vs {}", values[0]);
+        }
+    }
+
+    #[test]
+    fn traffic_is_accumulated_across_iterations() {
+        let (g1, g2) = small_labeled_pair();
+        let solver = labeled_solver(SolverConfig::default());
+        let result = solver.kernel(&g1, &g2).unwrap();
+        assert!(result.traffic.flops > 0);
+        assert!(result.traffic.kernel_evaluations > 0);
+        assert!(result.traffic.global_load_bytes > 0);
+    }
+}

@@ -1,0 +1,670 @@
+//! Dense on-the-fly Kronecker-product matrix-vector (XMV) primitives —
+//! Section III of the paper.
+//!
+//! All primitives compute the off-diagonal part of the tensor-product
+//! system applied to a vector,
+//!
+//! ```text
+//! y_{ii'} = Σ_{j,j'} A_ij · A'_i'j' · κ_e(E_ij, E'_i'j') · p_{jj'}
+//! ```
+//!
+//! treating both graphs as dense. They differ in how they stream and stage
+//! the operands — which is invisible to the result but determines the
+//! memory traffic. Each primitive reproduces the loop structure of its
+//! pseudocode in Appendix C and increments a [`TrafficCounters`] with the
+//! same load/store/operation accounting, so that the measured traffic can
+//! be compared against the closed forms of Table I
+//! ([`mgk_gpusim::xmv_traffic`]).
+//!
+//! On the CPU the role of "shared memory" is played by the cache-resident
+//! tile copies; the traffic categories retain the GPU meaning for the cost
+//! model.
+
+use mgk_gpusim::TrafficCounters;
+use mgk_graph::Graph;
+use mgk_kernels::BaseKernel;
+
+/// Dense operand data for one graph pair: row-major adjacency and
+/// edge-label matrices of both graphs.
+#[derive(Debug, Clone)]
+pub struct DensePairData<E> {
+    n: usize,
+    m: usize,
+    a1: Vec<f32>,
+    a2: Vec<f32>,
+    e1: Vec<E>,
+    e2: Vec<E>,
+    float_bytes: usize,
+    label_bytes: usize,
+    kernel_flops: usize,
+}
+
+impl<E: Copy + Default> DensePairData<E> {
+    /// Densify a pair of graphs. `kernel` supplies the cost metadata used
+    /// for traffic accounting.
+    pub fn new<V1, V2, K: BaseKernel<E>>(
+        g1: &Graph<V1, E>,
+        g2: &Graph<V2, E>,
+        kernel: &K,
+    ) -> Self {
+        let cost = kernel.cost();
+        DensePairData {
+            n: g1.num_vertices(),
+            m: g2.num_vertices(),
+            a1: g1.adjacency_dense(),
+            a2: g2.adjacency_dense(),
+            e1: g1.edge_labels_dense(E::default()),
+            e2: g2.edge_labels_dense(E::default()),
+            float_bytes: 4,
+            label_bytes: cost.label_bytes,
+            kernel_flops: cost.flops,
+        }
+    }
+
+    /// Number of vertices of the first graph.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of vertices of the second graph.
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// Dimension of the tensor-product system, `n · m`.
+    pub fn product_dim(&self) -> usize {
+        self.n * self.m
+    }
+}
+
+/// The three on-the-fly XMV primitives of Section III.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum XmvPrimitive {
+    /// Shared tiling with `t × r` tiles staged in shared memory
+    /// (Section III-A).
+    SharedTiling {
+        /// Tile height.
+        t: usize,
+        /// Streamed chunk width.
+        r: usize,
+    },
+    /// Register blocking with length-`r` chunks per thread
+    /// (Section III-B).
+    RegisterBlocking {
+        /// Tile height.
+        t: usize,
+        /// Register chunk length.
+        r: usize,
+    },
+    /// Shared `t × t` tiles re-staged in length-`r` register chunks
+    /// (Section III-C). With `t = r = 8` this is the production octile
+    /// primitive.
+    TilingBlocking {
+        /// Square tile size.
+        t: usize,
+        /// Register chunk length.
+        r: usize,
+    },
+}
+
+impl XmvPrimitive {
+    /// The production configuration chosen in Section III-D: 8×8 tiles with
+    /// 8-element register chunks.
+    pub const OCTILE: XmvPrimitive = XmvPrimitive::TilingBlocking { t: 8, r: 8 };
+
+    /// The corresponding analytic cost-model primitive.
+    pub fn to_cost_kind(self) -> mgk_gpusim::PrimitiveKind {
+        match self {
+            XmvPrimitive::SharedTiling { t, r } => mgk_gpusim::PrimitiveKind::SharedTiling { t, r },
+            XmvPrimitive::RegisterBlocking { t, r } => {
+                mgk_gpusim::PrimitiveKind::RegisterBlocking { t, r }
+            }
+            XmvPrimitive::TilingBlocking { t, r } => {
+                mgk_gpusim::PrimitiveKind::TilingBlocking { t, r }
+            }
+        }
+    }
+
+    /// Display name.
+    pub fn name(self) -> String {
+        self.to_cost_kind().name()
+    }
+
+    /// Apply the primitive: `y ← (A ⊗ A') ∘ (E κ⊗ E') · p`, accumulating
+    /// memory traffic into `counters`.
+    pub fn apply<E: Copy + Default, K: BaseKernel<E>>(
+        self,
+        data: &DensePairData<E>,
+        kernel: &K,
+        p: &[f32],
+        y: &mut [f32],
+        counters: &mut TrafficCounters,
+    ) {
+        assert_eq!(p.len(), data.product_dim(), "right-hand side has wrong length");
+        assert_eq!(y.len(), data.product_dim(), "output vector has wrong length");
+        match self {
+            XmvPrimitive::SharedTiling { t, r } => shared_tiling(data, kernel, p, y, t, r, counters),
+            XmvPrimitive::RegisterBlocking { t, r } => {
+                register_blocking(data, kernel, p, y, t, r, counters)
+            }
+            XmvPrimitive::TilingBlocking { t, r } => {
+                tiling_blocking(data, kernel, p, y, t, r, counters)
+            }
+        }
+    }
+}
+
+/// The naive primitive of Section II-D: the product matrix
+/// `L× = (A ⊗ A') ∘ (E κ⊗ E')` is materialized once and re-read from
+/// global memory on every application.
+#[derive(Debug, Clone)]
+pub struct NaiveProduct {
+    nm: usize,
+    l: Vec<f32>,
+    float_bytes: usize,
+}
+
+impl NaiveProduct {
+    /// Materialize the product matrix (`(n·m)²` elements — the storage
+    /// blow-up the paper's Section II-D warns about).
+    pub fn new<E: Copy + Default, K: BaseKernel<E>>(data: &DensePairData<E>, kernel: &K) -> Self {
+        let (n, m) = (data.n, data.m);
+        let nm = n * m;
+        let mut l = vec![0.0f32; nm * nm];
+        for i in 0..n {
+            for ip in 0..m {
+                let row = i * m + ip;
+                for j in 0..n {
+                    let a1 = data.a1[i * n + j];
+                    if a1 == 0.0 {
+                        // the naive kernel stores the zero anyway; skipping
+                        // the multiplication only saves CPU time
+                        continue;
+                    }
+                    for jp in 0..m {
+                        let a2 = data.a2[ip * m + jp];
+                        if a2 == 0.0 {
+                            continue;
+                        }
+                        let ke = kernel.eval(&data.e1[i * n + j], &data.e2[ip * m + jp]);
+                        l[row * nm + j * m + jp] = a1 * a2 * ke;
+                    }
+                }
+            }
+        }
+        NaiveProduct { nm, l, float_bytes: data.float_bytes }
+    }
+
+    /// Dimension of the product system.
+    pub fn dim(&self) -> usize {
+        self.nm
+    }
+
+    /// Apply `y ← L× · p`, counting the traffic of one pass over the
+    /// materialized matrix.
+    pub fn apply(&self, p: &[f32], y: &mut [f32], counters: &mut TrafficCounters) {
+        assert_eq!(p.len(), self.nm);
+        assert_eq!(y.len(), self.nm);
+        let f = self.float_bytes as u64;
+        for (i, yi) in y.iter_mut().enumerate() {
+            let row = &self.l[i * self.nm..(i + 1) * self.nm];
+            let mut acc = 0.0f64;
+            for (lij, pj) in row.iter().zip(p) {
+                acc += *lij as f64 * *pj as f64;
+            }
+            *yi = acc as f32;
+        }
+        // Appendix C, "Naive": the matrix is read once, the right-hand side
+        // once per warp (32 rows), the output written once; 2 FLOPs per
+        // element (one FMA)
+        let nm = self.nm as u64;
+        counters.global_load_bytes += nm * nm * f + nm * nm * f / 32;
+        counters.global_store_bytes += nm * f;
+        counters.flops += 2 * nm * nm;
+    }
+
+    /// Direct read access to the materialized product matrix (row-major),
+    /// used by validation tests.
+    pub fn matrix(&self) -> &[f32] {
+        &self.l
+    }
+}
+
+// --------------------------------------------------------------------------
+// shared tiling
+// --------------------------------------------------------------------------
+
+fn shared_tiling<E: Copy, K: BaseKernel<E>>(
+    data: &DensePairData<E>,
+    kernel: &K,
+    p: &[f32],
+    y: &mut [f32],
+    t: usize,
+    r: usize,
+    counters: &mut TrafficCounters,
+) {
+    assert!(t > 0 && r > 0, "tile parameters must be positive");
+    let (n, m) = (data.n, data.m);
+    let fb = data.float_bytes as u64;
+    let eb = data.label_bytes as u64;
+    let xf = data.kernel_flops as u64;
+
+    for i0 in (0..n).step_by(t) {
+        let i1 = (i0 + t).min(n);
+        for ip0 in (0..m).step_by(t) {
+            let ip1 = (ip0 + t).min(m);
+            // accumulator block lives in registers
+            let mut acc = vec![0.0f64; (i1 - i0) * (ip1 - ip0)];
+
+            for j0 in (0..n).step_by(r) {
+                let j1 = (j0 + r).min(n);
+                // stream the A/E chunk of the outer graph into shared memory
+                let chunk1 = ((i1 - i0) * (j1 - j0)) as u64;
+                counters.global_load_bytes += chunk1 * (fb + eb);
+                counters.shared_store_bytes += chunk1 * (fb + eb);
+
+                for jp0 in (0..m).step_by(r) {
+                    let jp1 = (jp0 + r).min(m);
+                    // stream the A'/E' chunk of the inner graph and the
+                    // right-hand-side block
+                    let chunk2 = ((ip1 - ip0) * (jp1 - jp0)) as u64;
+                    let pblk = ((j1 - j0) * (jp1 - jp0)) as u64;
+                    counters.global_load_bytes += chunk2 * (fb + eb) + pblk * fb;
+                    counters.shared_store_bytes += chunk2 * (fb + eb) + pblk * fb;
+
+                    // warp-parallel over (i, i'), serial over (j, j')
+                    for i in i0..i1 {
+                        for ip in ip0..ip1 {
+                            let mut a = acc[(i - i0) * (ip1 - ip0) + (ip - ip0)];
+                            for j in j0..j1 {
+                                let a1 = data.a1[i * n + j];
+                                let e1 = &data.e1[i * n + j];
+                                // one shared load of (A_ij, E_ij) per j
+                                counters.shared_load_bytes += fb + eb;
+                                if a1 == 0.0 {
+                                    // dense primitive still charges the
+                                    // arithmetic for the zero entries
+                                    counters.shared_load_bytes +=
+                                        ((jp1 - jp0) as u64) * (2 * fb + eb);
+                                    counters.flops += (jp1 - jp0) as u64 * xf;
+                                    counters.kernel_evaluations += (jp1 - jp0) as u64;
+                                    continue;
+                                }
+                                for jp in jp0..jp1 {
+                                    let a2 = data.a2[ip * m + jp];
+                                    let e2 = &data.e2[ip * m + jp];
+                                    counters.shared_load_bytes += 2 * fb + eb;
+                                    counters.flops += xf;
+                                    counters.kernel_evaluations += 1;
+                                    if a2 != 0.0 {
+                                        let ke = kernel.eval(e1, e2);
+                                        a += (a1 * a2 * ke) as f64 * p[j * m + jp] as f64;
+                                    }
+                                }
+                            }
+                            acc[(i - i0) * (ip1 - ip0) + (ip - ip0)] = a;
+                        }
+                    }
+                }
+            }
+
+            for i in i0..i1 {
+                for ip in ip0..ip1 {
+                    y[i * m + ip] = acc[(i - i0) * (ip1 - ip0) + (ip - ip0)] as f32;
+                }
+            }
+            counters.global_store_bytes += ((i1 - i0) * (ip1 - ip0)) as u64 * fb;
+        }
+    }
+}
+
+// --------------------------------------------------------------------------
+// register blocking
+// --------------------------------------------------------------------------
+
+fn register_blocking<E: Copy, K: BaseKernel<E>>(
+    data: &DensePairData<E>,
+    kernel: &K,
+    p: &[f32],
+    y: &mut [f32],
+    t: usize,
+    r: usize,
+    counters: &mut TrafficCounters,
+) {
+    assert!(t > 0 && r > 0, "tile parameters must be positive");
+    let (n, m) = (data.n, data.m);
+    let fb = data.float_bytes as u64;
+    let eb = data.label_bytes as u64;
+    let xf = data.kernel_flops as u64;
+
+    for i0 in (0..n).step_by(t) {
+        let i1 = (i0 + t).min(n);
+        for ip0 in (0..m).step_by(t) {
+            let ip1 = (ip0 + t).min(m);
+            let mut acc = vec![0.0f64; (i1 - i0) * (ip1 - ip0)];
+
+            for j0 in (0..n).step_by(r) {
+                let j1 = (j0 + r).min(n);
+                // chunks go straight to registers: global load, no shared store
+                let chunk1 = ((i1 - i0) * (j1 - j0)) as u64;
+                counters.global_load_bytes += chunk1 * (fb + eb);
+
+                for jp0 in (0..m).step_by(r) {
+                    let jp1 = (jp0 + r).min(m);
+                    let chunk2 = ((ip1 - ip0) * (jp1 - jp0)) as u64;
+                    let pblk = ((j1 - j0) * (jp1 - jp0)) as u64;
+                    counters.global_load_bytes += chunk2 * (fb + eb) + pblk * fb;
+                    // only the right-hand side is shared between threads
+                    counters.shared_store_bytes += pblk * fb;
+
+                    for i in i0..i1 {
+                        for ip in ip0..ip1 {
+                            let mut a = acc[(i - i0) * (ip1 - ip0) + (ip - ip0)];
+                            for j in j0..j1 {
+                                let a1 = data.a1[i * n + j];
+                                let e1 = &data.e1[i * n + j];
+                                for jp in jp0..jp1 {
+                                    // p is read from shared memory per term
+                                    counters.shared_load_bytes += fb;
+                                    counters.flops += xf;
+                                    counters.kernel_evaluations += 1;
+                                    let a2 = data.a2[ip * m + jp];
+                                    if a1 != 0.0 && a2 != 0.0 {
+                                        let ke = kernel.eval(e1, &data.e2[ip * m + jp]);
+                                        a += (a1 * a2 * ke) as f64 * p[j * m + jp] as f64;
+                                    }
+                                }
+                            }
+                            acc[(i - i0) * (ip1 - ip0) + (ip - ip0)] = a;
+                        }
+                    }
+                }
+            }
+
+            for i in i0..i1 {
+                for ip in ip0..ip1 {
+                    y[i * m + ip] = acc[(i - i0) * (ip1 - ip0) + (ip - ip0)] as f32;
+                }
+            }
+            counters.global_store_bytes += ((i1 - i0) * (ip1 - ip0)) as u64 * fb;
+        }
+    }
+}
+
+// --------------------------------------------------------------------------
+// tiling + blocking (the production octile primitive)
+// --------------------------------------------------------------------------
+
+fn tiling_blocking<E: Copy, K: BaseKernel<E>>(
+    data: &DensePairData<E>,
+    kernel: &K,
+    p: &[f32],
+    y: &mut [f32],
+    t: usize,
+    r: usize,
+    counters: &mut TrafficCounters,
+) {
+    assert!(t > 0 && r > 0, "tile parameters must be positive");
+    let (n, m) = (data.n, data.m);
+    let fb = data.float_bytes as u64;
+    let eb = data.label_bytes as u64;
+    let xf = data.kernel_flops as u64;
+
+    for i0 in (0..n).step_by(t) {
+        let i1 = (i0 + t).min(n);
+        for ip0 in (0..m).step_by(t) {
+            let ip1 = (ip0 + t).min(m);
+            let mut acc = vec![0.0f64; (i1 - i0) * (ip1 - ip0)];
+
+            for j0 in (0..n).step_by(t) {
+                let j1 = (j0 + t).min(n);
+                // square tile of the outer graph staged in shared memory
+                let tile1 = ((i1 - i0) * (j1 - j0)) as u64;
+                counters.global_load_bytes += tile1 * (fb + eb);
+                counters.shared_store_bytes += tile1 * (fb + eb);
+
+                for jp0 in (0..m).step_by(t) {
+                    let jp1 = (jp0 + t).min(m);
+                    let tile2 = ((ip1 - ip0) * (jp1 - jp0)) as u64;
+                    let pblk = ((j1 - j0) * (jp1 - jp0)) as u64;
+                    counters.global_load_bytes += tile2 * (fb + eb) + pblk * fb;
+                    counters.shared_store_bytes += tile2 * (fb + eb);
+
+                    for i in i0..i1 {
+                        for ip in ip0..ip1 {
+                            let mut a = acc[(i - i0) * (ip1 - ip0) + (ip - ip0)];
+                            // march across the columns in register chunks of r
+                            for h0 in (j0..j1).step_by(r) {
+                                let h1 = (h0 + r).min(j1);
+                                // stage a row chunk of the first tile in registers
+                                counters.shared_load_bytes += (h1 - h0) as u64 * (fb + eb);
+                                for hp0 in (jp0..jp1).step_by(r) {
+                                    let hp1 = (hp0 + r).min(jp1);
+                                    counters.shared_load_bytes += (hp1 - hp0) as u64 * (fb + eb);
+                                    for j in h0..h1 {
+                                        let a1 = data.a1[i * n + j];
+                                        let e1 = &data.e1[i * n + j];
+                                        for jp in hp0..hp1 {
+                                            counters.flops += xf;
+                                            counters.kernel_evaluations += 1;
+                                            let a2 = data.a2[ip * m + jp];
+                                            if a1 != 0.0 && a2 != 0.0 {
+                                                let ke = kernel.eval(e1, &data.e2[ip * m + jp]);
+                                                a += (a1 * a2 * ke) as f64
+                                                    * p[j * m + jp] as f64;
+                                            }
+                                        }
+                                    }
+                                }
+                            }
+                            acc[(i - i0) * (ip1 - ip0) + (ip - ip0)] = a;
+                        }
+                    }
+                }
+            }
+
+            for i in i0..i1 {
+                for ip in ip0..ip1 {
+                    y[i * m + ip] = acc[(i - i0) * (ip1 - ip0) + (ip - ip0)] as f32;
+                }
+            }
+            counters.global_store_bytes += ((i1 - i0) * (ip1 - ip0)) as u64 * fb;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mgk_graph::generators;
+    use mgk_kernels::{SquareExponential, UnitKernel};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Brute-force reference: y_{ii'} = Σ_{jj'} A_ij A'_i'j' κ(E_ij, E'_i'j') p_{jj'}.
+    fn reference<E: Copy + Default, K: BaseKernel<E>>(
+        data: &DensePairData<E>,
+        kernel: &K,
+        p: &[f32],
+    ) -> Vec<f32> {
+        let (n, m) = (data.n(), data.m());
+        let mut y = vec![0.0f32; n * m];
+        for i in 0..n {
+            for ip in 0..m {
+                let mut acc = 0.0f64;
+                for j in 0..n {
+                    for jp in 0..m {
+                        let a1 = data.a1[i * n + j];
+                        let a2 = data.a2[ip * m + jp];
+                        if a1 != 0.0 && a2 != 0.0 {
+                            let ke = kernel.eval(&data.e1[i * n + j], &data.e2[ip * m + jp]);
+                            acc += (a1 * a2 * ke) as f64 * p[j * m + jp] as f64;
+                        }
+                    }
+                }
+                y[i * m + ip] = acc as f32;
+            }
+        }
+        y
+    }
+
+    fn assert_close(a: &[f32], b: &[f32], tol: f32) {
+        assert_eq!(a.len(), b.len());
+        for (k, (x, y)) in a.iter().zip(b).enumerate() {
+            assert!(
+                (x - y).abs() <= tol * (1.0 + y.abs()),
+                "mismatch at {k}: {x} vs {y}"
+            );
+        }
+    }
+
+    fn test_pair(seed: u64, n: usize, m: usize) -> (DensePairData<f32>, Vec<f32>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g1 = generators::complete_labeled(n, &mut rng);
+        let g2 = generators::complete_labeled(m, &mut rng);
+        let kernel = SquareExponential::new(0.7);
+        let data = DensePairData::new(&g1, &g2, &kernel);
+        let p: Vec<f32> = (0..n * m).map(|k| ((k * 37 % 101) as f32) / 101.0 - 0.3).collect();
+        (data, p)
+    }
+
+    #[test]
+    fn all_primitives_match_reference_labeled() {
+        let (data, p) = test_pair(3, 13, 9);
+        let kernel = SquareExponential::new(0.7);
+        let expect = reference(&data, &kernel, &p);
+        for prim in [
+            XmvPrimitive::SharedTiling { t: 8, r: 4 },
+            XmvPrimitive::SharedTiling { t: 8, r: 8 },
+            XmvPrimitive::RegisterBlocking { t: 8, r: 8 },
+            XmvPrimitive::RegisterBlocking { t: 4, r: 2 },
+            XmvPrimitive::TilingBlocking { t: 8, r: 8 },
+            XmvPrimitive::TilingBlocking { t: 8, r: 4 },
+            XmvPrimitive::TilingBlocking { t: 4, r: 4 },
+        ] {
+            let mut y = vec![0.0f32; data.product_dim()];
+            let mut c = TrafficCounters::new();
+            prim.apply(&data, &kernel, &p, &mut y, &mut c);
+            assert_close(&y, &expect, 1e-4);
+            assert!(c.flops > 0 && c.global_load_bytes > 0, "{} counted no work", prim.name());
+        }
+    }
+
+    #[test]
+    fn naive_product_matches_reference() {
+        let (data, p) = test_pair(5, 10, 11);
+        let kernel = SquareExponential::new(0.7);
+        let expect = reference(&data, &kernel, &p);
+        let naive = NaiveProduct::new(&data, &kernel);
+        let mut y = vec![0.0f32; data.product_dim()];
+        let mut c = TrafficCounters::new();
+        naive.apply(&p, &mut y, &mut c);
+        assert_close(&y, &expect, 1e-4);
+        assert_eq!(naive.dim(), 110);
+        assert_eq!(c.flops, 2 * 110 * 110);
+    }
+
+    #[test]
+    fn primitives_agree_on_unlabeled_sparse_graphs() {
+        // sparse graphs through the dense primitives: zeros must not change
+        // the result
+        let mut rng = StdRng::seed_from_u64(11);
+        let g1 = generators::newman_watts_strogatz(20, 2, 0.2, &mut rng);
+        let g2 = generators::barabasi_albert(17, 3, &mut rng);
+        let kernel = UnitKernel;
+        let data = DensePairData::new(&g1, &g2, &kernel);
+        let p: Vec<f32> = (0..data.product_dim()).map(|k| (k % 7) as f32 * 0.1).collect();
+        let expect = reference(&data, &kernel, &p);
+        for prim in [
+            XmvPrimitive::OCTILE,
+            XmvPrimitive::SharedTiling { t: 8, r: 8 },
+            XmvPrimitive::RegisterBlocking { t: 8, r: 8 },
+        ] {
+            let mut y = vec![0.0f32; data.product_dim()];
+            let mut c = TrafficCounters::new();
+            prim.apply(&data, &kernel, &p, &mut y, &mut c);
+            assert_close(&y, &expect, 1e-4);
+        }
+    }
+
+    #[test]
+    fn counted_traffic_matches_analytic_model_for_aligned_sizes() {
+        // for sizes divisible by the tile parameters the counted traffic
+        // must match Table I's closed forms (up to the output store and the
+        // warp-amortized rhs of the naive kernel)
+        let (data, p) = test_pair(7, 16, 16);
+        let kernel = SquareExponential::new(0.7);
+        let shape = mgk_gpusim::ProblemShape {
+            n: 16,
+            m: 16,
+            edge_label_bytes: 4,
+            float_bytes: 4,
+            kernel_flops: mgk_kernels::BaseKernel::<f32>::cost(&kernel).flops,
+        };
+        for prim in [
+            XmvPrimitive::SharedTiling { t: 8, r: 4 },
+            XmvPrimitive::RegisterBlocking { t: 8, r: 4 },
+            XmvPrimitive::TilingBlocking { t: 8, r: 4 },
+        ] {
+            let mut y = vec![0.0f32; data.product_dim()];
+            let mut counted = TrafficCounters::new();
+            prim.apply(&data, &kernel, &p, &mut y, &mut counted);
+            let modeled = mgk_gpusim::xmv_traffic(prim.to_cost_kind(), &shape);
+            let rel = |a: u64, b: u64| {
+                if b == 0 {
+                    (a == 0) as u64 as f64
+                } else {
+                    a as f64 / b as f64
+                }
+            };
+            assert!(
+                (rel(counted.flops, modeled.flops) - 1.0).abs() < 0.01,
+                "{}: flops {} vs modeled {}",
+                prim.name(),
+                counted.flops,
+                modeled.flops
+            );
+            assert!(
+                (rel(counted.global_load_bytes, modeled.global_load_bytes) - 1.0).abs() < 0.05,
+                "{}: global loads {} vs modeled {}",
+                prim.name(),
+                counted.global_load_bytes,
+                modeled.global_load_bytes
+            );
+            assert!(
+                (rel(counted.shared_load_bytes, modeled.shared_load_bytes) - 1.0).abs() < 0.05,
+                "{}: shared loads {} vs modeled {}",
+                prim.name(),
+                counted.shared_load_bytes,
+                modeled.shared_load_bytes
+            );
+        }
+    }
+
+    #[test]
+    fn octile_primitive_moves_less_global_data_than_small_tiles() {
+        let (data, p) = test_pair(9, 24, 24);
+        let kernel = SquareExponential::new(0.7);
+        let count = |prim: XmvPrimitive| {
+            let mut y = vec![0.0f32; data.product_dim()];
+            let mut c = TrafficCounters::new();
+            prim.apply(&data, &kernel, &p, &mut y, &mut c);
+            c
+        };
+        let small = count(XmvPrimitive::TilingBlocking { t: 2, r: 2 });
+        let octile = count(XmvPrimitive::OCTILE);
+        assert!(octile.global_load_bytes < small.global_load_bytes / 2);
+        assert_eq!(octile.flops, small.flops);
+    }
+
+    #[test]
+    fn rectangular_and_non_aligned_sizes_work() {
+        let (data, p) = test_pair(13, 7, 19);
+        let kernel = SquareExponential::new(0.7);
+        let expect = reference(&data, &kernel, &p);
+        let mut y = vec![0.0f32; data.product_dim()];
+        let mut c = TrafficCounters::new();
+        XmvPrimitive::OCTILE.apply(&data, &kernel, &p, &mut y, &mut c);
+        assert_close(&y, &expect, 1e-4);
+    }
+}

@@ -1,0 +1,74 @@
+//! The synthetic graph ensembles of Section VI-A and the dense
+//! micro-benchmark workload of Fig. 5.
+
+use mgk_graph::{generators, Graph, Unlabeled};
+use rand::Rng;
+
+/// The paper's small-world ensemble: `count` Newman–Watts–Strogatz graphs
+/// with 96 nodes, `k = 3`, `p = 0.1` (Section VII-A uses `count = 160`).
+pub fn small_world<R: Rng + ?Sized>(count: usize, rng: &mut R) -> Vec<Graph<Unlabeled, Unlabeled>> {
+    (0..count).map(|_| generators::newman_watts_strogatz(96, 3, 0.1, rng)).collect()
+}
+
+/// The paper's scale-free ensemble: `count` Barabási–Albert graphs with 96
+/// nodes and attachment `m = 6`.
+pub fn scale_free<R: Rng + ?Sized>(count: usize, rng: &mut R) -> Vec<Graph<Unlabeled, Unlabeled>> {
+    (0..count).map(|_| generators::barabasi_albert(96, 6, rng)).collect()
+}
+
+/// The Fig. 5 micro-benchmark workload: pairs of fully connected graphs
+/// with `nodes` vertices and uniformly random edge labels (the paper uses
+/// 5120 pairs of 72-node graphs).
+pub fn fig5_dense_pairs<R: Rng + ?Sized>(
+    pairs: usize,
+    nodes: usize,
+    rng: &mut R,
+) -> Vec<(Graph<Unlabeled, f32>, Graph<Unlabeled, f32>)> {
+    (0..pairs)
+        .map(|_| (generators::complete_labeled(nodes, rng), generators::complete_labeled(nodes, rng)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mgk_graph::EnsembleStats;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn small_world_ensemble_matches_paper_parameters() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let set = small_world(8, &mut rng);
+        let stats = EnsembleStats::of(&set);
+        assert_eq!(stats.num_graphs, 8);
+        assert_eq!(stats.min_vertices, 96);
+        assert_eq!(stats.max_vertices, 96);
+        // ring lattice with k=3 gives 288 edges plus ~10% shortcuts
+        for g in &set {
+            assert!(g.num_edges() >= 288 && g.num_edges() < 340, "{} edges", g.num_edges());
+        }
+    }
+
+    #[test]
+    fn scale_free_ensemble_has_hubs() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let set = scale_free(4, &mut rng);
+        for g in &set {
+            assert_eq!(g.num_vertices(), 96);
+            let max_degree = (0..96).map(|i| g.vertex_degree(i)).max().unwrap();
+            assert!(max_degree >= 15, "scale-free graph should have hubs, max degree {max_degree}");
+        }
+    }
+
+    #[test]
+    fn dense_pairs_are_complete_graphs() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let pairs = fig5_dense_pairs(2, 24, &mut rng);
+        assert_eq!(pairs.len(), 2);
+        for (a, b) in &pairs {
+            assert_eq!(a.num_edges(), 24 * 23 / 2);
+            assert_eq!(b.num_edges(), 24 * 23 / 2);
+        }
+    }
+}

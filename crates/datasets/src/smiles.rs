@@ -1,0 +1,468 @@
+//! A small SMILES parser producing labeled molecular graphs.
+//!
+//! The paper's DrugBank dataset enters the solver as graphs derived from
+//! SMILES strings (Section VI-B). This module implements the subset of the
+//! SMILES grammar needed for typical drug-like molecules so that users can
+//! feed real structures to the kernel in addition to the synthetic
+//! generator:
+//!
+//! * organic-subset atoms `B C N O P S F Cl Br I` and their aromatic
+//!   lowercase forms `b c n o p s`;
+//! * bracket atoms with an optional charge, e.g. `[N+]`, `[O-]`;
+//! * single/double/triple/aromatic bonds `- = # :`;
+//! * branches `( … )` and ring-closure digits `1`–`9` (including the
+//!   two-digit `%nn` form).
+//!
+//! Hydrogens are implicit and not materialized (the paper's graphs use
+//! heavy atoms only).
+
+use crate::molecules::MoleculeGraph;
+use mgk_graph::{AtomLabel, BondLabel, Element, GraphBuilder};
+
+/// Errors produced while parsing a SMILES string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SmilesError {
+    /// An unknown or unsupported character was encountered.
+    UnexpectedCharacter {
+        /// Byte offset in the input.
+        position: usize,
+        /// The offending character.
+        character: char,
+    },
+    /// A branch `(` was never closed, or a `)` had no matching `(`.
+    UnbalancedBranch,
+    /// A ring-closure digit was opened but never closed.
+    UnclosedRing(u8),
+    /// A bond symbol was not followed by an atom.
+    DanglingBond,
+    /// A bracket atom was not terminated by `]`.
+    UnterminatedBracket,
+    /// The string contains no atoms.
+    Empty,
+}
+
+impl std::fmt::Display for SmilesError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SmilesError::UnexpectedCharacter { position, character } => {
+                write!(f, "unexpected character {character:?} at position {position}")
+            }
+            SmilesError::UnbalancedBranch => write!(f, "unbalanced branch parentheses"),
+            SmilesError::UnclosedRing(d) => write!(f, "ring closure {d} never closed"),
+            SmilesError::DanglingBond => write!(f, "bond symbol not followed by an atom"),
+            SmilesError::UnterminatedBracket => write!(f, "bracket atom not terminated by ']'"),
+            SmilesError::Empty => write!(f, "SMILES string contains no atoms"),
+        }
+    }
+}
+
+impl std::error::Error for SmilesError {}
+
+/// Parse a SMILES string into a labeled molecular graph.
+pub fn parse_smiles(input: &str) -> Result<MoleculeGraph, SmilesError> {
+    let chars: Vec<char> = input.trim().chars().collect();
+    let mut atoms: Vec<AtomLabel> = Vec::new();
+    let mut bonds: Vec<(usize, usize, u8, bool)> = Vec::new();
+
+    let mut prev_atom: Option<usize> = None;
+    let mut branch_stack: Vec<Option<usize>> = Vec::new();
+    let mut pending_bond: Option<u8> = None;
+    let mut pending_aromatic_bond = false;
+    // ring closure number -> (atom index, bond order at opening, aromatic)
+    let mut open_rings: std::collections::HashMap<u8, (usize, u8, bool)> =
+        std::collections::HashMap::new();
+
+    let mut i = 0usize;
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            // --- bonds -------------------------------------------------
+            '-' => {
+                pending_bond = Some(1);
+                i += 1;
+            }
+            '=' => {
+                pending_bond = Some(2);
+                i += 1;
+            }
+            '#' => {
+                pending_bond = Some(3);
+                i += 1;
+            }
+            ':' => {
+                pending_bond = Some(1);
+                pending_aromatic_bond = true;
+                i += 1;
+            }
+            '/' | '\\' => {
+                // stereo bonds are treated as plain single bonds
+                pending_bond = Some(1);
+                i += 1;
+            }
+            // --- branches ------------------------------------------------
+            '(' => {
+                branch_stack.push(prev_atom);
+                i += 1;
+            }
+            ')' => {
+                prev_atom = branch_stack.pop().ok_or(SmilesError::UnbalancedBranch)?;
+                i += 1;
+            }
+            // --- ring closures -------------------------------------------
+            '1'..='9' | '%' => {
+                let (digit, consumed) = if c == '%' {
+                    if i + 2 >= chars.len()
+                        || !chars[i + 1].is_ascii_digit()
+                        || !chars[i + 2].is_ascii_digit()
+                    {
+                        return Err(SmilesError::UnexpectedCharacter { position: i, character: c });
+                    }
+                    (
+                        (chars[i + 1].to_digit(10).unwrap() * 10 + chars[i + 2].to_digit(10).unwrap())
+                            as u8,
+                        3,
+                    )
+                } else {
+                    (c.to_digit(10).unwrap() as u8, 1)
+                };
+                let current = prev_atom.ok_or(SmilesError::DanglingBond)?;
+                let order = pending_bond.take().unwrap_or(1);
+                let aromatic = pending_aromatic_bond || atoms[current].aromatic;
+                pending_aromatic_bond = false;
+                match open_rings.remove(&digit) {
+                    Some((other, opening_order, opening_aromatic)) => {
+                        let order = order.max(opening_order);
+                        let aromatic =
+                            aromatic || opening_aromatic || atoms[other].aromatic && atoms[current].aromatic;
+                        bonds.push((other, current, order, aromatic));
+                    }
+                    None => {
+                        open_rings.insert(digit, (current, order, aromatic));
+                    }
+                }
+                i += consumed;
+            }
+            // --- atoms ---------------------------------------------------
+            '[' => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == ']')
+                    .ok_or(SmilesError::UnterminatedBracket)?
+                    + i;
+                let body: String = chars[i + 1..close].iter().collect();
+                let label = parse_bracket_atom(&body)
+                    .ok_or(SmilesError::UnexpectedCharacter { position: i, character: '[' })?;
+                let idx = push_atom(&mut atoms, label);
+                connect(&mut bonds, &mut prev_atom, idx, &mut pending_bond, &mut pending_aromatic_bond, &atoms);
+                i = close + 1;
+            }
+            _ => {
+                // organic subset atom (possibly two characters: Cl, Br)
+                let (element, aromatic, consumed) = match c {
+                    'C' if chars.get(i + 1) == Some(&'l') => (Element::CHLORINE, false, 2),
+                    'B' if chars.get(i + 1) == Some(&'r') => (Element(35), false, 2),
+                    'C' => (Element::CARBON, false, 1),
+                    'N' => (Element::NITROGEN, false, 1),
+                    'O' => (Element::OXYGEN, false, 1),
+                    'P' => (Element::PHOSPHORUS, false, 1),
+                    'S' => (Element::SULFUR, false, 1),
+                    'F' => (Element::FLUORINE, false, 1),
+                    'I' => (Element(53), false, 1),
+                    'B' => (Element(5), false, 1),
+                    'c' => (Element::CARBON, true, 1),
+                    'n' => (Element::NITROGEN, true, 1),
+                    'o' => (Element::OXYGEN, true, 1),
+                    's' => (Element::SULFUR, true, 1),
+                    'b' => (Element(5), true, 1),
+                    'p' => (Element::PHOSPHORUS, true, 1),
+                    'H' => {
+                        // explicit hydrogens outside brackets are skipped
+                        i += 1;
+                        continue;
+                    }
+                    other => {
+                        return Err(SmilesError::UnexpectedCharacter {
+                            position: i,
+                            character: other,
+                        })
+                    }
+                };
+                let label = AtomLabel {
+                    element,
+                    charge: 0,
+                    hybridization: if aromatic { 2 } else { 3 },
+                    aromatic,
+                };
+                let idx = push_atom(&mut atoms, label);
+                connect(&mut bonds, &mut prev_atom, idx, &mut pending_bond, &mut pending_aromatic_bond, &atoms);
+                i += consumed;
+            }
+        }
+    }
+
+    if pending_bond.is_some() {
+        return Err(SmilesError::DanglingBond);
+    }
+    if !branch_stack.is_empty() {
+        return Err(SmilesError::UnbalancedBranch);
+    }
+    if let Some((&digit, _)) = open_rings.iter().next() {
+        return Err(SmilesError::UnclosedRing(digit));
+    }
+    if atoms.is_empty() {
+        return Err(SmilesError::Empty);
+    }
+
+    let mut builder: GraphBuilder<AtomLabel, BondLabel> =
+        GraphBuilder::with_capacity(atoms.len(), bonds.len());
+    for label in &atoms {
+        builder.add_vertex(*label);
+    }
+    for &(u, v, order, conjugated) in &bonds {
+        let order = if conjugated { 4 } else { order };
+        builder
+            .add_edge(u, v, 1.0, BondLabel { order, conjugated })
+            .map_err(|_| SmilesError::UnexpectedCharacter { position: 0, character: '?' })?;
+    }
+    builder
+        .build()
+        .map_err(|_| SmilesError::UnexpectedCharacter { position: 0, character: '?' })
+}
+
+fn push_atom(atoms: &mut Vec<AtomLabel>, label: AtomLabel) -> usize {
+    atoms.push(label);
+    atoms.len() - 1
+}
+
+fn connect(
+    bonds: &mut Vec<(usize, usize, u8, bool)>,
+    prev_atom: &mut Option<usize>,
+    current: usize,
+    pending_bond: &mut Option<u8>,
+    pending_aromatic: &mut bool,
+    atoms: &[AtomLabel],
+) {
+    if let Some(prev) = *prev_atom {
+        let order = pending_bond.take().unwrap_or(1);
+        let aromatic = *pending_aromatic || (atoms[prev].aromatic && atoms[current].aromatic);
+        bonds.push((prev, current, order, aromatic));
+    } else {
+        pending_bond.take();
+    }
+    *pending_aromatic = false;
+    *prev_atom = Some(current);
+}
+
+/// Parse the body of a bracket atom, e.g. `N+`, `O-`, `nH`, `13CH3`.
+fn parse_bracket_atom(body: &str) -> Option<AtomLabel> {
+    let chars: Vec<char> = body.chars().collect();
+    let mut i = 0;
+    // skip an isotope number
+    while i < chars.len() && chars[i].is_ascii_digit() {
+        i += 1;
+    }
+    if i >= chars.len() {
+        return None;
+    }
+    // element symbol: one uppercase + optional lowercase, or a lowercase aromatic
+    let (element, aromatic) = if chars[i].is_uppercase() {
+        let two: String = chars[i..chars.len().min(i + 2)].iter().collect();
+        let (sym, len) = if two.len() == 2 && two.chars().nth(1).unwrap().is_lowercase() {
+            // only accept known two-letter symbols; otherwise a single letter
+            match two.as_str() {
+                "Cl" | "Br" | "Si" | "Se" | "Na" | "Li" | "Mg" | "Ca" | "Fe" | "Zn" => {
+                    (two.clone(), 2)
+                }
+                _ => (two[..1].to_string(), 1),
+            }
+        } else {
+            (two[..1].to_string(), 1)
+        };
+        i += len;
+        (element_from_symbol(&sym)?, false)
+    } else {
+        let sym = chars[i].to_string();
+        i += 1;
+        (element_from_symbol(&sym.to_uppercase())?, true)
+    };
+    // optional explicit hydrogens (ignored) and charge
+    let mut charge: i8 = 0;
+    while i < chars.len() {
+        match chars[i] {
+            'H' => {
+                i += 1;
+                while i < chars.len() && chars[i].is_ascii_digit() {
+                    i += 1;
+                }
+            }
+            '+' => {
+                charge += 1;
+                i += 1;
+                if i < chars.len() && chars[i].is_ascii_digit() {
+                    charge = chars[i].to_digit(10).unwrap() as i8;
+                    i += 1;
+                }
+            }
+            '-' => {
+                charge -= 1;
+                i += 1;
+                if i < chars.len() && chars[i].is_ascii_digit() {
+                    charge = -(chars[i].to_digit(10).unwrap() as i8);
+                    i += 1;
+                }
+            }
+            '@' | ':' => {
+                // chirality markers and atom maps are ignored
+                i += 1;
+                while i < chars.len() && (chars[i] == '@' || chars[i].is_ascii_digit()) {
+                    i += 1;
+                }
+            }
+            _ => return None,
+        }
+    }
+    Some(AtomLabel { element, charge, hybridization: if aromatic { 2 } else { 3 }, aromatic })
+}
+
+fn element_from_symbol(sym: &str) -> Option<Element> {
+    Some(match sym {
+        "H" => Element::HYDROGEN,
+        "B" => Element(5),
+        "C" => Element::CARBON,
+        "N" => Element::NITROGEN,
+        "O" => Element::OXYGEN,
+        "F" => Element::FLUORINE,
+        "P" => Element::PHOSPHORUS,
+        "S" => Element::SULFUR,
+        "Cl" => Element::CHLORINE,
+        "Br" => Element(35),
+        "I" => Element(53),
+        "Si" => Element(14),
+        "Se" => Element(34),
+        "Na" => Element(11),
+        "Li" => Element(3),
+        "Mg" => Element(12),
+        "Ca" => Element(20),
+        "Fe" => Element(26),
+        "Zn" => Element(30),
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mgk_graph::GraphStats;
+
+    #[test]
+    fn ethanol() {
+        let g = parse_smiles("CCO").unwrap();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.vertex_label(2).element, Element::OXYGEN);
+        assert_eq!(g.edge_label(0, 1).unwrap().order, 1);
+    }
+
+    #[test]
+    fn acetic_acid_with_branch_and_double_bond() {
+        let g = parse_smiles("CC(=O)O").unwrap();
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.num_edges(), 3);
+        // the carbonyl oxygen is double-bonded to the branching carbon
+        assert_eq!(g.edge_label(1, 2).unwrap().order, 2);
+        assert_eq!(g.edge_label(1, 3).unwrap().order, 1);
+        // vertex 0 connects only to vertex 1
+        assert_eq!(g.vertex_degree(0), 1);
+        assert_eq!(g.vertex_degree(1), 3);
+    }
+
+    #[test]
+    fn cyclohexane_ring_closure() {
+        let g = parse_smiles("C1CCCCC1").unwrap();
+        assert_eq!(g.num_vertices(), 6);
+        assert_eq!(g.num_edges(), 6);
+        for i in 0..6 {
+            assert_eq!(g.vertex_degree(i), 2);
+        }
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn benzene_is_aromatic() {
+        let g = parse_smiles("c1ccccc1").unwrap();
+        assert_eq!(g.num_vertices(), 6);
+        assert_eq!(g.num_edges(), 6);
+        for i in 0..6 {
+            assert!(g.vertex_label(i).aromatic);
+        }
+        for (_, _, _, l) in g.edges() {
+            assert!(l.conjugated);
+            assert_eq!(l.order, 4);
+        }
+    }
+
+    #[test]
+    fn charged_bracket_atoms() {
+        let g = parse_smiles("[NH4+]").unwrap();
+        assert_eq!(g.num_vertices(), 1);
+        assert_eq!(g.vertex_label(0).charge, 1);
+        let g = parse_smiles("C[O-]").unwrap();
+        assert_eq!(g.vertex_label(1).charge, -1);
+    }
+
+    #[test]
+    fn caffeine_parses_to_the_right_size() {
+        // caffeine: 14 heavy atoms
+        let g = parse_smiles("Cn1cnc2c1c(=O)n(C)c(=O)n2C").unwrap();
+        assert_eq!(g.num_vertices(), 14);
+        assert!(g.is_connected());
+        let stats = GraphStats::of(&g);
+        assert!(stats.max_degree <= 4);
+        // two fused rings: edges = atoms + rings - 1 = 14 + 2 - 1
+        assert_eq!(g.num_edges(), 15);
+    }
+
+    #[test]
+    fn aspirin_parses() {
+        let g = parse_smiles("CC(=O)Oc1ccccc1C(=O)O").unwrap();
+        assert_eq!(g.num_vertices(), 13);
+        assert_eq!(g.num_edges(), 13); // one ring
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn two_digit_ring_closure() {
+        let g = parse_smiles("C%10CCCCC%10").unwrap();
+        assert_eq!(g.num_edges(), 6);
+    }
+
+    #[test]
+    fn halogenated_molecule() {
+        let g = parse_smiles("ClC(Cl)(F)Br").unwrap();
+        assert_eq!(g.num_vertices(), 5);
+        assert_eq!(g.vertex_label(0).element, Element::CHLORINE);
+        assert_eq!(g.vertex_label(4).element, Element(35));
+        assert_eq!(g.vertex_degree(1), 4);
+    }
+
+    #[test]
+    fn error_cases() {
+        assert_eq!(parse_smiles(""), Err(SmilesError::Empty));
+        assert!(matches!(parse_smiles("C(C"), Err(SmilesError::UnbalancedBranch)));
+        assert!(matches!(parse_smiles("CC)"), Err(SmilesError::UnbalancedBranch)));
+        assert!(matches!(parse_smiles("C1CC"), Err(SmilesError::UnclosedRing(1))));
+        assert!(matches!(parse_smiles("C="), Err(SmilesError::DanglingBond)));
+        assert!(matches!(parse_smiles("C[N"), Err(SmilesError::UnterminatedBracket)));
+        assert!(matches!(parse_smiles("CXC"), Err(SmilesError::UnexpectedCharacter { .. })));
+    }
+
+    #[test]
+    fn parsed_molecules_work_with_the_kernel_solver() {
+        // smoke test: the parsed labels plug straight into the solver path
+        let ethanol = parse_smiles("CCO").unwrap();
+        let propanol = parse_smiles("CCCO").unwrap();
+        use mgk_graph::GraphStats;
+        assert!(GraphStats::of(&ethanol).connected);
+        assert!(GraphStats::of(&propanol).connected);
+    }
+}

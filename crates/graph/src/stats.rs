@@ -1,0 +1,134 @@
+//! Descriptive statistics of graphs and graph ensembles used by the
+//! benchmark harness when reporting dataset characteristics.
+
+use crate::graph::Graph;
+
+/// Summary statistics of a single graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphStats {
+    /// Number of vertices.
+    pub num_vertices: usize,
+    /// Number of undirected edges.
+    pub num_edges: usize,
+    /// Edge density: `2m / (n (n-1))`.
+    pub density: f64,
+    /// Minimum vertex degree.
+    pub min_degree: usize,
+    /// Maximum vertex degree.
+    pub max_degree: usize,
+    /// Mean vertex degree.
+    pub mean_degree: f64,
+    /// Whether the graph is connected.
+    pub connected: bool,
+}
+
+impl GraphStats {
+    /// Compute statistics for a graph.
+    pub fn of<V, E>(g: &Graph<V, E>) -> Self {
+        let n = g.num_vertices();
+        let m = g.num_edges();
+        let degrees: Vec<usize> = (0..n).map(|i| g.vertex_degree(i)).collect();
+        let density = if n > 1 { 2.0 * m as f64 / (n as f64 * (n as f64 - 1.0)) } else { 0.0 };
+        GraphStats {
+            num_vertices: n,
+            num_edges: m,
+            density,
+            min_degree: degrees.iter().copied().min().unwrap_or(0),
+            max_degree: degrees.iter().copied().max().unwrap_or(0),
+            mean_degree: if n > 0 { 2.0 * m as f64 / n as f64 } else { 0.0 },
+            connected: g.is_connected(),
+        }
+    }
+}
+
+/// Summary statistics of an ensemble (dataset) of graphs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnsembleStats {
+    /// Number of graphs in the ensemble.
+    pub num_graphs: usize,
+    /// Smallest graph size.
+    pub min_vertices: usize,
+    /// Largest graph size.
+    pub max_vertices: usize,
+    /// Mean graph size.
+    pub mean_vertices: f64,
+    /// Mean edge density across graphs.
+    pub mean_density: f64,
+    /// Total number of vertices.
+    pub total_vertices: usize,
+    /// Total number of edges.
+    pub total_edges: usize,
+}
+
+impl EnsembleStats {
+    /// Compute ensemble statistics.
+    pub fn of<V, E>(graphs: &[Graph<V, E>]) -> Self {
+        let sizes: Vec<usize> = graphs.iter().map(|g| g.num_vertices()).collect();
+        let total_vertices: usize = sizes.iter().sum();
+        let total_edges: usize = graphs.iter().map(|g| g.num_edges()).sum();
+        let densities: Vec<f64> = graphs.iter().map(|g| GraphStats::of(g).density).collect();
+        EnsembleStats {
+            num_graphs: graphs.len(),
+            min_vertices: sizes.iter().copied().min().unwrap_or(0),
+            max_vertices: sizes.iter().copied().max().unwrap_or(0),
+            mean_vertices: if graphs.is_empty() {
+                0.0
+            } else {
+                total_vertices as f64 / graphs.len() as f64
+            },
+            mean_density: if graphs.is_empty() {
+                0.0
+            } else {
+                densities.iter().sum::<f64>() / graphs.len() as f64
+            },
+            total_vertices,
+            total_edges,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Graph;
+
+    #[test]
+    fn path_graph_stats() {
+        let g = Graph::from_edge_list(4, &[(0, 1), (1, 2), (2, 3)]);
+        let s = GraphStats::of(&g);
+        assert_eq!(s.num_vertices, 4);
+        assert_eq!(s.num_edges, 3);
+        assert_eq!(s.min_degree, 1);
+        assert_eq!(s.max_degree, 2);
+        assert!((s.mean_degree - 1.5).abs() < 1e-12);
+        assert!((s.density - 0.5).abs() < 1e-12);
+        assert!(s.connected);
+    }
+
+    #[test]
+    fn complete_graph_density_is_one() {
+        let g = Graph::from_edge_list(4, &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]);
+        let s = GraphStats::of(&g);
+        assert!((s.density - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ensemble_stats_aggregate() {
+        let g1 = Graph::from_edge_list(3, &[(0, 1), (1, 2)]);
+        let g2 = Graph::from_edge_list(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let s = EnsembleStats::of(&[g1, g2]);
+        assert_eq!(s.num_graphs, 2);
+        assert_eq!(s.min_vertices, 3);
+        assert_eq!(s.max_vertices, 5);
+        assert_eq!(s.total_vertices, 8);
+        assert_eq!(s.total_edges, 6);
+        assert!((s.mean_vertices - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_ensemble() {
+        let s = EnsembleStats::of::<crate::Unlabeled, crate::Unlabeled>(&[]);
+        assert_eq!(s.num_graphs, 0);
+        assert_eq!(s.mean_vertices, 0.0);
+    }
+}

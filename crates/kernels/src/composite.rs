@@ -1,0 +1,159 @@
+//! Composite base kernels built from elementary ones.
+//!
+//! Appendix B of the paper lists two families: the Kronecker-product kernel
+//! `κ_kron(e₁, e₂) = Π_i κ_i(e₁ⁱ, e₂ⁱ)` over tuple labels, and the
+//! R-convolution kernel `κ_R(e₁, e₂) = Σ_i Σ_j κ(e₁ⁱ, e₂ʲ)` over set-valued
+//! labels.
+
+use crate::cost::KernelCost;
+use crate::BaseKernel;
+
+/// Tensor (Kronecker) product of two kernels over pair labels:
+/// `κ((a₁, a₂), (b₁, b₂)) = κ₁(a₁, b₁) · κ₂(a₂, b₂)`.
+///
+/// The product of positive definite kernels is positive definite, and the
+/// range stays within `[0, 1]`, so the result is again a valid base kernel.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TensorProductKernel<K1, K2> {
+    first: K1,
+    second: K2,
+}
+
+impl<K1, K2> TensorProductKernel<K1, K2> {
+    /// Combine two kernels.
+    pub fn new(first: K1, second: K2) -> Self {
+        TensorProductKernel { first, second }
+    }
+}
+
+impl<L1, L2, K1, K2> BaseKernel<(L1, L2)> for TensorProductKernel<K1, K2>
+where
+    K1: BaseKernel<L1>,
+    K2: BaseKernel<L2>,
+    L1: Sync,
+    L2: Sync,
+{
+    #[inline]
+    fn eval(&self, a: &(L1, L2), b: &(L1, L2)) -> f32 {
+        self.first.eval(&a.0, &b.0) * self.second.eval(&a.1, &b.1)
+    }
+
+    fn cost(&self) -> KernelCost {
+        self.first.cost().combine(self.second.cost())
+    }
+}
+
+/// Mean R-convolution kernel over variable-length label sets:
+/// `κ(A, B) = (Σ_i Σ_j κ(aᵢ, bⱼ)) / (|A| |B|)`.
+///
+/// Normalizing by the set sizes keeps the range within `[0, 1]` so the
+/// composite remains usable as a base kernel; empty sets compare as 1 to
+/// each other and 0 to non-empty sets.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConvolutionKernel<K> {
+    inner: K,
+    /// Nominal number of elements per label used by the cost model.
+    nominal_arity: usize,
+}
+
+impl<K> ConvolutionKernel<K> {
+    /// Wrap an elementary kernel. `nominal_arity` is the typical number of
+    /// elements per label set, used only for the cost estimate.
+    pub fn new(inner: K, nominal_arity: usize) -> Self {
+        ConvolutionKernel { inner, nominal_arity: nominal_arity.max(1) }
+    }
+}
+
+impl<L, K> BaseKernel<Vec<L>> for ConvolutionKernel<K>
+where
+    K: BaseKernel<L>,
+    L: Sync + Send,
+{
+    fn eval(&self, a: &Vec<L>, b: &Vec<L>) -> f32 {
+        if a.is_empty() && b.is_empty() {
+            return 1.0;
+        }
+        if a.is_empty() || b.is_empty() {
+            return 0.0;
+        }
+        let mut sum = 0.0f32;
+        for x in a {
+            for y in b {
+                sum += self.inner.eval(x, y);
+            }
+        }
+        (sum / (a.len() * b.len()) as f32).clamp(0.0, 1.0)
+    }
+
+    fn cost(&self) -> KernelCost {
+        let inner = self.inner.cost();
+        // quadratic number of inner evaluations (Appendix B)
+        KernelCost::new(
+            inner.label_bytes * self.nominal_arity,
+            inner.flops * self.nominal_arity * self.nominal_arity + 2,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::elementary::{KroneckerDelta, SquareExponential, UnitKernel};
+
+    #[test]
+    fn tensor_product_multiplies_components() {
+        let k = TensorProductKernel::new(KroneckerDelta::new(0.5), SquareExponential::new(1.0));
+        let a = (1u8, 0.0f32);
+        let b = (1u8, 0.0f32);
+        let c = (2u8, 0.0f32);
+        assert!((k.eval(&a, &b) - 1.0).abs() < 1e-7);
+        assert!((k.eval(&a, &c) - 0.5).abs() < 1e-7);
+        // symmetry
+        assert_eq!(k.eval(&a, &c), k.eval(&c, &a));
+        // cost combines both operands
+        let cost = BaseKernel::<(u8, f32)>::cost(&k);
+        assert_eq!(cost.label_bytes, 8);
+    }
+
+    #[test]
+    fn tensor_product_range_stays_in_unit_interval() {
+        let k = TensorProductKernel::new(KroneckerDelta::new(0.3), KroneckerDelta::new(0.7));
+        for a in 0..3u8 {
+            for b in 0..3u8 {
+                let v = k.eval(&(a, a), &(b, b));
+                assert!((0.0..=1.0).contains(&v));
+            }
+        }
+    }
+
+    #[test]
+    fn convolution_kernel_on_sets() {
+        let k = ConvolutionKernel::new(KroneckerDelta::new(0.0), 2);
+        let a = vec![1u8, 2];
+        let b = vec![1u8, 3];
+        // matches: (1,1) only => 1 / 4
+        assert!((k.eval(&a, &b) - 0.25).abs() < 1e-7);
+        assert_eq!(k.eval(&a, &a), 0.5); // (1,1) and (2,2) out of 4
+        // empty-set conventions
+        let empty: Vec<u8> = vec![];
+        assert_eq!(k.eval(&empty, &empty), 1.0);
+        assert_eq!(k.eval(&a, &empty), 0.0);
+    }
+
+    #[test]
+    fn convolution_kernel_symmetry() {
+        let k = ConvolutionKernel::new(UnitKernel, 3);
+        let a = vec![1.0f32, 2.0];
+        let b = vec![3.0f32];
+        assert_eq!(k.eval(&a, &b), k.eval(&b, &a));
+        assert_eq!(k.eval(&a, &b), 1.0);
+    }
+
+    #[test]
+    fn convolution_cost_is_quadratic_in_arity() {
+        let k = ConvolutionKernel::new(SquareExponential::new(1.0), 4);
+        let inner_flops = BaseKernel::<f32>::cost(&SquareExponential::new(1.0)).flops;
+        let cost = BaseKernel::<Vec<f32>>::cost(&k);
+        assert_eq!(cost.flops, inner_flops * 16 + 2);
+    }
+}

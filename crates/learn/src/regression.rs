@@ -1,0 +1,329 @@
+//! Kernel ridge regression and Gaussian process regression over
+//! precomputed kernel matrices.
+
+use mgk_linalg::direct::cholesky_solve;
+
+/// Errors reported while fitting a kernel model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FitError {
+    /// The kernel matrix is not square or does not match the target length.
+    ShapeMismatch {
+        /// Length of the supplied kernel matrix buffer.
+        kernel_len: usize,
+        /// Number of training targets.
+        targets: usize,
+    },
+    /// The regularized kernel matrix is not positive definite (e.g. the
+    /// regularization is too small or the matrix is not a valid kernel).
+    NotPositiveDefinite,
+}
+
+impl std::fmt::Display for FitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FitError::ShapeMismatch { kernel_len, targets } => write!(
+                f,
+                "kernel matrix of length {kernel_len} does not match {targets} training targets"
+            ),
+            FitError::NotPositiveDefinite => {
+                write!(f, "regularized kernel matrix is not positive definite")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FitError {}
+
+/// Kernel ridge regression: `f(x) = Σ_i α_i K(x, x_i)` with
+/// `α = (K + λ I)⁻¹ (y − ȳ)` and a constant offset `ȳ`.
+#[derive(Debug, Clone)]
+pub struct KernelRidgeRegression {
+    coefficients: Vec<f64>,
+    target_mean: f64,
+    regularization: f64,
+}
+
+impl KernelRidgeRegression {
+    /// Fit the model from a row-major `n × n` training kernel matrix and
+    /// `n` targets. `regularization` is the ridge parameter `λ > 0`.
+    pub fn fit(kernel: &[f32], targets: &[f64], regularization: f64) -> Result<Self, FitError> {
+        let n = targets.len();
+        if kernel.len() != n * n || n == 0 {
+            return Err(FitError::ShapeMismatch { kernel_len: kernel.len(), targets: n });
+        }
+        assert!(regularization > 0.0, "regularization must be positive");
+        let target_mean = targets.iter().sum::<f64>() / n as f64;
+        let centered: Vec<f64> = targets.iter().map(|&y| y - target_mean).collect();
+        let mut reg_kernel = vec![0.0f64; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                reg_kernel[i * n + j] = kernel[i * n + j] as f64;
+            }
+            reg_kernel[i * n + i] += regularization;
+        }
+        let coefficients =
+            cholesky_solve(&reg_kernel, &centered).ok_or(FitError::NotPositiveDefinite)?;
+        Ok(KernelRidgeRegression { coefficients, target_mean, regularization })
+    }
+
+    /// The dual coefficients `α`.
+    pub fn coefficients(&self) -> &[f64] {
+        &self.coefficients
+    }
+
+    /// The ridge parameter the model was fit with.
+    pub fn regularization(&self) -> f64 {
+        self.regularization
+    }
+
+    /// Predict targets for test items given their kernel values against the
+    /// training set: `cross` is row-major `num_test × n_train`.
+    pub fn predict(&self, cross: &[f32], num_test: usize) -> Vec<f64> {
+        let n = self.coefficients.len();
+        assert_eq!(cross.len(), num_test * n, "cross kernel matrix has the wrong shape");
+        (0..num_test)
+            .map(|t| {
+                let row = &cross[t * n..(t + 1) * n];
+                self.target_mean
+                    + row.iter().zip(&self.coefficients).map(|(&k, &a)| k as f64 * a).sum::<f64>()
+            })
+            .collect()
+    }
+
+    /// Predictions on the training set itself.
+    pub fn predict_training(&self, kernel: &[f32]) -> Vec<f64> {
+        let n = self.coefficients.len();
+        self.predict(kernel, n)
+    }
+}
+
+/// Gaussian process regression with a noise variance `σ²`: the posterior
+/// mean coincides with kernel ridge regression, and the predictive variance
+/// is `k(x, x) − k*ᵀ (K + σ² I)⁻¹ k*`.
+#[derive(Debug, Clone)]
+pub struct GaussianProcessRegression {
+    ridge: KernelRidgeRegression,
+    /// Row-major `(K + σ² I)` kept for the variance solves.
+    regularized_kernel: Vec<f64>,
+    n: usize,
+}
+
+impl GaussianProcessRegression {
+    /// Fit the GP from a training kernel matrix, targets and noise variance.
+    pub fn fit(kernel: &[f32], targets: &[f64], noise_variance: f64) -> Result<Self, FitError> {
+        let n = targets.len();
+        let ridge = KernelRidgeRegression::fit(kernel, targets, noise_variance)?;
+        let mut regularized_kernel = vec![0.0f64; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                regularized_kernel[i * n + j] = kernel[i * n + j] as f64;
+            }
+            regularized_kernel[i * n + i] += noise_variance;
+        }
+        Ok(GaussianProcessRegression { ridge, regularized_kernel, n })
+    }
+
+    /// Posterior mean for test items (`cross` is `num_test × n_train`).
+    pub fn predict_mean(&self, cross: &[f32], num_test: usize) -> Vec<f64> {
+        self.ridge.predict(cross, num_test)
+    }
+
+    /// Posterior mean and variance for test items. `self_kernel[t]` is
+    /// `K(x_t, x_t)` for each test item.
+    pub fn predict(&self, cross: &[f32], self_kernel: &[f32], num_test: usize) -> Vec<(f64, f64)> {
+        assert_eq!(self_kernel.len(), num_test);
+        let mean = self.predict_mean(cross, num_test);
+        (0..num_test)
+            .map(|t| {
+                let row: Vec<f64> =
+                    cross[t * self.n..(t + 1) * self.n].iter().map(|&k| k as f64).collect();
+                let v = cholesky_solve(&self.regularized_kernel, &row)
+                    .expect("fit succeeded, so the matrix is positive definite");
+                let explained: f64 = row.iter().zip(&v).map(|(a, b)| a * b).sum();
+                let variance = (self_kernel[t] as f64 - explained).max(0.0);
+                (mean[t], variance)
+            })
+            .collect()
+    }
+}
+
+/// Closed-form leave-one-out root-mean-square error of kernel ridge
+/// regression: `LOO_i = α_i / (K + λI)⁻¹_{ii}` without refitting `n` models.
+pub fn leave_one_out_rmse(kernel: &[f32], targets: &[f64], regularization: f64) -> Result<f64, FitError> {
+    let n = targets.len();
+    if kernel.len() != n * n || n == 0 {
+        return Err(FitError::ShapeMismatch { kernel_len: kernel.len(), targets: n });
+    }
+    let model = KernelRidgeRegression::fit(kernel, targets, regularization)?;
+    // diagonal of the inverse of (K + λI), column by column
+    let mut reg_kernel = vec![0.0f64; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            reg_kernel[i * n + j] = kernel[i * n + j] as f64;
+        }
+        reg_kernel[i * n + i] += regularization;
+    }
+    let mut sum_sq = 0.0f64;
+    for i in 0..n {
+        let mut e = vec![0.0f64; n];
+        e[i] = 1.0;
+        let col = cholesky_solve(&reg_kernel, &e).ok_or(FitError::NotPositiveDefinite)?;
+        let inv_diag = col[i];
+        let loo_residual = model.coefficients()[i] / inv_diag;
+        sum_sq += loo_residual * loo_residual;
+    }
+    Ok((sum_sq / n as f64).sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mgk_core::{GramConfig, GramEngine, MarginalizedKernelSolver, SolverConfig};
+    use mgk_datasets::drugbank_like;
+    use mgk_graph::{AtomLabel, BondLabel};
+    use mgk_kernels::{BaseKernel, KernelCost, KroneckerDelta};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[derive(Clone, Copy)]
+    struct AtomK(KroneckerDelta);
+    impl BaseKernel<AtomLabel> for AtomK {
+        fn eval(&self, a: &AtomLabel, b: &AtomLabel) -> f32 {
+            self.0.eval(&a.element, &b.element)
+        }
+        fn cost(&self) -> KernelCost {
+            KernelCost::new(4, 4)
+        }
+    }
+    #[derive(Clone, Copy)]
+    struct BondK(KroneckerDelta);
+    impl BaseKernel<BondLabel> for BondK {
+        fn eval(&self, a: &BondLabel, b: &BondLabel) -> f32 {
+            self.0.eval(&a.order, &b.order)
+        }
+        fn cost(&self) -> KernelCost {
+            KernelCost::new(1, 4)
+        }
+    }
+
+    fn identity_kernel(n: usize) -> Vec<f32> {
+        let mut k = vec![0.0f32; n * n];
+        for i in 0..n {
+            k[i * n + i] = 1.0;
+        }
+        k
+    }
+
+    #[test]
+    fn ridge_on_identity_kernel_shrinks_towards_the_mean() {
+        // with K = I, alpha_i = (y_i - mean) / (1 + lambda), so training
+        // predictions shrink toward the mean as lambda grows
+        let targets = vec![1.0, 2.0, 3.0, 4.0];
+        let k = identity_kernel(4);
+        let small = KernelRidgeRegression::fit(&k, &targets, 1e-6).unwrap();
+        let preds = small.predict_training(&k);
+        for (p, y) in preds.iter().zip(&targets) {
+            assert!((p - y).abs() < 1e-4);
+        }
+        let large = KernelRidgeRegression::fit(&k, &targets, 10.0).unwrap();
+        let preds = large.predict_training(&k);
+        let mean = 2.5;
+        for (p, y) in preds.iter().zip(&targets) {
+            assert!((p - mean).abs() < (y - mean).abs());
+        }
+    }
+
+    #[test]
+    fn shape_errors_are_reported() {
+        let k = identity_kernel(3);
+        assert!(matches!(
+            KernelRidgeRegression::fit(&k, &[1.0, 2.0], 0.1),
+            Err(FitError::ShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn indefinite_kernel_is_rejected() {
+        // a matrix with a negative eigenvalue cannot be factorized
+        let k = vec![1.0f32, 2.0, 2.0, 1.0];
+        assert!(matches!(
+            KernelRidgeRegression::fit(&k, &[0.0, 1.0], 1e-6),
+            Err(FitError::NotPositiveDefinite)
+        ));
+    }
+
+    #[test]
+    fn gp_variance_is_zero_on_training_points_and_positive_elsewhere() {
+        let n = 4;
+        // a smooth kernel: K_ij = exp(-(i-j)^2 / 4)
+        let mut k = vec![0.0f32; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                k[i * n + j] = (-(i as f32 - j as f32).powi(2) / 4.0).exp();
+            }
+        }
+        let targets = vec![0.0, 1.0, 0.5, -0.5];
+        let gp = GaussianProcessRegression::fit(&k, &targets, 1e-4).unwrap();
+        // training points as "test" points
+        let preds = gp.predict(&k, &vec![1.0f32; n], n);
+        for (i, (mean, var)) in preds.iter().enumerate() {
+            assert!((mean - targets[i]).abs() < 0.05, "mean at {i}: {mean}");
+            assert!(*var < 0.01, "variance at {i}: {var}");
+        }
+        // a far-away point (zero cross kernel) has prior variance
+        let far = vec![0.0f32; n];
+        let pred = gp.predict(&far, &[1.0], 1);
+        assert!((pred[0].1 - 1.0).abs() < 1e-6);
+        assert!((pred[0].0 - targets.iter().sum::<f64>() / n as f64).abs() < 1e-9);
+    }
+
+    #[test]
+    fn leave_one_out_error_prefers_sensible_regularization() {
+        let n = 6;
+        let mut k = vec![0.0f32; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                k[i * n + j] = (-((i as f32 - j as f32) / 2.0).powi(2)).exp();
+            }
+        }
+        let targets: Vec<f64> = (0..n).map(|i| (i as f64 * 0.8).sin()).collect();
+        let loose = leave_one_out_rmse(&k, &targets, 10.0).unwrap();
+        let good = leave_one_out_rmse(&k, &targets, 1e-2).unwrap();
+        assert!(good < loose, "good {good} vs loose {loose}");
+    }
+
+    #[test]
+    fn end_to_end_property_regression_on_molecular_graphs() {
+        // learn a simple structural property (heavy-atom count) from the
+        // normalized marginalized-graph-kernel Gram matrix
+        let mut rng = StdRng::seed_from_u64(2026);
+        let molecules = drugbank_like(14, 4, 40, &mut rng);
+        let targets: Vec<f64> = molecules.iter().map(|m| m.num_vertices() as f64).collect();
+        let solver = MarginalizedKernelSolver::new(
+            AtomK(KroneckerDelta::new(0.2)),
+            BondK(KroneckerDelta::new(0.3)),
+            SolverConfig::default(),
+        );
+        let gram = GramEngine::new(solver, GramConfig::default()).compute(&molecules);
+        assert_eq!(gram.failures, 0);
+        let model = KernelRidgeRegression::fit(&gram.matrix, &targets, 1e-3).unwrap();
+        let preds = model.predict_training(&gram.matrix);
+        // the kernel is informative about size: training fit should be far
+        // better than predicting the mean
+        let mean = targets.iter().sum::<f64>() / targets.len() as f64;
+        let rmse = |p: &[f64]| {
+            (p.iter()
+                .zip(&targets)
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum::<f64>()
+                / targets.len() as f64)
+                .sqrt()
+        };
+        let baseline = rmse(&vec![mean; targets.len()]);
+        let fitted = rmse(&preds);
+        assert!(
+            fitted < 0.5 * baseline,
+            "kernel regression should beat the mean predictor: {fitted} vs {baseline}"
+        );
+    }
+}

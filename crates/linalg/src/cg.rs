@@ -1,0 +1,228 @@
+//! Conjugate gradient and preconditioned conjugate gradient solvers.
+//!
+//! This is Algorithm 1 of the paper stripped of the graph-kernel-specific
+//! operator: the system matrix and the preconditioner are abstract
+//! [`LinearOperator`]s, so the same routine serves the explicit (baseline)
+//! solvers and the on-the-fly tensor-product solvers of `mgk-core`.
+
+use crate::operator::LinearOperator;
+use crate::vecops::{axpy, dot, norm_sq, xpby};
+
+/// Options controlling an iterative solve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SolveOptions {
+    /// Maximum number of iterations before giving up.
+    pub max_iterations: usize,
+    /// Convergence threshold on the *relative* residual
+    /// `‖r‖ / ‖b‖ <= tolerance`.
+    pub tolerance: f64,
+}
+
+impl Default for SolveOptions {
+    fn default() -> Self {
+        SolveOptions { max_iterations: 1000, tolerance: 1e-6 }
+    }
+}
+
+/// Outcome of an iterative solve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConvergenceInfo {
+    /// Number of iterations performed.
+    pub iterations: usize,
+    /// Final relative residual `‖r‖ / ‖b‖`.
+    pub relative_residual: f64,
+    /// Whether the tolerance was reached within the iteration budget.
+    pub converged: bool,
+}
+
+/// Solve `A x = b` with plain conjugate gradient.
+///
+/// `a` must be symmetric positive definite. Returns the solution and
+/// convergence information. The initial guess is the zero vector.
+pub fn cg<A: LinearOperator>(a: &A, b: &[f32], opts: &SolveOptions) -> (Vec<f32>, ConvergenceInfo) {
+    pcg(a, &IdentityPrec, b, opts)
+}
+
+/// Identity preconditioner (turns PCG into plain CG).
+struct IdentityPrec;
+
+impl LinearOperator for IdentityPrec {
+    fn dim(&self) -> usize {
+        usize::MAX
+    }
+    fn apply(&self, x: &[f32], y: &mut [f32]) {
+        y.copy_from_slice(x);
+    }
+}
+
+/// Solve `A x = b` with preconditioned conjugate gradient.
+///
+/// `m_inv` is the *inverse* of the preconditioner, i.e. the operator applied
+/// to the residual each iteration (`z ← M⁻¹ r` on line 14 of Algorithm 1).
+/// For the marginalized graph kernel the paper uses the Jacobi (diagonal)
+/// preconditioner `M = D× V×⁻¹`.
+pub fn pcg<A: LinearOperator, M: LinearOperator>(
+    a: &A,
+    m_inv: &M,
+    b: &[f32],
+    opts: &SolveOptions,
+) -> (Vec<f32>, ConvergenceInfo) {
+    let n = b.len();
+    assert_eq!(a.dim(), n, "operator dimension must match right-hand side");
+
+    let b_norm = norm_sq(b).sqrt();
+    if b_norm == 0.0 {
+        return (
+            vec![0.0; n],
+            ConvergenceInfo { iterations: 0, relative_residual: 0.0, converged: true },
+        );
+    }
+
+    let mut x = vec![0.0f32; n];
+    // r = b - A x0 = b
+    let mut r = b.to_vec();
+    let mut z = vec![0.0f32; n];
+    m_inv.apply(&r, &mut z);
+    let mut p = z.clone();
+    let mut rho = dot(&r, &z);
+    let mut a_p = vec![0.0f32; n];
+
+    let mut iterations = 0;
+    let mut rel_res = norm_sq(&r).sqrt() / b_norm;
+    let mut converged = rel_res <= opts.tolerance;
+
+    while !converged && iterations < opts.max_iterations {
+        a.apply(&p, &mut a_p);
+        let p_ap = dot(&p, &a_p);
+        if p_ap <= 0.0 || !p_ap.is_finite() {
+            // matrix not positive definite along p (or numerical breakdown)
+            break;
+        }
+        let alpha = (rho / p_ap) as f32;
+        axpy(alpha, &p, &mut x);
+        axpy(-alpha, &a_p, &mut r);
+        iterations += 1;
+
+        rel_res = norm_sq(&r).sqrt() / b_norm;
+        if rel_res <= opts.tolerance {
+            converged = true;
+            break;
+        }
+
+        m_inv.apply(&r, &mut z);
+        let rho_next = dot(&r, &z);
+        let beta = (rho_next / rho) as f32;
+        rho = rho_next;
+        xpby(&z, beta, &mut p);
+    }
+
+    (x, ConvergenceInfo { iterations, relative_residual: rel_res, converged })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dense::DenseMatrix;
+    use crate::operator::{DenseOperator, DiagonalOperator};
+
+    fn spd_matrix(n: usize, seed: u64) -> DenseMatrix {
+        // A = Bᵀ B + n*I is SPD; B filled from a simple LCG for determinism
+        let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f32 / u32::MAX as f32) - 0.5
+        };
+        let b = DenseMatrix::from_fn(n, n, |_, _| next());
+        let mut a = b.transpose().matmul(&b);
+        for i in 0..n {
+            a[(i, i)] += n as f32;
+        }
+        a
+    }
+
+    #[test]
+    fn cg_solves_identity() {
+        let a = DenseOperator(DenseMatrix::identity(5));
+        let b = vec![1.0, -2.0, 3.0, 0.5, 0.0];
+        let (x, info) = cg(&a, &b, &SolveOptions::default());
+        assert!(info.converged);
+        assert!(info.iterations <= 2);
+        for (xi, bi) in x.iter().zip(&b) {
+            assert!((xi - bi).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn cg_solves_spd_system() {
+        let m = spd_matrix(20, 7);
+        let op = DenseOperator(m.clone());
+        let b: Vec<f32> = (0..20).map(|i| (i as f32 * 0.3).sin()).collect();
+        let (x, info) = cg(&op, &b, &SolveOptions { max_iterations: 200, tolerance: 1e-8 });
+        assert!(info.converged, "did not converge: {info:?}");
+        // check the residual directly
+        let mut ax = vec![0.0; 20];
+        m.matvec(&x, &mut ax);
+        let res: f32 = ax.iter().zip(&b).map(|(a, b)| (a - b).abs()).fold(0.0, f32::max);
+        assert!(res < 1e-3, "residual too large: {res}");
+    }
+
+    #[test]
+    fn pcg_with_jacobi_converges_no_slower_than_cg_on_scaled_system() {
+        // badly scaled diagonal: Jacobi preconditioning should fix it
+        let n = 50;
+        let mut m = spd_matrix(n, 3);
+        for i in 0..n {
+            let s = 1.0 + 100.0 * (i as f32 / n as f32);
+            for j in 0..n {
+                m[(i, j)] *= s;
+                m[(j, i)] *= s;
+            }
+        }
+        let diag: Vec<f32> = (0..n).map(|i| m[(i, i)]).collect();
+        let op = DenseOperator(m);
+        let b = vec![1.0f32; n];
+        let opts = SolveOptions { max_iterations: 500, tolerance: 1e-8 };
+        let (_, plain) = cg(&op, &b, &opts);
+        let prec = DiagonalOperator::new(diag).inverse();
+        let (_, pre) = pcg(&op, &prec, &b, &opts);
+        assert!(pre.converged);
+        assert!(
+            pre.iterations <= plain.iterations,
+            "PCG ({}) should not need more iterations than CG ({})",
+            pre.iterations,
+            plain.iterations
+        );
+    }
+
+    #[test]
+    fn zero_rhs_returns_zero_solution() {
+        let a = DenseOperator(DenseMatrix::identity(3));
+        let (x, info) = cg(&a, &[0.0, 0.0, 0.0], &SolveOptions::default());
+        assert_eq!(x, vec![0.0, 0.0, 0.0]);
+        assert!(info.converged);
+        assert_eq!(info.iterations, 0);
+    }
+
+    #[test]
+    fn iteration_budget_is_respected() {
+        let m = spd_matrix(30, 11);
+        let op = DenseOperator(m);
+        let b = vec![1.0f32; 30];
+        let (_, info) = cg(&op, &b, &SolveOptions { max_iterations: 2, tolerance: 1e-14 });
+        assert!(!info.converged);
+        assert_eq!(info.iterations, 2);
+    }
+
+    #[test]
+    fn exact_convergence_in_n_iterations() {
+        // CG converges in at most n iterations in exact arithmetic; allow
+        // slack for floating point
+        let n = 8;
+        let m = spd_matrix(n, 5);
+        let op = DenseOperator(m);
+        let b = vec![1.0f32; n];
+        let (_, info) = cg(&op, &b, &SolveOptions { max_iterations: 3 * n, tolerance: 1e-6 });
+        assert!(info.converged);
+        assert!(info.iterations <= 2 * n);
+    }
+}

@@ -1,0 +1,238 @@
+//! Row-major dense matrices in single precision.
+
+/// A row-major dense `f32` matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DenseMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl DenseMatrix {
+    /// A matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        DenseMatrix { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// The identity matrix of order `n`.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Build a matrix from a function of the index pair.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f32) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                data.push(f(i, j));
+            }
+        }
+        DenseMatrix { rows, cols, data }
+    }
+
+    /// Wrap an existing row-major buffer.
+    pub fn from_row_major(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), rows * cols, "buffer length must be rows*cols");
+        DenseMatrix { rows, cols, data }
+    }
+
+    /// A diagonal matrix with the given diagonal.
+    pub fn from_diagonal(diag: &[f32]) -> Self {
+        let n = diag.len();
+        let mut m = Self::zeros(n, n);
+        for (i, &d) in diag.iter().enumerate() {
+            m[(i, i)] = d;
+        }
+        m
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Underlying row-major buffer.
+    #[inline]
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable access to the underlying row-major buffer.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// One row as a slice.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f32] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Matrix–vector product `y = A x`.
+    pub fn matvec(&self, x: &[f32], y: &mut [f32]) {
+        assert_eq!(x.len(), self.cols, "matvec: x length must equal cols");
+        assert_eq!(y.len(), self.rows, "matvec: y length must equal rows");
+        for i in 0..self.rows {
+            let row = self.row(i);
+            let mut acc = 0.0f64;
+            for (a, b) in row.iter().zip(x) {
+                acc += *a as f64 * *b as f64;
+            }
+            y[i] = acc as f32;
+        }
+    }
+
+    /// Matrix–matrix product `A · B`.
+    pub fn matmul(&self, other: &DenseMatrix) -> DenseMatrix {
+        assert_eq!(self.cols, other.rows, "matmul: inner dimensions must agree");
+        let mut out = DenseMatrix::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let aik = self[(i, k)];
+                if aik == 0.0 {
+                    continue;
+                }
+                for j in 0..other.cols {
+                    out[(i, j)] += aik * other[(k, j)];
+                }
+            }
+        }
+        out
+    }
+
+    /// Transposed copy.
+    pub fn transpose(&self) -> DenseMatrix {
+        DenseMatrix::from_fn(self.cols, self.rows, |i, j| self[(j, i)])
+    }
+
+    /// True if the matrix is square and symmetric within `tol`.
+    pub fn is_symmetric(&self, tol: f32) -> bool {
+        if self.rows != self.cols {
+            return false;
+        }
+        for i in 0..self.rows {
+            for j in (i + 1)..self.cols {
+                if (self[(i, j)] - self[(j, i)]).abs() > tol {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Maximum absolute element.
+    pub fn max_abs(&self) -> f32 {
+        self.data.iter().fold(0.0f32, |m, &x| m.max(x.abs()))
+    }
+
+    /// Element-wise (Hadamard) product with another matrix of the same shape.
+    pub fn hadamard(&self, other: &DenseMatrix) -> DenseMatrix {
+        assert_eq!(self.rows, other.rows, "hadamard: shape mismatch");
+        assert_eq!(self.cols, other.cols, "hadamard: shape mismatch");
+        DenseMatrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().zip(&other.data).map(|(&a, &b)| a * b).collect(),
+        }
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for DenseMatrix {
+    type Output = f32;
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &f32 {
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for DenseMatrix {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f32 {
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_indexing() {
+        let mut m = DenseMatrix::zeros(2, 3);
+        m[(0, 2)] = 5.0;
+        m[(1, 0)] = -1.0;
+        assert_eq!(m[(0, 2)], 5.0);
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.cols(), 3);
+        assert_eq!(m.row(1), &[-1.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn identity_matvec_is_identity() {
+        let id = DenseMatrix::identity(4);
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let mut y = [0.0; 4];
+        id.matvec(&x, &mut y);
+        assert_eq!(x, y);
+    }
+
+    #[test]
+    fn matvec_matches_manual() {
+        let a = DenseMatrix::from_row_major(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let mut y = [0.0; 2];
+        a.matvec(&[1.0, 1.0], &mut y);
+        assert_eq!(y, [3.0, 7.0]);
+    }
+
+    #[test]
+    fn matmul_and_transpose() {
+        let a = DenseMatrix::from_row_major(2, 3, vec![1., 2., 3., 4., 5., 6.]);
+        let b = a.transpose();
+        assert_eq!(b.rows(), 3);
+        assert_eq!(b[(2, 1)], 6.0);
+        let c = a.matmul(&b); // 2x2 Gram matrix
+        assert_eq!(c[(0, 0)], 14.0);
+        assert_eq!(c[(0, 1)], 32.0);
+        assert_eq!(c[(1, 0)], 32.0);
+        assert_eq!(c[(1, 1)], 77.0);
+        assert!(c.is_symmetric(0.0));
+    }
+
+    #[test]
+    fn symmetry_check() {
+        let a = DenseMatrix::from_row_major(2, 2, vec![1.0, 2.0, 2.0, 1.0]);
+        assert!(a.is_symmetric(1e-6));
+        let b = DenseMatrix::from_row_major(2, 2, vec![1.0, 2.0, 2.5, 1.0]);
+        assert!(!b.is_symmetric(1e-6));
+        let rect = DenseMatrix::zeros(2, 3);
+        assert!(!rect.is_symmetric(1e-6));
+    }
+
+    #[test]
+    fn diagonal_and_hadamard() {
+        let d = DenseMatrix::from_diagonal(&[1.0, 2.0, 3.0]);
+        assert_eq!(d[(1, 1)], 2.0);
+        assert_eq!(d[(0, 1)], 0.0);
+        let h = d.hadamard(&DenseMatrix::identity(3));
+        assert_eq!(h[(2, 2)], 3.0);
+        assert_eq!(h.max_abs(), 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "rows*cols")]
+    fn from_row_major_rejects_bad_length() {
+        let _ = DenseMatrix::from_row_major(2, 2, vec![1.0, 2.0, 3.0]);
+    }
+}

@@ -1,0 +1,35 @@
+//! Dense/sparse linear algebra, Kronecker products and conjugate-gradient
+//! solvers for the marginalized graph kernel workspace.
+//!
+//! The crate deliberately implements only the operations the solver needs —
+//! it is not a general-purpose BLAS. The scalar type is `f32` (matching the
+//! single-precision GPU arithmetic of the paper) with `f64` accumulation in
+//! reductions, plus `f64` direct solvers used for validation.
+//!
+//! Main entry points:
+//!
+//! * [`DenseMatrix`], [`CsrMatrix`] — storage formats.
+//! * [`kronecker`] — standard, generalized (base-kernel) and Hadamard
+//!   products that appear in Eq. (1) of the paper.
+//! * [`LinearOperator`] — abstraction of `y ← A·x` used by the iterative
+//!   solvers so that the on-the-fly product operators of `mgk-core` never
+//!   materialize the tensor-product system.
+//! * [`cg`] / [`pcg`] — (preconditioned) conjugate gradient, Algorithm 1 of
+//!   the paper.
+//! * [`direct`] — dense `f64` Cholesky/LU used as ground truth in tests.
+
+pub mod cg;
+pub mod dense;
+pub mod direct;
+pub mod eigen;
+pub mod kronecker;
+pub mod operator;
+pub mod sparse;
+pub mod vecops;
+
+pub use cg::{cg, pcg, ConvergenceInfo, SolveOptions};
+pub use eigen::{symmetric_eigen, SymmetricEigen};
+pub use dense::DenseMatrix;
+pub use kronecker::{generalized_kron, hadamard, kron_dense, kron_vec};
+pub use operator::{CsrOperator, DenseOperator, DiagonalOperator, LinearOperator, ScaledSum};
+pub use sparse::CsrMatrix;

@@ -1,0 +1,201 @@
+//! The [`LinearOperator`] abstraction used by the iterative solvers.
+//!
+//! The marginalized-graph-kernel system matrix `D× V×⁻¹ − A× ∘ E×` is never
+//! materialized by the high-throughput solver; instead it is applied
+//! on-the-fly (Algorithm 2 of the paper). The CG/PCG implementations in
+//! [`crate::cg`] therefore only require the ability to apply the operator
+//! to a vector.
+
+use crate::dense::DenseMatrix;
+use crate::sparse::CsrMatrix;
+
+/// A square linear operator that can be applied to a vector.
+pub trait LinearOperator {
+    /// Dimension of the (square) operator.
+    fn dim(&self) -> usize;
+
+    /// Compute `y ← A·x`. `x` and `y` have length [`dim`](Self::dim) and do
+    /// not alias.
+    fn apply(&self, x: &[f32], y: &mut [f32]);
+
+    /// Convenience allocation-returning variant of [`apply`](Self::apply).
+    fn apply_alloc(&self, x: &[f32]) -> Vec<f32> {
+        let mut y = vec![0.0; self.dim()];
+        self.apply(x, &mut y);
+        y
+    }
+}
+
+/// A dense matrix viewed as a linear operator.
+#[derive(Debug, Clone)]
+pub struct DenseOperator(pub DenseMatrix);
+
+impl LinearOperator for DenseOperator {
+    fn dim(&self) -> usize {
+        assert_eq!(self.0.rows(), self.0.cols(), "operator must be square");
+        self.0.rows()
+    }
+
+    fn apply(&self, x: &[f32], y: &mut [f32]) {
+        self.0.matvec(x, y);
+    }
+}
+
+/// A CSR matrix viewed as a linear operator.
+#[derive(Debug, Clone)]
+pub struct CsrOperator(pub CsrMatrix);
+
+impl LinearOperator for CsrOperator {
+    fn dim(&self) -> usize {
+        assert_eq!(self.0.rows(), self.0.cols(), "operator must be square");
+        self.0.rows()
+    }
+
+    fn apply(&self, x: &[f32], y: &mut [f32]) {
+        self.0.matvec(x, y);
+    }
+}
+
+/// A diagonal operator `y_i = d_i x_i`; also usable as a Jacobi
+/// preconditioner through [`DiagonalOperator::inverse`].
+#[derive(Debug, Clone)]
+pub struct DiagonalOperator {
+    diag: Vec<f32>,
+}
+
+impl DiagonalOperator {
+    /// Wrap a diagonal.
+    pub fn new(diag: Vec<f32>) -> Self {
+        DiagonalOperator { diag }
+    }
+
+    /// The element-wise inverse operator. Panics if any diagonal entry is
+    /// zero or non-finite.
+    pub fn inverse(&self) -> Self {
+        let inv: Vec<f32> = self
+            .diag
+            .iter()
+            .map(|&d| {
+                assert!(d != 0.0 && d.is_finite(), "cannot invert diagonal entry {d}");
+                1.0 / d
+            })
+            .collect();
+        DiagonalOperator { diag: inv }
+    }
+
+    /// Access the diagonal entries.
+    pub fn diagonal(&self) -> &[f32] {
+        &self.diag
+    }
+}
+
+impl LinearOperator for DiagonalOperator {
+    fn dim(&self) -> usize {
+        self.diag.len()
+    }
+
+    fn apply(&self, x: &[f32], y: &mut [f32]) {
+        for ((yi, &xi), &di) in y.iter_mut().zip(x).zip(&self.diag) {
+            *yi = di * xi;
+        }
+    }
+}
+
+/// The operator `alpha·A + beta·B` formed from two operators of the same
+/// dimension. Used to express `D× V×⁻¹ − A× ∘ E×` as a sum of its diagonal
+/// and off-diagonal parts (the two arrows of Algorithm 1, lines 9–10).
+pub struct ScaledSum<A, B> {
+    /// Scale of the first operand.
+    pub alpha: f32,
+    /// First operand.
+    pub a: A,
+    /// Scale of the second operand.
+    pub beta: f32,
+    /// Second operand.
+    pub b: B,
+}
+
+impl<A: LinearOperator, B: LinearOperator> ScaledSum<A, B> {
+    /// Construct `alpha·A + beta·B`, checking dimensions agree.
+    pub fn new(alpha: f32, a: A, beta: f32, b: B) -> Self {
+        assert_eq!(a.dim(), b.dim(), "operands must have equal dimension");
+        ScaledSum { alpha, a, beta, b }
+    }
+}
+
+impl<A: LinearOperator, B: LinearOperator> LinearOperator for ScaledSum<A, B> {
+    fn dim(&self) -> usize {
+        self.a.dim()
+    }
+
+    fn apply(&self, x: &[f32], y: &mut [f32]) {
+        self.a.apply(x, y);
+        let mut tmp = vec![0.0; self.b.dim()];
+        self.b.apply(x, &mut tmp);
+        for (yi, ti) in y.iter_mut().zip(&tmp) {
+            *yi = self.alpha * *yi + self.beta * *ti;
+        }
+    }
+}
+
+impl<T: LinearOperator + ?Sized> LinearOperator for &T {
+    fn dim(&self) -> usize {
+        (**self).dim()
+    }
+    fn apply(&self, x: &[f32], y: &mut [f32]) {
+        (**self).apply(x, y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dense_operator_applies_matrix() {
+        let m = DenseMatrix::from_row_major(2, 2, vec![1., 2., 3., 4.]);
+        let op = DenseOperator(m);
+        assert_eq!(op.dim(), 2);
+        assert_eq!(op.apply_alloc(&[1.0, 1.0]), vec![3.0, 7.0]);
+    }
+
+    #[test]
+    fn csr_operator_matches_dense() {
+        let d = DenseMatrix::from_row_major(3, 3, vec![1., 0., 2., 0., 3., 0., 0., 0., 4.]);
+        let dense_op = DenseOperator(d.clone());
+        let csr_op = CsrOperator(CsrMatrix::from_dense(&d, 0.0));
+        let x = [1.0, 2.0, 3.0];
+        assert_eq!(dense_op.apply_alloc(&x), csr_op.apply_alloc(&x));
+    }
+
+    #[test]
+    fn diagonal_operator_and_inverse() {
+        let d = DiagonalOperator::new(vec![2.0, 4.0]);
+        assert_eq!(d.apply_alloc(&[1.0, 1.0]), vec![2.0, 4.0]);
+        let inv = d.inverse();
+        assert_eq!(inv.apply_alloc(&[2.0, 4.0]), vec![1.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot invert")]
+    fn diagonal_inverse_rejects_zero() {
+        let _ = DiagonalOperator::new(vec![1.0, 0.0]).inverse();
+    }
+
+    #[test]
+    fn scaled_sum_combines_operators() {
+        let a = DiagonalOperator::new(vec![1.0, 2.0]);
+        let b = DiagonalOperator::new(vec![10.0, 10.0]);
+        // 1*A - 0.5*B
+        let s = ScaledSum::new(1.0, a, -0.5, b);
+        assert_eq!(s.apply_alloc(&[1.0, 1.0]), vec![-4.0, -3.0]);
+    }
+
+    #[test]
+    fn reference_to_operator_is_operator() {
+        let d = DiagonalOperator::new(vec![3.0]);
+        let r: &dyn LinearOperator = &d;
+        assert_eq!(r.apply_alloc(&[2.0]), vec![6.0]);
+        assert_eq!((&d).apply_alloc(&[2.0]), vec![6.0]);
+    }
+}

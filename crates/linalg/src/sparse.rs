@@ -1,0 +1,169 @@
+//! Compressed sparse row (CSR) matrices in single precision.
+
+use crate::dense::DenseMatrix;
+
+/// A CSR sparse `f32` matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrMatrix {
+    rows: usize,
+    cols: usize,
+    indptr: Vec<usize>,
+    indices: Vec<u32>,
+    values: Vec<f32>,
+}
+
+impl CsrMatrix {
+    /// Build from coordinate triplets `(row, col, value)`.
+    ///
+    /// Duplicate coordinates are summed; explicit zeros are kept.
+    pub fn from_triplets(rows: usize, cols: usize, triplets: &[(u32, u32, f32)]) -> Self {
+        for &(r, c, _) in triplets {
+            assert!((r as usize) < rows && (c as usize) < cols, "triplet ({r}, {c}) out of bounds");
+        }
+        let mut sorted: Vec<(u32, u32, f32)> = triplets.to_vec();
+        sorted.sort_by_key(|&(r, c, _)| (r, c));
+        let mut indptr = vec![0usize; rows + 1];
+        let mut indices = Vec::with_capacity(sorted.len());
+        let mut values: Vec<f32> = Vec::with_capacity(sorted.len());
+        let mut k = 0;
+        while k < sorted.len() {
+            let (r, c, mut v) = sorted[k];
+            k += 1;
+            while k < sorted.len() && sorted[k].0 == r && sorted[k].1 == c {
+                v += sorted[k].2;
+                k += 1;
+            }
+            indices.push(c);
+            values.push(v);
+            indptr[r as usize + 1] += 1;
+        }
+        for i in 0..rows {
+            indptr[i + 1] += indptr[i];
+        }
+        CsrMatrix { rows, cols, indptr, indices, values }
+    }
+
+    /// Convert a dense matrix, dropping entries with `|x| <= drop_tol`.
+    pub fn from_dense(m: &DenseMatrix, drop_tol: f32) -> Self {
+        let mut triplets = Vec::new();
+        for i in 0..m.rows() {
+            for j in 0..m.cols() {
+                let v = m[(i, j)];
+                if v.abs() > drop_tol {
+                    triplets.push((i as u32, j as u32, v));
+                }
+            }
+        }
+        Self::from_triplets(m.rows(), m.cols(), &triplets)
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored entries.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Iterate over the stored entries of one row as `(col, value)`.
+    pub fn row(&self, i: usize) -> impl Iterator<Item = (u32, f32)> + '_ {
+        let lo = self.indptr[i];
+        let hi = self.indptr[i + 1];
+        self.indices[lo..hi].iter().copied().zip(self.values[lo..hi].iter().copied())
+    }
+
+    /// Matrix–vector product `y = A x`.
+    pub fn matvec(&self, x: &[f32], y: &mut [f32]) {
+        assert_eq!(x.len(), self.cols, "matvec: x length must equal cols");
+        assert_eq!(y.len(), self.rows, "matvec: y length must equal rows");
+        for i in 0..self.rows {
+            let mut acc = 0.0f64;
+            for (c, v) in self.row(i) {
+                acc += v as f64 * x[c as usize] as f64;
+            }
+            y[i] = acc as f32;
+        }
+    }
+
+    /// Expand to a dense matrix.
+    pub fn to_dense(&self) -> DenseMatrix {
+        let mut m = DenseMatrix::zeros(self.rows, self.cols);
+        for i in 0..self.rows {
+            for (c, v) in self.row(i) {
+                m[(i, c as usize)] += v;
+            }
+        }
+        m
+    }
+
+    /// Lookup a single entry (linear scan of the row).
+    pub fn get(&self, i: usize, j: usize) -> f32 {
+        self.row(i).find(|&(c, _)| c as usize == j).map(|(_, v)| v).unwrap_or(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn triplets_round_trip_through_dense() {
+        let t = [(0u32, 1u32, 2.0f32), (1, 0, 3.0), (2, 2, -1.0)];
+        let a = CsrMatrix::from_triplets(3, 3, &t);
+        assert_eq!(a.nnz(), 3);
+        assert_eq!(a.get(0, 1), 2.0);
+        assert_eq!(a.get(1, 1), 0.0);
+        let d = a.to_dense();
+        let back = CsrMatrix::from_dense(&d, 0.0);
+        assert_eq!(back.to_dense(), d);
+    }
+
+    #[test]
+    fn duplicates_are_summed() {
+        let t = [(0u32, 0u32, 1.0f32), (0, 0, 2.5)];
+        let a = CsrMatrix::from_triplets(1, 1, &t);
+        assert_eq!(a.nnz(), 1);
+        assert_eq!(a.get(0, 0), 3.5);
+    }
+
+    #[test]
+    fn empty_rows_are_handled() {
+        let t = [(2u32, 0u32, 1.0f32)];
+        let a = CsrMatrix::from_triplets(4, 2, &t);
+        assert_eq!(a.row(0).count(), 0);
+        assert_eq!(a.row(1).count(), 0);
+        assert_eq!(a.row(2).count(), 1);
+        assert_eq!(a.row(3).count(), 0);
+        let mut y = vec![0.0; 4];
+        a.matvec(&[2.0, 0.0], &mut y);
+        assert_eq!(y, vec![0.0, 0.0, 2.0, 0.0]);
+    }
+
+    #[test]
+    fn matvec_matches_dense() {
+        let d = DenseMatrix::from_row_major(3, 3, vec![1., 0., 2., 0., 0., 3., 4., 5., 0.]);
+        let s = CsrMatrix::from_dense(&d, 0.0);
+        let x = [1.0, 2.0, 3.0];
+        let mut ys = [0.0; 3];
+        let mut yd = [0.0; 3];
+        s.matvec(&x, &mut ys);
+        d.matvec(&x, &mut yd);
+        assert_eq!(ys, yd);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn rejects_out_of_bounds_triplet() {
+        let _ = CsrMatrix::from_triplets(2, 2, &[(2, 0, 1.0)]);
+    }
+}

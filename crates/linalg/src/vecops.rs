@@ -1,0 +1,128 @@
+//! Basic vector kernels with `f64` accumulation for reductions.
+//!
+//! These are the `T` (dot product) and `+` (scaled addition) operations of
+//! Algorithm 1 in the paper. Reductions accumulate in `f64` so that the
+//! conjugate gradient recurrences remain stable even for large tensor
+//! product systems computed in single precision.
+
+/// Dot product `xᵀ y` with `f64` accumulation.
+#[inline]
+pub fn dot(x: &[f32], y: &[f32]) -> f64 {
+    assert_eq!(x.len(), y.len(), "dot: length mismatch {} vs {}", x.len(), y.len());
+    x.iter().zip(y).map(|(&a, &b)| a as f64 * b as f64).sum()
+}
+
+/// Squared Euclidean norm `‖x‖²` with `f64` accumulation.
+#[inline]
+pub fn norm_sq(x: &[f32]) -> f64 {
+    x.iter().map(|&a| a as f64 * a as f64).sum()
+}
+
+/// Euclidean norm `‖x‖`.
+#[inline]
+pub fn norm(x: &[f32]) -> f64 {
+    norm_sq(x).sqrt()
+}
+
+/// `y ← y + alpha * x`.
+#[inline]
+pub fn axpy(alpha: f32, x: &[f32], y: &mut [f32]) {
+    assert_eq!(x.len(), y.len(), "axpy: length mismatch");
+    for (yi, &xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// `y ← x + beta * y` (the search-direction update of CG).
+#[inline]
+pub fn xpby(x: &[f32], beta: f32, y: &mut [f32]) {
+    assert_eq!(x.len(), y.len(), "xpby: length mismatch");
+    for (yi, &xi) in y.iter_mut().zip(x) {
+        *yi = xi + beta * *yi;
+    }
+}
+
+/// Element-wise product `z_i = x_i * y_i`.
+#[inline]
+pub fn elementwise_mul(x: &[f32], y: &[f32]) -> Vec<f32> {
+    assert_eq!(x.len(), y.len(), "elementwise_mul: length mismatch");
+    x.iter().zip(y).map(|(&a, &b)| a * b).collect()
+}
+
+/// Element-wise division `z_i = x_i / y_i`.
+#[inline]
+pub fn elementwise_div(x: &[f32], y: &[f32]) -> Vec<f32> {
+    assert_eq!(x.len(), y.len(), "elementwise_div: length mismatch");
+    x.iter().zip(y).map(|(&a, &b)| a / b).collect()
+}
+
+/// Maximum absolute difference between two vectors.
+#[inline]
+pub fn max_abs_diff(x: &[f32], y: &[f32]) -> f32 {
+    assert_eq!(x.len(), y.len(), "max_abs_diff: length mismatch");
+    x.iter().zip(y).map(|(&a, &b)| (a - b).abs()).fold(0.0, f32::max)
+}
+
+/// Relative L2 error `‖x − y‖ / max(‖y‖, ε)`.
+pub fn relative_error(x: &[f32], y: &[f32]) -> f64 {
+    assert_eq!(x.len(), y.len(), "relative_error: length mismatch");
+    let diff: f64 = x.iter().zip(y).map(|(&a, &b)| ((a - b) as f64).powi(2)).sum();
+    let base = norm_sq(y).max(1e-30);
+    (diff / base).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_and_norm() {
+        let x = [1.0f32, 2.0, 3.0];
+        let y = [4.0f32, -5.0, 6.0];
+        assert!((dot(&x, &y) - 12.0).abs() < 1e-12);
+        assert!((norm_sq(&x) - 14.0).abs() < 1e-12);
+        assert!((norm(&x) - 14.0f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn axpy_and_xpby() {
+        let x = [1.0f32, 2.0];
+        let mut y = [10.0f32, 20.0];
+        axpy(2.0, &x, &mut y);
+        assert_eq!(y, [12.0, 24.0]);
+        xpby(&x, 0.5, &mut y);
+        assert_eq!(y, [7.0, 14.0]);
+    }
+
+    #[test]
+    fn elementwise_ops() {
+        let x = [2.0f32, 4.0];
+        let y = [3.0f32, 2.0];
+        assert_eq!(elementwise_mul(&x, &y), vec![6.0, 8.0]);
+        assert_eq!(elementwise_div(&x, &y), vec![2.0 / 3.0, 2.0]);
+    }
+
+    #[test]
+    fn error_metrics() {
+        let x = [1.0f32, 2.0, 3.0];
+        let y = [1.0f32, 2.5, 3.0];
+        assert!((max_abs_diff(&x, &y) - 0.5).abs() < 1e-6);
+        assert!(relative_error(&x, &x) < 1e-12);
+        assert!(relative_error(&x, &y) > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn dot_length_mismatch_panics() {
+        let _ = dot(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn f64_accumulation_is_stable() {
+        // many tiny values whose f32 running sum would lose precision
+        let x = vec![1e-4f32; 1_000_000];
+        let ones = vec![1.0f32; 1_000_000];
+        let d = dot(&x, &ones);
+        assert!((d - 100.0).abs() < 1e-2, "got {d}");
+    }
+}

@@ -1,0 +1,468 @@
+//! Partition-based reordering (PBR) — Section IV-A of the paper.
+//!
+//! The goal is a vertex order whose implied perfectly balanced `⌈n/t⌉`-way
+//! partition (consecutive groups of `t = 8` vertices) minimizes the number
+//! of part pairs connected by at least one edge, i.e. the number of
+//! non-empty off-diagonal tiles (Eq. 3).
+//!
+//! Following the paper, the order is obtained by *recursive bisection*:
+//! each subset of vertices is split into two halves whose sizes are
+//! multiples of the tile size (except for the globally last, possibly
+//! partial, tile), with the cut between the halves minimized by a
+//! Fiduccia–Mattheyses-style refinement restricted to balance-preserving
+//! swaps. Minimizing the cut at every level of the recursion keeps edges
+//! inside small vertex groups, which is exactly what concentrates nonzeros
+//! into few dense tiles.
+
+use mgk_graph::Graph;
+
+/// Tuning parameters of the PBR algorithm.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PbrConfig {
+    /// Tile size `t`; parts of the implied partition have exactly this many
+    /// vertices (the last one possibly fewer). The paper uses 8.
+    pub tile_size: usize,
+    /// Number of refinement passes per bisection. The paper's partitioner
+    /// uses boundary FM with a tight balance constraint; a handful of
+    /// passes is enough for the graph sizes at hand.
+    pub refinement_passes: usize,
+    /// Upper bound on the number of swaps attempted per pass, as a multiple
+    /// of the subset size.
+    pub max_swap_fraction: f64,
+}
+
+impl Default for PbrConfig {
+    fn default() -> Self {
+        PbrConfig { tile_size: 8, refinement_passes: 6, max_swap_fraction: 0.5 }
+    }
+}
+
+/// Compute the PBR vertex order of a graph.
+pub fn pbr_order<V, E>(g: &Graph<V, E>, cfg: &PbrConfig) -> Vec<u32> {
+    assert!(cfg.tile_size >= 1, "tile size must be at least 1");
+    let n = g.num_vertices();
+    let mut out = Vec::with_capacity(n);
+    let all: Vec<u32> = (0..n as u32).collect();
+    bisect(g, all, cfg, &mut out);
+    debug_assert_eq!(out.len(), n);
+    // direct refinement of the non-empty-tile objective (Eq. 3): the
+    // recursive bisection only minimizes cuts level by level, this pass
+    // swaps vertices between parts whenever that removes a connected part
+    // pair — the analogue of the paper's extra Fiduccia–Mattheyses step
+    refine_tile_partition(g, &mut out, cfg.tile_size, 5);
+    out
+}
+
+/// Greedy partition-level refinement: swap vertices between parts whenever
+/// the swap reduces the number of connected part pairs. `order` is updated
+/// in place (the grouping of the order into consecutive `tile_size` chunks
+/// defines the partition; the order of vertices within a part and the order
+/// of the parts themselves do not affect the objective).
+fn refine_tile_partition<V, E>(g: &Graph<V, E>, order: &mut [u32], tile_size: usize, passes: usize) {
+    let n = order.len();
+    if n <= tile_size {
+        return;
+    }
+    let num_parts = n.div_ceil(tile_size);
+    // position of each vertex in the order, and its part
+    let mut position = vec![0u32; n];
+    for (pos, &v) in order.iter().enumerate() {
+        position[v as usize] = pos as u32;
+    }
+    let part_of = |position: &[u32], v: usize| (position[v] as usize) / tile_size;
+
+    // counts of edges between part pairs (unordered, including diagonal)
+    let mut pair_count: std::collections::HashMap<(u32, u32), i64> = std::collections::HashMap::new();
+    let key = |a: usize, b: usize| (a.min(b) as u32, a.max(b) as u32);
+    for (i, j, _, _) in g.edges() {
+        let (pa, pb) = (part_of(&position, i as usize), part_of(&position, j as usize));
+        *pair_count.entry(key(pa, pb)).or_insert(0) += 1;
+    }
+
+    for _ in 0..passes {
+        let mut improved = false;
+        for u in 0..n {
+            let pu = part_of(&position, u);
+            // candidate destination parts: the parts of u's neighbours
+            let mut candidate_parts: Vec<usize> = g
+                .neighbors(u)
+                .map(|e| part_of(&position, e.target as usize))
+                .filter(|&p| p != pu)
+                .collect();
+            candidate_parts.sort_unstable();
+            candidate_parts.dedup();
+            'parts: for &pw in &candidate_parts {
+                if pw >= num_parts {
+                    continue;
+                }
+                // try swapping u with every vertex of part pw
+                let start = pw * tile_size;
+                let end = (start + tile_size).min(n);
+                for slot in start..end {
+                    let w = order[slot] as usize;
+                    if w == u {
+                        continue;
+                    }
+                    // compute the change in the number of connected part
+                    // pairs if u and w swap parts
+                    let mut delta: std::collections::HashMap<(u32, u32), i64> =
+                        std::collections::HashMap::new();
+                    let record = |k: (u32, u32), d: i64, delta: &mut std::collections::HashMap<(u32, u32), i64>| {
+                        *delta.entry(k).or_insert(0) += d;
+                    };
+                    for e in g.neighbors(u) {
+                        let x = e.target as usize;
+                        if x == w {
+                            continue; // the u-w edge connects the same two parts after the swap
+                        }
+                        let px = part_of(&position, x);
+                        record(key(pu, px), -1, &mut delta);
+                        record(key(pw, px), 1, &mut delta);
+                    }
+                    for e in g.neighbors(w) {
+                        let x = e.target as usize;
+                        if x == u {
+                            continue;
+                        }
+                        let px = part_of(&position, x);
+                        record(key(pw, px), -1, &mut delta);
+                        record(key(pu, px), 1, &mut delta);
+                    }
+                    // objective delta: count off-diagonal pairs that appear
+                    // or disappear
+                    let mut objective_delta = 0i64;
+                    for (&k, &d) in &delta {
+                        if k.0 == k.1 {
+                            continue; // diagonal tiles are always resident
+                        }
+                        let before = *pair_count.get(&k).unwrap_or(&0);
+                        let after = before + d;
+                        debug_assert!(after >= 0, "negative pair count");
+                        objective_delta += (after > 0) as i64 - (before > 0) as i64;
+                    }
+                    if objective_delta < 0 {
+                        // commit the swap
+                        for (k, d) in delta {
+                            let slot_count = pair_count.entry(k).or_insert(0);
+                            *slot_count += d;
+                        }
+                        let (posu, posw) = (position[u] as usize, position[w]);
+                        order.swap(posu, posw as usize);
+                        position[u] = posw;
+                        position[w] = posu as u32;
+                        improved = true;
+                        continue 'parts;
+                    }
+                }
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+}
+
+fn bisect<V, E>(g: &Graph<V, E>, verts: Vec<u32>, cfg: &PbrConfig, out: &mut Vec<u32>) {
+    let t = cfg.tile_size;
+    if verts.len() <= t {
+        out.extend(verts);
+        return;
+    }
+    let k = verts.len().div_ceil(t);
+    // left half receives ⌊k/2⌋ full tiles; the (possibly partial) last tile
+    // stays on the right so that every left part is perfectly balanced
+    let left_tiles = k / 2;
+    let left_size = left_tiles * t;
+
+    let (left, right) = split(g, &verts, left_size, cfg);
+    bisect(g, left, cfg, out);
+    bisect(g, right, cfg, out);
+}
+
+/// Split `verts` into two halves of sizes `left_size` and
+/// `verts.len() - left_size`, minimizing the edge cut between them.
+fn split<V, E>(
+    g: &Graph<V, E>,
+    verts: &[u32],
+    left_size: usize,
+    cfg: &PbrConfig,
+) -> (Vec<u32>, Vec<u32>) {
+    let n_sub = verts.len();
+    // membership lookup: global vertex -> local index (or MAX when outside)
+    let n_global = g.num_vertices();
+    let mut local = vec![u32::MAX; n_global];
+    for (i, &v) in verts.iter().enumerate() {
+        local[v as usize] = i as u32;
+    }
+
+    // --- initial partition: greedy graph growing from a low-degree seed --
+    // Instead of plain BFS (which happily shoots through a long-range
+    // shortcut edge and splits a remote cluster), grow the left region by
+    // repeatedly absorbing the unassigned vertex with the largest number of
+    // edges into the current region ("maximum adhesion" growth). This keeps
+    // the region contiguous and compact, which is what minimizes the cut.
+    let mut in_left = vec![false; n_sub];
+    let mut taken = 0usize;
+    // adhesion[v] = number of edges from v into the current left region
+    let mut adhesion = vec![0u32; n_sub];
+    // seed: minimum subset-degree vertex (approximates a peripheral vertex)
+    let seed = (0..n_sub)
+        .min_by_key(|&i| {
+            g.neighbors(verts[i] as usize)
+                .filter(|e| local[e.target as usize] != u32::MAX)
+                .count()
+        })
+        .unwrap_or(0);
+    let mut next_pick = Some(seed);
+    while taken < left_size {
+        let v = match next_pick.take() {
+            Some(v) => v,
+            None => {
+                // pick the unassigned vertex with maximal adhesion; ties are
+                // broken toward lower local index for determinism. Isolated
+                // or disconnected vertices (adhesion 0) are absorbed last.
+                match (0..n_sub)
+                    .filter(|&u| !in_left[u])
+                    .max_by_key(|&u| (adhesion[u], std::cmp::Reverse(u)))
+                {
+                    Some(u) => u,
+                    None => break,
+                }
+            }
+        };
+        if in_left[v] {
+            continue;
+        }
+        in_left[v] = true;
+        taken += 1;
+        for e in g.neighbors(verts[v] as usize) {
+            let l = local[e.target as usize];
+            if l != u32::MAX && !in_left[l as usize] {
+                adhesion[l as usize] += 1;
+            }
+        }
+    }
+
+    // --- FM-style refinement with balance-preserving swaps ---------------
+    // gain(v) = (edges to the other side) - (edges to the own side); a swap
+    // of (l, r) changes the cut by -(gain_l + gain_r - 2·[l ~ r]).
+    let adjacency = |v: usize| {
+        g.neighbors(verts[v] as usize)
+            .filter_map(|e| {
+                let l = local[e.target as usize];
+                (l != u32::MAX).then_some(l as usize)
+            })
+            .collect::<Vec<_>>()
+    };
+    let adj: Vec<Vec<usize>> = (0..n_sub).map(adjacency).collect();
+
+    let max_swaps = ((n_sub as f64 * cfg.max_swap_fraction) as usize).max(1);
+    for _pass in 0..cfg.refinement_passes {
+        let mut gain: Vec<i64> = (0..n_sub)
+            .map(|v| {
+                let mut ext = 0i64;
+                let mut int = 0i64;
+                for &u in &adj[v] {
+                    if in_left[u] == in_left[v] {
+                        int += 1;
+                    } else {
+                        ext += 1;
+                    }
+                }
+                ext - int
+            })
+            .collect();
+        let mut locked = vec![false; n_sub];
+        let mut improved = false;
+
+        for _ in 0..max_swaps {
+            // best unlocked candidate on each side
+            let best_on = |side_left: bool, gain: &[i64], locked: &[bool]| {
+                (0..n_sub)
+                    .filter(|&v| in_left[v] == side_left && !locked[v])
+                    .max_by_key(|&v| gain[v])
+            };
+            let (Some(l), Some(r)) = (best_on(true, &gain, &locked), best_on(false, &gain, &locked))
+            else {
+                break;
+            };
+            let adjacency_lr = adj[l].iter().filter(|&&u| u == r).count() as i64;
+            let swap_gain = gain[l] + gain[r] - 2 * adjacency_lr;
+            if swap_gain <= 0 {
+                break;
+            }
+            // perform the swap
+            in_left[l] = false;
+            in_left[r] = true;
+            locked[l] = true;
+            locked[r] = true;
+            improved = true;
+            // update neighbour gains
+            for &moved in &[l, r] {
+                for &u in &adj[moved] {
+                    if locked[u] {
+                        continue;
+                    }
+                    // recompute the neighbour's gain from scratch (cheap: deg)
+                    let mut ext = 0i64;
+                    let mut int = 0i64;
+                    for &w in &adj[u] {
+                        if in_left[w] == in_left[u] {
+                            int += 1;
+                        } else {
+                            ext += 1;
+                        }
+                    }
+                    gain[u] = ext - int;
+                }
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+
+    let mut left = Vec::with_capacity(left_size);
+    let mut right = Vec::with_capacity(n_sub - left_size);
+    for (i, &v) in verts.iter().enumerate() {
+        if in_left[i] {
+            left.push(v);
+        } else {
+            right.push(v);
+        }
+    }
+    debug_assert_eq!(left.len(), left_size);
+    (left, right)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{is_permutation, nonempty_tiles_of_order};
+    use mgk_graph::{generators, Graph};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn pbr_returns_permutation() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let g = generators::newman_watts_strogatz(50, 2, 0.2, &mut rng);
+        let order = pbr_order(&g, &PbrConfig::default());
+        assert!(is_permutation(&order, 50));
+    }
+
+    #[test]
+    fn pbr_recovers_block_structure() {
+        // two 8-vertex cliques joined by a single edge, but with vertex
+        // labels interleaved so the natural order smears them across tiles
+        let mut edges = Vec::new();
+        // clique A on even labels, clique B on odd labels
+        let a: Vec<u32> = (0..8).map(|i| 2 * i).collect();
+        let b: Vec<u32> = (0..8).map(|i| 2 * i + 1).collect();
+        for group in [&a, &b] {
+            for x in 0..8 {
+                for y in (x + 1)..8 {
+                    edges.push((group[x], group[y]));
+                }
+            }
+        }
+        edges.push((a[7], b[0]));
+        let g = Graph::from_edge_list(16, &edges);
+
+        let natural: Vec<u32> = (0..16).collect();
+        let t_nat = nonempty_tiles_of_order(&g, &natural, 8);
+        let pbr = pbr_order(&g, &PbrConfig::default());
+        let t_pbr = nonempty_tiles_of_order(&g, &pbr, 8);
+        // natural order spreads both cliques over all 4 tiles; PBR should
+        // recover the 2 diagonal tiles plus the 2 tiles of the bridge edge
+        assert_eq!(t_nat, 4);
+        assert!(t_pbr <= 4);
+        // each tile must gather exactly one clique: check the first 8
+        // positions are all-even or all-odd labels
+        let first: Vec<u32> = pbr[..8].to_vec();
+        let all_even = first.iter().all(|v| v % 2 == 0);
+        let all_odd = first.iter().all(|v| v % 2 == 1);
+        assert!(all_even || all_odd, "PBR did not separate the cliques: {first:?}");
+    }
+
+    #[test]
+    fn pbr_recovers_structure_of_scrambled_small_world_graphs() {
+        // The paper's motivation: natural orderings are not always
+        // available. Scramble the vertex labels of a ring-lattice graph and
+        // check PBR recovers most of the tile locality that the scramble
+        // destroyed.
+        use rand::seq::SliceRandom;
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut scrambled_total = 0usize;
+        let mut pbr_total = 0usize;
+        let mut band_total = 0usize;
+        for _ in 0..4 {
+            let g = generators::newman_watts_strogatz(96, 3, 0.1, &mut rng);
+            let band: Vec<u32> = (0..96).collect();
+            let mut shuffle: Vec<u32> = (0..96).collect();
+            shuffle.shuffle(&mut rng);
+            let scrambled_graph = g.permute(&shuffle);
+            let natural_of_scrambled: Vec<u32> = (0..96).collect();
+            let t_scrambled = nonempty_tiles_of_order(&scrambled_graph, &natural_of_scrambled, 8);
+            let order = pbr_order(&scrambled_graph, &PbrConfig::default());
+            let t_pbr = nonempty_tiles_of_order(&scrambled_graph, &order, 8);
+            let t_band = nonempty_tiles_of_order(&g, &band, 8);
+            scrambled_total += t_scrambled;
+            pbr_total += t_pbr;
+            band_total += t_band;
+        }
+        assert!(
+            (pbr_total as f64) < 0.6 * scrambled_total as f64,
+            "PBR ({pbr_total}) should substantially reduce the scrambled tile count ({scrambled_total})"
+        );
+        assert!(
+            (pbr_total as f64) < 1.5 * band_total as f64,
+            "PBR ({pbr_total}) should approach the quality of the band order ({band_total})"
+        );
+    }
+
+    #[test]
+    fn pbr_stays_close_to_natural_order_on_banded_graphs() {
+        // when the natural order is already a good band order, PBR should
+        // not be much worse
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut total_nat = 0usize;
+        let mut total_pbr = 0usize;
+        for _ in 0..4 {
+            let g = generators::newman_watts_strogatz(96, 3, 0.1, &mut rng);
+            let natural: Vec<u32> = (0..96).collect();
+            total_nat += nonempty_tiles_of_order(&g, &natural, 8);
+            let order = pbr_order(&g, &PbrConfig::default());
+            total_pbr += nonempty_tiles_of_order(&g, &order, 8);
+        }
+        assert!(
+            (total_pbr as f64) <= 1.25 * total_nat as f64,
+            "PBR total {total_pbr} should stay within 25% of the natural band order {total_nat}"
+        );
+    }
+
+    #[test]
+    fn pbr_handles_disconnected_graphs() {
+        let g = Graph::from_edge_list(20, &[(0, 1), (1, 2), (10, 11), (18, 19)]);
+        let order = pbr_order(&g, &PbrConfig::default());
+        assert!(is_permutation(&order, 20));
+    }
+
+    #[test]
+    fn pbr_handles_tiny_graphs() {
+        let g = Graph::from_edge_list(3, &[(0, 1)]);
+        let order = pbr_order(&g, &PbrConfig::default());
+        assert!(is_permutation(&order, 3));
+        let empty = Graph::from_edge_list(0, &[]);
+        assert!(pbr_order(&empty, &PbrConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn custom_tile_size_is_respected() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let g = generators::barabasi_albert(40, 3, &mut rng);
+        let cfg = PbrConfig { tile_size: 4, ..PbrConfig::default() };
+        let order = pbr_order(&g, &cfg);
+        assert!(is_permutation(&order, 40));
+    }
+}

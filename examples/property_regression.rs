@@ -1,0 +1,152 @@
+//! Molecular property regression — the paper's motivating application
+//! (reference [2]: predicting molecular energies with a Gaussian process on
+//! the marginalized graph kernel).
+//!
+//! Real SMILES strings are parsed into labeled graphs, the solver builds
+//! the normalized Gram matrix, and a kernel ridge / Gaussian process model
+//! predicts a molecular property for held-out molecules. The property used
+//! here is a simple synthetic surrogate (a weighted atom count standing in
+//! for the atomization energy), so the point is the pipeline, not chemistry.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example property_regression
+//! ```
+
+use mgk::datasets::parse_smiles;
+use mgk::graph::{AtomLabel, BondLabel, Element};
+use mgk::kernels::{BaseKernel, KernelCost, KroneckerDelta};
+use mgk::learn::{leave_one_out_rmse, GaussianProcessRegression};
+use mgk::prelude::*;
+use mgk::solver::{GramConfig, GramEngine};
+
+#[derive(Clone, Copy)]
+struct AtomKernel(KroneckerDelta);
+impl BaseKernel<AtomLabel> for AtomKernel {
+    fn eval(&self, a: &AtomLabel, b: &AtomLabel) -> f32 {
+        self.0.eval(&a.element, &b.element)
+    }
+    fn cost(&self) -> KernelCost {
+        KernelCost::new(4, 4)
+    }
+}
+
+#[derive(Clone, Copy)]
+struct BondKernel(KroneckerDelta);
+impl BaseKernel<BondLabel> for BondKernel {
+    fn eval(&self, a: &BondLabel, b: &BondLabel) -> f32 {
+        self.0.eval(&a.order, &b.order)
+    }
+    fn cost(&self) -> KernelCost {
+        KernelCost::new(1, 4)
+    }
+}
+
+/// Synthetic *per-atom* property: the mean of per-element contributions and
+/// a bond-order bonus — crude, but smooth in graph structure, standing in
+/// for an atomization energy per atom. (The marginalized kernel with
+/// uniform starting probabilities is an average over node pairs, i.e. an
+/// intensive quantity, so the regression target is made intensive too.)
+fn surrogate_property(g: &mgk::datasets::MoleculeGraph) -> f64 {
+    let atom_term: f64 = g
+        .vertex_labels()
+        .iter()
+        .map(|a| match a.element {
+            Element::CARBON => 4.0,
+            Element::NITROGEN => 3.2,
+            Element::OXYGEN => 2.6,
+            Element::SULFUR => 2.8,
+            _ => 1.5,
+        })
+        .sum();
+    let bond_term: f64 = g.edges().map(|(_, _, _, b)| 0.8 * b.order.min(3) as f64).sum();
+    (atom_term + bond_term) / g.num_vertices() as f64
+}
+
+fn main() {
+    let smiles = [
+        ("ethanol", "CCO"),
+        ("propanol", "CCCO"),
+        ("isopropanol", "CC(O)C"),
+        ("acetic acid", "CC(=O)O"),
+        ("acetone", "CC(=O)C"),
+        ("butane", "CCCC"),
+        ("isobutane", "CC(C)C"),
+        ("pentane", "CCCCC"),
+        ("cyclohexane", "C1CCCCC1"),
+        ("benzene", "c1ccccc1"),
+        ("toluene", "Cc1ccccc1"),
+        ("phenol", "Oc1ccccc1"),
+        ("aniline", "Nc1ccccc1"),
+        ("pyridine", "c1ccncc1"),
+        ("aspirin", "CC(=O)Oc1ccccc1C(=O)O"),
+        ("caffeine", "Cn1cnc2c1c(=O)n(C)c(=O)n2C"),
+        ("glycine", "NCC(=O)O"),
+        ("alanine", "CC(N)C(=O)O"),
+        ("urea", "NC(=O)N"),
+        ("dimethyl ether", "COC"),
+    ];
+    let molecules: Vec<_> = smiles
+        .iter()
+        .map(|(name, s)| parse_smiles(s).unwrap_or_else(|e| panic!("{name}: {e}")))
+        .collect();
+    let targets: Vec<f64> = molecules.iter().map(surrogate_property).collect();
+
+    println!("parsed {} molecules from SMILES", molecules.len());
+
+    // Gram matrix over the whole set (training ∪ test); the kernel only
+    // sees graph structure, never the property
+    let solver = MarginalizedKernelSolver::new(
+        AtomKernel(KroneckerDelta::new(0.2)),
+        BondKernel(KroneckerDelta::new(0.3)),
+        SolverConfig::default(),
+    );
+    let gram = GramEngine::new(solver, GramConfig::default()).compute(&molecules);
+    assert_eq!(gram.failures, 0);
+    let n = molecules.len();
+
+    // hold out every fourth molecule
+    let test_idx: Vec<usize> = (0..n).filter(|i| i % 4 == 3).collect();
+    let train_idx: Vec<usize> = (0..n).filter(|i| i % 4 != 3).collect();
+    let gram_ref = &gram;
+    let sub = |rows: &[usize], cols: &[usize]| -> Vec<f32> {
+        rows.iter().flat_map(|&i| cols.iter().map(move |&j| gram_ref.get(i, j))).collect()
+    };
+    let train_kernel = sub(&train_idx, &train_idx);
+    let cross_kernel = sub(&test_idx, &train_idx);
+    let train_targets: Vec<f64> = train_idx.iter().map(|&i| targets[i]).collect();
+
+    // model selection by leave-one-out error
+    let (best_reg, best_loo) = [1e-1, 1e-2, 1e-3, 1e-4]
+        .iter()
+        .map(|&reg| (reg, leave_one_out_rmse(&train_kernel, &train_targets, reg).unwrap()))
+        .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+        .unwrap();
+    println!("selected ridge λ = {best_reg:.0e} (leave-one-out RMSE {best_loo:.2})");
+
+    let gp = GaussianProcessRegression::fit(&train_kernel, &train_targets, best_reg).unwrap();
+    let self_kernel: Vec<f32> = test_idx.iter().map(|&i| gram.get(i, i)).collect();
+    let predictions = gp.predict(&cross_kernel, &self_kernel, test_idx.len());
+
+    println!("\nheld-out predictions (GP mean ± std):");
+    println!("{:<16} {:>10} {:>16}", "molecule", "true", "predicted");
+    let mut sq_err = 0.0;
+    for (k, &i) in test_idx.iter().enumerate() {
+        let (mean, var) = predictions[k];
+        sq_err += (mean - targets[i]).powi(2);
+        println!(
+            "{:<16} {:>10.2} {:>10.2} ± {:.2}",
+            smiles[i].0,
+            targets[i],
+            mean,
+            var.sqrt()
+        );
+    }
+    let rmse = (sq_err / test_idx.len() as f64).sqrt();
+    let spread = {
+        let mean = targets.iter().sum::<f64>() / n as f64;
+        (targets.iter().map(|t| (t - mean).powi(2)).sum::<f64>() / n as f64).sqrt()
+    };
+    println!("\nheld-out RMSE {rmse:.2} vs target standard deviation {spread:.2}");
+}

@@ -1,0 +1,63 @@
+//! `mgk` — a high-throughput solver for marginalized graph kernels.
+//!
+//! This facade crate re-exports the entire `mgk-*` workspace behind a single
+//! dependency, mirroring the layering of the system described in
+//! *"A High-Throughput Solver for Marginalized Graph Kernels on GPU"*
+//! (Tang, Selvitopi, Popovici, Buluç — IPDPS 2020):
+//!
+//! * [`graph`] — labeled weighted undirected graphs and random generators.
+//! * [`linalg`] — dense/sparse linear algebra, Kronecker products and the
+//!   (preconditioned) conjugate gradient solvers.
+//! * [`kernels`] — base vertex/edge micro-kernels (Kronecker delta, square
+//!   exponential, …) with cost metadata.
+//! * [`tile`] — the octile (8×8 tile, bitmap-compressed) sparse format.
+//! * [`reorder`] — RCM, partition-based (PBR), space-filling-curve and TSP
+//!   node reorderings that minimize the number of non-empty octiles.
+//! * [`gpusim`] — the GPU cost model (memory-traffic counters, Roofline and
+//!   occupancy models) used to project performance onto V100-class devices.
+//! * [`solver`] — the core contribution: on-the-fly Kronecker-product
+//!   matrix-vector primitives, the PCG marginalized-graph-kernel solver and
+//!   the parallel Gram-matrix engine.
+//! * [`baselines`] — CPU reference solvers in the style of GraKeL and
+//!   GraphKernels.
+//! * [`datasets`] — synthetic stand-ins for the paper's PDB-3k and DrugBank
+//!   datasets, a SMILES parser, plus the small-world / scale-free ensembles.
+//! * [`learn`] — kernel ridge / Gaussian process regression on top of the
+//!   Gram matrices (the paper's motivating application, reference [2]).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use mgk::prelude::*;
+//!
+//! // two small unlabeled graphs: a path and a cycle
+//! let g1 = mgk::graph::Graph::from_edge_list(4, &[(0, 1), (1, 2), (2, 3)]);
+//! let g2 = mgk::graph::Graph::from_edge_list(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+//!
+//! // configure the solver for unlabeled graphs (random-walk kernel)
+//! let solver = MarginalizedKernelSolver::unlabeled(SolverConfig::default());
+//! let k11 = solver.kernel(&g1, &g1).unwrap().value;
+//! let k12 = solver.kernel(&g1, &g2).unwrap().value;
+//! let k22 = solver.kernel(&g2, &g2).unwrap().value;
+//! // Cauchy-Schwarz in the reproducing kernel Hilbert space
+//! assert!(k12 * k12 <= k11 * k22 * 1.0001);
+//! ```
+
+pub use mgk_baselines as baselines;
+pub use mgk_core as solver;
+pub use mgk_datasets as datasets;
+pub use mgk_gpusim as gpusim;
+pub use mgk_graph as graph;
+pub use mgk_kernels as kernels;
+pub use mgk_learn as learn;
+pub use mgk_linalg as linalg;
+pub use mgk_reorder as reorder;
+pub use mgk_tile as tile;
+
+/// Commonly used items, re-exported for convenience.
+pub mod prelude {
+    pub use mgk_core::{GramConfig, GramEngine, KernelResult, MarginalizedKernelSolver, SolverConfig};
+    pub use mgk_graph::{Graph, GraphBuilder};
+    pub use mgk_kernels::{BaseKernel, KroneckerDelta, SquareExponential, UnitKernel};
+    pub use mgk_reorder::ReorderMethod;
+}
