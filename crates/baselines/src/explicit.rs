@@ -1,9 +1,18 @@
 //! GraKeL-style explicit solver: materialize the tensor-product system and
 //! run a (Jacobi-preconditioned) conjugate gradient iteration on it.
+//!
+//! The solver goes through the same [`mgk_linalg::LinearOperator`] +
+//! [`SolveOptions`] surface as the on-the-fly solvers of `mgk-core`: the
+//! materialized system becomes a `ScaledSum<DiagonalOperator,
+//! DenseOperator>` and [`mgk_linalg::pcg_counted`] runs the iteration, so
+//! the baseline's memory traffic is measured with exactly the same
+//! [`TrafficCounters`] accounting as everything else (which is what the
+//! Fig. 10 comparison wants to contrast).
 
 use crate::DenseSystem;
 use mgk_graph::Graph;
 use mgk_kernels::BaseKernel;
+use mgk_linalg::{pcg_counted, vecops, ConvergenceInfo, SolveOptions, TrafficCounters};
 
 /// Explicit, single-threaded CPU baseline in the style of GraKeL's random
 /// walk kernel implementation.
@@ -11,16 +20,18 @@ use mgk_kernels::BaseKernel;
 pub struct ExplicitSolver<KV, KE> {
     vertex_kernel: KV,
     edge_kernel: KE,
-    /// Relative-residual tolerance of the CG iteration.
-    pub tolerance: f64,
-    /// Maximum CG iterations.
-    pub max_iterations: usize,
+    /// Options of the CG iteration (shared [`SolveOptions`] surface).
+    pub options: SolveOptions,
 }
 
 impl<KV, KE> ExplicitSolver<KV, KE> {
     /// Create the baseline from a pair of base kernels.
     pub fn new(vertex_kernel: KV, edge_kernel: KE) -> Self {
-        ExplicitSolver { vertex_kernel, edge_kernel, tolerance: 1e-6, max_iterations: 1000 }
+        ExplicitSolver {
+            vertex_kernel,
+            edge_kernel,
+            options: SolveOptions { max_iterations: 1000, tolerance: 1e-6 },
+        }
     }
 
     /// Evaluate the kernel between two graphs.
@@ -30,63 +41,32 @@ impl<KV, KE> ExplicitSolver<KV, KE> {
         KV: BaseKernel<V>,
         KE: BaseKernel<E>,
     {
+        self.kernel_counted(g1, g2, &mut TrafficCounters::new()).0
+    }
+
+    /// [`kernel`](Self::kernel) with memory-traffic accounting and the CG
+    /// convergence outcome: the dense operator and preconditioner
+    /// applications of every iteration add to `counters`, and the returned
+    /// [`ConvergenceInfo`] tells the caller whether the tolerance was
+    /// actually reached (a baseline value from a stalled iteration should
+    /// not be used as a reference).
+    pub fn kernel_counted<V, E>(
+        &self,
+        g1: &Graph<V, E>,
+        g2: &Graph<V, E>,
+        counters: &mut TrafficCounters,
+    ) -> (f64, ConvergenceInfo)
+    where
+        E: Copy + Default,
+        KV: BaseKernel<V>,
+        KE: BaseKernel<E>,
+    {
         let sys = DenseSystem::assemble(g1, g2, &self.vertex_kernel, &self.edge_kernel);
-        let dim = sys.dim;
-        // system matrix M = diag(dx / vx) - off_diagonal, rhs = dx .* qx
-        let diag: Vec<f64> =
-            sys.degree_product.iter().zip(&sys.vertex_product).map(|(&d, &v)| d / v).collect();
-        let rhs: Vec<f64> =
-            sys.degree_product.iter().zip(&sys.stop_product).map(|(&d, &q)| d * q).collect();
-
-        // Jacobi-preconditioned CG in f64 on the explicit matrix
-        let matvec = |x: &[f64], y: &mut [f64]| {
-            for i in 0..dim {
-                let row = &sys.off_diagonal[i * dim..(i + 1) * dim];
-                let mut acc = 0.0;
-                for (a, b) in row.iter().zip(x) {
-                    acc += a * b;
-                }
-                y[i] = diag[i] * x[i] - acc;
-            }
-        };
-
-        let b_norm = rhs.iter().map(|x| x * x).sum::<f64>().sqrt();
-        if b_norm == 0.0 {
-            return 0.0;
-        }
-        let mut x = vec![0.0f64; dim];
-        let mut r = rhs.clone();
-        let mut z: Vec<f64> = r.iter().zip(&diag).map(|(ri, di)| ri / di).collect();
-        let mut p = z.clone();
-        let mut rho: f64 = r.iter().zip(&z).map(|(a, b)| a * b).sum();
-        let mut ap = vec![0.0f64; dim];
-        for _ in 0..self.max_iterations {
-            matvec(&p, &mut ap);
-            let pap: f64 = p.iter().zip(&ap).map(|(a, b)| a * b).sum();
-            if pap <= 0.0 {
-                break;
-            }
-            let alpha = rho / pap;
-            for i in 0..dim {
-                x[i] += alpha * p[i];
-                r[i] -= alpha * ap[i];
-            }
-            let res = r.iter().map(|v| v * v).sum::<f64>().sqrt() / b_norm;
-            if res <= self.tolerance {
-                break;
-            }
-            for i in 0..dim {
-                z[i] = r[i] / diag[i];
-            }
-            let rho_next: f64 = r.iter().zip(&z).map(|(a, b)| a * b).sum();
-            let beta = rho_next / rho;
-            rho = rho_next;
-            for i in 0..dim {
-                p[i] = z[i] + beta * p[i];
-            }
-        }
-
-        sys.start_product.iter().zip(&x).map(|(&pi, &xi)| pi * xi).sum()
+        let operator = sys.system_operator();
+        let preconditioner = sys.preconditioner();
+        let rhs = sys.rhs();
+        let (x, info) = pcg_counted(&operator, &preconditioner, &rhs, &self.options, counters);
+        (vecops::dot(&sys.start_product, &x), info)
     }
 
     /// Compute the full pairwise kernel matrix sequentially (the way the
@@ -136,7 +116,8 @@ mod tests {
         for l in [1u8, 2, 3, 1] {
             b1.add_vertex(l);
         }
-        for (u, v, w, l) in [(0, 1, 1.0, 0.2), (1, 2, 0.5, 1.0), (2, 3, 1.0, 0.6), (3, 0, 0.8, 1.4)] {
+        for (u, v, w, l) in [(0, 1, 1.0, 0.2), (1, 2, 0.5, 1.0), (2, 3, 1.0, 0.6), (3, 0, 0.8, 1.4)]
+        {
             b1.add_edge(u, v, w, l).unwrap();
         }
         let g1 = b1.build().unwrap();

@@ -17,6 +17,7 @@
 use crate::DenseSystem;
 use mgk_graph::Graph;
 use mgk_kernels::BaseKernel;
+use mgk_linalg::{SolveOptions, TrafficCounters};
 
 /// Result of a fixed-point evaluation.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -31,20 +32,32 @@ pub struct FixedPointResult {
 
 /// Single-threaded fixed-point / power-iteration baseline in the style of
 /// the GraphKernels package.
+///
+/// The iteration is configured through the shared [`SolveOptions`] surface
+/// (`tolerance` is the relative-change threshold on the solution vector,
+/// `max_iterations` the maximum walk length) and reports memory traffic
+/// through the same [`TrafficCounters`] accounting as every other solver.
+/// Unlike the CG-based solvers it is not a Krylov method, so it does not
+/// run through `pcg_counted`; its state is iterated in `f64` over the
+/// shared `f32` operands because the truncated path-sum semantics (Eq. 4)
+/// it certifies require exactly monotone partial sums.
 #[derive(Debug, Clone)]
 pub struct FixedPointSolver<KV, KE> {
     vertex_kernel: KV,
     edge_kernel: KE,
-    /// Convergence threshold on the relative change of the solution vector.
-    pub tolerance: f64,
-    /// Maximum number of iterations (maximum walk length considered).
-    pub max_iterations: usize,
+    /// Options of the fixed-point iteration (shared [`SolveOptions`]
+    /// surface).
+    pub options: SolveOptions,
 }
 
 impl<KV, KE> FixedPointSolver<KV, KE> {
     /// Create the baseline from a pair of base kernels.
     pub fn new(vertex_kernel: KV, edge_kernel: KE) -> Self {
-        FixedPointSolver { vertex_kernel, edge_kernel, tolerance: 1e-10, max_iterations: 10_000 }
+        FixedPointSolver {
+            vertex_kernel,
+            edge_kernel,
+            options: SolveOptions { max_iterations: 10_000, tolerance: 1e-10 },
+        }
     }
 
     /// Evaluate the kernel between two graphs.
@@ -54,31 +67,53 @@ impl<KV, KE> FixedPointSolver<KV, KE> {
         KV: BaseKernel<V>,
         KE: BaseKernel<E>,
     {
+        self.kernel_counted(g1, g2, &mut TrafficCounters::new())
+    }
+
+    /// [`kernel`](Self::kernel) with memory-traffic accounting: every dense
+    /// sweep of the iteration adds to `counters` with the same per-element
+    /// accounting as [`mgk_linalg::DenseOperator`].
+    pub fn kernel_counted<V, E>(
+        &self,
+        g1: &Graph<V, E>,
+        g2: &Graph<V, E>,
+        counters: &mut TrafficCounters,
+    ) -> FixedPointResult
+    where
+        E: Copy + Default,
+        KV: BaseKernel<V>,
+        KE: BaseKernel<E>,
+    {
         let sys = DenseSystem::assemble(g1, g2, &self.vertex_kernel, &self.edge_kernel);
         let dim = sys.dim;
         // transition-probability-weighted product matrix: P× ∘ E× = D×⁻¹ (A× ∘ E×)
         // iterate r ← q× + (P× ∘ E×) V× r
-        let mut r = sys.stop_product.clone();
+        let mut r: Vec<f64> = sys.stop_product.iter().map(|&q| q as f64).collect();
         let mut next = vec![0.0f64; dim];
         let mut iterations = 0;
         let mut converged = false;
-        while iterations < self.max_iterations {
+        while iterations < self.options.max_iterations {
             // w = V× r (element-wise)
-            let w: Vec<f64> = r.iter().zip(&sys.vertex_product).map(|(a, b)| a * b).collect();
-            for i in 0..dim {
+            let w: Vec<f64> =
+                r.iter().zip(&sys.vertex_product).map(|(a, &b)| a * b as f64).collect();
+            for (i, slot) in next.iter_mut().enumerate() {
                 let row = &sys.off_diagonal[i * dim..(i + 1) * dim];
                 let mut acc = 0.0;
-                for (a, b) in row.iter().zip(&w) {
-                    acc += a * b;
+                for (&a, b) in row.iter().zip(&w) {
+                    acc += a as f64 * b;
                 }
-                next[i] = sys.stop_product[i] + acc / sys.degree_product[i];
+                *slot = sys.stop_product[i] as f64 + acc / sys.degree_product[i] as f64;
             }
             iterations += 1;
-            let diff: f64 =
-                next.iter().zip(&r).map(|(a, b)| (a - b) * (a - b)).sum::<f64>().sqrt();
+            // one dense sweep: stream the matrix and the weighted vector,
+            // write the iterate back
+            counters.global_load_bytes += (dim * dim + 2 * dim) as u64 * 4;
+            counters.global_store_bytes += dim as u64 * 4;
+            counters.flops += (2 * dim * dim + 3 * dim) as u64;
+            let diff: f64 = next.iter().zip(&r).map(|(a, b)| (a - b) * (a - b)).sum::<f64>().sqrt();
             let norm: f64 = next.iter().map(|a| a * a).sum::<f64>().sqrt();
             std::mem::swap(&mut r, &mut next);
-            if diff <= self.tolerance * norm.max(1e-300) {
+            if diff <= self.options.tolerance * norm.max(1e-300) {
                 converged = true;
                 break;
             }
@@ -89,7 +124,7 @@ impl<KV, KE> FixedPointSolver<KV, KE> {
             .iter()
             .zip(&sys.vertex_product)
             .zip(&r)
-            .map(|((&p, &v), &ri)| p * v * ri)
+            .map(|((&p, &v), &ri)| p as f64 * v as f64 * ri)
             .sum();
         FixedPointResult { value, iterations, converged }
     }
@@ -108,8 +143,7 @@ impl<KV, KE> FixedPointSolver<KV, KE> {
         KE: BaseKernel<E> + Clone,
     {
         let mut solver = self.clone();
-        solver.max_iterations = max_length;
-        solver.tolerance = 0.0;
+        solver.options = SolveOptions { max_iterations: max_length, tolerance: 0.0 };
         solver.kernel(g1, g2).value
     }
 }

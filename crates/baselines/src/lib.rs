@@ -19,7 +19,10 @@
 //!
 //! All three produce the same kernel values as `mgk-core` (up to solver
 //! tolerance) and are used as the comparison targets of the Fig. 10
-//! benchmark.
+//! benchmark. The iterative baselines run through the same
+//! [`mgk_linalg::LinearOperator`] + [`mgk_linalg::SolveOptions`] surface as
+//! the on-the-fly solvers, with memory traffic threaded through
+//! [`mgk_linalg::TrafficCounters`] rather than tracked ad hoc.
 
 pub mod explicit;
 pub mod fixed_point;
@@ -31,21 +34,27 @@ pub use spectral::SpectralSolver;
 
 use mgk_graph::Graph;
 use mgk_kernels::BaseKernel;
+use mgk_linalg::{DenseMatrix, DenseOperator, DiagonalOperator, ScaledSum};
 
 /// Dense tensor-product operands shared by the explicit baselines.
+///
+/// The operands are stored in `f32`, the scalar of the workspace-wide
+/// [`mgk_linalg::LinearOperator`] surface, so the baselines solve through
+/// exactly the same operator and [`mgk_linalg::SolveOptions`] plumbing as
+/// the on-the-fly solvers of `mgk-core`.
 pub(crate) struct DenseSystem {
     /// `n · m`.
     pub dim: usize,
     /// Off-diagonal product matrix `A× ∘ E×` (row-major, `dim × dim`).
-    pub off_diagonal: Vec<f64>,
+    pub off_diagonal: Vec<f32>,
     /// `d ⊗ d'`.
-    pub degree_product: Vec<f64>,
+    pub degree_product: Vec<f32>,
     /// `v κ⊗ v'`.
-    pub vertex_product: Vec<f64>,
+    pub vertex_product: Vec<f32>,
     /// `p ⊗ p'`.
-    pub start_product: Vec<f64>,
+    pub start_product: Vec<f32>,
     /// `q ⊗ q'`.
-    pub stop_product: Vec<f64>,
+    pub stop_product: Vec<f32>,
 }
 
 impl DenseSystem {
@@ -67,7 +76,7 @@ impl DenseSystem {
         let a2 = g2.adjacency_dense();
         let e1 = g1.edge_labels_dense(E::default());
         let e2 = g2.edge_labels_dense(E::default());
-        let mut off_diagonal = vec![0.0f64; dim * dim];
+        let mut off_diagonal = vec![0.0f32; dim * dim];
         for i in 0..n {
             for j in 0..n {
                 let w1 = a1[i * n + j];
@@ -81,16 +90,16 @@ impl DenseSystem {
                             continue;
                         }
                         let ke = edge_kernel.eval(&e1[i * n + j], &e2[ip * m + jp]);
-                        off_diagonal[(i * m + ip) * dim + j * m + jp] = (w1 * w2 * ke) as f64;
+                        off_diagonal[(i * m + ip) * dim + j * m + jp] = w1 * w2 * ke;
                     }
                 }
             }
         }
-        let kron = |a: &[f32], b: &[f32]| -> Vec<f64> {
+        let kron = |a: &[f32], b: &[f32]| -> Vec<f32> {
             let mut out = Vec::with_capacity(a.len() * b.len());
             for &x in a {
                 for &y in b {
-                    out.push(x as f64 * y as f64);
+                    out.push(x * y);
                 }
             }
             out
@@ -99,12 +108,41 @@ impl DenseSystem {
         let mut vertex_product = Vec::with_capacity(dim);
         for va in g1.vertex_labels() {
             for vb in g2.vertex_labels() {
-                vertex_product.push(vertex_kernel.eval(va, vb) as f64);
+                vertex_product.push(vertex_kernel.eval(va, vb));
             }
         }
         let start_product = kron(g1.start_probabilities(), g2.start_probabilities());
         let stop_product = kron(g1.stop_probabilities(), g2.stop_probabilities());
-        DenseSystem { dim, off_diagonal, degree_product, vertex_product, start_product, stop_product }
+        DenseSystem {
+            dim,
+            off_diagonal,
+            degree_product,
+            vertex_product,
+            start_product,
+            stop_product,
+        }
+    }
+
+    /// The full system matrix `D× V×⁻¹ − A× ∘ E×` as a
+    /// [`mgk_linalg::LinearOperator`]: the diagonal part minus the explicit
+    /// dense off-diagonal product.
+    pub(crate) fn system_operator(&self) -> ScaledSum<DiagonalOperator, DenseOperator> {
+        let diag: Vec<f32> =
+            self.degree_product.iter().zip(&self.vertex_product).map(|(&d, &v)| d / v).collect();
+        let off = DenseMatrix::from_row_major(self.dim, self.dim, self.off_diagonal.clone());
+        ScaledSum::new(1.0, DiagonalOperator::new(diag), -1.0, DenseOperator(off))
+    }
+
+    /// The Jacobi preconditioner `M⁻¹ = V× D×⁻¹` of the system.
+    pub(crate) fn preconditioner(&self) -> DiagonalOperator {
+        let diag: Vec<f32> =
+            self.degree_product.iter().zip(&self.vertex_product).map(|(&d, &v)| v / d).collect();
+        DiagonalOperator::new(diag)
+    }
+
+    /// The right-hand side `D× q×`.
+    pub(crate) fn rhs(&self) -> Vec<f32> {
+        self.degree_product.iter().zip(&self.stop_product).map(|(&d, &q)| d * q).collect()
     }
 }
 

@@ -55,22 +55,19 @@ impl SpectralSolver {
         let e2 = symmetric_eigen(&normalized(&a2, &d2, m), m);
 
         // a_k = Σ_i U_ik · p_i / sqrt(d_i);  b_k = Σ_i U_ik · q_i · sqrt(d_i)
-        let project = |e: &mgk_linalg::SymmetricEigen,
-                       d: &[f64],
-                       p: &[f64],
-                       q: &[f64],
-                       n: usize| {
-            let mut a = vec![0.0f64; n];
-            let mut b = vec![0.0f64; n];
-            for k in 0..n {
-                for i in 0..n {
-                    let u = e.eigenvectors[i * n + k];
-                    a[k] += u * p[i] / d[i].sqrt();
-                    b[k] += u * q[i] * d[i].sqrt();
+        let project =
+            |e: &mgk_linalg::SymmetricEigen, d: &[f64], p: &[f64], q: &[f64], n: usize| {
+                let mut a = vec![0.0f64; n];
+                let mut b = vec![0.0f64; n];
+                for k in 0..n {
+                    for i in 0..n {
+                        let u = e.eigenvectors[i * n + k];
+                        a[k] += u * p[i] / d[i].sqrt();
+                        b[k] += u * q[i] * d[i].sqrt();
+                    }
                 }
-            }
-            (a, b)
-        };
+                (a, b)
+            };
         let (a_1, b_1) = project(&e1, &d1, &p1, &q1, n);
         let (a_2, b_2) = project(&e2, &d2, &p2, &q2, m);
 
@@ -108,7 +105,8 @@ mod tests {
 
     #[test]
     fn spectral_matches_explicit_solver() {
-        let g1 = Graph::from_edge_list(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0), (0, 3)]);
+        let g1 =
+            Graph::from_edge_list(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0), (0, 3)]);
         let g2 = Graph::from_edge_list(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
         let spectral = SpectralSolver::new().kernel(&g1, &g2);
         let explicit = ExplicitSolver::new(UnitKernel, UnitKernel).kernel(&g1, &g2);

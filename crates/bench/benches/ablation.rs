@@ -19,7 +19,8 @@ fn bench_ablation(c: &mut Criterion) {
     group.warm_up_time(std::time::Duration::from_secs(1));
     for level in OptimizationLevel::ALL {
         group.bench_function(BenchmarkId::from_parameter(level.label()), |b| {
-            let solver = MarginalizedKernelSolver::new(UnitKernel, UnitKernel, level.solver_config(&base));
+            let solver =
+                MarginalizedKernelSolver::new(UnitKernel, UnitKernel, level.solver_config(&base));
             let engine = GramEngine::new(
                 solver,
                 GramConfig { scheduling: level.scheduling(), ..GramConfig::default() },

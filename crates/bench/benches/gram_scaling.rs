@@ -11,22 +11,22 @@ fn bench_gram(c: &mut Criterion) {
     let mut rng = bench_rng();
     // heavy-tailed sizes: exactly the case where dynamic scheduling helps
     let molecules = drugbank_like(16, 4, 80, &mut rng);
-    let solver =
-        MarginalizedKernelSolver::new(AtomKernel::default(), BondKernel::default(), SolverConfig::default());
+    let solver = MarginalizedKernelSolver::new(
+        AtomKernel::default(),
+        BondKernel::default(),
+        SolverConfig::default(),
+    );
 
     let mut group = c.benchmark_group("gram_engine_drugbank_like");
     group.sample_size(10);
     group.measurement_time(std::time::Duration::from_secs(3));
     group.warm_up_time(std::time::Duration::from_secs(1));
     for scheduling in [Scheduling::Static, Scheduling::Dynamic] {
-        let engine = GramEngine::new(
-            solver.clone(),
-            GramConfig { scheduling, ..GramConfig::default() },
-        );
-        group.bench_function(
-            BenchmarkId::from_parameter(format!("{scheduling:?}")),
-            |b| b.iter(|| engine.compute(&molecules)),
-        );
+        let engine =
+            GramEngine::new(solver.clone(), GramConfig { scheduling, ..GramConfig::default() });
+        group.bench_function(BenchmarkId::from_parameter(format!("{scheduling:?}")), |b| {
+            b.iter(|| engine.compute(&molecules))
+        });
     }
     group.finish();
 

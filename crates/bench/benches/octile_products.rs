@@ -48,7 +48,18 @@ fn bench_octile_products(c: &mut Criterion) {
                 b.iter(|| {
                     let mut y = vec![0.0f32; 64];
                     let mut counters = TrafficCounters::new();
-                    tile_pair_product(kind, &t1, &t2, 8, 8, &kernel, &costs, &p, &mut y, &mut counters);
+                    tile_pair_product(
+                        kind,
+                        &t1,
+                        &t2,
+                        8,
+                        8,
+                        &kernel,
+                        &costs,
+                        &p,
+                        &mut y,
+                        &mut counters,
+                    );
                     y
                 })
             });

@@ -16,8 +16,8 @@
 
 use std::time::Instant;
 
-use mgk_bench::{fmt_duration, scaled, AtomKernel, BondKernel, ElementKernel};
 use mgk_baselines::{ExplicitSolver, FixedPointSolver};
+use mgk_bench::{fmt_duration, scaled, AtomKernel, BondKernel, ElementKernel};
 use mgk_core::{GramConfig, GramEngine, MarginalizedKernelSolver, SolverConfig};
 use mgk_gpusim::{estimate_time, DeviceSpec};
 use mgk_graph::Graph;
@@ -121,8 +121,18 @@ fn main() {
     let drugbank = mgk_datasets::drugbank_like(count, 4, 80, &mut rng);
 
     let protein_graphs: Vec<_> = protein.iter().map(|s| s.graph.clone()).collect();
-    compare_dataset("PDB-like protein structures", &protein_graphs, ElementKernel::default(), mgk_bench::distance_kernel());
-    compare_dataset("DrugBank-like molecules", &drugbank, AtomKernel::default(), BondKernel::default());
+    compare_dataset(
+        "PDB-like protein structures",
+        &protein_graphs,
+        ElementKernel::default(),
+        mgk_bench::distance_kernel(),
+    );
+    compare_dataset(
+        "DrugBank-like molecules",
+        &drugbank,
+        AtomKernel::default(),
+        BondKernel::default(),
+    );
 
     println!("Paper reference: 153 s vs 5.8 days / 22 days on PDB (3297x / 12430x) and");
     println!("172 s vs 12.9 days / 2.0 days on DrugBank (6461x / 998x) for the GPU solver");

@@ -53,7 +53,5 @@ fn main() {
     println!(
         "Paper's observation reproduced: the naive kernel is memory-bound at ~3% of peak, while"
     );
-    println!(
-        "on-the-fly regeneration with a reuse factor of c = 64 approaches the compute roof."
-    );
+    println!("on-the-fly regeneration with a reuse factor of c = 64 approaches the compute roof.");
 }

@@ -49,9 +49,7 @@ fn config_occupancy(device: &DeviceSpec, name: &str, prim: Option<XmvPrimitive>)
         Some(XmvPrimitive::RegisterBlocking { r, .. }) => {
             (register_blocking_registers(r, false), 1024)
         }
-        Some(XmvPrimitive::TilingBlocking { t, r }) => {
-            (40 + 2 * r, (t * t * 2 + t * t) * 8)
-        }
+        Some(XmvPrimitive::TilingBlocking { t, r }) => (40 + 2 * r, (t * t * 2 + t * t) * 8),
     };
     let _ = name;
     occupancy(
@@ -83,7 +81,13 @@ fn main() {
     );
     println!(
         "{:<24} {:>12} {:>14} {:>12} {:>14} {:>14} {:>10}",
-        "primitive", "cpu/pair", "V100 walltime", "FLOPS eff.", "device GiB/s", "shared GiB/s", "occup."
+        "primitive",
+        "cpu/pair",
+        "V100 walltime",
+        "FLOPS eff.",
+        "device GiB/s",
+        "shared GiB/s",
+        "occup."
     );
 
     let mut results: Vec<(String, f64, u64)> = Vec::new();

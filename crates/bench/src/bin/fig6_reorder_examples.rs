@@ -41,5 +41,7 @@ fn main() {
     }
 
     println!("\nPaper reference points: 2ONW 19/19/13 tiles and 1AY3 44/40/32 tiles under");
-    println!("natural/RCM/PBR — i.e. PBR reduces the tile count by ~25–30% over the natural order.");
+    println!(
+        "natural/RCM/PBR — i.e. PBR reduces the tile count by ~25–30% over the natural order."
+    );
 }

@@ -47,8 +47,8 @@ fn main() {
         "Fig. 7 — octile occupancy across datasets ({per_set} graphs per dataset), tile size 8\n"
     );
     println!(
-        "{:<24} {:<9} {:>16} {:>14}   {}",
-        "dataset", "order", "% non-empty", "avg density", "density distribution (sparse -> dense)"
+        "{:<24} {:<9} {:>16} {:>14}   density distribution (sparse -> dense)",
+        "dataset", "order", "% non-empty", "avg density"
     );
 
     let methods = [ReorderMethod::Natural, ReorderMethod::Rcm, ReorderMethod::Pbr];
@@ -68,7 +68,9 @@ fn main() {
         println!();
     };
 
-    report("Protein crystal structure", &|m| dataset_stats(&protein_graphs, Some(&protein_coords), m));
+    report("Protein crystal structure", &|m| {
+        dataset_stats(&protein_graphs, Some(&protein_coords), m)
+    });
     report("DrugBank-like molecules", &|m| dataset_stats(&data.drugbank, None, m));
     report("Newman-Watts-Strogatz", &|m| dataset_stats(&data.small_world, None, m));
     report("Barabási-Albert", &|m| dataset_stats(&data.scale_free, None, m));

@@ -68,21 +68,32 @@ fn print_map(title: &str, kernel_flops: usize) {
 
 fn empirical_diagonal(labeled: bool) {
     let mut rng = bench_rng();
-    let costs = TileCosts { label_bytes: if labeled { 4 } else { 0 }, float_bytes: 4, kernel_flops: if labeled { 11 } else { 3 } };
+    let costs = TileCosts {
+        label_bytes: if labeled { 4 } else { 0 },
+        float_bytes: 4,
+        kernel_flops: if labeled { 11 } else { 3 },
+    };
     let se = SquareExponential::new(1.0);
     let unit = UnitKernel;
     println!(
         "empirical CPU timing along the diagonal ({}), ns per tile-pair product:",
         if labeled { "labeled, square-exponential edge kernel" } else { "unlabeled" }
     );
-    println!("{:>6} {:>14} {:>14} {:>14}  fastest", "nnz", "sparse×sparse", "dense×sparse", "dense×dense");
+    println!(
+        "{:>6} {:>14} {:>14} {:>14}  fastest",
+        "nnz", "sparse×sparse", "dense×sparse", "dense×dense"
+    );
     for nnz in [2usize, 4, 8, 12, 16, 24, 32, 48, 64] {
         let tiles1: Vec<_> = (0..16).map(|_| random_octile(nnz, &mut rng)).collect();
         let tiles2: Vec<_> = (0..16).map(|_| random_octile(nnz, &mut rng)).collect();
         let p = vec![0.5f32; 64];
         let reps = 40;
         let mut timings = Vec::new();
-        for kind in [TileProductKind::SparseSparse, TileProductKind::DenseSparse, TileProductKind::DenseDense] {
+        for kind in [
+            TileProductKind::SparseSparse,
+            TileProductKind::DenseSparse,
+            TileProductKind::DenseDense,
+        ] {
             let mut y = vec![0.0f32; 64];
             let mut c = TrafficCounters::new();
             let start = Instant::now();
@@ -92,7 +103,9 @@ fn empirical_diagonal(labeled: bool) {
                         if labeled {
                             tile_pair_product(kind, t1, t2, 8, 8, &se, &costs, &p, &mut y, &mut c);
                         } else {
-                            tile_pair_product(kind, t1, t2, 8, 8, &unit, &costs, &p, &mut y, &mut c);
+                            tile_pair_product(
+                                kind, t1, t2, 8, 8, &unit, &costs, &p, &mut y, &mut c,
+                            );
                         }
                     }
                 }

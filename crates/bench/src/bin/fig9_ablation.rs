@@ -18,19 +18,13 @@ use std::time::Instant;
 use mgk_bench::{
     bench_scale, distance_kernel, fmt_duration, scaled, AtomKernel, BondKernel, ElementKernel,
 };
-use mgk_core::{
-    GramConfig, GramEngine, MarginalizedKernelSolver, OptimizationLevel, SolverConfig,
-};
+use mgk_core::{GramConfig, GramEngine, MarginalizedKernelSolver, OptimizationLevel, SolverConfig};
 use mgk_gpusim::{estimate_time, DeviceSpec};
 use mgk_graph::Graph;
 use mgk_kernels::BaseKernel;
 
-fn run_dataset<V, E, KV, KE>(
-    name: &str,
-    graphs: &[Graph<V, E>],
-    vertex_kernel: KV,
-    edge_kernel: KE,
-) where
+fn run_dataset<V, E, KV, KE>(name: &str, graphs: &[Graph<V, E>], vertex_kernel: KV, edge_kernel: KE)
+where
     V: Clone + Send + Sync,
     E: Copy + Default + Send + Sync,
     KV: BaseKernel<V> + Clone + Send + Sync,
@@ -53,8 +47,11 @@ fn run_dataset<V, E, KV, KE>(
     let mut dense_cpu = None;
     let mut dense_proj = None;
     for level in OptimizationLevel::ALL {
-        let solver =
-            MarginalizedKernelSolver::new(vertex_kernel.clone(), edge_kernel.clone(), level.solver_config(&base));
+        let solver = MarginalizedKernelSolver::new(
+            vertex_kernel.clone(),
+            edge_kernel.clone(),
+            level.solver_config(&base),
+        );
         let engine = GramEngine::new(
             solver,
             GramConfig { scheduling: level.scheduling(), normalize: true, reorder_once: true },
@@ -111,13 +108,13 @@ fn main() {
         mgk_kernels::UnitKernel,
     );
     let protein_graphs: Vec<_> = protein.iter().map(|s| s.graph.clone()).collect();
-    run_dataset("Protein-like (PDB stand-in)", &protein_graphs, ElementKernel::default(), distance_kernel());
     run_dataset(
-        "DrugBank-like molecules",
-        &drugbank,
-        AtomKernel::default(),
-        BondKernel::default(),
+        "Protein-like (PDB stand-in)",
+        &protein_graphs,
+        ElementKernel::default(),
+        distance_kernel(),
     );
+    run_dataset("DrugBank-like molecules", &drugbank, AtomKernel::default(), BondKernel::default());
 
     println!("Paper reference (time to solution, Dense -> full optimization):");
     println!("  small world 8.4 s -> 0.78 s (10.8x)   scale-free 7.4 s -> 1.9 s (3.9x)");

@@ -44,13 +44,26 @@ fn print_model_row(kind: PrimitiveKind, shape: &ProblemShape) {
 fn main() {
     println!("Table I — analytic cost model, one XMV per CG iteration\n");
     for (title, shape) in [
-        ("unlabeled model problem (n = m = 72, E = 0, F = 4, X = 3)", ProblemShape::unlabeled(72, 72)),
-        ("labeled problem (n = m = 72, E = 4, F = 4, X = 11)", ProblemShape::labeled_f32(72, 72, 11)),
+        (
+            "unlabeled model problem (n = m = 72, E = 0, F = 4, X = 3)",
+            ProblemShape::unlabeled(72, 72),
+        ),
+        (
+            "labeled problem (n = m = 72, E = 4, F = 4, X = 11)",
+            ProblemShape::labeled_f32(72, 72, 11),
+        ),
     ] {
         println!("{title}");
         println!(
             "{:<26} {:>12} {:>14} {:>12} {:>14} {:>12} {:>10} {:>10}",
-            "primitive", "ops", "ld.global(B)", "st.global(B)", "ld.shared(B)", "st.shared(B)", "AI.glob", "AI.shared"
+            "primitive",
+            "ops",
+            "ld.global(B)",
+            "st.global(B)",
+            "ld.shared(B)",
+            "st.shared(B)",
+            "AI.glob",
+            "AI.shared"
         );
         for kind in primitives() {
             print_model_row(kind, &shape);
@@ -59,7 +72,9 @@ fn main() {
     }
 
     // --- measured traffic from the executable primitives -------------------
-    println!("Counted traffic of the executable primitives vs. the model (labeled, 72-node pair)\n");
+    println!(
+        "Counted traffic of the executable primitives vs. the model (labeled, 72-node pair)\n"
+    );
     let mut rng = bench_rng();
     let g1 = generators::complete_labeled(72, &mut rng);
     let g2 = generators::complete_labeled(72, &mut rng);
@@ -76,7 +91,13 @@ fn main() {
     };
     println!(
         "{:<26} {:>16} {:>16} {:>10} {:>16} {:>16} {:>10}",
-        "primitive", "ld.glob counted", "ld.glob model", "ratio", "ld.shared counted", "ld.shared model", "ratio"
+        "primitive",
+        "ld.glob counted",
+        "ld.glob model",
+        "ratio",
+        "ld.shared counted",
+        "ld.shared model",
+        "ratio"
     );
     for prim in [
         XmvPrimitive::SharedTiling { t: 8, r: 8 },

@@ -80,6 +80,24 @@ impl GramResult {
 }
 
 /// The parallel pairwise Gram-matrix engine.
+///
+/// ```
+/// use mgk_core::{GramConfig, GramEngine, MarginalizedKernelSolver, SolverConfig};
+/// use mgk_graph::Graph;
+///
+/// let path = Graph::from_edge_list(4, &[(0, 1), (1, 2), (2, 3)]);
+/// let cycle = Graph::from_edge_list(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+/// let engine = GramEngine::new(
+///     MarginalizedKernelSolver::unlabeled(SolverConfig::default()),
+///     GramConfig::default(),
+/// );
+/// let gram = engine.compute(&[path, cycle]);
+/// assert_eq!(gram.failures, 0);
+/// // normalized: unit diagonal, symmetric, similarities in (0, 1]
+/// assert!((gram.get(0, 0) - 1.0).abs() < 1e-5);
+/// assert_eq!(gram.get(0, 1), gram.get(1, 0));
+/// assert!(gram.get(0, 1) > 0.0 && gram.get(0, 1) <= 1.0);
+/// ```
 #[derive(Debug, Clone)]
 pub struct GramEngine<KV, KE> {
     solver: MarginalizedKernelSolver<KV, KE>,
@@ -127,8 +145,7 @@ impl<KV, KE> GramEngine<KV, KE> {
         let preprocessing = prep_start.elapsed();
 
         // upper-triangular pair list
-        let pairs: Vec<(usize, usize)> =
-            (0..n).flat_map(|i| (i..n).map(move |j| (i, j))).collect();
+        let pairs: Vec<(usize, usize)> = (0..n).flat_map(|i| (i..n).map(move |j| (i, j))).collect();
 
         let start = Instant::now();
         let solve_pair = |&(i, j): &(usize, usize)| {
@@ -192,11 +209,7 @@ impl<KV, KE> GramEngine<KV, KE> {
 
     /// Compute the rectangular kernel matrix between two datasets (rows
     /// indexed by `rows`, columns by `cols`) without normalization.
-    pub fn compute_cross<V, E>(
-        &self,
-        rows: &[Graph<V, E>],
-        cols: &[Graph<V, E>],
-    ) -> GramResult
+    pub fn compute_cross<V, E>(&self, rows: &[Graph<V, E>], cols: &[Graph<V, E>]) -> GramResult
     where
         V: Clone + Send + Sync,
         E: Copy + Default + Send + Sync,
@@ -235,7 +248,6 @@ impl<KV, KE> GramEngine<KV, KE> {
             preprocessing: Duration::ZERO,
         }
     }
-
 }
 
 #[cfg(test)]
@@ -298,16 +310,12 @@ mod tests {
     #[test]
     fn static_and_dynamic_scheduling_agree() {
         let graphs = small_dataset(5);
-        let dynamic = engine(GramConfig {
-            scheduling: Scheduling::Dynamic,
-            ..GramConfig::default()
-        })
-        .compute(&graphs);
-        let static_ = engine(GramConfig {
-            scheduling: Scheduling::Static,
-            ..GramConfig::default()
-        })
-        .compute(&graphs);
+        let dynamic =
+            engine(GramConfig { scheduling: Scheduling::Dynamic, ..GramConfig::default() })
+                .compute(&graphs);
+        let static_ =
+            engine(GramConfig { scheduling: Scheduling::Static, ..GramConfig::default() })
+                .compute(&graphs);
         for (a, b) in dynamic.matrix.iter().zip(&static_.matrix) {
             assert!((a - b).abs() < 1e-5);
         }
@@ -316,10 +324,10 @@ mod tests {
     #[test]
     fn reorder_once_matches_per_pair_reordering() {
         let graphs = small_dataset(4);
-        let once = engine(GramConfig { reorder_once: true, ..GramConfig::default() })
-            .compute(&graphs);
-        let per_pair = engine(GramConfig { reorder_once: false, ..GramConfig::default() })
-            .compute(&graphs);
+        let once =
+            engine(GramConfig { reorder_once: true, ..GramConfig::default() }).compute(&graphs);
+        let per_pair =
+            engine(GramConfig { reorder_once: false, ..GramConfig::default() }).compute(&graphs);
         for (a, b) in once.matrix.iter().zip(&per_pair.matrix) {
             assert!((a - b).abs() < 1e-4);
         }
@@ -333,9 +341,7 @@ mod tests {
         let result = engine(GramConfig::default()).compute(&graphs);
         let n = 4;
         for k in 1..=n {
-            let sub: Vec<f64> = (0..k * k)
-                .map(|idx| result.get(idx / k, idx % k) as f64)
-                .collect();
+            let sub: Vec<f64> = (0..k * k).map(|idx| result.get(idx / k, idx % k) as f64).collect();
             let det = determinant(&sub, k);
             assert!(det > -1e-6, "leading minor {k} has determinant {det}");
         }
@@ -345,9 +351,8 @@ mod tests {
         let mut m = a.to_vec();
         let mut det = 1.0;
         for col in 0..n {
-            let pivot = (col..n).max_by(|&i, &j| {
-                m[i * n + col].abs().partial_cmp(&m[j * n + col].abs()).unwrap()
-            });
+            let pivot = (col..n)
+                .max_by(|&i, &j| m[i * n + col].abs().partial_cmp(&m[j * n + col].abs()).unwrap());
             let p = pivot.unwrap();
             if m[p * n + col].abs() < 1e-12 {
                 return 0.0;
@@ -379,7 +384,8 @@ mod tests {
 
     #[test]
     fn empty_dataset() {
-        let result = engine(GramConfig::default()).compute::<mgk_graph::Unlabeled, mgk_graph::Unlabeled>(&[]);
+        let result = engine(GramConfig::default())
+            .compute::<mgk_graph::Unlabeled, mgk_graph::Unlabeled>(&[]);
         assert_eq!(result.num_graphs, 0);
         assert!(result.matrix.is_empty());
     }

@@ -89,11 +89,8 @@ pub fn estimated_cycles(kind: TileProductKind, nnz1: usize, nnz2: usize, x: usiz
 /// tile pair with `nnz1`/`nnz2` nonzeros under a base kernel costing `x`
 /// FLOPs per evaluation.
 pub fn select_kind(nnz1: usize, nnz2: usize, x: usize) -> TileProductKind {
-    let candidates = [
-        TileProductKind::SparseSparse,
-        TileProductKind::DenseSparse,
-        TileProductKind::DenseDense,
-    ];
+    let candidates =
+        [TileProductKind::SparseSparse, TileProductKind::DenseSparse, TileProductKind::DenseDense];
     let mut best = candidates[0];
     let mut best_cost = f64::INFINITY;
     for &k in &candidates {
@@ -231,8 +228,7 @@ pub fn tile_pair_product<E: Copy + Default, K: BaseKernel<E>>(
                             if a2 == 0.0 {
                                 continue;
                             }
-                            let ke =
-                                kernel.eval(&l1[i * TILE_SIZE + j], &l2[ip * TILE_SIZE + jp]);
+                            let ke = kernel.eval(&l1[i * TILE_SIZE + j], &l2[ip * TILE_SIZE + jp]);
                             acc += a1 * a2 * ke * p[(col1 + j) * m + col2 + jp];
                         }
                     }
@@ -370,17 +366,18 @@ mod tests {
         let lab = 11;
         assert_eq!(select_kind(12, 12, lab), TileProductKind::SparseSparse);
         assert_eq!(select_kind(32, 32, lab), TileProductKind::DenseDense);
-        let threshold_unlabeled = (1..=64)
-            .find(|&s| select_kind(s, s, unl) != TileProductKind::SparseSparse)
-            .unwrap();
-        let threshold_labeled = (1..=64)
-            .find(|&s| select_kind(s, s, lab) != TileProductKind::SparseSparse)
-            .unwrap();
+        let threshold_unlabeled =
+            (1..=64).find(|&s| select_kind(s, s, unl) != TileProductKind::SparseSparse).unwrap();
+        let threshold_labeled =
+            (1..=64).find(|&s| select_kind(s, s, lab) != TileProductKind::SparseSparse).unwrap();
         assert!(
             threshold_labeled > threshold_unlabeled,
             "labeled threshold {threshold_labeled} should exceed unlabeled {threshold_unlabeled}"
         );
-        assert!((8..=12).contains(&threshold_unlabeled), "unlabeled threshold {threshold_unlabeled}");
+        assert!(
+            (8..=12).contains(&threshold_unlabeled),
+            "unlabeled threshold {threshold_unlabeled}"
+        );
         assert!((12..=20).contains(&threshold_labeled), "labeled threshold {threshold_labeled}");
     }
 

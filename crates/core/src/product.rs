@@ -11,6 +11,13 @@
 //! `D× q×` and an off-diagonal operator in one of three forms
 //! ([`OffDiagonal`]): the materialized naive product, a dense on-the-fly
 //! primitive, or the two-level sparse octile operator.
+//!
+//! Both views of the system — [`OffDiagonalOperator`] for `A× ∘ E×` alone
+//! and [`SystemOperator`] for the full `D× V×⁻¹ − A× ∘ E×` — implement
+//! [`mgk_linalg::LinearOperator`], and memory traffic flows through the
+//! `apply_counted` side of that surface: callers pass a
+//! [`TrafficCounters`] down and receive exact counts back, with no interior
+//! mutability on the system itself.
 
 use std::cell::RefCell;
 
@@ -66,7 +73,6 @@ pub struct ProductSystem<E, KE> {
     off_diagonal: OffDiagonal<E>,
     edge_kernel: KE,
     tile_costs: TileCosts,
-    counters: RefCell<TrafficCounters>,
 }
 
 impl<E, KE> ProductSystem<E, KE>
@@ -133,7 +139,6 @@ where
             off_diagonal,
             edge_kernel,
             tile_costs,
-            counters: RefCell::new(TrafficCounters::new()),
         }
     }
 
@@ -169,19 +174,15 @@ where
         &self.start_product
     }
 
-    /// Memory traffic accumulated by every operator application so far.
-    pub fn traffic(&self) -> TrafficCounters {
-        *self.counters.borrow()
-    }
-
-    /// Apply the off-diagonal operator: `y ← (A× ∘ E×) x`.
-    pub fn apply_off_diagonal(&self, x: &[f32], y: &mut [f32]) {
+    /// Apply the off-diagonal operator: `y ← (A× ∘ E×) x`, adding the
+    /// memory traffic of the application to `counters`.
+    pub fn apply_off_diagonal(&self, x: &[f32], y: &mut [f32], counters: &mut TrafficCounters) {
         y.iter_mut().for_each(|v| *v = 0.0);
-        let mut local = TrafficCounters::new();
+        let local = counters;
         match &self.off_diagonal {
-            OffDiagonal::Naive(naive) => naive.apply(x, y, &mut local),
+            OffDiagonal::Naive(naive) => naive.apply(x, y, local),
             OffDiagonal::Dense { data, primitive } => {
-                primitive.apply(data, &self.edge_kernel, x, y, &mut local)
+                primitive.apply(data, &self.edge_kernel, x, y, local)
             }
             OffDiagonal::Octile { tiles1, tiles2, forced_kind, compact, block_sharing } => {
                 let fb = self.tile_costs.float_bytes as u64;
@@ -201,8 +202,7 @@ where
                         // inner tiles are re-streamed for every outer tile;
                         // block-level sharing amortizes the load across the
                         // warps of a block (Section V-A)
-                        local.global_load_bytes +=
-                            tile_bytes(t2).div_ceil(*block_sharing as u64);
+                        local.global_load_bytes += tile_bytes(t2).div_ceil(*block_sharing as u64);
                         // the right-hand-side block for this tile pair
                         local.global_load_bytes += (TILE_SIZE * TILE_SIZE) as u64 * fb;
                         let kind = forced_kind.unwrap_or_else(|| {
@@ -218,7 +218,7 @@ where
                             &self.tile_costs,
                             x,
                             y,
-                            &mut local,
+                            local,
                         );
                     }
                 }
@@ -226,14 +226,53 @@ where
                 local.global_store_bytes += (self.n * self.m) as u64 * fb;
             }
         }
-        self.counters.borrow_mut().accumulate(&local);
+    }
+}
+
+/// Adapter viewing just the off-diagonal product `A× ∘ E×` of a
+/// [`ProductSystem`] as a [`LinearOperator`]. All three [`OffDiagonal`]
+/// realizations (naive, dense on-the-fly, octile) apply through this one
+/// surface, with traffic threaded via
+/// [`apply_counted`](LinearOperator::apply_counted).
+pub struct OffDiagonalOperator<'a, E, KE> {
+    system: &'a ProductSystem<E, KE>,
+}
+
+impl<'a, E, KE> OffDiagonalOperator<'a, E, KE> {
+    /// View the off-diagonal part of `system` as an operator.
+    pub fn new(system: &'a ProductSystem<E, KE>) -> Self {
+        OffDiagonalOperator { system }
+    }
+}
+
+impl<E, KE> LinearOperator for OffDiagonalOperator<'_, E, KE>
+where
+    E: Copy + Default,
+    KE: BaseKernel<E>,
+{
+    fn dim(&self) -> usize {
+        self.system.dim()
+    }
+
+    fn apply(&self, x: &[f32], y: &mut [f32]) {
+        self.apply_counted(x, y, &mut TrafficCounters::new());
+    }
+
+    fn apply_counted(&self, x: &[f32], y: &mut [f32], counters: &mut TrafficCounters) {
+        self.system.apply_off_diagonal(x, y, counters);
     }
 }
 
 /// Adapter making a `ProductSystem` usable as the full system operator
 /// `D× V×⁻¹ − A× ∘ E×` for the conjugate gradient solver.
+///
+/// The off-diagonal part applies through [`OffDiagonalOperator`]; the
+/// diagonal is fused into the same sweep. Traffic is threaded through
+/// [`apply_counted`](LinearOperator::apply_counted) — the operator holds a
+/// scratch buffer (behind a `RefCell`, since `apply` takes `&self`) but no
+/// counter state.
 pub struct SystemOperator<'a, E, KE> {
-    system: &'a ProductSystem<E, KE>,
+    off_diagonal: OffDiagonalOperator<'a, E, KE>,
     diagonal: Vec<f32>,
     scratch: RefCell<Vec<f32>>,
 }
@@ -248,7 +287,7 @@ where
         SystemOperator {
             diagonal: system.system_diagonal(),
             scratch: RefCell::new(vec![0.0; system.dim()]),
-            system,
+            off_diagonal: OffDiagonalOperator::new(system),
         }
     }
 }
@@ -259,17 +298,29 @@ where
     KE: BaseKernel<E>,
 {
     fn dim(&self) -> usize {
-        self.system.dim()
+        self.off_diagonal.dim()
     }
 
     fn apply(&self, x: &[f32], y: &mut [f32]) {
+        self.apply_counted(x, y, &mut TrafficCounters::new());
+    }
+
+    fn apply_counted(&self, x: &[f32], y: &mut [f32], counters: &mut TrafficCounters) {
         let mut scratch = self.scratch.borrow_mut();
-        self.system.apply_off_diagonal(x, &mut scratch);
+        self.off_diagonal.apply_counted(x, &mut scratch, counters);
         for ((yi, &xi), (&di, &oi)) in
             y.iter_mut().zip(x).zip(self.diagonal.iter().zip(scratch.iter()))
         {
             *yi = di * xi - oi;
         }
+        // the fused diagonal sweep: one multiply and one subtract per
+        // element, streaming the diagonal, x and the off-diagonal scratch
+        // and writing y once (same per-vector accounting as the built-in
+        // mgk_linalg operators)
+        let n = self.diagonal.len() as u64;
+        counters.flops += 2 * n;
+        counters.global_load_bytes += 3 * n * 4;
+        counters.global_store_bytes += n * 4;
     }
 }
 
@@ -324,9 +375,10 @@ mod tests {
             let config = SolverConfig { xmv_mode: mode, ..SolverConfig::default() };
             let sys = assemble(&config);
             let mut y = vec![0.0f32; 20];
-            sys.apply_off_diagonal(&x, &mut y);
+            let mut traffic = TrafficCounters::new();
+            sys.apply_off_diagonal(&x, &mut y, &mut traffic);
             results.push(y);
-            assert!(sys.traffic().flops > 0);
+            assert!(traffic.flops > 0);
         }
         for r in &results[1..] {
             for (a, b) in r.iter().zip(&results[0]) {
@@ -343,11 +395,28 @@ mod tests {
         let x = vec![1.0f32; 20];
         let y = op.apply_alloc(&x);
         let diag = sys.system_diagonal();
-        let mut off = vec![0.0f32; 20];
-        sys.apply_off_diagonal(&x, &mut off);
+        let off = OffDiagonalOperator::new(&sys).apply_alloc(&x);
         for i in 0..20 {
             assert!((y[i] - (diag[i] - off[i])).abs() < 1e-5);
         }
+    }
+
+    #[test]
+    fn counted_apply_matches_plain_apply_and_reports_traffic() {
+        let sys = assemble(&SolverConfig::default());
+        let op = SystemOperator::new(&sys);
+        let x: Vec<f32> = (0..20).map(|k| 0.1 * k as f32 - 1.0).collect();
+        let plain = op.apply_alloc(&x);
+        let mut counted = vec![0.0f32; 20];
+        let mut traffic = TrafficCounters::new();
+        op.apply_counted(&x, &mut counted, &mut traffic);
+        assert_eq!(plain, counted);
+        assert!(traffic.flops > 0);
+        assert!(traffic.global_load_bytes > 0);
+        // a second application doubles the counters exactly
+        let once = traffic;
+        op.apply_counted(&x, &mut counted, &mut traffic);
+        assert_eq!(traffic, once.scaled(2));
     }
 
     #[test]
@@ -361,8 +430,9 @@ mod tests {
             };
             let sys = assemble(&config);
             let mut y = vec![0.0f32; 20];
-            sys.apply_off_diagonal(&x, &mut y);
-            sys.traffic().global_load_bytes
+            let mut traffic = TrafficCounters::new();
+            sys.apply_off_diagonal(&x, &mut y, &mut traffic);
+            traffic.global_load_bytes
         };
         assert!(run(true) < run(false));
     }
@@ -378,8 +448,9 @@ mod tests {
             };
             let sys = assemble(&config);
             let mut y = vec![0.0f32; 20];
-            sys.apply_off_diagonal(&x, &mut y);
-            sys.traffic().global_load_bytes
+            let mut traffic = TrafficCounters::new();
+            sys.apply_off_diagonal(&x, &mut y, &mut traffic);
+            traffic.global_load_bytes
         };
         assert!(run(8) < run(1));
     }
@@ -402,10 +473,7 @@ mod tests {
         }
         for i in 0..nm {
             for j in 0..nm {
-                assert!(
-                    (mat[i * nm + j] - mat[j * nm + i]).abs() < 1e-5,
-                    "asymmetry at ({i},{j})"
-                );
+                assert!((mat[i * nm + j] - mat[j * nm + i]).abs() < 1e-5, "asymmetry at ({i},{j})");
             }
         }
         let b = vec![1.0f64; nm];

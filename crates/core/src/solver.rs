@@ -3,7 +3,7 @@
 use mgk_gpusim::TrafficCounters;
 use mgk_graph::Graph;
 use mgk_kernels::{BaseKernel, UnitKernel};
-use mgk_linalg::{pcg, vecops, DiagonalOperator, SolveOptions};
+use mgk_linalg::{pcg_counted, vecops, DiagonalOperator, SolveOptions};
 use mgk_reorder::ReorderMethod;
 
 use crate::product::{ProductSystem, SystemOperator};
@@ -179,10 +179,7 @@ impl<KV, KE> MarginalizedKernelSolver<KV, KE> {
         // optional stopping-probability override and reordering
         let prepared1 = self.prepare(g1);
         let prepared2 = self.prepare(g2);
-        let (g1, g2) = (
-            prepared1.as_ref().unwrap_or(g1),
-            prepared2.as_ref().unwrap_or(g2),
-        );
+        let (g1, g2) = (prepared1.as_ref().unwrap_or(g1), prepared2.as_ref().unwrap_or(g2));
 
         let system = ProductSystem::assemble(
             g1,
@@ -198,7 +195,10 @@ impl<KV, KE> MarginalizedKernelSolver<KV, KE> {
             max_iterations: self.config.max_iterations,
             tolerance: self.config.tolerance,
         };
-        let (x, info) = pcg(&operator, &preconditioner, &rhs, &opts);
+        // traffic flows through the instrumented LinearOperator surface:
+        // every operator and preconditioner application adds to `traffic`
+        let mut traffic = TrafficCounters::new();
+        let (x, info) = pcg_counted(&operator, &preconditioner, &rhs, &opts, &mut traffic);
         if !info.converged {
             return Err(SolverError::DidNotConverge {
                 iterations: info.iterations,
@@ -212,7 +212,7 @@ impl<KV, KE> MarginalizedKernelSolver<KV, KE> {
             iterations: info.iterations,
             converged: info.converged,
             relative_residual: info.relative_residual,
-            traffic: system.traffic(),
+            traffic,
             nodal: if self.config.compute_nodal { Some(x) } else { None },
         })
     }
@@ -286,20 +286,29 @@ mod tests {
         for label in [1u8, 2, 1, 3, 2] {
             b1.add_vertex(label);
         }
-        for (u, v, w, l) in [(0, 1, 1.0, 0.5), (1, 2, 0.8, 1.0), (2, 3, 1.0, 1.5), (3, 4, 0.6, 0.7), (4, 0, 1.0, 2.0)] {
+        for (u, v, w, l) in [
+            (0, 1, 1.0, 0.5),
+            (1, 2, 0.8, 1.0),
+            (2, 3, 1.0, 1.5),
+            (3, 4, 0.6, 0.7),
+            (4, 0, 1.0, 2.0),
+        ] {
             b1.add_edge(u, v, w, l).unwrap();
         }
         let mut b2: GraphBuilder<u8, f32> = GraphBuilder::new();
         for label in [2u8, 1, 3, 1] {
             b2.add_vertex(label);
         }
-        for (u, v, w, l) in [(0, 1, 1.0, 0.9), (1, 2, 0.7, 1.2), (2, 3, 1.0, 0.4), (3, 0, 0.9, 1.8)] {
+        for (u, v, w, l) in [(0, 1, 1.0, 0.9), (1, 2, 0.7, 1.2), (2, 3, 1.0, 0.4), (3, 0, 0.9, 1.8)]
+        {
             b2.add_edge(u, v, w, l).unwrap();
         }
         (b1.build().unwrap(), b2.build().unwrap())
     }
 
-    fn labeled_solver(config: SolverConfig) -> MarginalizedKernelSolver<KroneckerDelta, SquareExponential> {
+    fn labeled_solver(
+        config: SolverConfig,
+    ) -> MarginalizedKernelSolver<KroneckerDelta, SquareExponential> {
         MarginalizedKernelSolver::new(KroneckerDelta::new(0.5), SquareExponential::new(1.0), config)
     }
 
@@ -328,7 +337,8 @@ mod tests {
 
     #[test]
     fn solver_matches_dense_reference_unlabeled() {
-        let g1 = Graph::from_edge_list(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0), (1, 4)]);
+        let g1 =
+            Graph::from_edge_list(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0), (1, 4)]);
         let g2 = Graph::from_edge_list(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
         let reference = dense_reference(&g1, &g2, &UnitKernel, &UnitKernel);
         let solver = MarginalizedKernelSolver::unlabeled(SolverConfig {
@@ -393,7 +403,8 @@ mod tests {
     #[test]
     fn nodal_similarities_have_product_shape_and_contract_to_kernel_value() {
         let (g1, g2) = small_labeled_pair();
-        let solver = labeled_solver(SolverConfig { compute_nodal: true, ..SolverConfig::default() });
+        let solver =
+            labeled_solver(SolverConfig { compute_nodal: true, ..SolverConfig::default() });
         let result = solver.kernel(&g1, &g2).unwrap();
         let nodal = result.nodal.as_ref().unwrap();
         assert_eq!(nodal.len(), g1.num_vertices() * g2.num_vertices());
@@ -452,13 +463,15 @@ mod tests {
                 block_sharing: 8,
                 ..SolverConfig::default()
             },
-            SolverConfig { xmv_mode: XmvMode::Octile, reorder: ReorderMethod::Rcm, ..SolverConfig::default() },
+            SolverConfig {
+                xmv_mode: XmvMode::Octile,
+                reorder: ReorderMethod::Rcm,
+                ..SolverConfig::default()
+            },
         ];
         let values: Vec<f32> = configs
             .iter()
-            .map(|c| {
-                MarginalizedKernelSolver::unlabeled(*c).kernel(&g1, &g2).unwrap().value
-            })
+            .map(|c| MarginalizedKernelSolver::unlabeled(*c).kernel(&g1, &g2).unwrap().value)
             .collect();
         for v in &values[1..] {
             assert!((v - values[0]).abs() < 1e-4 * values[0].abs(), "{v} vs {}", values[0]);

@@ -42,11 +42,7 @@ pub struct DensePairData<E> {
 impl<E: Copy + Default> DensePairData<E> {
     /// Densify a pair of graphs. `kernel` supplies the cost metadata used
     /// for traffic accounting.
-    pub fn new<V1, V2, K: BaseKernel<E>>(
-        g1: &Graph<V1, E>,
-        g2: &Graph<V2, E>,
-        kernel: &K,
-    ) -> Self {
+    pub fn new<V1, V2, K: BaseKernel<E>>(g1: &Graph<V1, E>, g2: &Graph<V2, E>, kernel: &K) -> Self {
         let cost = kernel.cost();
         DensePairData {
             n: g1.num_vertices(),
@@ -143,7 +139,9 @@ impl XmvPrimitive {
         assert_eq!(p.len(), data.product_dim(), "right-hand side has wrong length");
         assert_eq!(y.len(), data.product_dim(), "output vector has wrong length");
         match self {
-            XmvPrimitive::SharedTiling { t, r } => shared_tiling(data, kernel, p, y, t, r, counters),
+            XmvPrimitive::SharedTiling { t, r } => {
+                shared_tiling(data, kernel, p, y, t, r, counters)
+            }
             XmvPrimitive::RegisterBlocking { t, r } => {
                 register_blocking(data, kernel, p, y, t, r, counters)
             }
@@ -450,8 +448,7 @@ fn tiling_blocking<E: Copy, K: BaseKernel<E>>(
                                             let a2 = data.a2[ip * m + jp];
                                             if a1 != 0.0 && a2 != 0.0 {
                                                 let ke = kernel.eval(e1, &data.e2[ip * m + jp]);
-                                                a += (a1 * a2 * ke) as f64
-                                                    * p[j * m + jp] as f64;
+                                                a += (a1 * a2 * ke) as f64 * p[j * m + jp] as f64;
                                             }
                                         }
                                     }
@@ -511,10 +508,7 @@ mod tests {
     fn assert_close(a: &[f32], b: &[f32], tol: f32) {
         assert_eq!(a.len(), b.len());
         for (k, (x, y)) in a.iter().zip(b).enumerate() {
-            assert!(
-                (x - y).abs() <= tol * (1.0 + y.abs()),
-                "mismatch at {k}: {x} vs {y}"
-            );
+            assert!((x - y).abs() <= tol * (1.0 + y.abs()), "mismatch at {k}: {x} vs {y}");
         }
     }
 

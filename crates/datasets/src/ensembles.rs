@@ -25,7 +25,9 @@ pub fn fig5_dense_pairs<R: Rng + ?Sized>(
     rng: &mut R,
 ) -> Vec<(Graph<Unlabeled, f32>, Graph<Unlabeled, f32>)> {
     (0..pairs)
-        .map(|_| (generators::complete_labeled(nodes, rng), generators::complete_labeled(nodes, rng)))
+        .map(|_| {
+            (generators::complete_labeled(nodes, rng), generators::complete_labeled(nodes, rng))
+        })
         .collect()
 }
 

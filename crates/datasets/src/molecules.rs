@@ -34,8 +34,7 @@ fn random_element<R: Rng + ?Sized>(rng: &mut R) -> Element {
 pub fn synthetic_molecule<R: Rng + ?Sized>(num_atoms: usize, rng: &mut R) -> MoleculeGraph {
     assert!(num_atoms >= 1);
     let elements: Vec<Element> = (0..num_atoms).map(|_| random_element(rng)).collect();
-    let mut remaining_valence: Vec<i32> =
-        elements.iter().map(|e| e.max_valence() as i32).collect();
+    let mut remaining_valence: Vec<i32> = elements.iter().map(|e| e.max_valence() as i32).collect();
 
     let mut builder: GraphBuilder<AtomLabel, BondLabel> =
         GraphBuilder::with_capacity(num_atoms, num_atoms + num_atoms / 4);
@@ -47,8 +46,7 @@ pub fn synthetic_molecule<R: Rng + ?Sized>(num_atoms: usize, rng: &mut R) -> Mol
         // attach to a previous atom that still has free valence; fall back
         // to the previous atom if none has (degenerate, but keeps the graph
         // connected)
-        let candidates: Vec<usize> =
-            (0..v).filter(|&u| remaining_valence[u] > 0).collect();
+        let candidates: Vec<usize> = (0..v).filter(|&u| remaining_valence[u] > 0).collect();
         let anchor = if candidates.is_empty() {
             v - 1
         } else {
@@ -56,11 +54,8 @@ pub fn synthetic_molecule<R: Rng + ?Sized>(num_atoms: usize, rng: &mut R) -> Mol
         };
         // bond order limited by both atoms' remaining valence
         let max_order = remaining_valence[anchor].min(remaining_valence[v]).clamp(1, 3) as u8;
-        let order = if max_order > 1 && rng.gen_bool(0.2) {
-            rng.gen_range(2..=max_order)
-        } else {
-            1
-        };
+        let order =
+            if max_order > 1 && rng.gen_bool(0.2) { rng.gen_range(2..=max_order) } else { 1 };
         remaining_valence[anchor] -= order as i32;
         remaining_valence[v] -= order as i32;
         edges.push((anchor, v, order));
@@ -154,8 +149,7 @@ mod tests {
             for i in 0..n {
                 // total bond order at an atom must not exceed its valence by
                 // more than the tree-fallback slack of 1 bond
-                let bond_order: u32 =
-                    mol.neighbors(i).map(|e| e.label.order as u32).sum();
+                let bond_order: u32 = mol.neighbors(i).map(|e| e.label.order as u32).sum();
                 let max = mol.vertex_label(i).element.max_valence() as u32;
                 assert!(
                     bond_order <= max + 1,

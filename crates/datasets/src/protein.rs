@@ -96,8 +96,9 @@ pub fn synthetic_structure<R: Rng + ?Sized>(num_atoms: usize, rng: &mut R) -> Pr
             rng.gen::<f32>() * 2.0 - 1.0,
             rng.gen::<f32>() * 2.0 - 1.0,
         ];
-        let norm =
-            (offset[0] * offset[0] + offset[1] * offset[1] + offset[2] * offset[2]).sqrt().max(1e-6);
+        let norm = (offset[0] * offset[0] + offset[1] * offset[1] + offset[2] * offset[2])
+            .sqrt()
+            .max(1e-6);
         coords.push([
             base[0] + 1.5 * offset[0] / norm,
             base[1] + 1.5 * offset[1] / norm,
@@ -201,8 +202,7 @@ mod tests {
     fn vertex_labels_are_mostly_carbon() {
         let mut rng = StdRng::seed_from_u64(13);
         let s = synthetic_structure(200, &mut rng);
-        let carbons =
-            s.graph.vertex_labels().iter().filter(|e| **e == Element::CARBON).count();
+        let carbons = s.graph.vertex_labels().iter().filter(|e| **e == Element::CARBON).count();
         assert!(carbons > 80, "expected a carbon-dominated composition, got {carbons}/200");
     }
 }

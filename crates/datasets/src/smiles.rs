@@ -118,8 +118,8 @@ pub fn parse_smiles(input: &str) -> Result<MoleculeGraph, SmilesError> {
                         return Err(SmilesError::UnexpectedCharacter { position: i, character: c });
                     }
                     (
-                        (chars[i + 1].to_digit(10).unwrap() * 10 + chars[i + 2].to_digit(10).unwrap())
-                            as u8,
+                        (chars[i + 1].to_digit(10).unwrap() * 10
+                            + chars[i + 2].to_digit(10).unwrap()) as u8,
                         3,
                     )
                 } else {
@@ -132,8 +132,9 @@ pub fn parse_smiles(input: &str) -> Result<MoleculeGraph, SmilesError> {
                 match open_rings.remove(&digit) {
                     Some((other, opening_order, opening_aromatic)) => {
                         let order = order.max(opening_order);
-                        let aromatic =
-                            aromatic || opening_aromatic || atoms[other].aromatic && atoms[current].aromatic;
+                        let aromatic = aromatic
+                            || opening_aromatic
+                            || atoms[other].aromatic && atoms[current].aromatic;
                         bonds.push((other, current, order, aromatic));
                     }
                     None => {
@@ -153,7 +154,14 @@ pub fn parse_smiles(input: &str) -> Result<MoleculeGraph, SmilesError> {
                 let label = parse_bracket_atom(&body)
                     .ok_or(SmilesError::UnexpectedCharacter { position: i, character: '[' })?;
                 let idx = push_atom(&mut atoms, label);
-                connect(&mut bonds, &mut prev_atom, idx, &mut pending_bond, &mut pending_aromatic_bond, &atoms);
+                connect(
+                    &mut bonds,
+                    &mut prev_atom,
+                    idx,
+                    &mut pending_bond,
+                    &mut pending_aromatic_bond,
+                    &atoms,
+                );
                 i = close + 1;
             }
             _ => {
@@ -194,7 +202,14 @@ pub fn parse_smiles(input: &str) -> Result<MoleculeGraph, SmilesError> {
                     aromatic,
                 };
                 let idx = push_atom(&mut atoms, label);
-                connect(&mut bonds, &mut prev_atom, idx, &mut pending_bond, &mut pending_aromatic_bond, &atoms);
+                connect(
+                    &mut bonds,
+                    &mut prev_atom,
+                    idx,
+                    &mut pending_bond,
+                    &mut pending_aromatic_bond,
+                    &atoms,
+                );
                 i += consumed;
             }
         }
@@ -224,9 +239,7 @@ pub fn parse_smiles(input: &str) -> Result<MoleculeGraph, SmilesError> {
             .add_edge(u, v, 1.0, BondLabel { order, conjugated })
             .map_err(|_| SmilesError::UnexpectedCharacter { position: 0, character: '?' })?;
     }
-    builder
-        .build()
-        .map_err(|_| SmilesError::UnexpectedCharacter { position: 0, character: '?' })
+    builder.build().map_err(|_| SmilesError::UnexpectedCharacter { position: 0, character: '?' })
 }
 
 fn push_atom(atoms: &mut Vec<AtomLabel>, label: AtomLabel) -> usize {

@@ -166,8 +166,7 @@ pub fn xmv_traffic(kind: PrimitiveKind, shape: &ProblemShape) -> TrafficCounters
                 + n2m2 * f / (t * t)
                 + n2m2 * e / (t * t)
                 + n2m2 * f / (t * t);
-            let st_s =
-                n2m * f / t + n2m * e / t + n2m2 * f / (t * t) + n2m2 * e / (t * t);
+            let st_s = n2m * f / t + n2m * e / t + n2m2 * f / (t * t) + n2m2 * e / (t * t);
             let ld_s = n2m2 * f / t + n2m2 * e / t + n2m2 * f / r + n2m2 * e / r;
             (n2m2 * x, ld_g, nm * f, ld_s, st_s, n2m2)
         }

@@ -37,18 +37,13 @@ pub fn occupancy(device: &DeviceSpec, limits: &OccupancyLimits) -> f64 {
     let regs_per_block = limits.registers_per_thread.min(MAX_REGISTERS_PER_THREAD)
         * warps_per_block
         * device.warp_size;
-    let by_regs = if regs_per_block == 0 {
-        usize::MAX
-    } else {
-        device.registers_per_sm / regs_per_block
-    };
+    let by_regs = device.registers_per_sm.checked_div(regs_per_block).unwrap_or(usize::MAX);
 
     // blocks per SM limited by shared memory
-    let by_shared = if limits.shared_bytes_per_block == 0 {
-        usize::MAX
-    } else {
-        device.shared_capacity_per_sm / limits.shared_bytes_per_block
-    };
+    let by_shared = device
+        .shared_capacity_per_sm
+        .checked_div(limits.shared_bytes_per_block)
+        .unwrap_or(usize::MAX);
 
     // blocks per SM limited by the warp ceiling
     let by_warps = device.max_warps_per_sm / warps_per_block;

@@ -41,7 +41,11 @@ pub struct TimeEstimate {
 /// Project the execution time of a kernel with the given aggregate traffic
 /// on `device`, assuming the whole device is available and the kernel runs
 /// at `occupancy ∈ (0, 1]` of peak issue rate.
-pub fn estimate_time(device: &DeviceSpec, counters: &TrafficCounters, occupancy: f64) -> TimeEstimate {
+pub fn estimate_time(
+    device: &DeviceSpec,
+    counters: &TrafficCounters,
+    occupancy: f64,
+) -> TimeEstimate {
     let occ = occupancy.clamp(1e-3, 1.0);
     // an SM needs a reasonable number of resident warps to hide latency;
     // beyond ~50% occupancy the issue rate is typically saturated
@@ -67,8 +71,7 @@ pub fn estimate_time(device: &DeviceSpec, counters: &TrafficCounters, occupancy:
         shared_seconds,
         total_seconds,
         bound,
-        flops_efficiency: (counters.flops as f64 / total_seconds)
-            / (device.peak_sp_gflops() * 1e9),
+        flops_efficiency: (counters.flops as f64 / total_seconds) / (device.peak_sp_gflops() * 1e9),
     }
 }
 

@@ -1,137 +1,9 @@
-//! Memory-traffic and operation counters.
+//! Memory-traffic and operation counters (re-export).
 //!
-//! These are the same five categories that the pseudocode tables of
-//! Appendix C attribute to every primitive: global loads (`LD.G`), global
-//! stores (`ST.G`), shared loads (`LD.S`), shared stores (`ST.S`) and
-//! arithmetic operations (`OPS`). The on-the-fly primitives of `mgk-core`
-//! increment an instance of [`TrafficCounters`] as they execute, so that
-//! sparsity-dependent traffic is measured exactly rather than modeled.
+//! [`TrafficCounters`] lives in `mgk-linalg` so the
+//! [`LinearOperator`](mgk_linalg::LinearOperator) surface and the CG/PCG
+//! solvers can thread counters through every operator application; this
+//! module re-exports it under the historical `mgk_gpusim::traffic` path for
+//! the cost model and everything built on top of it.
 
-/// Byte and operation counters for one kernel execution (or an aggregate of
-/// many).
-#[derive(Debug, Clone, Copy, Default, PartialEq)]
-pub struct TrafficCounters {
-    /// Bytes loaded from device (global) memory.
-    pub global_load_bytes: u64,
-    /// Bytes stored to device (global) memory.
-    pub global_store_bytes: u64,
-    /// Bytes loaded from shared memory.
-    pub shared_load_bytes: u64,
-    /// Bytes stored to shared memory.
-    pub shared_store_bytes: u64,
-    /// Floating point operations executed.
-    pub flops: u64,
-    /// Base-kernel evaluations performed (informational).
-    pub kernel_evaluations: u64,
-}
-
-impl TrafficCounters {
-    /// A zeroed counter set.
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    /// Total global-memory traffic (loads + stores) in bytes.
-    pub fn global_bytes(&self) -> u64 {
-        self.global_load_bytes + self.global_store_bytes
-    }
-
-    /// Total shared-memory traffic (loads + stores) in bytes.
-    pub fn shared_bytes(&self) -> u64 {
-        self.shared_load_bytes + self.shared_store_bytes
-    }
-
-    /// Arithmetic intensity with respect to global-memory traffic, in
-    /// FLOPs per byte (the x-axis of the Roofline plots).
-    pub fn arithmetic_intensity_global(&self) -> f64 {
-        if self.global_bytes() == 0 {
-            return f64::INFINITY;
-        }
-        self.flops as f64 / self.global_bytes() as f64
-    }
-
-    /// Arithmetic intensity with respect to shared-memory traffic.
-    pub fn arithmetic_intensity_shared(&self) -> f64 {
-        if self.shared_bytes() == 0 {
-            return f64::INFINITY;
-        }
-        self.flops as f64 / self.shared_bytes() as f64
-    }
-
-    /// Element-wise accumulation (in place).
-    pub fn accumulate(&mut self, other: &TrafficCounters) {
-        self.global_load_bytes += other.global_load_bytes;
-        self.global_store_bytes += other.global_store_bytes;
-        self.shared_load_bytes += other.shared_load_bytes;
-        self.shared_store_bytes += other.shared_store_bytes;
-        self.flops += other.flops;
-        self.kernel_evaluations += other.kernel_evaluations;
-    }
-
-    /// Multiply every counter by a constant factor (e.g. number of CG
-    /// iterations or number of graph pairs).
-    pub fn scaled(&self, factor: u64) -> TrafficCounters {
-        TrafficCounters {
-            global_load_bytes: self.global_load_bytes * factor,
-            global_store_bytes: self.global_store_bytes * factor,
-            shared_load_bytes: self.shared_load_bytes * factor,
-            shared_store_bytes: self.shared_store_bytes * factor,
-            flops: self.flops * factor,
-            kernel_evaluations: self.kernel_evaluations * factor,
-        }
-    }
-}
-
-impl std::ops::Add for TrafficCounters {
-    type Output = TrafficCounters;
-    fn add(self, rhs: TrafficCounters) -> TrafficCounters {
-        let mut out = self;
-        out.accumulate(&rhs);
-        out
-    }
-}
-
-impl std::iter::Sum for TrafficCounters {
-    fn sum<I: Iterator<Item = TrafficCounters>>(iter: I) -> Self {
-        iter.fold(TrafficCounters::new(), |acc, x| acc + x)
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn arithmetic_intensity() {
-        let c = TrafficCounters {
-            global_load_bytes: 100,
-            global_store_bytes: 28,
-            shared_load_bytes: 64,
-            shared_store_bytes: 0,
-            flops: 256,
-            kernel_evaluations: 10,
-        };
-        assert!((c.arithmetic_intensity_global() - 2.0).abs() < 1e-12);
-        assert!((c.arithmetic_intensity_shared() - 4.0).abs() < 1e-12);
-    }
-
-    #[test]
-    fn zero_traffic_gives_infinite_intensity() {
-        let c = TrafficCounters { flops: 10, ..Default::default() };
-        assert!(c.arithmetic_intensity_global().is_infinite());
-        assert!(c.arithmetic_intensity_shared().is_infinite());
-    }
-
-    #[test]
-    fn add_scale_and_sum() {
-        let a = TrafficCounters { global_load_bytes: 4, flops: 2, ..Default::default() };
-        let b = TrafficCounters { global_store_bytes: 8, flops: 3, ..Default::default() };
-        let c = a + b;
-        assert_eq!(c.global_bytes(), 12);
-        assert_eq!(c.flops, 5);
-        let s = c.scaled(3);
-        assert_eq!(s.flops, 15);
-        let total: TrafficCounters = vec![a, b, s].into_iter().sum();
-        assert_eq!(total.flops, 20);
-    }
-}
+pub use mgk_linalg::TrafficCounters;

@@ -120,7 +120,13 @@ impl<V, E> GraphBuilder<V, E> {
     ///
     /// The edge is validated eagerly for range, self loops and weight
     /// validity; duplicate detection happens in [`build`](Self::build).
-    pub fn add_edge(&mut self, u: usize, v: usize, weight: f32, label: E) -> Result<(), BuildError> {
+    pub fn add_edge(
+        &mut self,
+        u: usize,
+        v: usize,
+        weight: f32,
+        label: E,
+    ) -> Result<(), BuildError> {
         let n = self.vertex_labels.len();
         if u >= n {
             return Err(BuildError::VertexOutOfRange { index: u, num_vertices: n });
@@ -168,7 +174,7 @@ impl<V, E> GraphBuilder<V, E> {
         // stopping probabilities
         let stop_prob = match self.stop_prob {
             StopSpec::Uniform(q) => {
-                if !(q > 0.0 && q <= 1.0) || !q.is_finite() {
+                if !(q > 0.0 && q <= 1.0 && q.is_finite()) {
                     return Err(BuildError::InvalidStopProbability(q));
                 }
                 vec![q; n]
@@ -182,7 +188,7 @@ impl<V, E> GraphBuilder<V, E> {
                     )));
                 }
                 for &q in &qs {
-                    if !(q > 0.0 && q <= 1.0) || !q.is_finite() {
+                    if !(q > 0.0 && q <= 1.0 && q.is_finite()) {
                         return Err(BuildError::InvalidStopProbability(q));
                     }
                 }
@@ -308,10 +314,7 @@ mod tests {
         let mut b: GraphBuilder = GraphBuilder::new();
         b.add_vertex(Unlabeled);
         b.add_vertex(Unlabeled);
-        assert!(matches!(
-            b.add_edge(0, 1, -1.0, Unlabeled),
-            Err(BuildError::InvalidWeight { .. })
-        ));
+        assert!(matches!(b.add_edge(0, 1, -1.0, Unlabeled), Err(BuildError::InvalidWeight { .. })));
         assert!(matches!(
             b.add_edge(0, 1, f32::NAN, Unlabeled),
             Err(BuildError::InvalidWeight { .. })

@@ -75,7 +75,11 @@ pub fn newman_watts_strogatz<R: Rng + ?Sized>(
 /// probability proportional to their current degree.
 ///
 /// The paper's ablation uses `n = 96, m = 6`.
-pub fn barabasi_albert<R: Rng + ?Sized>(n: usize, m: usize, rng: &mut R) -> Graph<Unlabeled, Unlabeled> {
+pub fn barabasi_albert<R: Rng + ?Sized>(
+    n: usize,
+    m: usize,
+    rng: &mut R,
+) -> Graph<Unlabeled, Unlabeled> {
     assert!(m >= 1, "attachment count must be at least 1");
     assert!(n > m, "BA graph needs more than m vertices");
 

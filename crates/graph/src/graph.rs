@@ -231,15 +231,7 @@ impl<V, E> Graph<V, E> {
             offsets.push(neighbors.len());
         }
 
-        Graph {
-            vertex_labels,
-            offsets,
-            neighbors,
-            weights,
-            edge_labels,
-            start_prob,
-            stop_prob,
-        }
+        Graph { vertex_labels, offsets, neighbors, weights, edge_labels, start_prob, stop_prob }
     }
 
     /// Map vertex and edge labels into new types, keeping the topology,
@@ -308,15 +300,7 @@ impl<V, E> Graph<V, E> {
         assert_eq!(neighbors.len(), edge_labels.len());
         assert_eq!(start_prob.len(), n);
         assert_eq!(stop_prob.len(), n);
-        Graph {
-            vertex_labels,
-            offsets,
-            neighbors,
-            weights,
-            edge_labels,
-            start_prob,
-            stop_prob,
-        }
+        Graph { vertex_labels, offsets, neighbors, weights, edge_labels, start_prob, stop_prob }
     }
 }
 
@@ -344,8 +328,7 @@ impl Graph<Unlabeled, Unlabeled> {
             b.add_vertex(Unlabeled);
         }
         for &(i, j) in edges {
-            b.add_edge(i as usize, j as usize, 1.0, Unlabeled)
-                .expect("invalid edge in edge list");
+            b.add_edge(i as usize, j as usize, 1.0, Unlabeled).expect("invalid edge in edge list");
         }
         b.stopping_probability(DEFAULT_STOPPING_PROBABILITY);
         b.build().expect("edge list produced an invalid graph")
@@ -384,8 +367,9 @@ mod tests {
                 assert_eq!(a[i * n + j], a[j * n + i]);
             }
         }
-        assert_eq!(a[0 * n + 1], 1.0);
-        assert_eq!(a[0 * n + 2], 0.0);
+        // row 0: vertex 0 is adjacent to 1 but not to 2
+        assert_eq!(a[1], 1.0);
+        assert_eq!(a[2], 0.0);
     }
 
     #[test]

@@ -134,7 +134,7 @@ mod tests {
         // matches: (1,1) only => 1 / 4
         assert!((k.eval(&a, &b) - 0.25).abs() < 1e-7);
         assert_eq!(k.eval(&a, &a), 0.5); // (1,1) and (2,2) out of 4
-        // empty-set conventions
+                                         // empty-set conventions
         let empty: Vec<u8> = vec![];
         assert_eq!(k.eval(&empty, &empty), 1.0);
         assert_eq!(k.eval(&a, &empty), 0.0);

@@ -110,10 +110,7 @@ impl SquareExponential {
     /// Create a square exponential kernel with length scale `ℓ > 0`.
     pub fn new(length_scale: f32) -> Self {
         assert!(length_scale > 0.0 && length_scale.is_finite(), "length scale must be positive");
-        SquareExponential {
-            inv_two_ell_sq: 0.5 / (length_scale * length_scale),
-            length_scale,
-        }
+        SquareExponential { inv_two_ell_sq: 0.5 / (length_scale * length_scale), length_scale }
     }
 
     /// The length scale `ℓ`.

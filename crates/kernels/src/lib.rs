@@ -72,9 +72,6 @@ mod tests {
         assert_eq!(by_ref.eval(&1, &1), 1.0);
         let arc: Arc<KroneckerDelta> = Arc::new(k);
         assert_eq!(arc.eval(&1u8, &2u8), 0.5);
-        assert_eq!(
-            BaseKernel::<u8>::cost(&arc),
-            BaseKernel::<u8>::cost(&KroneckerDelta::new(0.5))
-        );
+        assert_eq!(BaseKernel::<u8>::cost(&arc), BaseKernel::<u8>::cost(&KroneckerDelta::new(0.5)));
     }
 }

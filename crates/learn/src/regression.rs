@@ -149,7 +149,11 @@ impl GaussianProcessRegression {
 
 /// Closed-form leave-one-out root-mean-square error of kernel ridge
 /// regression: `LOO_i = α_i / (K + λI)⁻¹_{ii}` without refitting `n` models.
-pub fn leave_one_out_rmse(kernel: &[f32], targets: &[f64], regularization: f64) -> Result<f64, FitError> {
+pub fn leave_one_out_rmse(
+    kernel: &[f32],
+    targets: &[f64],
+    regularization: f64,
+) -> Result<f64, FitError> {
     let n = targets.len();
     if kernel.len() != n * n || n == 0 {
         return Err(FitError::ShapeMismatch { kernel_len: kernel.len(), targets: n });
@@ -312,10 +316,7 @@ mod tests {
         // better than predicting the mean
         let mean = targets.iter().sum::<f64>() / targets.len() as f64;
         let rmse = |p: &[f64]| {
-            (p.iter()
-                .zip(&targets)
-                .map(|(a, b)| (a - b) * (a - b))
-                .sum::<f64>()
+            (p.iter().zip(&targets).map(|(a, b)| (a - b) * (a - b)).sum::<f64>()
                 / targets.len() as f64)
                 .sqrt()
         };

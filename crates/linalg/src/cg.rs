@@ -6,6 +6,7 @@
 //! solvers and the on-the-fly tensor-product solvers of `mgk-core`.
 
 use crate::operator::LinearOperator;
+use crate::traffic::TrafficCounters;
 use crate::vecops::{axpy, dot, norm_sq, xpby};
 
 /// Options controlling an iterative solve.
@@ -43,6 +44,18 @@ pub fn cg<A: LinearOperator>(a: &A, b: &[f32], opts: &SolveOptions) -> (Vec<f32>
     pcg(a, &IdentityPrec, b, opts)
 }
 
+/// [`cg`] with memory-traffic accounting: every application of `a` adds its
+/// traffic to `counters` through
+/// [`LinearOperator::apply_counted`].
+pub fn cg_counted<A: LinearOperator>(
+    a: &A,
+    b: &[f32],
+    opts: &SolveOptions,
+    counters: &mut TrafficCounters,
+) -> (Vec<f32>, ConvergenceInfo) {
+    pcg_counted(a, &IdentityPrec, b, opts, counters)
+}
+
 /// Identity preconditioner (turns PCG into plain CG).
 struct IdentityPrec;
 
@@ -67,6 +80,34 @@ pub fn pcg<A: LinearOperator, M: LinearOperator>(
     b: &[f32],
     opts: &SolveOptions,
 ) -> (Vec<f32>, ConvergenceInfo) {
+    pcg_counted(a, m_inv, b, opts, &mut TrafficCounters::new())
+}
+
+/// [`pcg`] with memory-traffic accounting: every application of `a` and of
+/// the preconditioner adds its traffic to `counters` through
+/// [`LinearOperator::apply_counted`]. This is the single instrumented
+/// entry point shared by the on-the-fly solvers of `mgk-core` and the
+/// explicit baselines of `mgk-baselines`.
+///
+/// ```
+/// use mgk_linalg::{pcg_counted, DiagonalOperator, SolveOptions, TrafficCounters};
+///
+/// // a diagonal SPD system: 2x = 1, 4y = 1
+/// let a = DiagonalOperator::new(vec![2.0, 4.0]);
+/// let m_inv = a.inverse();
+/// let mut traffic = TrafficCounters::new();
+/// let (x, info) = pcg_counted(&a, &m_inv, &[1.0, 1.0], &SolveOptions::default(), &mut traffic);
+/// assert!(info.converged);
+/// assert!((x[0] - 0.5).abs() < 1e-6 && (x[1] - 0.25).abs() < 1e-6);
+/// assert!(traffic.flops > 0); // operator + preconditioner traffic was counted
+/// ```
+pub fn pcg_counted<A: LinearOperator, M: LinearOperator>(
+    a: &A,
+    m_inv: &M,
+    b: &[f32],
+    opts: &SolveOptions,
+    counters: &mut TrafficCounters,
+) -> (Vec<f32>, ConvergenceInfo) {
     let n = b.len();
     assert_eq!(a.dim(), n, "operator dimension must match right-hand side");
 
@@ -82,7 +123,7 @@ pub fn pcg<A: LinearOperator, M: LinearOperator>(
     // r = b - A x0 = b
     let mut r = b.to_vec();
     let mut z = vec![0.0f32; n];
-    m_inv.apply(&r, &mut z);
+    m_inv.apply_counted(&r, &mut z, counters);
     let mut p = z.clone();
     let mut rho = dot(&r, &z);
     let mut a_p = vec![0.0f32; n];
@@ -92,7 +133,7 @@ pub fn pcg<A: LinearOperator, M: LinearOperator>(
     let mut converged = rel_res <= opts.tolerance;
 
     while !converged && iterations < opts.max_iterations {
-        a.apply(&p, &mut a_p);
+        a.apply_counted(&p, &mut a_p, counters);
         let p_ap = dot(&p, &a_p);
         if p_ap <= 0.0 || !p_ap.is_finite() {
             // matrix not positive definite along p (or numerical breakdown)
@@ -109,7 +150,7 @@ pub fn pcg<A: LinearOperator, M: LinearOperator>(
             break;
         }
 
-        m_inv.apply(&r, &mut z);
+        m_inv.apply_counted(&r, &mut z, counters);
         let rho_next = dot(&r, &z);
         let beta = (rho_next / rho) as f32;
         rho = rho_next;
@@ -211,6 +252,40 @@ mod tests {
         let (_, info) = cg(&op, &b, &SolveOptions { max_iterations: 2, tolerance: 1e-14 });
         assert!(!info.converged);
         assert_eq!(info.iterations, 2);
+    }
+
+    #[test]
+    fn counted_solve_matches_plain_solve_and_accumulates_traffic() {
+        let m = spd_matrix(16, 9);
+        let op = DenseOperator(m);
+        let b = vec![1.0f32; 16];
+        let opts = SolveOptions::default();
+        let (x_plain, info_plain) = cg(&op, &b, &opts);
+        let mut counters = crate::TrafficCounters::new();
+        let (x_counted, info_counted) = cg_counted(&op, &b, &opts, &mut counters);
+        assert_eq!(x_plain, x_counted);
+        assert_eq!(info_plain, info_counted);
+        // one dense apply per iteration: 2 n^2 flops each
+        assert_eq!(counters.flops, info_counted.iterations as u64 * 2 * 16 * 16);
+        assert!(counters.global_load_bytes > 0);
+    }
+
+    #[test]
+    fn preconditioner_traffic_is_counted() {
+        let m = spd_matrix(12, 13);
+        let diag: Vec<f32> = (0..12).map(|i| m[(i, i)]).collect();
+        let op = DenseOperator(m);
+        let prec = DiagonalOperator::new(diag).inverse();
+        let b = vec![1.0f32; 12];
+        let mut with_prec = crate::TrafficCounters::new();
+        let (_, info) = pcg_counted(&op, &prec, &b, &SolveOptions::default(), &mut with_prec);
+        // the diagonal preconditioner applies once up front and once per
+        // iteration except the converging one (12 flops each) on top of the
+        // dense operator's 2 n^2 per iteration
+        assert!(info.converged);
+        let operator_flops = info.iterations as u64 * 2 * 12 * 12;
+        let prec_flops = info.iterations as u64 * 12;
+        assert_eq!(with_prec.flops, operator_flops + prec_flops);
     }
 
     #[test]

@@ -84,13 +84,16 @@ impl DenseMatrix {
     pub fn matvec(&self, x: &[f32], y: &mut [f32]) {
         assert_eq!(x.len(), self.cols, "matvec: x length must equal cols");
         assert_eq!(y.len(), self.rows, "matvec: y length must equal rows");
-        for i in 0..self.rows {
-            let row = self.row(i);
+        if self.cols == 0 {
+            y.fill(0.0);
+            return;
+        }
+        for (yi, row) in y.iter_mut().zip(self.data.chunks_exact(self.cols)) {
             let mut acc = 0.0f64;
             for (a, b) in row.iter().zip(x) {
                 acc += *a as f64 * *b as f64;
             }
-            y[i] = acc as f32;
+            *yi = acc as f32;
         }
     }
 

@@ -75,8 +75,7 @@ pub fn lu_solve(a: &[f64], b: &[f64]) -> Option<Vec<f64>> {
         perm.swap(col, pivot_row);
         let p = perm[col];
         // eliminate
-        for row in (col + 1)..n {
-            let r = perm[row];
+        for &r in &perm[(col + 1)..n] {
             let factor = lu[r * n + col] / lu[p * n + col];
             lu[r * n + col] = factor;
             for k in (col + 1)..n {

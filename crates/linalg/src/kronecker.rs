@@ -158,13 +158,8 @@ mod tests {
         let a = DenseMatrix::from_row_major(2, 2, vec![1., 2., 3., 4.]);
         let b = DenseMatrix::from_row_major(2, 2, vec![5., 6., 7., 8.]);
         let std = kron_dense(&a, &b);
-        let gen = generalized_kron(
-            a.as_slice(),
-            (2, 2),
-            b.as_slice(),
-            (2, 2),
-            |x: &f32, y: &f32| x * y,
-        );
+        let gen =
+            generalized_kron(a.as_slice(), (2, 2), b.as_slice(), (2, 2), |x: &f32, y: &f32| x * y);
         assert!(approx_eq(&std, &gen, 1e-6));
     }
 

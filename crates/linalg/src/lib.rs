@@ -25,11 +25,13 @@ pub mod eigen;
 pub mod kronecker;
 pub mod operator;
 pub mod sparse;
+pub mod traffic;
 pub mod vecops;
 
-pub use cg::{cg, pcg, ConvergenceInfo, SolveOptions};
-pub use eigen::{symmetric_eigen, SymmetricEigen};
+pub use cg::{cg, cg_counted, pcg, pcg_counted, ConvergenceInfo, SolveOptions};
 pub use dense::DenseMatrix;
+pub use eigen::{symmetric_eigen, SymmetricEigen};
 pub use kronecker::{generalized_kron, hadamard, kron_dense, kron_vec};
 pub use operator::{CsrOperator, DenseOperator, DiagonalOperator, LinearOperator, ScaledSum};
 pub use sparse::CsrMatrix;
+pub use traffic::TrafficCounters;

@@ -8,8 +8,21 @@
 
 use crate::dense::DenseMatrix;
 use crate::sparse::CsrMatrix;
+use crate::traffic::TrafficCounters;
+
+/// Bytes of one `f32` element, used by the built-in traffic accounting.
+const F32_BYTES: u64 = 4;
 
 /// A square linear operator that can be applied to a vector.
+///
+/// This is the single operator surface of the workspace: the iterative
+/// solvers in [`crate::cg`], the on-the-fly tensor-product operators of
+/// `mgk-core` and the explicit baselines all apply matrices through it.
+/// Memory-traffic instrumentation is part of the surface —
+/// [`apply_counted`](Self::apply_counted) threads a [`TrafficCounters`]
+/// through every application, so callers that care about traffic (the GPU
+/// cost model, the benchmark harness) receive exact counts without any
+/// side-channel state on the operator.
 pub trait LinearOperator {
     /// Dimension of the (square) operator.
     fn dim(&self) -> usize;
@@ -17,6 +30,18 @@ pub trait LinearOperator {
     /// Compute `y ← A·x`. `x` and `y` have length [`dim`](Self::dim) and do
     /// not alias.
     fn apply(&self, x: &[f32], y: &mut [f32]);
+
+    /// Compute `y ← A·x` and add the memory traffic and arithmetic of the
+    /// application to `counters`.
+    ///
+    /// The default implementation forwards to [`apply`](Self::apply) and
+    /// counts nothing; operators with a meaningful cost model override it.
+    /// Implementations that override `apply_counted` should implement
+    /// `apply` as `self.apply_counted(x, y, &mut TrafficCounters::new())`.
+    fn apply_counted(&self, x: &[f32], y: &mut [f32], counters: &mut TrafficCounters) {
+        let _ = counters;
+        self.apply(x, y);
+    }
 
     /// Convenience allocation-returning variant of [`apply`](Self::apply).
     fn apply_alloc(&self, x: &[f32]) -> Vec<f32> {
@@ -39,6 +64,15 @@ impl LinearOperator for DenseOperator {
     fn apply(&self, x: &[f32], y: &mut [f32]) {
         self.0.matvec(x, y);
     }
+
+    fn apply_counted(&self, x: &[f32], y: &mut [f32], counters: &mut TrafficCounters) {
+        self.apply(x, y);
+        let (n, m) = (self.0.rows() as u64, self.0.cols() as u64);
+        // stream the matrix and the input vector, write the output once
+        counters.global_load_bytes += (n * m + m) * F32_BYTES;
+        counters.global_store_bytes += n * F32_BYTES;
+        counters.flops += 2 * n * m;
+    }
 }
 
 /// A CSR matrix viewed as a linear operator.
@@ -53,6 +87,15 @@ impl LinearOperator for CsrOperator {
 
     fn apply(&self, x: &[f32], y: &mut [f32]) {
         self.0.matvec(x, y);
+    }
+
+    fn apply_counted(&self, x: &[f32], y: &mut [f32], counters: &mut TrafficCounters) {
+        self.apply(x, y);
+        let (n, nnz) = (self.0.rows() as u64, self.0.nnz() as u64);
+        // values + column indices + row pointers + gathered x entries
+        counters.global_load_bytes += nnz * (2 * F32_BYTES + 4) + (n + 1) * 4;
+        counters.global_store_bytes += n * F32_BYTES;
+        counters.flops += 2 * nnz;
     }
 }
 
@@ -99,6 +142,14 @@ impl LinearOperator for DiagonalOperator {
             *yi = di * xi;
         }
     }
+
+    fn apply_counted(&self, x: &[f32], y: &mut [f32], counters: &mut TrafficCounters) {
+        self.apply(x, y);
+        let n = self.diag.len() as u64;
+        counters.global_load_bytes += 2 * n * F32_BYTES;
+        counters.global_store_bytes += n * F32_BYTES;
+        counters.flops += n;
+    }
 }
 
 /// The operator `alpha·A + beta·B` formed from two operators of the same
@@ -129,12 +180,22 @@ impl<A: LinearOperator, B: LinearOperator> LinearOperator for ScaledSum<A, B> {
     }
 
     fn apply(&self, x: &[f32], y: &mut [f32]) {
-        self.a.apply(x, y);
+        self.apply_counted(x, y, &mut TrafficCounters::new());
+    }
+
+    fn apply_counted(&self, x: &[f32], y: &mut [f32], counters: &mut TrafficCounters) {
+        self.a.apply_counted(x, y, counters);
         let mut tmp = vec![0.0; self.b.dim()];
-        self.b.apply(x, &mut tmp);
+        self.b.apply_counted(x, &mut tmp, counters);
         for (yi, ti) in y.iter_mut().zip(&tmp) {
             *yi = self.alpha * *yi + self.beta * *ti;
         }
+        // the axpby combination of the two partial results: read both,
+        // write y back
+        let n = self.dim() as u64;
+        counters.flops += 3 * n;
+        counters.global_load_bytes += 2 * n * F32_BYTES;
+        counters.global_store_bytes += n * F32_BYTES;
     }
 }
 
@@ -144,6 +205,9 @@ impl<T: LinearOperator + ?Sized> LinearOperator for &T {
     }
     fn apply(&self, x: &[f32], y: &mut [f32]) {
         (**self).apply(x, y)
+    }
+    fn apply_counted(&self, x: &[f32], y: &mut [f32], counters: &mut TrafficCounters) {
+        (**self).apply_counted(x, y, counters)
     }
 }
 
@@ -192,10 +256,41 @@ mod tests {
     }
 
     #[test]
+    fn counted_apply_matches_plain_apply_and_counts() {
+        let d = DenseMatrix::from_row_major(2, 2, vec![1., 2., 3., 4.]);
+        let csr = CsrOperator(CsrMatrix::from_dense(&d, 0.0));
+        let dense = DenseOperator(d);
+        let diag = DiagonalOperator::new(vec![2.0, 3.0]);
+        let x = [1.0f32, -1.0];
+        for op in [&dense as &dyn LinearOperator, &csr, &diag] {
+            let mut counters = TrafficCounters::new();
+            let mut y = vec![0.0f32; 2];
+            op.apply_counted(&x, &mut y, &mut counters);
+            assert_eq!(y, op.apply_alloc(&x));
+            assert!(counters.flops > 0);
+            assert!(counters.global_load_bytes > 0);
+            assert!(counters.global_store_bytes > 0);
+        }
+    }
+
+    #[test]
+    fn scaled_sum_threads_counters_through_both_operands() {
+        let a = DiagonalOperator::new(vec![1.0, 2.0]);
+        let b = DiagonalOperator::new(vec![3.0, 4.0]);
+        let s = ScaledSum::new(1.0, a, -1.0, b);
+        let mut counters = TrafficCounters::new();
+        let mut y = vec![0.0f32; 2];
+        s.apply_counted(&[1.0, 1.0], &mut y, &mut counters);
+        assert_eq!(y, vec![-2.0, -2.0]);
+        // two diagonal applications (2 flops each) plus the 3n axpby
+        assert_eq!(counters.flops, 2 + 2 + 6);
+    }
+
+    #[test]
     fn reference_to_operator_is_operator() {
         let d = DiagonalOperator::new(vec![3.0]);
         let r: &dyn LinearOperator = &d;
         assert_eq!(r.apply_alloc(&[2.0]), vec![6.0]);
-        assert_eq!((&d).apply_alloc(&[2.0]), vec![6.0]);
+        assert_eq!(d.apply_alloc(&[2.0]), vec![6.0]);
     }
 }

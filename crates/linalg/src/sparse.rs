@@ -86,12 +86,12 @@ impl CsrMatrix {
     pub fn matvec(&self, x: &[f32], y: &mut [f32]) {
         assert_eq!(x.len(), self.cols, "matvec: x length must equal cols");
         assert_eq!(y.len(), self.rows, "matvec: y length must equal rows");
-        for i in 0..self.rows {
+        for (i, yi) in y.iter_mut().enumerate() {
             let mut acc = 0.0f64;
             for (c, v) in self.row(i) {
                 acc += v as f64 * x[c as usize] as f64;
             }
-            y[i] = acc as f32;
+            *yi = acc as f32;
         }
     }
 

@@ -82,7 +82,8 @@ mod tests {
         let g = Graph::from_edge_list(20, &edges);
         let direct = count_nonempty_tiles(&g, 8);
         let via_tiles =
-            OctileMatrix::from_graph(&g.map_labels(|_| mgk_graph::Unlabeled, |_| 0.0f32)).num_tiles();
+            OctileMatrix::from_graph(&g.map_labels(|_| mgk_graph::Unlabeled, |_| 0.0f32))
+                .num_tiles();
         assert_eq!(direct, via_tiles);
     }
 

@@ -58,7 +58,12 @@ pub fn pbr_order<V, E>(g: &Graph<V, E>, cfg: &PbrConfig) -> Vec<u32> {
 /// in place (the grouping of the order into consecutive `tile_size` chunks
 /// defines the partition; the order of vertices within a part and the order
 /// of the parts themselves do not affect the objective).
-fn refine_tile_partition<V, E>(g: &Graph<V, E>, order: &mut [u32], tile_size: usize, passes: usize) {
+fn refine_tile_partition<V, E>(
+    g: &Graph<V, E>,
+    order: &mut [u32],
+    tile_size: usize,
+    passes: usize,
+) {
     let n = order.len();
     if n <= tile_size {
         return;
@@ -72,7 +77,8 @@ fn refine_tile_partition<V, E>(g: &Graph<V, E>, order: &mut [u32], tile_size: us
     let part_of = |position: &[u32], v: usize| (position[v] as usize) / tile_size;
 
     // counts of edges between part pairs (unordered, including diagonal)
-    let mut pair_count: std::collections::HashMap<(u32, u32), i64> = std::collections::HashMap::new();
+    let mut pair_count: std::collections::HashMap<(u32, u32), i64> =
+        std::collections::HashMap::new();
     let key = |a: usize, b: usize| (a.min(b) as u32, a.max(b) as u32);
     for (i, j, _, _) in g.edges() {
         let (pa, pb) = (part_of(&position, i as usize), part_of(&position, j as usize));
@@ -151,7 +157,10 @@ fn refine_tile_partition<V, E>(g: &Graph<V, E>, order: &mut [u32], tile_size: us
                         position[u] = posw;
                         position[w] = posu as u32;
                         improved = true;
-                        continue 'parts;
+                        // u has moved to part pw: both `pu` and the candidate
+                        // part list are now stale, so stop processing u this
+                        // pass (it can move again on the next pass)
+                        break 'parts;
                     }
                 }
             }
@@ -208,9 +217,7 @@ fn split<V, E>(
     // seed: minimum subset-degree vertex (approximates a peripheral vertex)
     let seed = (0..n_sub)
         .min_by_key(|&i| {
-            g.neighbors(verts[i] as usize)
-                .filter(|e| local[e.target as usize] != u32::MAX)
-                .count()
+            g.neighbors(verts[i] as usize).filter(|e| local[e.target as usize] != u32::MAX).count()
         })
         .unwrap_or(0);
     let mut next_pick = Some(seed);
@@ -282,7 +289,8 @@ fn split<V, E>(
                     .filter(|&v| in_left[v] == side_left && !locked[v])
                     .max_by_key(|&v| gain[v])
             };
-            let (Some(l), Some(r)) = (best_on(true, &gain, &locked), best_on(false, &gain, &locked))
+            let (Some(l), Some(r)) =
+                (best_on(true, &gain, &locked), best_on(false, &gain, &locked))
             else {
                 break;
             };

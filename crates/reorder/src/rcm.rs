@@ -105,7 +105,8 @@ mod tests {
 
     #[test]
     fn rcm_is_a_permutation() {
-        let g = Graph::from_edge_list(10, &[(0, 9), (9, 3), (3, 7), (7, 1), (1, 5), (2, 6), (6, 8)]);
+        let g =
+            Graph::from_edge_list(10, &[(0, 9), (9, 3), (3, 7), (7, 1), (1, 5), (2, 6), (6, 8)]);
         let order = rcm_order(&g);
         assert!(is_permutation(&order, 10));
     }
@@ -118,15 +119,12 @@ mod tests {
         let g = Graph::from_edge_list(10, &edges);
         let order = rcm_order(&g);
         // bandwidth under the RCM order
-        let mut pos = vec![0usize; 10];
+        let mut pos = [0usize; 10];
         for (k, &v) in order.iter().enumerate() {
             pos[v as usize] = k;
         }
-        let bw = g
-            .edges()
-            .map(|(i, j, _, _)| pos[i as usize].abs_diff(pos[j as usize]))
-            .max()
-            .unwrap();
+        let bw =
+            g.edges().map(|(i, j, _, _)| pos[i as usize].abs_diff(pos[j as usize])).max().unwrap();
         assert_eq!(bw, 1, "RCM should linearize a path, got bandwidth {bw}");
     }
 

@@ -13,7 +13,7 @@ const BITS: u32 = 10;
 
 /// Order vertices along the Morton (Z-order) curve of their 3D coordinates.
 pub fn morton_order(coords: &[[f32; 3]]) -> Vec<u32> {
-    order_by_key(coords, |q| morton_key(q))
+    order_by_key(coords, morton_key)
 }
 
 /// Order vertices along the Hilbert curve of their 3D coordinates.
@@ -21,7 +21,7 @@ pub fn morton_order(coords: &[[f32; 3]]) -> Vec<u32> {
 /// Uses the axes-to-transpose algorithm (Skilling, 2004) to convert the
 /// quantized coordinates into a Hilbert index.
 pub fn hilbert_order(coords: &[[f32; 3]]) -> Vec<u32> {
-    order_by_key(coords, |q| hilbert_key(q))
+    order_by_key(coords, hilbert_key)
 }
 
 fn order_by_key(coords: &[[f32; 3]], key: impl Fn([u32; 3]) -> u128) -> Vec<u32> {
@@ -56,7 +56,11 @@ fn quantize(coords: &[[f32; 3]]) -> Vec<[u32; 3]> {
     });
     coords
         .iter()
-        .map(|c| std::array::from_fn(|a| (((c[a] - lo[a]) * scale[a]).round() as u32).min((1 << BITS) - 1)))
+        .map(|c| {
+            std::array::from_fn(|a| {
+                (((c[a] - lo[a]) * scale[a]).round() as u32).min((1 << BITS) - 1)
+            })
+        })
         .collect()
 }
 

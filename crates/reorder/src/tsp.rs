@@ -102,15 +102,12 @@ mod tests {
         let edges = [(0u32, 7u32), (7, 3), (3, 9), (9, 1), (1, 6), (6, 2), (2, 8), (8, 4), (4, 5)];
         let g = Graph::from_edge_list(10, &edges);
         let order = tsp_order(&g);
-        let mut pos = vec![0usize; 10];
+        let mut pos = [0usize; 10];
         for (k, &v) in order.iter().enumerate() {
             pos[v as usize] = k;
         }
-        let bw = g
-            .edges()
-            .map(|(i, j, _, _)| pos[i as usize].abs_diff(pos[j as usize]))
-            .max()
-            .unwrap();
+        let bw =
+            g.edges().map(|(i, j, _, _)| pos[i as usize].abs_diff(pos[j as usize])).max().unwrap();
         assert!(bw <= 2, "TSP order should nearly linearize a path, bandwidth {bw}");
     }
 

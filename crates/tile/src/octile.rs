@@ -65,9 +65,9 @@ impl<E: Copy> Octile<E> {
     /// Iterate over the nonzero elements as `(local_row, local_col, weight,
     /// label)`.
     pub fn iter(&self) -> impl Iterator<Item = (usize, usize, f32, E)> + '_ {
-        BitIter::new(self.mask)
-            .enumerate()
-            .map(move |(k, pos)| (pos / TILE_SIZE, pos % TILE_SIZE, self.weights[k], self.labels[k]))
+        BitIter::new(self.mask).enumerate().map(move |(k, pos)| {
+            (pos / TILE_SIZE, pos % TILE_SIZE, self.weights[k], self.labels[k])
+        })
     }
 
     /// Weight at local position `(r, c)` or 0 if empty.
@@ -122,9 +122,10 @@ impl<E: Copy + Default> OctileMatrix<E> {
     pub fn from_graph<V>(g: &Graph<V, E>) -> Self {
         let n = g.num_vertices();
         let tiles_per_side = n.div_ceil(TILE_SIZE);
-        // bucket edges by tile coordinate
+        // bucket edges by tile coordinate: intra-tile bit plus weight/label
+        type TileEntries<E> = Vec<(u8, f32, E)>;
         use std::collections::BTreeMap;
-        let mut buckets: BTreeMap<(u32, u32), Vec<(u8, f32, E)>> = BTreeMap::new();
+        let mut buckets: BTreeMap<(u32, u32), TileEntries<E>> = BTreeMap::new();
         for i in 0..n {
             for e in g.neighbors(i) {
                 let j = e.target as usize;
@@ -305,7 +306,12 @@ mod tests {
         let m = OctileMatrix::from_graph(&g);
         // adjacency is symmetric so tile (r,c) non-empty iff (c,r) non-empty
         for t in m.tiles() {
-            assert!(m.tile(t.col, t.row).is_some(), "missing symmetric tile ({}, {})", t.col, t.row);
+            assert!(
+                m.tile(t.col, t.row).is_some(),
+                "missing symmetric tile ({}, {})",
+                t.col,
+                t.row
+            );
         }
     }
 
@@ -320,9 +326,8 @@ mod tests {
 
     #[test]
     fn fill_fraction_of_complete_graph_is_one() {
-        let edges: Vec<(u32, u32)> = (0..16u32)
-            .flat_map(|i| ((i + 1)..16).map(move |j| (i, j)))
-            .collect();
+        let edges: Vec<(u32, u32)> =
+            (0..16u32).flat_map(|i| ((i + 1)..16).map(move |j| (i, j))).collect();
         let g = Graph::from_edge_list(16, &edges);
         let m = OctileMatrix::from_graph(&g.map_labels(|_| Unlabeled, |_| 0.0f32));
         assert_eq!(m.tiles_per_side(), 2);

@@ -52,7 +52,11 @@ impl TileDensityStats {
             } else {
                 nonempty_tiles as f64 / possible_tiles as f64
             },
-            mean_density: if nonempty_tiles == 0 { 0.0 } else { density_sum / nonempty_tiles as f64 },
+            mean_density: if nonempty_tiles == 0 {
+                0.0
+            } else {
+                density_sum / nonempty_tiles as f64
+            },
             density_histogram,
             nonzeros,
         }
@@ -111,7 +115,8 @@ mod tests {
 
     #[test]
     fn histogram_top_bin_for_full_tile() {
-        let edges: Vec<(u32, u32)> = (0..8u32).flat_map(|i| ((i + 1)..8).map(move |j| (i, j))).collect();
+        let edges: Vec<(u32, u32)> =
+            (0..8u32).flat_map(|i| ((i + 1)..8).map(move |j| (i, j))).collect();
         let g = Graph::from_edge_list(8, &edges);
         let m = OctileMatrix::from_graph(&g.map_labels(|_| Unlabeled, |_| 0.0f32));
         let s = TileDensityStats::of(&m);

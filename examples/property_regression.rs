@@ -135,13 +135,7 @@ fn main() {
     for (k, &i) in test_idx.iter().enumerate() {
         let (mean, var) = predictions[k];
         sq_err += (mean - targets[i]).powi(2);
-        println!(
-            "{:<16} {:>10.2} {:>10.2} ± {:.2}",
-            smiles[i].0,
-            targets[i],
-            mean,
-            var.sqrt()
-        );
+        println!("{:<16} {:>10.2} {:>10.2} ± {:.2}", smiles[i].0, targets[i], mean, var.sqrt());
     }
     let rmse = (sq_err / test_idx.len() as f64).sqrt();
     let spread = {

@@ -27,11 +27,7 @@ fn main() {
     let structures = protein::pdb_like(6, 60, 140, &mut rng);
     println!("generated {} protein-like structures:", structures.len());
     for (i, s) in structures.iter().enumerate() {
-        println!(
-            "  #{i}: {} atoms, {} contacts",
-            s.graph.num_vertices(),
-            s.graph.num_edges()
-        );
+        println!("  #{i}: {} atoms, {} contacts", s.graph.num_vertices(), s.graph.num_edges());
     }
 
     // --- reordering study (the Fig. 6 scenario) ---------------------------

@@ -1,0 +1,9 @@
+//! Collection strategies (`proptest::collection`).
+
+use crate::{SizeRange, Strategy, VecStrategy};
+
+/// Strategy for a `Vec` whose elements come from `element` and whose length
+/// comes from `size` (a fixed `usize` or a `Range<usize>`).
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy { element, size: size.into() }
+}

@@ -1,0 +1,293 @@
+//! Offline stand-in for the [`rayon`](https://crates.io/crates/rayon) crate.
+//!
+//! The build environment has no crates.io access, so this workspace-local
+//! crate implements the subset of the rayon API the `mgk` workspace uses on
+//! top of `std::thread::scope`:
+//!
+//! * `slice.par_iter().map(f).collect::<Vec<_>>()`
+//! * `slice.par_chunks(n).flat_map_iter(f).collect::<Vec<_>>()`
+//! * [`current_num_threads`], [`ThreadPoolBuilder`] / [`ThreadPool::install`]
+//!
+//! Work is distributed dynamically: worker threads pull item indices from a
+//! shared atomic counter (the CPU analogue of rayon's work stealing), so a
+//! skewed workload does not straggle on one thread. Results are returned in
+//! input order regardless of completion order.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+pub mod prelude {
+    //! Glob-import surface mirroring `rayon::prelude`.
+    pub use crate::{IntoParallelRefIterator, ParallelSlice};
+}
+
+/// Thread-count override installed by [`ThreadPool::install`]; 0 = default.
+static POOL_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Number of worker threads parallel calls will use.
+pub fn current_num_threads() -> usize {
+    let forced = POOL_THREADS.load(Ordering::Relaxed);
+    if forced > 0 {
+        forced
+    } else {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    }
+}
+
+/// Run `f(item)` for every item of `items` on `current_num_threads()` worker
+/// threads, handing out items dynamically, and return the results in input
+/// order.
+fn dynamic_map<'a, T: Sync, R: Send>(items: &'a [T], f: impl Fn(&'a T) -> R + Sync) -> Vec<R> {
+    let n = items.len();
+    let threads = current_num_threads().min(n.max(1));
+    if threads <= 1 || n <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let mut per_thread: Vec<Vec<(usize, R)>> = Vec::with_capacity(threads);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        local.push((i, f(&items[i])));
+                    }
+                    local
+                })
+            })
+            .collect();
+        for h in handles {
+            per_thread.push(h.join().expect("rayon shim worker panicked"));
+        }
+    });
+    let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    for (i, r) in per_thread.into_iter().flatten() {
+        slots[i] = Some(r);
+    }
+    slots.into_iter().map(|s| s.expect("every index produced exactly once")).collect()
+}
+
+/// `.par_iter()` on slices and `Vec`s.
+pub trait IntoParallelRefIterator<'a> {
+    /// Item yielded by the parallel iterator.
+    type Item: Sync + 'a;
+
+    /// A parallel iterator over `&Self::Item`.
+    fn par_iter(&'a self) -> ParIter<'a, Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = T;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = T;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+/// Borrowing parallel iterator over a slice.
+pub struct ParIter<'a, T> {
+    items: &'a [T],
+}
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    /// Map every element through `f` in parallel.
+    pub fn map<R, F>(self, f: F) -> ParMap<'a, T, F>
+    where
+        F: Fn(&'a T) -> R + Sync,
+        R: Send,
+    {
+        ParMap { items: self.items, f }
+    }
+}
+
+/// Result of [`ParIter::map`]; evaluated by [`ParMap::collect`].
+pub struct ParMap<'a, T, F> {
+    items: &'a [T],
+    f: F,
+}
+
+impl<'a, T: Sync, F> ParMap<'a, T, F> {
+    /// Execute the parallel map and collect the results in input order.
+    pub fn collect<C, R>(self) -> C
+    where
+        F: Fn(&'a T) -> R + Sync,
+        R: Send,
+        C: From<Vec<R>>,
+    {
+        C::from(dynamic_map(self.items, &self.f))
+    }
+}
+
+/// `.par_chunks(n)` on slices.
+pub trait ParallelSlice<T: Sync> {
+    /// Parallel iterator over contiguous chunks of `chunk_size` elements.
+    fn par_chunks(&self, chunk_size: usize) -> ParChunks<'_, T>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, chunk_size: usize) -> ParChunks<'_, T> {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        ParChunks { chunks: self.chunks(chunk_size).collect() }
+    }
+}
+
+/// Borrowing parallel iterator over slice chunks.
+pub struct ParChunks<'a, T> {
+    chunks: Vec<&'a [T]>,
+}
+
+impl<'a, T: Sync> ParChunks<'a, T> {
+    /// Map every chunk to a serial iterator and flatten, in parallel over
+    /// chunks.
+    pub fn flat_map_iter<I, F>(self, f: F) -> ParFlatMapIter<'a, T, F>
+    where
+        F: Fn(&'a [T]) -> I + Sync,
+        I: IntoIterator,
+        I::Item: Send,
+    {
+        ParFlatMapIter { chunks: self.chunks, f }
+    }
+}
+
+/// Result of [`ParChunks::flat_map_iter`].
+pub struct ParFlatMapIter<'a, T, F> {
+    chunks: Vec<&'a [T]>,
+    f: F,
+}
+
+impl<'a, T: Sync, F> ParFlatMapIter<'a, T, F> {
+    /// Execute and collect the flattened results in input order.
+    pub fn collect<C, I>(self) -> C
+    where
+        F: Fn(&'a [T]) -> I + Sync,
+        I: IntoIterator,
+        I::Item: Send,
+        C: From<Vec<I::Item>>,
+    {
+        let per_chunk: Vec<Vec<I::Item>> =
+            dynamic_map(&self.chunks, |chunk| (self.f)(chunk).into_iter().collect());
+        C::from(per_chunk.into_iter().flatten().collect())
+    }
+}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder`.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+/// Error type of [`ThreadPoolBuilder::build`] (never produced).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool construction failed")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+impl ThreadPoolBuilder {
+    /// Start building a pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fix the number of worker threads (0 = default).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Finish the builder.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool { num_threads: self.num_threads })
+    }
+}
+
+/// A scoped thread-count override standing in for a real rayon pool.
+///
+/// The shim has no persistent workers; [`ThreadPool::install`] simply pins
+/// [`current_num_threads`] to the pool's size while `f` runs, which is the
+/// property the benchmarks rely on.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Run `f` with this pool's thread count as the parallelism level.
+    ///
+    /// The override is process-global (unlike real rayon's per-pool
+    /// workers), so nesting or racing two `install`s interleaves their
+    /// counts; the benchmarks that use this run pools one at a time. The
+    /// previous count is restored even if `f` panics.
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        struct Restore(usize);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                POOL_THREADS.store(self.0, Ordering::Relaxed);
+            }
+        }
+        let _restore = Restore(POOL_THREADS.swap(self.num_threads, Ordering::Relaxed));
+        f()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_preserves_order() {
+        let v: Vec<u64> = (0..1000).collect();
+        let out: Vec<u64> = v.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(out, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_chunks_flat_map_matches_serial() {
+        let v: Vec<u32> = (0..257).collect();
+        let out: Vec<u32> = v
+            .par_chunks(16)
+            .flat_map_iter(|c| c.iter().map(|&x| x + 1).collect::<Vec<_>>())
+            .collect();
+        assert_eq!(out, (1..258).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn pool_install_pins_thread_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        let inside = pool.install(current_num_threads);
+        assert_eq!(inside, 3);
+        assert_ne!(current_num_threads(), 0);
+    }
+
+    #[test]
+    fn parallel_map_actually_uses_multiple_threads() {
+        if std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1) < 2 {
+            return; // single-core runner: nothing to assert
+        }
+        let v: Vec<u32> = (0..64).collect();
+        let ids: Vec<std::thread::ThreadId> = v
+            .par_iter()
+            .map(|_| {
+                std::thread::sleep(std::time::Duration::from_millis(1));
+                std::thread::current().id()
+            })
+            .collect();
+        let distinct: std::collections::HashSet<_> = ids.into_iter().collect();
+        assert!(distinct.len() > 1, "expected work on more than one thread");
+    }
+}

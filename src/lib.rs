@@ -56,8 +56,11 @@ pub use mgk_tile as tile;
 
 /// Commonly used items, re-exported for convenience.
 pub mod prelude {
-    pub use mgk_core::{GramConfig, GramEngine, KernelResult, MarginalizedKernelSolver, SolverConfig};
+    pub use mgk_core::{
+        GramConfig, GramEngine, KernelResult, MarginalizedKernelSolver, SolverConfig,
+    };
     pub use mgk_graph::{Graph, GraphBuilder};
     pub use mgk_kernels::{BaseKernel, KroneckerDelta, SquareExponential, UnitKernel};
+    pub use mgk_linalg::{LinearOperator, SolveOptions, TrafficCounters};
     pub use mgk_reorder::ReorderMethod;
 }

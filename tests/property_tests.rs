@@ -1,6 +1,6 @@
 //! Property-based tests (proptest) for the core invariants of the system.
 
-use mgk::graph::{Graph, GraphBuilder, Unlabeled};
+use mgk::graph::{Graph, GraphBuilder};
 use mgk::kernels::{BaseKernel, KroneckerDelta, SquareExponential, UnitKernel};
 use mgk::linalg::{kron_dense, kron_vec, DenseMatrix};
 use mgk::prelude::*;
@@ -19,9 +19,9 @@ fn arb_labeled_graph(max_n: usize) -> impl Strategy<Value = Graph<u8, f32>> {
         .prop_flat_map(|n| {
             let labels = proptest::collection::vec(0u8..4, n);
             // spanning-tree parents guarantee connectivity; extra edges add cycles
-            let parents: Vec<BoxedStrategy<usize>> =
-                (1..n).map(|v| (0..v).boxed()).collect();
-            let extra = proptest::collection::vec((0usize..n, 0usize..n, 0.1f32..2.0, 0.0f32..3.0), 0..n);
+            let parents: Vec<BoxedStrategy<usize>> = (1..n).map(|v| (0..v).boxed()).collect();
+            let extra =
+                proptest::collection::vec((0usize..n, 0usize..n, 0.1f32..2.0, 0.0f32..3.0), 0..n);
             let edge_labels = proptest::collection::vec(0.0f32..3.0, n - 1);
             let weights = proptest::collection::vec(0.1f32..2.0, n - 1);
             (Just(n), labels, parents, extra, edge_labels, weights)
