@@ -21,7 +21,7 @@ fn bench_pcg(c: &mut Criterion) {
     for q in [0.2f32, 0.05, 0.005] {
         let solver = MarginalizedKernelSolver::unlabeled(SolverConfig {
             stopping_probability: Some(q),
-            max_iterations: 5000,
+            solve: mgk_linalg::SolveOptions { max_iterations: 5000, ..Default::default() },
             ..SolverConfig::default()
         });
         group.bench_function(BenchmarkId::new("pcg", format!("q={q}")), |b| {

@@ -1,0 +1,111 @@
+//! Record a machine-readable benchmark baseline.
+//!
+//! Runs a compact suite of representative workloads through the criterion
+//! shim and writes the recorded medians to `BENCH_baseline.json` (override
+//! the path with `MGK_BENCH_BASELINE_PATH`). The checked-in baseline was
+//! recorded at `MGK_BENCH_SCALE=1`; later performance PRs re-run this
+//! binary on the same machine and diff the medians to claim wins.
+//!
+//! ```bash
+//! MGK_BENCH_SCALE=1 cargo run --release -p mgk-bench --bin bench_baseline
+//! ```
+
+use std::time::Duration;
+
+use criterion::Criterion;
+use rayon::prelude::*;
+
+use mgk_bench::{bench_rng, bench_scale, scaled};
+use mgk_core::{GramConfig, GramEngine, MarginalizedKernelSolver, SolverConfig};
+use mgk_datasets::ensembles::EnsembleStream;
+use mgk_graph::{Graph, Unlabeled};
+use mgk_runtime::{GramService, GramServiceConfig};
+
+fn solver() -> MarginalizedKernelSolver<mgk_kernels::UnitKernel, mgk_kernels::UnitKernel> {
+    MarginalizedKernelSolver::unlabeled(SolverConfig::default())
+}
+
+fn run_suite(c: &mut Criterion) {
+    let mut group = c.benchmark_group("baseline");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(300));
+
+    // one pair solve of ensemble-sized graphs (the solver's unit of work)
+    let pair: Vec<Graph<Unlabeled, Unlabeled>> =
+        EnsembleStream::small_world(96, 3, 0.1, bench_rng()).take(2).collect();
+    let s = solver();
+    group.bench_function("pair_solve/96", |b| {
+        b.iter(|| s.kernel(&pair[0], &pair[1]).unwrap().iterations)
+    });
+
+    // a batch Gram matrix at Gram-engine granularity
+    let n = scaled(12, 4);
+    let graphs: Vec<Graph<Unlabeled, Unlabeled>> =
+        EnsembleStream::small_world(48, 2, 0.1, bench_rng()).take(n).collect();
+    let engine = GramEngine::new(solver(), GramConfig::default());
+    group.bench_function(format!("gram_batch/{n}"), |b| {
+        b.iter(|| engine.compute(&graphs).total_iterations)
+    });
+
+    // streaming extension of a warm service
+    let appended = scaled(3, 2).min(n);
+    let mut warm = GramService::new(solver(), GramServiceConfig::default());
+    for g in &graphs[..n - appended] {
+        warm.submit(g.clone()).expect("queue sized for the workload");
+    }
+    warm.flush();
+    group.bench_function(format!("gram_service_extend/+{appended}"), |b| {
+        b.iter(|| {
+            let mut svc = warm.clone();
+            for g in &graphs[n - appended..] {
+                svc.submit(g.clone()).expect("queue sized for the workload");
+            }
+            svc.flush()
+        })
+    });
+
+    // raw pool fan-out overhead at fine granularity
+    let items: Vec<u64> = (0..scaled(4096, 256) as u64).collect();
+    group.bench_function("pool_par_iter/4096", |b| {
+        b.iter(|| {
+            let out: Vec<u64> = items.par_iter().map(|&x| x.wrapping_mul(x) ^ x).collect();
+            out.len()
+        })
+    });
+
+    group.finish();
+}
+
+/// Minimal JSON escaping for benchmark ids (alphanumerics, `/`, `_`, `+`).
+fn json_escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|ch| match ch {
+            '"' | '\\' => vec!['\\', ch],
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+fn main() {
+    let mut criterion = Criterion::default();
+    run_suite(&mut criterion);
+
+    let mut records = criterion::take_records();
+    records.sort_by(|a, b| a.id.cmp(&b.id));
+
+    let path = std::env::var("MGK_BENCH_BASELINE_PATH")
+        .unwrap_or_else(|_| "BENCH_baseline.json".to_string());
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"scale\": {},\n", bench_scale()));
+    out.push_str(&format!("  \"threads\": {},\n", rayon::current_num_threads()));
+    out.push_str("  \"median_ns\": {\n");
+    for (k, r) in records.iter().enumerate() {
+        let comma = if k + 1 < records.len() { "," } else { "" };
+        out.push_str(&format!("    \"{}\": {}{comma}\n", json_escape(&r.id), r.median_ns));
+    }
+    out.push_str("  }\n}\n");
+    std::fs::write(&path, &out).expect("writing the baseline file");
+    println!("wrote {} entries to {path}", records.len());
+}

@@ -31,7 +31,10 @@ where
     KE: BaseKernel<E> + Clone + Send + Sync,
 {
     let device = DeviceSpec::volta_v100();
-    let base = SolverConfig { tolerance: 1e-6, max_iterations: 500, ..SolverConfig::default() };
+    let base = SolverConfig {
+        solve: mgk_linalg::SolveOptions { tolerance: 1e-6, max_iterations: 500 },
+        ..SolverConfig::default()
+    };
     let sizes: Vec<usize> = graphs.iter().map(|g| g.num_vertices()).collect();
     println!(
         "--- {name}: {} graphs, {}..{} nodes, {} kernel evaluations ---",

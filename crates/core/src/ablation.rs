@@ -147,11 +147,14 @@ mod tests {
 
     #[test]
     fn tolerance_is_inherited_from_base() {
-        let base = SolverConfig { tolerance: 1e-3, max_iterations: 7, ..SolverConfig::default() };
+        let base = SolverConfig {
+            solve: mgk_linalg::SolveOptions { tolerance: 1e-3, max_iterations: 7 },
+            ..SolverConfig::default()
+        };
         for level in OptimizationLevel::ALL {
             let cfg = level.solver_config(&base);
-            assert_eq!(cfg.tolerance, 1e-3);
-            assert_eq!(cfg.max_iterations, 7);
+            assert_eq!(cfg.solve.tolerance, 1e-3);
+            assert_eq!(cfg.solve.max_iterations, 7);
         }
     }
 }

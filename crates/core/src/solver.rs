@@ -3,7 +3,7 @@
 use mgk_gpusim::TrafficCounters;
 use mgk_graph::Graph;
 use mgk_kernels::{BaseKernel, UnitKernel};
-use mgk_linalg::{pcg_counted, vecops, DiagonalOperator, SolveOptions};
+use mgk_linalg::{pcg_counted_warm, vecops, DiagonalOperator, SolveOptions};
 use mgk_reorder::ReorderMethod;
 
 use crate::product::{ProductSystem, SystemOperator};
@@ -32,10 +32,11 @@ pub enum XmvMode {
 /// [`OptimizationLevel`](crate::OptimizationLevel)).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SolverConfig {
-    /// Relative-residual convergence threshold of the PCG iteration.
-    pub tolerance: f64,
-    /// Maximum number of PCG iterations.
-    pub max_iterations: usize,
+    /// Convergence threshold and iteration budget of the PCG iteration —
+    /// the same [`SolveOptions`] the `mgk-linalg` solvers and the explicit
+    /// baselines take, embedded directly so every solve in the workspace is
+    /// configured through one type.
+    pub solve: SolveOptions,
     /// Off-diagonal operator realization.
     pub xmv_mode: XmvMode,
     /// Vertex reordering applied to each graph before tiling.
@@ -59,8 +60,7 @@ pub struct SolverConfig {
 impl Default for SolverConfig {
     fn default() -> Self {
         SolverConfig {
-            tolerance: 1e-6,
-            max_iterations: 500,
+            solve: SolveOptions { tolerance: 1e-6, max_iterations: 500 },
             xmv_mode: XmvMode::Octile,
             reorder: ReorderMethod::Pbr,
             adaptive_tiles: true,
@@ -172,6 +172,29 @@ impl<KV, KE> MarginalizedKernelSolver<KV, KE> {
         KV: BaseKernel<V>,
         KE: BaseKernel<E> + Clone,
     {
+        self.kernel_with_guess(g1, g2, None)
+    }
+
+    /// Evaluate the kernel with an optional warm-start guess for the nodal
+    /// solution vector (row-major `n × m`, in the *prepared* vertex order).
+    ///
+    /// A guess near the true solution — typically the converged nodal
+    /// vector of a similar, equally-sized pair, as arises when a Gram
+    /// matrix is extended incrementally — cuts the PCG iteration count
+    /// without changing the converged value. A guess whose length does not
+    /// match `n × m` is ignored.
+    pub fn kernel_with_guess<V, E>(
+        &self,
+        g1: &Graph<V, E>,
+        g2: &Graph<V, E>,
+        guess: Option<&[f32]>,
+    ) -> Result<KernelResult, SolverError>
+    where
+        V: Clone,
+        E: Copy + Default,
+        KV: BaseKernel<V>,
+        KE: BaseKernel<E> + Clone,
+    {
         if g1.num_vertices() == 0 || g2.num_vertices() == 0 {
             return Err(SolverError::EmptyGraph);
         }
@@ -191,14 +214,12 @@ impl<KV, KE> MarginalizedKernelSolver<KV, KE> {
         let rhs = system.rhs();
         let operator = SystemOperator::new(&system);
         let preconditioner = DiagonalOperator::new(system.preconditioner_diagonal());
-        let opts = SolveOptions {
-            max_iterations: self.config.max_iterations,
-            tolerance: self.config.tolerance,
-        };
+        let opts = self.config.solve;
+        let x0 = guess.filter(|g| g.len() == rhs.len());
         // traffic flows through the instrumented LinearOperator surface:
         // every operator and preconditioner application adds to `traffic`
         let mut traffic = TrafficCounters::new();
-        let (x, info) = pcg_counted(&operator, &preconditioner, &rhs, &opts, &mut traffic);
+        let (x, info) = pcg_counted_warm(&operator, &preconditioner, &rhs, x0, &opts, &mut traffic);
         if !info.converged {
             return Err(SolverError::DidNotConverge {
                 iterations: info.iterations,
@@ -324,7 +345,7 @@ mod tests {
         ] {
             let solver = labeled_solver(SolverConfig {
                 xmv_mode: mode,
-                tolerance: 1e-9,
+                solve: SolveOptions { tolerance: 1e-9, ..SolveOptions::default() },
                 ..SolverConfig::default()
             });
             let result = solver.kernel(&g1, &g2).unwrap();
@@ -342,7 +363,7 @@ mod tests {
         let g2 = Graph::from_edge_list(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
         let reference = dense_reference(&g1, &g2, &UnitKernel, &UnitKernel);
         let solver = MarginalizedKernelSolver::unlabeled(SolverConfig {
-            tolerance: 1e-9,
+            solve: SolveOptions { tolerance: 1e-9, ..SolveOptions::default() },
             ..SolverConfig::default()
         });
         let result = solver.kernel(&g1, &g2).unwrap();
@@ -392,7 +413,7 @@ mod tests {
         let (g1, g2) = small_labeled_pair();
         let solver = labeled_solver(SolverConfig {
             stopping_probability: Some(0.0005),
-            max_iterations: 2000,
+            solve: SolveOptions { max_iterations: 2000, ..SolveOptions::default() },
             ..SolverConfig::default()
         });
         let result = solver.kernel(&g1, &g2).unwrap();
@@ -428,8 +449,7 @@ mod tests {
     fn iteration_budget_produces_error() {
         let (g1, g2) = small_labeled_pair();
         let solver = labeled_solver(SolverConfig {
-            max_iterations: 1,
-            tolerance: 1e-12,
+            solve: SolveOptions { max_iterations: 1, tolerance: 1e-12 },
             ..SolverConfig::default()
         });
         match solver.kernel(&g1, &g2) {

@@ -1,19 +1,79 @@
 //! The synthetic graph ensembles of Section VI-A and the dense
-//! micro-benchmark workload of Fig. 5.
+//! micro-benchmark workload of Fig. 5, in batch and streaming form.
 
 use mgk_graph::{generators, Graph, Unlabeled};
 use rand::Rng;
 
+/// Which random ensemble an [`EnsembleStream`] draws from.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum EnsembleKind {
+    /// Newman–Watts–Strogatz small-world graphs.
+    SmallWorld {
+        /// Ring-lattice neighborhood radius `k`.
+        k: usize,
+        /// Shortcut probability `p`.
+        p: f64,
+    },
+    /// Barabási–Albert scale-free graphs.
+    ScaleFree {
+        /// Attachment count `m`.
+        m: usize,
+    },
+}
+
+/// An endless stream of ensemble graphs, generated lazily.
+///
+/// This is the producer side of a streaming workload: a
+/// `GramService`-style consumer pulls structures one at a time (applying
+/// its own backpressure) instead of materializing the whole dataset up
+/// front the way [`small_world`] / [`scale_free`] do. The stream is
+/// deterministic given its RNG.
+#[derive(Debug)]
+pub struct EnsembleStream<R> {
+    rng: R,
+    nodes: usize,
+    kind: EnsembleKind,
+}
+
+impl<R: Rng> EnsembleStream<R> {
+    /// Stream of the paper's small-world ensemble graphs (`nodes` vertices,
+    /// neighborhood `k`, shortcut probability `p`).
+    pub fn small_world(nodes: usize, k: usize, p: f64, rng: R) -> Self {
+        EnsembleStream { rng, nodes, kind: EnsembleKind::SmallWorld { k, p } }
+    }
+
+    /// Stream of the paper's scale-free ensemble graphs (`nodes` vertices,
+    /// attachment `m`).
+    pub fn scale_free(nodes: usize, m: usize, rng: R) -> Self {
+        EnsembleStream { rng, nodes, kind: EnsembleKind::ScaleFree { m } }
+    }
+}
+
+impl<R: Rng> Iterator for EnsembleStream<R> {
+    type Item = Graph<Unlabeled, Unlabeled>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        Some(match self.kind {
+            EnsembleKind::SmallWorld { k, p } => {
+                generators::newman_watts_strogatz(self.nodes, k, p, &mut self.rng)
+            }
+            EnsembleKind::ScaleFree { m } => {
+                generators::barabasi_albert(self.nodes, m, &mut self.rng)
+            }
+        })
+    }
+}
+
 /// The paper's small-world ensemble: `count` Newman–Watts–Strogatz graphs
 /// with 96 nodes, `k = 3`, `p = 0.1` (Section VII-A uses `count = 160`).
 pub fn small_world<R: Rng + ?Sized>(count: usize, rng: &mut R) -> Vec<Graph<Unlabeled, Unlabeled>> {
-    (0..count).map(|_| generators::newman_watts_strogatz(96, 3, 0.1, rng)).collect()
+    EnsembleStream::small_world(96, 3, 0.1, rng).take(count).collect()
 }
 
 /// The paper's scale-free ensemble: `count` Barabási–Albert graphs with 96
 /// nodes and attachment `m = 6`.
 pub fn scale_free<R: Rng + ?Sized>(count: usize, rng: &mut R) -> Vec<Graph<Unlabeled, Unlabeled>> {
-    (0..count).map(|_| generators::barabasi_albert(96, 6, rng)).collect()
+    EnsembleStream::scale_free(96, 6, rng).take(count).collect()
 }
 
 /// The Fig. 5 micro-benchmark workload: pairs of fully connected graphs
@@ -60,6 +120,28 @@ mod tests {
             assert_eq!(g.num_vertices(), 96);
             let max_degree = (0..96).map(|i| g.vertex_degree(i)).max().unwrap();
             assert!(max_degree >= 15, "scale-free graph should have hubs, max degree {max_degree}");
+        }
+    }
+
+    #[test]
+    fn streams_are_lazy_deterministic_and_match_the_batch_helpers() {
+        // the same seed through the stream and the batch helper yields the
+        // same graphs (the batch helpers are thin wrappers over the stream)
+        let batch = small_world(3, &mut StdRng::seed_from_u64(9));
+        let streamed: Vec<_> =
+            EnsembleStream::small_world(96, 3, 0.1, StdRng::seed_from_u64(9)).take(3).collect();
+        assert_eq!(batch.len(), streamed.len());
+        for (a, b) in batch.iter().zip(&streamed) {
+            assert_eq!(a.num_edges(), b.num_edges());
+        }
+
+        // streams are endless: pulling more keeps producing fresh graphs
+        let mut stream = EnsembleStream::scale_free(32, 4, StdRng::seed_from_u64(2));
+        let many: Vec<_> = stream.by_ref().take(5).collect();
+        assert_eq!(many.len(), 5);
+        assert!(stream.next().is_some());
+        for g in &many {
+            assert_eq!(g.num_vertices(), 32);
         }
     }
 

@@ -108,10 +108,55 @@ pub fn pcg_counted<A: LinearOperator, M: LinearOperator>(
     opts: &SolveOptions,
     counters: &mut TrafficCounters,
 ) -> (Vec<f32>, ConvergenceInfo) {
+    pcg_counted_warm(a, m_inv, b, None, opts, counters)
+}
+
+/// [`pcg_counted`] with an optional warm-start initial guess.
+///
+/// When `x0` is `Some`, the iteration starts from that vector instead of
+/// zero: the initial residual is `b − A·x0` (one extra counted operator
+/// application). A guess near the true solution — e.g. the converged
+/// solution of a similar system, as when a Gram matrix is extended with
+/// structures resembling already-solved ones — cuts the iteration count,
+/// which is exactly the reuse the streaming Gram service exploits. A guess
+/// of the wrong length is rejected by assertion.
+///
+/// A guess is only kept when it actually starts closer than zero: if its
+/// initial residual exceeds `‖b‖` (the zero-start residual), the iteration
+/// falls back to the cold start, so a bad donor costs one operator
+/// application but never extra iterations.
+///
+/// Convergence is still measured against `‖b‖`, so a warm and a cold solve
+/// of the same system stop at the same residual quality.
+///
+/// ```
+/// use mgk_linalg::{pcg_counted, pcg_counted_warm, DiagonalOperator, SolveOptions,
+///                  TrafficCounters};
+///
+/// let a = DiagonalOperator::new(vec![2.0, 4.0]);
+/// let m_inv = a.inverse();
+/// let opts = SolveOptions::default();
+/// let (cold, _) = pcg_counted(&a, &m_inv, &[1.0, 1.0], &opts, &mut TrafficCounters::new());
+/// // restarting from the converged solution finishes without iterating
+/// let (warm, info) = pcg_counted_warm(
+///     &a, &m_inv, &[1.0, 1.0], Some(&cold), &opts, &mut TrafficCounters::new());
+/// assert!(info.converged && info.iterations == 0);
+/// assert_eq!(warm, cold);
+/// ```
+pub fn pcg_counted_warm<A: LinearOperator, M: LinearOperator>(
+    a: &A,
+    m_inv: &M,
+    b: &[f32],
+    x0: Option<&[f32]>,
+    opts: &SolveOptions,
+    counters: &mut TrafficCounters,
+) -> (Vec<f32>, ConvergenceInfo) {
     let n = b.len();
     assert_eq!(a.dim(), n, "operator dimension must match right-hand side");
+    let nn = n as u64;
 
     let b_norm = norm_sq(b).sqrt();
+    counters.count_vector_op(nn, 0, 2 * nn);
     if b_norm == 0.0 {
         return (
             vec![0.0; n],
@@ -119,22 +164,42 @@ pub fn pcg_counted<A: LinearOperator, M: LinearOperator>(
         );
     }
 
-    let mut x = vec![0.0f32; n];
-    // r = b - A x0 = b
-    let mut r = b.to_vec();
+    let (mut x, mut r) = match x0 {
+        Some(guess) => {
+            assert_eq!(guess.len(), n, "warm-start guess dimension must match right-hand side");
+            let x = guess.to_vec();
+            // r = b - A x0
+            let mut ax = vec![0.0f32; n];
+            a.apply_counted(&x, &mut ax, counters);
+            let r: Vec<f32> = b.iter().zip(&ax).map(|(&bi, &axi)| bi - axi).collect();
+            counters.count_vector_op(2 * nn, nn, nn);
+            counters.count_vector_op(nn, 0, 2 * nn);
+            if norm_sq(&r) <= b_norm * b_norm {
+                (x, r)
+            } else {
+                // the guess starts farther out than zero would; drop it
+                (vec![0.0f32; n], b.to_vec())
+            }
+        }
+        // r = b - A·0 = b
+        None => (vec![0.0f32; n], b.to_vec()),
+    };
     let mut z = vec![0.0f32; n];
     m_inv.apply_counted(&r, &mut z, counters);
     let mut p = z.clone();
     let mut rho = dot(&r, &z);
+    counters.count_vector_op(2 * nn, 0, 2 * nn);
     let mut a_p = vec![0.0f32; n];
 
     let mut iterations = 0;
     let mut rel_res = norm_sq(&r).sqrt() / b_norm;
+    counters.count_vector_op(nn, 0, 2 * nn);
     let mut converged = rel_res <= opts.tolerance;
 
     while !converged && iterations < opts.max_iterations {
         a.apply_counted(&p, &mut a_p, counters);
         let p_ap = dot(&p, &a_p);
+        counters.count_vector_op(2 * nn, 0, 2 * nn);
         if p_ap <= 0.0 || !p_ap.is_finite() {
             // matrix not positive definite along p (or numerical breakdown)
             break;
@@ -142,9 +207,11 @@ pub fn pcg_counted<A: LinearOperator, M: LinearOperator>(
         let alpha = (rho / p_ap) as f32;
         axpy(alpha, &p, &mut x);
         axpy(-alpha, &a_p, &mut r);
+        counters.count_vector_op(4 * nn, 2 * nn, 4 * nn);
         iterations += 1;
 
         rel_res = norm_sq(&r).sqrt() / b_norm;
+        counters.count_vector_op(nn, 0, 2 * nn);
         if rel_res <= opts.tolerance {
             converged = true;
             break;
@@ -155,6 +222,8 @@ pub fn pcg_counted<A: LinearOperator, M: LinearOperator>(
         let beta = (rho_next / rho) as f32;
         rho = rho_next;
         xpby(&z, beta, &mut p);
+        // the rho recurrence dot plus the search-direction xpby
+        counters.count_vector_op(4 * nn, nn, 4 * nn);
     }
 
     (x, ConvergenceInfo { iterations, relative_residual: rel_res, converged })
@@ -265,9 +334,16 @@ mod tests {
         let (x_counted, info_counted) = cg_counted(&op, &b, &opts, &mut counters);
         assert_eq!(x_plain, x_counted);
         assert_eq!(info_plain, info_counted);
-        // one dense apply per iteration: 2 n^2 flops each
-        assert_eq!(counters.flops, info_counted.iterations as u64 * 2 * 16 * 16);
+        assert!(info_counted.converged);
+        // one dense apply per iteration (2 n^2 flops each) plus the CG
+        // vector recurrences: 6n up front, 8n per iteration, 4n more per
+        // non-final iteration (the z/p updates are skipped on convergence)
+        let (n, k) = (16u64, info_counted.iterations as u64);
+        let operator_flops = k * 2 * n * n;
+        let vector_flops = 6 * n + 8 * n * k + 4 * n * (k - 1);
+        assert_eq!(counters.flops, operator_flops + vector_flops);
         assert!(counters.global_load_bytes > 0);
+        assert!(counters.global_store_bytes > 0);
     }
 
     #[test]
@@ -281,11 +357,52 @@ mod tests {
         let (_, info) = pcg_counted(&op, &prec, &b, &SolveOptions::default(), &mut with_prec);
         // the diagonal preconditioner applies once up front and once per
         // iteration except the converging one (12 flops each) on top of the
-        // dense operator's 2 n^2 per iteration
+        // dense operator's 2 n^2 per iteration and the CG vector
+        // recurrences (6n up front, 8n per iteration, 4n per non-final one)
         assert!(info.converged);
-        let operator_flops = info.iterations as u64 * 2 * 12 * 12;
-        let prec_flops = info.iterations as u64 * 12;
-        assert_eq!(with_prec.flops, operator_flops + prec_flops);
+        let (n, k) = (12u64, info.iterations as u64);
+        let operator_flops = k * 2 * n * n;
+        let prec_flops = k * n;
+        let vector_flops = 6 * n + 8 * n * k + 4 * n * (k - 1);
+        assert_eq!(with_prec.flops, operator_flops + prec_flops + vector_flops);
+    }
+
+    #[test]
+    fn warm_start_from_the_solution_converges_immediately() {
+        let m = spd_matrix(24, 21);
+        let op = DenseOperator(m);
+        let b: Vec<f32> = (0..24).map(|i| 1.0 + (i as f32 * 0.1).cos()).collect();
+        let opts = SolveOptions { max_iterations: 300, tolerance: 1e-7 };
+        let mut cold_traffic = crate::TrafficCounters::new();
+        let (cold, cold_info) =
+            pcg_counted_warm(&op, &IdentityPrec, &b, None, &opts, &mut cold_traffic);
+        assert!(cold_info.converged && cold_info.iterations > 0);
+        let (warm, warm_info) =
+            pcg_counted_warm(&op, &IdentityPrec, &b, Some(&cold), &opts, &mut Default::default());
+        assert!(warm_info.converged);
+        assert_eq!(warm_info.iterations, 0, "converged guess should need no iterations");
+        assert_eq!(warm, cold);
+    }
+
+    #[test]
+    fn warm_start_from_a_nearby_solution_cuts_iterations() {
+        let m = spd_matrix(32, 2);
+        let op = DenseOperator(m);
+        let b: Vec<f32> = (0..32).map(|i| (i as f32 * 0.2).sin() + 1.5).collect();
+        let opts = SolveOptions { max_iterations: 500, tolerance: 1e-8 };
+        let (x, cold) =
+            pcg_counted_warm(&op, &IdentityPrec, &b, None, &opts, &mut Default::default());
+        // perturb the solution slightly: a nearby (not exact) guess
+        let guess: Vec<f32> = x.iter().map(|&v| v * 1.001 + 1e-5).collect();
+        let (_, warm) =
+            pcg_counted_warm(&op, &IdentityPrec, &b, Some(&guess), &opts, &mut Default::default());
+        assert!(warm.converged);
+        assert!(
+            warm.iterations < cold.iterations,
+            "warm ({}) should beat cold ({})",
+            warm.iterations,
+            cold.iterations
+        );
     }
 
     #[test]

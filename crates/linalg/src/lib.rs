@@ -28,7 +28,7 @@ pub mod sparse;
 pub mod traffic;
 pub mod vecops;
 
-pub use cg::{cg, cg_counted, pcg, pcg_counted, ConvergenceInfo, SolveOptions};
+pub use cg::{cg, cg_counted, pcg, pcg_counted, pcg_counted_warm, ConvergenceInfo, SolveOptions};
 pub use dense::DenseMatrix;
 pub use eigen::{symmetric_eigen, SymmetricEigen};
 pub use kronecker::{generalized_kron, hadamard, kron_dense, kron_vec};

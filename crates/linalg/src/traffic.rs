@@ -64,6 +64,22 @@ impl TrafficCounters {
         self.flops as f64 / self.shared_bytes() as f64
     }
 
+    /// Attribute one CPU-side vector operation over `f32` data: `loads`
+    /// elements read, `stores` elements written, `flops` arithmetic
+    /// operations.
+    ///
+    /// The CG recurrences (`axpy`, `dot`, `xpby`, norms) stream their
+    /// operand vectors through global memory exactly once per call, so the
+    /// iterative solvers use this to attribute that traffic alongside the
+    /// operator and preconditioner applications — without it the Roofline
+    /// projections undercount the memory-bound tail of every iteration.
+    pub fn count_vector_op(&mut self, loads: u64, stores: u64, flops: u64) {
+        const F32_BYTES: u64 = 4;
+        self.global_load_bytes += loads * F32_BYTES;
+        self.global_store_bytes += stores * F32_BYTES;
+        self.flops += flops;
+    }
+
     /// Element-wise accumulation (in place).
     pub fn accumulate(&mut self, other: &TrafficCounters) {
         self.global_load_bytes += other.global_load_bytes;

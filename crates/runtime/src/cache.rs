@@ -1,0 +1,180 @@
+//! The LRU-bounded pair-entry cache of the streaming Gram service.
+//!
+//! Every converged pair solve yields a kernel value; keeping it turns a
+//! resubmitted structure into a pure lookup. (Converged nodal solution
+//! vectors are retained separately, in the service's bounded warm-start
+//! donor pool — caching them per pair would pin megabytes of write-only
+//! data.) The cache is bounded — at capacity the least-recently-used entry
+//! is evicted — so a long-running service holds memory constant no matter
+//! how many structures stream through.
+
+use std::collections::HashMap;
+
+/// Order-normalized cache key: the content hashes of the two structures of
+/// a pair. The kernel is symmetric, so `(a, b)` and `(b, a)` map to the
+/// same entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PairKey {
+    /// Smaller of the two content hashes.
+    pub lo: u64,
+    /// Larger of the two content hashes.
+    pub hi: u64,
+}
+
+impl PairKey {
+    /// Build the normalized key of an unordered pair.
+    pub fn new(a: u64, b: u64) -> Self {
+        if a <= b {
+            PairKey { lo: a, hi: b }
+        } else {
+            PairKey { lo: b, hi: a }
+        }
+    }
+}
+
+/// One cached pair solve.
+#[derive(Debug, Clone)]
+pub struct CachedEntry {
+    /// The (unnormalized) kernel value `K(G_i, G_j)`.
+    pub value: f32,
+    /// PCG iterations the original solve took.
+    pub iterations: usize,
+}
+
+/// LRU-bounded map from [`PairKey`] to [`CachedEntry`].
+///
+/// Recency is tracked with a monotone tick per access; eviction scans for
+/// the minimum, which is O(len) but only runs on insertion at capacity —
+/// negligible next to the PCG solve that produced the entry.
+#[derive(Debug, Clone)]
+pub struct PairCache {
+    capacity: usize,
+    map: HashMap<PairKey, (u64, CachedEntry)>,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl PairCache {
+    /// An empty cache holding at most `capacity` entries (0 disables
+    /// caching entirely).
+    pub fn new(capacity: usize) -> Self {
+        PairCache { capacity, map: HashMap::new(), tick: 0, hits: 0, misses: 0 }
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Maximum number of entries.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Lookups that found an entry.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lookups that found nothing.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Look up a pair, refreshing its recency on a hit.
+    pub fn get(&mut self, key: PairKey) -> Option<&CachedEntry> {
+        self.tick += 1;
+        match self.map.get_mut(&key) {
+            Some((stamp, entry)) => {
+                *stamp = self.tick;
+                self.hits += 1;
+                Some(&*entry)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Insert (or refresh) a pair entry, evicting the least-recently-used
+    /// entry when at capacity.
+    pub fn insert(&mut self, key: PairKey, entry: CachedEntry) {
+        if self.capacity == 0 {
+            return;
+        }
+        self.tick += 1;
+        if self.map.len() >= self.capacity && !self.map.contains_key(&key) {
+            if let Some(&oldest) =
+                self.map.iter().min_by_key(|(_, (stamp, _))| *stamp).map(|(k, _)| k)
+            {
+                self.map.remove(&oldest);
+            }
+        }
+        self.map.insert(key, (self.tick, entry));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(v: f32) -> CachedEntry {
+        CachedEntry { value: v, iterations: 1 }
+    }
+
+    #[test]
+    fn keys_are_order_normalized() {
+        assert_eq!(PairKey::new(3, 7), PairKey::new(7, 3));
+        assert_ne!(PairKey::new(3, 7), PairKey::new(3, 8));
+    }
+
+    #[test]
+    fn get_returns_inserted_entries_and_counts_hits() {
+        let mut c = PairCache::new(4);
+        c.insert(PairKey::new(1, 2), entry(0.5));
+        assert_eq!(c.get(PairKey::new(2, 1)).unwrap().value, 0.5);
+        assert!(c.get(PairKey::new(9, 9)).is_none());
+        assert_eq!(c.hits(), 1);
+        assert_eq!(c.misses(), 1);
+    }
+
+    #[test]
+    fn lru_eviction_drops_the_coldest_entry() {
+        let mut c = PairCache::new(2);
+        c.insert(PairKey::new(1, 1), entry(1.0));
+        c.insert(PairKey::new(2, 2), entry(2.0));
+        // touch (1,1) so (2,2) becomes the LRU victim
+        assert!(c.get(PairKey::new(1, 1)).is_some());
+        c.insert(PairKey::new(3, 3), entry(3.0));
+        assert_eq!(c.len(), 2);
+        assert!(c.get(PairKey::new(1, 1)).is_some());
+        assert!(c.get(PairKey::new(2, 2)).is_none(), "LRU entry should have been evicted");
+        assert!(c.get(PairKey::new(3, 3)).is_some());
+    }
+
+    #[test]
+    fn reinserting_an_existing_key_does_not_evict() {
+        let mut c = PairCache::new(2);
+        c.insert(PairKey::new(1, 1), entry(1.0));
+        c.insert(PairKey::new(2, 2), entry(2.0));
+        c.insert(PairKey::new(1, 1), entry(1.5));
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.get(PairKey::new(1, 1)).unwrap().value, 1.5);
+        assert!(c.get(PairKey::new(2, 2)).is_some());
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let mut c = PairCache::new(0);
+        c.insert(PairKey::new(1, 1), entry(1.0));
+        assert!(c.is_empty());
+        assert!(c.get(PairKey::new(1, 1)).is_none());
+    }
+}

@@ -1,0 +1,69 @@
+//! `mgk-runtime` — the long-lived serving layer of the workspace: a
+//! persistent worker-pool runtime plus a streaming Gram service.
+//!
+//! The paper's premise is throughput — Gram matrices over many graph pairs,
+//! fast enough to feed downstream learning. Batch computation
+//! ([`GramEngine`](mgk_core::GramEngine)) covers one-shot experiments; this
+//! crate adds the two pieces a long-running service needs:
+//!
+//! * **[`Pool`]** — the persistent work-stealing worker pool every parallel
+//!   region in the workspace executes on. Workers are spawned once and
+//!   parked while idle; `par_iter`/`par_chunks` calls (the rayon-shim
+//!   surface used by `mgk-core`, `mgk-reorder` and the baselines) submit
+//!   index ranges to it instead of spawning scoped threads per call. The
+//!   implementation lives in the rayon shim (`rayon::pool`) — the lowest
+//!   layer of the workspace DAG, so the shim itself can route through it —
+//!   and is re-exported here as the runtime's pool layer.
+//! * **[`GramService`]** — a streaming Gram matrix: structures are
+//!   submitted incrementally, only new row/column blocks are solved,
+//!   entries are cached by content hash in an LRU-bounded [`PairCache`],
+//!   appended pairs warm-start PCG from converged donors of equal shape,
+//!   and a bounded pending queue applies backpressure to producers.
+//!
+//! ```
+//! use mgk_runtime::{GramService, GramServiceConfig};
+//! use mgk_core::{MarginalizedKernelSolver, SolverConfig};
+//! use mgk_graph::Graph;
+//!
+//! let mut service = GramService::new(
+//!     MarginalizedKernelSolver::unlabeled(SolverConfig::default()),
+//!     GramServiceConfig::default(),
+//! );
+//! let path = Graph::from_edge_list(4, &[(0, 1), (1, 2), (2, 3)]);
+//! let cycle = Graph::from_edge_list(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+//! service.submit(path).unwrap();
+//! service.submit(cycle).unwrap();
+//! let first = service.snapshot();
+//! assert_eq!(first.num_graphs, 2);
+//!
+//! // extend the matrix: only the new row/column block is solved
+//! let square = Graph::from_edge_list(4, &[(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)]);
+//! service.submit(square).unwrap();
+//! let second = service.snapshot();
+//! assert_eq!(second.num_graphs, 3);
+//! // existing entries are unchanged
+//! assert_eq!(second.get(0, 1), first.get(0, 1));
+//! ```
+
+pub mod cache;
+pub mod hash;
+pub mod service;
+
+pub use cache::{CachedEntry, PairCache, PairKey};
+pub use hash::{graph_content_hash, ContentHash, Fnv1a};
+pub use rayon::pool::Pool;
+pub use service::{
+    GramService, GramServiceConfig, GramServiceError, GramSnapshot, ServiceStats, StructureId,
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pool_reexport_is_the_global_pool() {
+        // the runtime's pool layer IS the pool the rayon shim executes on
+        let pool: &'static Pool = Pool::global();
+        assert_eq!(pool.max_parallelism(), rayon::current_num_threads());
+    }
+}

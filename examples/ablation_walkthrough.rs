@@ -30,7 +30,10 @@ fn main() {
     );
 
     let device = DeviceSpec::volta_v100();
-    let base = SolverConfig { tolerance: 1e-6, ..SolverConfig::default() };
+    let base = SolverConfig {
+        solve: mgk::linalg::SolveOptions { tolerance: 1e-6, ..Default::default() },
+        ..SolverConfig::default()
+    };
 
     println!(
         "{:<12} {:>12} {:>16} {:>16} {:>14}",

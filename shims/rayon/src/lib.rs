@@ -1,19 +1,30 @@
 //! Offline stand-in for the [`rayon`](https://crates.io/crates/rayon) crate.
 //!
 //! The build environment has no crates.io access, so this workspace-local
-//! crate implements the subset of the rayon API the `mgk` workspace uses on
-//! top of `std::thread::scope`:
+//! crate implements the subset of the rayon API the `mgk` workspace uses:
 //!
 //! * `slice.par_iter().map(f).collect::<Vec<_>>()`
 //! * `slice.par_chunks(n).flat_map_iter(f).collect::<Vec<_>>()`
 //! * [`current_num_threads`], [`ThreadPoolBuilder`] / [`ThreadPool::install`]
 //!
-//! Work is distributed dynamically: worker threads pull item indices from a
-//! shared atomic counter (the CPU analogue of rayon's work stealing), so a
-//! skewed workload does not straggle on one thread. Results are returned in
-//! input order regardless of completion order.
+//! Every parallel call executes on the persistent worker pool of
+//! [`pool::Pool::global`] — workers are spawned once and parked between
+//! calls, so a parallel region costs an enqueue + wake rather than a round
+//! of thread spawns. Work is distributed dynamically: participating threads
+//! pull item indices from a shared atomic cursor (the CPU analogue of
+//! rayon's work stealing), so a skewed workload does not straggle on one
+//! thread. Results are returned in input order regardless of completion
+//! order.
+//!
+//! The previous scoped-thread execution strategy is kept as
+//! [`scoped::map_scoped`] so benchmarks can measure what the persistent
+//! pool saves.
 
+use std::cell::UnsafeCell;
 use std::sync::atomic::{AtomicUsize, Ordering};
+
+pub mod pool;
+pub mod scoped;
 
 pub mod prelude {
     //! Glob-import surface mirroring `rayon::prelude`.
@@ -23,52 +34,45 @@ pub mod prelude {
 /// Thread-count override installed by [`ThreadPool::install`]; 0 = default.
 static POOL_THREADS: AtomicUsize = AtomicUsize::new(0);
 
-/// Number of worker threads parallel calls will use.
+/// Number of threads parallel calls will use (the global pool's workers plus
+/// the submitting thread, unless overridden by [`ThreadPool::install`]).
 pub fn current_num_threads() -> usize {
     let forced = POOL_THREADS.load(Ordering::Relaxed);
     if forced > 0 {
         forced
     } else {
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        pool::Pool::global().max_parallelism()
     }
 }
 
-/// Run `f(item)` for every item of `items` on `current_num_threads()` worker
-/// threads, handing out items dynamically, and return the results in input
-/// order.
+/// One output slot of a parallel map, written by exactly one index of the
+/// region and read only after the region completes.
+struct Slot<R>(UnsafeCell<Option<R>>);
+
+// SAFETY: distinct indices write distinct slots, and the submitting thread
+// only reads them after `run_indexed` returns (a happens-before edge through
+// the job's completion latch).
+unsafe impl<R: Send> Sync for Slot<R> {}
+
+/// Run `f(item)` for every item of `items` on the global persistent pool,
+/// handing out items dynamically, and return the results in input order.
 fn dynamic_map<'a, T: Sync, R: Send>(items: &'a [T], f: impl Fn(&'a T) -> R + Sync) -> Vec<R> {
     let n = items.len();
     let threads = current_num_threads().min(n.max(1));
     if threads <= 1 || n <= 1 {
         return items.iter().map(f).collect();
     }
-    let next = AtomicUsize::new(0);
-    let mut per_thread: Vec<Vec<(usize, R)>> = Vec::with_capacity(threads);
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..threads)
-            .map(|_| {
-                scope.spawn(|| {
-                    let mut local = Vec::new();
-                    loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= n {
-                            break;
-                        }
-                        local.push((i, f(&items[i])));
-                    }
-                    local
-                })
-            })
-            .collect();
-        for h in handles {
-            per_thread.push(h.join().expect("rayon shim worker panicked"));
-        }
+    let slots: Vec<Slot<R>> = (0..n).map(|_| Slot(UnsafeCell::new(None))).collect();
+    pool::Pool::global().run_indexed(n, threads, &|i| {
+        let value = f(&items[i]);
+        // SAFETY: index i is claimed exactly once, so this is the only
+        // writer of slots[i], and no reader exists until the region ends.
+        unsafe { *slots[i].0.get() = Some(value) };
     });
-    let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
-    for (i, r) in per_thread.into_iter().flatten() {
-        slots[i] = Some(r);
-    }
-    slots.into_iter().map(|s| s.expect("every index produced exactly once")).collect()
+    slots
+        .into_iter()
+        .map(|s| s.0.into_inner().expect("every index produced exactly once"))
+        .collect()
 }
 
 /// `.par_iter()` on slices and `Vec`s.
@@ -218,9 +222,10 @@ impl ThreadPoolBuilder {
 
 /// A scoped thread-count override standing in for a real rayon pool.
 ///
-/// The shim has no persistent workers; [`ThreadPool::install`] simply pins
-/// [`current_num_threads`] to the pool's size while `f` runs, which is the
-/// property the benchmarks rely on.
+/// Execution always happens on the persistent global pool;
+/// [`ThreadPool::install`] simply pins [`current_num_threads`] — and with it
+/// the number of participants parallel regions request — to this pool's
+/// size while `f` runs, which is the property the benchmarks rely on.
 #[derive(Debug)]
 pub struct ThreadPool {
     num_threads: usize,
@@ -289,5 +294,36 @@ mod tests {
             .collect();
         let distinct: std::collections::HashSet<_> = ids.into_iter().collect();
         assert!(distinct.len() > 1, "expected work on more than one thread");
+    }
+
+    #[test]
+    fn par_iter_reuses_the_same_pool_threads_across_calls() {
+        // the acceptance criterion of the persistent-pool rewiring: repeated
+        // parallel regions execute on a stable set of worker threads instead
+        // of spawning fresh ones per call
+        let v: Vec<u32> = (0..128).collect();
+        let ids_of_run = || -> std::collections::HashSet<std::thread::ThreadId> {
+            let ids: Vec<std::thread::ThreadId> = v
+                .par_iter()
+                .map(|_| {
+                    std::thread::sleep(std::time::Duration::from_micros(300));
+                    std::thread::current().id()
+                })
+                .collect();
+            ids.into_iter().collect()
+        };
+        let mut union = std::collections::HashSet::new();
+        for _ in 0..5 {
+            union.extend(ids_of_run());
+        }
+        // `ThreadId`s are never reused, so per-call spawning would grow the
+        // union with every region; the persistent pool keeps it bounded by
+        // workers + the submitting thread
+        assert!(
+            union.len() <= pool::Pool::global().max_parallelism(),
+            "{} distinct thread ids across 5 regions exceeds the pool's {}",
+            union.len(),
+            pool::Pool::global().max_parallelism()
+        );
     }
 }

@@ -1,0 +1,73 @@
+//! The original scoped-thread execution strategy, kept as a benchmark
+//! reference.
+//!
+//! Before the persistent pool ([`crate::pool`]) existed, every parallel
+//! region spawned fresh `std::thread::scope` threads. [`map_scoped`]
+//! preserves that strategy verbatim so `gram_streaming` and the pool's own
+//! regression benches can quantify exactly what per-call spawning costs;
+//! nothing in the workspace routes production work through it.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Run `f(item)` for every item of `items` on `threads` freshly spawned
+/// scoped threads, handing out items dynamically, and return the results in
+/// input order.
+///
+/// This is the per-call-spawn baseline the persistent pool replaced; prefer
+/// `par_iter` for real work.
+pub fn map_scoped<'a, T: Sync, R: Send>(
+    items: &'a [T],
+    threads: usize,
+    f: impl Fn(&'a T) -> R + Sync,
+) -> Vec<R> {
+    let n = items.len();
+    let threads = threads.min(n.max(1));
+    if threads <= 1 || n <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let mut per_thread: Vec<Vec<(usize, R)>> = Vec::with_capacity(threads);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        local.push((i, f(&items[i])));
+                    }
+                    local
+                })
+            })
+            .collect();
+        for h in handles {
+            per_thread.push(h.join().expect("scoped worker panicked"));
+        }
+    });
+    let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    for (i, r) in per_thread.into_iter().flatten() {
+        slots[i] = Some(r);
+    }
+    slots.into_iter().map(|s| s.expect("every index produced exactly once")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scoped_map_matches_serial() {
+        let v: Vec<u64> = (0..500).collect();
+        let out = map_scoped(&v, 4, |&x| x * 3);
+        assert_eq!(out, (0..500).map(|x| x * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn scoped_map_single_thread_degenerates_to_serial() {
+        let v = vec![1u32, 2, 3];
+        assert_eq!(map_scoped(&v, 1, |&x| x + 1), vec![2, 3, 4]);
+    }
+}

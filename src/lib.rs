@@ -24,6 +24,10 @@
 //!   datasets, a SMILES parser, plus the small-world / scale-free ensembles.
 //! * [`learn`] — kernel ridge / Gaussian process regression on top of the
 //!   Gram matrices (the paper's motivating application, reference [2]).
+//! * [`runtime`] — the serving layer: the persistent worker pool every
+//!   parallel region executes on, and the streaming Gram service with
+//!   incremental extension, content-hash entry caching and warm-started
+//!   solves.
 //!
 //! # Quickstart
 //!
@@ -52,6 +56,7 @@ pub use mgk_kernels as kernels;
 pub use mgk_learn as learn;
 pub use mgk_linalg as linalg;
 pub use mgk_reorder as reorder;
+pub use mgk_runtime as runtime;
 pub use mgk_tile as tile;
 
 /// Commonly used items, re-exported for convenience.
@@ -63,4 +68,5 @@ pub mod prelude {
     pub use mgk_kernels::{BaseKernel, KroneckerDelta, SquareExponential, UnitKernel};
     pub use mgk_linalg::{LinearOperator, SolveOptions, TrafficCounters};
     pub use mgk_reorder::ReorderMethod;
+    pub use mgk_runtime::{GramService, GramServiceConfig, Pool};
 }

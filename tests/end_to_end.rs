@@ -94,11 +94,8 @@ fn labeled_molecular_gram_matrix_is_consistent_across_solver_modes() {
 
 #[test]
 fn protein_structures_with_continuous_edge_labels_solve_and_normalize() {
-    // the labeled-vs-unlabeled spread comparison below is a property of the
-    // sampled dataset, and with only 4 structures some seeds produce
-    // near-identical proteins; this seed gives a comfortable 2x margin
-    let mut rng = StdRng::seed_from_u64(11);
-    let structures = protein::pdb_like(4, 40, 80, &mut rng);
+    let mut rng = StdRng::seed_from_u64(2026);
+    let structures = protein::pdb_like(6, 40, 80, &mut rng);
     let graphs: Vec<_> = structures.iter().map(|s| s.graph.clone()).collect();
     let solver = MarginalizedKernelSolver::new(
         KroneckerDelta::new(0.3),
@@ -115,32 +112,47 @@ fn protein_structures_with_continuous_edge_labels_solve_and_normalize() {
         }
     }
     // the labeled kernel must discriminate more than the unlabeled one
-    // (Section VIII: unlabeled normalized similarities are all close to 1)
-    let unlabeled: Vec<_> = graphs.iter().map(|g| g.to_unlabeled()).collect();
-    let unlabeled_gram = GramEngine::new(
-        MarginalizedKernelSolver::unlabeled(SolverConfig::default()),
-        GramConfig::default(),
-    )
-    .compute(&unlabeled);
-    let spread = |m: &[f32], n: usize| {
-        let mut lo = f32::INFINITY;
-        let mut hi = f32::NEG_INFINITY;
-        for i in 0..n {
-            for j in 0..n {
-                if i != j {
-                    lo = lo.min(m[i * n + j]);
-                    hi = hi.max(m[i * n + j]);
-                }
-            }
-        }
-        hi - lo
-    };
-    let labeled_spread = spread(&gram.matrix, graphs.len());
-    let unlabeled_spread = spread(&unlabeled_gram.matrix, graphs.len());
-    assert!(
-        labeled_spread > unlabeled_spread,
-        "labeled spread {labeled_spread} should exceed unlabeled spread {unlabeled_spread}"
+    // (Section VIII). Ensemble-level spread comparisons — both the old
+    // max-minus-min range and mean-deviation variants — are noisy functions
+    // of the sampled topologies and fail for some seeds, so discrimination
+    // is tested by construction instead: a relabeled twin (same topology,
+    // every element swapped) is indistinguishable to the unlabeled kernel
+    // but clearly dissimilar to the labeled one, for any sampled structure
+    let original = &graphs[0];
+    let relabeled = original.map_labels(
+        |e| match *e {
+            mgk::graph::Element::CARBON => mgk::graph::Element::NITROGEN,
+            mgk::graph::Element::NITROGEN => mgk::graph::Element::OXYGEN,
+            _ => mgk::graph::Element::CARBON,
+        },
+        |&d| d,
     );
+    let labeled_solver = MarginalizedKernelSolver::new(
+        KroneckerDelta::new(0.3),
+        SquareExponential::new(1.0),
+        SolverConfig::default(),
+    );
+    let normalized = |solved: f32, kii: f32, kjj: f32| solved / (kii * kjj).sqrt();
+    let k_cross = labeled_solver.kernel(original, &relabeled).unwrap().value;
+    let k_self_a = labeled_solver.kernel(original, original).unwrap().value;
+    let k_self_b = labeled_solver.kernel(&relabeled, &relabeled).unwrap().value;
+    let labeled_similarity = normalized(k_cross, k_self_a, k_self_b);
+    assert!(
+        labeled_similarity < 0.95,
+        "labeled kernel should distinguish relabeled twins, got {labeled_similarity}"
+    );
+
+    let unlabeled_solver = MarginalizedKernelSolver::unlabeled(SolverConfig::default());
+    let (ua, ub) = (original.to_unlabeled(), relabeled.to_unlabeled());
+    let u_cross = unlabeled_solver.kernel(&ua, &ub).unwrap().value;
+    let u_self_a = unlabeled_solver.kernel(&ua, &ua).unwrap().value;
+    let u_self_b = unlabeled_solver.kernel(&ub, &ub).unwrap().value;
+    let unlabeled_similarity = normalized(u_cross, u_self_a, u_self_b);
+    assert!(
+        (unlabeled_similarity - 1.0).abs() < 1e-4,
+        "unlabeled kernel cannot distinguish relabeled twins, got {unlabeled_similarity}"
+    );
+    assert!(labeled_similarity < unlabeled_similarity);
 }
 
 #[test]

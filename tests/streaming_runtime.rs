@@ -1,0 +1,75 @@
+//! Cross-crate integration of the serving layer: labeled structures stream
+//! through the facade's `GramService` and must agree with the batch
+//! `GramEngine`, while every parallel region executes on the persistent
+//! worker pool.
+
+use mgk::datasets::protein;
+use mgk::kernels::{KroneckerDelta, SquareExponential};
+use mgk::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn protein_solver() -> MarginalizedKernelSolver<KroneckerDelta, SquareExponential> {
+    MarginalizedKernelSolver::new(
+        KroneckerDelta::new(0.3),
+        SquareExponential::new(1.0),
+        SolverConfig::default(),
+    )
+}
+
+#[test]
+fn streamed_protein_gram_matrix_matches_batch_computation() {
+    let mut rng = StdRng::seed_from_u64(101);
+    let structures = protein::pdb_like(6, 25, 45, &mut rng);
+    let graphs: Vec<_> = structures.iter().map(|s| s.graph.clone()).collect();
+
+    // stream: 4 structures, snapshot, then 2 more
+    let mut service = GramService::new(protein_solver(), GramServiceConfig::default());
+    for g in &graphs[..4] {
+        service.submit(g.clone()).unwrap();
+    }
+    let first = service.snapshot();
+    assert_eq!(first.num_graphs, 4);
+    let jobs_after_first = service.stats().jobs_executed;
+    assert_eq!(jobs_after_first, 4 * 5 / 2);
+
+    for g in &graphs[4..] {
+        service.submit(g.clone()).unwrap();
+    }
+    let second = service.snapshot();
+    assert_eq!(second.num_graphs, 6);
+    // the extension only solved the new row/column blocks
+    assert_eq!(service.stats().jobs_executed, 6 * 7 / 2);
+
+    // batch reference over all six structures
+    let engine = GramEngine::new(protein_solver(), GramConfig::default());
+    let batch = engine.compute(&graphs);
+    assert_eq!(batch.failures, 0);
+    for i in 0..6 {
+        for j in 0..6 {
+            let (a, b) = (second.get(i, j), batch.get(i, j));
+            assert!((a - b).abs() < 1e-4, "entry ({i},{j}): streamed {a} vs batch {b}");
+        }
+    }
+}
+
+#[test]
+fn service_parallelism_runs_on_the_global_pool() {
+    // the Gram engine and the service both fan out through the rayon shim,
+    // which routes to Pool::global(); its parallelism is what
+    // current_num_threads reports
+    assert_eq!(Pool::global().max_parallelism(), mgk::runtime::Pool::global().max_parallelism());
+    let mut rng = StdRng::seed_from_u64(7);
+    let graphs: Vec<Graph> = (0..4)
+        .map(|_| mgk::graph::generators::newman_watts_strogatz(14, 2, 0.2, &mut rng))
+        .collect();
+    let mut service = GramService::new(
+        MarginalizedKernelSolver::unlabeled(SolverConfig::default()),
+        GramServiceConfig::default(),
+    );
+    for g in &graphs {
+        service.submit(g.clone()).unwrap();
+    }
+    let snap = service.snapshot();
+    assert!(snap.matrix.iter().all(|v| v.is_finite()));
+}

@@ -38,13 +38,20 @@ fn prelude_reexports_resolve() {
     assert_eq!(as_operator.apply_alloc(&[1.0, 1.0]), vec![2.0, 3.0]);
 
     // Gram engine
-    let engine = GramEngine::new(solver, GramConfig::default());
-    let gram = engine.compute(&[g.clone(), g]);
+    let engine = GramEngine::new(solver.clone(), GramConfig::default());
+    let gram = engine.compute(&[g.clone(), g.clone()]);
     assert_eq!(gram.num_graphs, 2);
     assert_eq!(gram.failures, 0);
+
+    // runtime: the persistent pool and the streaming Gram service
+    assert!(Pool::global().max_parallelism() >= 1);
+    let mut service = GramService::new(solver, GramServiceConfig::default());
+    service.submit(g).unwrap();
+    let snapshot = service.snapshot();
+    assert_eq!(snapshot.num_graphs, 1);
 }
 
-/// All ten crate-level facade modules resolve.
+/// All eleven crate-level facade modules resolve.
 #[test]
 fn facade_modules_resolve() {
     let _ = mgk::graph::DEFAULT_STOPPING_PROBABILITY;
@@ -57,6 +64,7 @@ fn facade_modules_resolve() {
     let _ = mgk::baselines::SpectralSolver::new();
     let _ = mgk::datasets::parse_smiles("CC");
     let _ = mgk::learn::KernelRidgeRegression::fit(&[1.0], &[1.0], 0.1);
+    let _ = mgk::runtime::GramServiceConfig::default();
 }
 
 /// The examples on disk are exactly the set this workspace expects; CI runs
