@@ -1,0 +1,125 @@
+//! Criterion benchmark for the background scheduler: producer-blocked
+//! versus decoupled submission.
+//!
+//! The synchronous `GramService` runs `flush()` on the caller's thread, so
+//! a producer submitting a stream of structures is blocked for the full PCG
+//! solve latency of every batch. The `GramScheduler` moves the solves to a
+//! background thread: `GramClient::submit` returns after a bounded-channel
+//! send. Three measurements:
+//!
+//! 1. `sync_blocked/N` — submit `N` structures through a fresh synchronous
+//!    service, flushing after each submission (the producer pays every
+//!    solve). This is the producer-visible latency of the pre-scheduler
+//!    design.
+//! 2. `decoupled_submit/N` — submit the same `N` structures through a
+//!    `GramClient` of a long-lived scheduler; the background thread absorbs
+//!    them, so the measurement is pure submission latency. The scheduler is
+//!    recycled every few waves to keep the backend matrix bounded — the
+//!    recycle cost lands on one iteration per cycle and falls out of the
+//!    median. The acceptance claim is ≥ 10× lower than `sync_blocked`.
+//! 3. `decoupled_roundtrip/N` — a fresh scheduler per iteration: spawn,
+//!    submit, barrier, join. End-to-end completion of the same solves
+//!    through the background thread, for honesty about where the solve cost
+//!    went (expect parity with `sync_blocked` plus coordination overhead —
+//!    the win is producer latency, not total work).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use mgk_bench::{bench_rng, scaled};
+use mgk_core::{MarginalizedKernelSolver, SolverConfig};
+use mgk_datasets::ensembles::EnsembleStream;
+use mgk_graph::{Graph, Unlabeled};
+use mgk_runtime::{GramScheduler, GramService, GramServiceConfig, SchedulerConfig};
+
+type UnlabeledScheduler = GramScheduler<
+    mgk_kernels::UnitKernel,
+    mgk_kernels::UnitKernel,
+    mgk_graph::Unlabeled,
+    mgk_graph::Unlabeled,
+>;
+
+fn service() -> GramService<
+    mgk_kernels::UnitKernel,
+    mgk_kernels::UnitKernel,
+    mgk_graph::Unlabeled,
+    mgk_graph::Unlabeled,
+> {
+    GramService::new(
+        MarginalizedKernelSolver::unlabeled(SolverConfig::default()),
+        GramServiceConfig::default(),
+    )
+}
+
+fn bench_submission_latency(c: &mut Criterion) {
+    let n = scaled(8, 4);
+    let graphs: Vec<Graph<Unlabeled, Unlabeled>> =
+        EnsembleStream::small_world(48, 2, 0.1, bench_rng()).take(n).collect();
+
+    let mut group = c.benchmark_group("scheduler_throughput");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+
+    // producer-blocked: each submission pays its flush on the caller's
+    // thread (fresh service per iteration so the solves are real, not
+    // cache hits)
+    group.bench_function(format!("sync_blocked/{n}"), |b| {
+        b.iter(|| {
+            let mut svc = service();
+            for g in &graphs {
+                svc.submit(g.clone()).expect("queue sized for the workload");
+                svc.flush();
+            }
+            svc.num_structures()
+        })
+    });
+
+    // decoupled: the producer measures channel sends; the background
+    // thread absorbs the waves (repeat submissions are content-cache hits)
+    // and is recycled periodically so its matrix stays bounded. The channel
+    // holds a full recycle cycle so a lagging backend can never block a
+    // send — the measurement stays pure submission latency at any scale
+    const RECYCLE_EVERY: usize = 64;
+    let config = SchedulerConfig { channel_capacity: (RECYCLE_EVERY * n).max(4096) };
+    let mut scheduler: Option<UnlabeledScheduler> = Some(GramScheduler::spawn(service(), config));
+    let mut client = scheduler.as_ref().expect("just spawned").client();
+    let mut waves = 0usize;
+    group.bench_function(format!("decoupled_submit/{n}"), |b| {
+        b.iter(|| {
+            if waves == RECYCLE_EVERY {
+                scheduler.take().expect("scheduler alive").join();
+                let fresh = GramScheduler::spawn(service(), config);
+                client = fresh.client();
+                scheduler = Some(fresh);
+                waves = 0;
+            }
+            waves += 1;
+            for g in &graphs {
+                client.submit(g.clone()).expect("scheduler alive");
+            }
+            n
+        })
+    });
+    // drain everything still in flight
+    scheduler.take().expect("scheduler alive").join();
+
+    // end-to-end: spawn, submit, barrier, join — the same solves as
+    // sync_blocked, routed through the background thread
+    group.bench_function(format!("decoupled_roundtrip/{n}"), |b| {
+        b.iter(|| {
+            let scheduler = GramScheduler::spawn(service(), SchedulerConfig::default());
+            let client = scheduler.client();
+            for g in &graphs {
+                client.submit(g.clone()).expect("scheduler alive");
+            }
+            let admitted = client.flush().expect("scheduler alive").num_structures;
+            scheduler.join();
+            admitted
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_submission_latency);
+criterion_main!(benches);

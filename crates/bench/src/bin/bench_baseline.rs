@@ -6,6 +6,12 @@
 //! recorded at `MGK_BENCH_SCALE=1`; later performance PRs re-run this
 //! binary on the same machine and diff the medians to claim wins.
 //!
+//! Each baseline is stamped with its recording conditions — `scale`,
+//! `threads`, the `git_revision` it was recorded at, and whether the
+//! streaming workload ran through the background `scheduler`
+//! (`MGK_BENCH_SCHEDULER=1`) — so a 1-core seed baseline is never confused
+//! with a multi-core or scheduler-decoupled re-record.
+//!
 //! ```bash
 //! MGK_BENCH_SCALE=1 cargo run --release -p mgk-bench --bin bench_baseline
 //! ```
@@ -19,7 +25,12 @@ use mgk_bench::{bench_rng, bench_scale, scaled};
 use mgk_core::{GramConfig, GramEngine, MarginalizedKernelSolver, SolverConfig};
 use mgk_datasets::ensembles::EnsembleStream;
 use mgk_graph::{Graph, Unlabeled};
-use mgk_runtime::{GramService, GramServiceConfig};
+use mgk_runtime::{GramScheduler, GramService, GramServiceConfig, SchedulerConfig};
+
+/// Route the streaming workload through the background scheduler?
+fn scheduler_enabled() -> bool {
+    std::env::var("MGK_BENCH_SCHEDULER").map(|v| v == "1" || v == "true").unwrap_or(false)
+}
 
 fn solver() -> MarginalizedKernelSolver<mgk_kernels::UnitKernel, mgk_kernels::UnitKernel> {
     MarginalizedKernelSolver::unlabeled(SolverConfig::default())
@@ -48,22 +59,39 @@ fn run_suite(c: &mut Criterion) {
         b.iter(|| engine.compute(&graphs).total_iterations)
     });
 
-    // streaming extension of a warm service
+    // streaming extension of a warm service — synchronous flush on the
+    // producer's thread, or decoupled through the background scheduler
+    // when MGK_BENCH_SCHEDULER=1
     let appended = scaled(3, 2).min(n);
     let mut warm = GramService::new(solver(), GramServiceConfig::default());
     for g in &graphs[..n - appended] {
         warm.submit(g.clone()).expect("queue sized for the workload");
     }
     warm.flush();
-    group.bench_function(format!("gram_service_extend/+{appended}"), |b| {
-        b.iter(|| {
-            let mut svc = warm.clone();
-            for g in &graphs[n - appended..] {
-                svc.submit(g.clone()).expect("queue sized for the workload");
-            }
-            svc.flush()
-        })
-    });
+    if scheduler_enabled() {
+        group.bench_function(format!("gram_service_extend/+{appended}"), |b| {
+            b.iter(|| {
+                let scheduler = GramScheduler::spawn(warm.clone(), SchedulerConfig::default());
+                let client = scheduler.client();
+                for g in &graphs[n - appended..] {
+                    client.submit(g.clone()).expect("scheduler alive");
+                }
+                let admitted = client.flush().expect("scheduler alive").num_structures;
+                scheduler.join();
+                admitted
+            })
+        });
+    } else {
+        group.bench_function(format!("gram_service_extend/+{appended}"), |b| {
+            b.iter(|| {
+                let mut svc = warm.clone();
+                for g in &graphs[n - appended..] {
+                    svc.submit(g.clone()).expect("queue sized for the workload");
+                }
+                svc.flush()
+            })
+        });
+    }
 
     // raw pool fan-out overhead at fine granularity
     let items: Vec<u64> = (0..scaled(4096, 256) as u64).collect();
@@ -88,6 +116,30 @@ fn json_escape(s: &str) -> String {
         .collect()
 }
 
+/// The short git revision of the working tree (suffixed `-dirty` when
+/// uncommitted changes were present), or `"unknown"` outside a repository
+/// (the baseline file must still be writable there).
+fn git_revision() -> String {
+    let run = |args: &[&str]| {
+        std::process::Command::new("git")
+            .args(args)
+            .output()
+            .ok()
+            .filter(|o| o.status.success())
+            .and_then(|o| String::from_utf8(o.stdout).ok())
+    };
+    let Some(rev) = run(&["rev-parse", "--short", "HEAD"]).map(|s| s.trim().to_string()) else {
+        return "unknown".to_string();
+    };
+    if rev.is_empty() {
+        return "unknown".to_string();
+    }
+    match run(&["status", "--porcelain"]) {
+        Some(status) if status.trim().is_empty() => rev,
+        _ => format!("{rev}-dirty"),
+    }
+}
+
 fn main() {
     let mut criterion = Criterion::default();
     run_suite(&mut criterion);
@@ -100,6 +152,8 @@ fn main() {
     let mut out = String::from("{\n");
     out.push_str(&format!("  \"scale\": {},\n", bench_scale()));
     out.push_str(&format!("  \"threads\": {},\n", rayon::current_num_threads()));
+    out.push_str(&format!("  \"git_revision\": \"{}\",\n", json_escape(&git_revision())));
+    out.push_str(&format!("  \"scheduler\": {},\n", scheduler_enabled()));
     out.push_str("  \"median_ns\": {\n");
     for (k, r) in records.iter().enumerate() {
         let comma = if k + 1 < records.len() { "," } else { "" };

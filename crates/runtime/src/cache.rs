@@ -7,23 +7,59 @@
 //! data.) The cache is bounded — at capacity the least-recently-used entry
 //! is evicted — so a long-running service holds memory constant no matter
 //! how many structures stream through.
+//!
+//! Two properties matter at serving scale:
+//!
+//! * **Keys are collision-hardened.** A [`PairKey`] is built from two
+//!   [`PairSide`]s, each carrying the structure's 64-bit content hash *and*
+//!   cheap discriminators (vertex count, edge count). A content-hash
+//!   collision between structurally different graphs therefore no longer
+//!   aliases their cache entries unless the graphs also agree on both
+//!   counts — and the service counts observed hash collisions in
+//!   `ServiceStats::hash_collisions` so the residual risk is monitorable.
+//! * **Eviction is O(1) amortized.** Recency is tracked by a tick-ordered
+//!   queue with lazy deletion ([`Recency`]) instead of a full-map minimum
+//!   scan, so inserting at capacity does not degrade linearly with the
+//!   cache size.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
+use std::hash::Hash;
 
-/// Order-normalized cache key: the content hashes of the two structures of
-/// a pair. The kernel is symmetric, so `(a, b)` and `(b, a)` map to the
+/// One side of a pair key: the structure's content hash plus cheap
+/// discriminators that keep a 64-bit hash collision from aliasing two
+/// structurally different graphs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PairSide {
+    /// FNV-1a content hash of the structure
+    /// ([`graph_content_hash`](crate::hash::graph_content_hash)).
+    pub hash: u64,
+    /// Vertex count of the structure.
+    pub vertices: u32,
+    /// Undirected edge count of the structure.
+    pub edges: u32,
+}
+
+impl PairSide {
+    /// Bundle a content hash with its discriminators.
+    pub fn new(hash: u64, vertices: u32, edges: u32) -> Self {
+        PairSide { hash, vertices, edges }
+    }
+}
+
+/// Order-normalized cache key: the content identities of the two structures
+/// of a pair. The kernel is symmetric, so `(a, b)` and `(b, a)` map to the
 /// same entry.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct PairKey {
-    /// Smaller of the two content hashes.
-    pub lo: u64,
-    /// Larger of the two content hashes.
-    pub hi: u64,
+    /// Lexicographically smaller side.
+    pub lo: PairSide,
+    /// Lexicographically larger side.
+    pub hi: PairSide,
 }
 
 impl PairKey {
     /// Build the normalized key of an unordered pair.
-    pub fn new(a: u64, b: u64) -> Self {
+    pub fn new(a: PairSide, b: PairSide) -> Self {
         if a <= b {
             PairKey { lo: a, hi: b }
         } else {
@@ -41,16 +77,64 @@ pub struct CachedEntry {
     pub iterations: usize,
 }
 
+/// Tick-ordered recency index with lazy deletion.
+///
+/// Every touch appends `(tick, key)` to a queue; the authoritative stamp per
+/// key lives with the owner's map. Popping the LRU key skips queue entries
+/// whose tick no longer matches the owner's current stamp (the key was
+/// touched again later, or removed). The queue is compacted whenever it
+/// grows past twice the live-entry count, so the whole structure is O(1)
+/// amortized per operation and O(live) in memory.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct Recency<K> {
+    queue: VecDeque<(u64, K)>,
+    tick: u64,
+}
+
+impl<K: Copy + Eq + Hash> Recency<K> {
+    pub(crate) fn new() -> Self {
+        Recency { queue: VecDeque::new(), tick: 0 }
+    }
+
+    /// Record an access to `key`, returning the stamp the owner must store
+    /// as the key's current tick.
+    pub(crate) fn touch(&mut self, key: K) -> u64 {
+        self.tick += 1;
+        self.queue.push_back((self.tick, key));
+        self.tick
+    }
+
+    /// Pop the least-recently-touched live key. `current` reports the
+    /// owner's stamp for a key (`None` once removed); stale queue entries
+    /// are discarded on the way.
+    pub(crate) fn pop_lru(&mut self, current: impl Fn(&K) -> Option<u64>) -> Option<K> {
+        while let Some((tick, key)) = self.queue.pop_front() {
+            if current(&key) == Some(tick) {
+                return Some(key);
+            }
+        }
+        None
+    }
+
+    /// Drop stale queue entries once they outnumber the live ones, keeping
+    /// queue memory proportional to `live`.
+    pub(crate) fn compact_if_bloated(&mut self, live: usize, current: impl Fn(&K) -> Option<u64>) {
+        if self.queue.len() > live.saturating_mul(2) + 16 {
+            self.queue.retain(|(tick, key)| current(key) == Some(*tick));
+        }
+    }
+}
+
 /// LRU-bounded map from [`PairKey`] to [`CachedEntry`].
 ///
-/// Recency is tracked with a monotone tick per access; eviction scans for
-/// the minimum, which is O(len) but only runs on insertion at capacity —
-/// negligible next to the PCG solve that produced the entry.
+/// Recency is tracked with a tick-ordered queue with lazy deletion
+/// ([`Recency`]); both lookup refresh and eviction at capacity are O(1)
+/// amortized, so a serving-scale cache does not degrade with its size.
 #[derive(Debug, Clone)]
 pub struct PairCache {
     capacity: usize,
     map: HashMap<PairKey, (u64, CachedEntry)>,
-    tick: u64,
+    recency: Recency<PairKey>,
     hits: u64,
     misses: u64,
 }
@@ -59,7 +143,7 @@ impl PairCache {
     /// An empty cache holding at most `capacity` entries (0 disables
     /// caching entirely).
     pub fn new(capacity: usize) -> Self {
-        PairCache { capacity, map: HashMap::new(), tick: 0, hits: 0, misses: 0 }
+        PairCache { capacity, map: HashMap::new(), recency: Recency::new(), hits: 0, misses: 0 }
     }
 
     /// Number of live entries.
@@ -89,12 +173,14 @@ impl PairCache {
 
     /// Look up a pair, refreshing its recency on a hit.
     pub fn get(&mut self, key: PairKey) -> Option<&CachedEntry> {
-        self.tick += 1;
         match self.map.get_mut(&key) {
-            Some((stamp, entry)) => {
-                *stamp = self.tick;
+            Some((stamp, _)) => {
+                *stamp = self.recency.touch(key);
                 self.hits += 1;
-                Some(&*entry)
+                let map = &self.map;
+                self.recency.compact_if_bloated(map.len(), |k| map.get(k).map(|(t, _)| *t));
+                // reborrow: compaction only touched the recency queue
+                self.map.get(&key).map(|(_, entry)| entry)
             }
             None => {
                 self.misses += 1;
@@ -109,15 +195,16 @@ impl PairCache {
         if self.capacity == 0 {
             return;
         }
-        self.tick += 1;
         if self.map.len() >= self.capacity && !self.map.contains_key(&key) {
-            if let Some(&oldest) =
-                self.map.iter().min_by_key(|(_, (stamp, _))| *stamp).map(|(k, _)| k)
-            {
-                self.map.remove(&oldest);
+            let map = &self.map;
+            if let Some(victim) = self.recency.pop_lru(|k| map.get(k).map(|(t, _)| *t)) {
+                self.map.remove(&victim);
             }
         }
-        self.map.insert(key, (self.tick, entry));
+        let stamp = self.recency.touch(key);
+        self.map.insert(key, (stamp, entry));
+        let map = &self.map;
+        self.recency.compact_if_bloated(map.len(), |k| map.get(k).map(|(t, _)| *t));
     }
 }
 
@@ -125,22 +212,50 @@ impl PairCache {
 mod tests {
     use super::*;
 
+    fn side(h: u64) -> PairSide {
+        PairSide::new(h, 4, 4)
+    }
+
+    fn key(a: u64, b: u64) -> PairKey {
+        PairKey::new(side(a), side(b))
+    }
+
     fn entry(v: f32) -> CachedEntry {
         CachedEntry { value: v, iterations: 1 }
     }
 
     #[test]
     fn keys_are_order_normalized() {
-        assert_eq!(PairKey::new(3, 7), PairKey::new(7, 3));
-        assert_ne!(PairKey::new(3, 7), PairKey::new(3, 8));
+        assert_eq!(key(3, 7), key(7, 3));
+        assert_ne!(key(3, 7), key(3, 8));
+    }
+
+    #[test]
+    fn discriminators_separate_hash_collisions() {
+        // two distinct structures forced onto one content hash: different
+        // vertex/edge counts must map to different keys, so a 64-bit hash
+        // collision can no longer serve the wrong kernel value
+        let path = PairSide::new(0xDEAD, 4, 3);
+        let cycle = PairSide::new(0xDEAD, 4, 4);
+        assert_ne!(PairKey::new(path, path), PairKey::new(cycle, cycle));
+
+        let mut c = PairCache::new(8);
+        c.insert(PairKey::new(path, path), entry(1.0));
+        assert!(
+            c.get(PairKey::new(cycle, cycle)).is_none(),
+            "hash-colliding structure must miss, not alias"
+        );
+        c.insert(PairKey::new(cycle, cycle), entry(2.0));
+        assert_eq!(c.get(PairKey::new(path, path)).unwrap().value, 1.0);
+        assert_eq!(c.get(PairKey::new(cycle, cycle)).unwrap().value, 2.0);
     }
 
     #[test]
     fn get_returns_inserted_entries_and_counts_hits() {
         let mut c = PairCache::new(4);
-        c.insert(PairKey::new(1, 2), entry(0.5));
-        assert_eq!(c.get(PairKey::new(2, 1)).unwrap().value, 0.5);
-        assert!(c.get(PairKey::new(9, 9)).is_none());
+        c.insert(key(1, 2), entry(0.5));
+        assert_eq!(c.get(key(2, 1)).unwrap().value, 0.5);
+        assert!(c.get(key(9, 9)).is_none());
         assert_eq!(c.hits(), 1);
         assert_eq!(c.misses(), 1);
     }
@@ -148,33 +263,87 @@ mod tests {
     #[test]
     fn lru_eviction_drops_the_coldest_entry() {
         let mut c = PairCache::new(2);
-        c.insert(PairKey::new(1, 1), entry(1.0));
-        c.insert(PairKey::new(2, 2), entry(2.0));
+        c.insert(key(1, 1), entry(1.0));
+        c.insert(key(2, 2), entry(2.0));
         // touch (1,1) so (2,2) becomes the LRU victim
-        assert!(c.get(PairKey::new(1, 1)).is_some());
-        c.insert(PairKey::new(3, 3), entry(3.0));
+        assert!(c.get(key(1, 1)).is_some());
+        c.insert(key(3, 3), entry(3.0));
         assert_eq!(c.len(), 2);
-        assert!(c.get(PairKey::new(1, 1)).is_some());
-        assert!(c.get(PairKey::new(2, 2)).is_none(), "LRU entry should have been evicted");
-        assert!(c.get(PairKey::new(3, 3)).is_some());
+        assert!(c.get(key(1, 1)).is_some());
+        assert!(c.get(key(2, 2)).is_none(), "LRU entry should have been evicted");
+        assert!(c.get(key(3, 3)).is_some());
     }
 
     #[test]
     fn reinserting_an_existing_key_does_not_evict() {
         let mut c = PairCache::new(2);
-        c.insert(PairKey::new(1, 1), entry(1.0));
-        c.insert(PairKey::new(2, 2), entry(2.0));
-        c.insert(PairKey::new(1, 1), entry(1.5));
+        c.insert(key(1, 1), entry(1.0));
+        c.insert(key(2, 2), entry(2.0));
+        c.insert(key(1, 1), entry(1.5));
         assert_eq!(c.len(), 2);
-        assert_eq!(c.get(PairKey::new(1, 1)).unwrap().value, 1.5);
-        assert!(c.get(PairKey::new(2, 2)).is_some());
+        assert_eq!(c.get(key(1, 1)).unwrap().value, 1.5);
+        assert!(c.get(key(2, 2)).is_some());
     }
 
     #[test]
     fn zero_capacity_disables_caching() {
         let mut c = PairCache::new(0);
-        c.insert(PairKey::new(1, 1), entry(1.0));
+        c.insert(key(1, 1), entry(1.0));
         assert!(c.is_empty());
-        assert!(c.get(PairKey::new(1, 1)).is_none());
+        assert!(c.get(key(1, 1)).is_none());
+    }
+
+    #[test]
+    fn eviction_order_survives_heavy_refresh_traffic() {
+        // hammer a small cache with refreshes so the lazy queue accumulates
+        // stale entries and compaction kicks in; LRU order must still hold
+        let mut c = PairCache::new(4);
+        for k in 0..4 {
+            c.insert(key(k, k), entry(k as f32));
+        }
+        for _ in 0..1000 {
+            for k in 1..4 {
+                assert!(c.get(key(k, k)).is_some());
+            }
+        }
+        // key 0 is now by far the coldest
+        c.insert(key(9, 9), entry(9.0));
+        assert_eq!(c.len(), 4);
+        assert!(c.get(key(0, 0)).is_none(), "coldest entry should have been evicted");
+        for k in 1..4 {
+            assert!(c.get(key(k, k)).is_some());
+        }
+        assert!(c.get(key(9, 9)).is_some());
+    }
+
+    #[test]
+    fn queue_memory_stays_proportional_to_live_entries() {
+        let mut c = PairCache::new(8);
+        for k in 0..8 {
+            c.insert(key(k, k), entry(0.0));
+        }
+        for _ in 0..10_000 {
+            for k in 0..8 {
+                assert!(c.get(key(k, k)).is_some());
+            }
+        }
+        assert!(
+            c.recency.queue.len() <= 8 * 2 + 16,
+            "lazy queue must be compacted: {} entries for 8 live keys",
+            c.recency.queue.len()
+        );
+    }
+
+    #[test]
+    fn recency_pop_lru_skips_stale_entries() {
+        let mut r: Recency<u32> = Recency::new();
+        let mut stamps: HashMap<u32, u64> = HashMap::new();
+        for k in [1u32, 2, 3] {
+            stamps.insert(k, r.touch(k));
+        }
+        stamps.insert(1, r.touch(1)); // refresh 1: its first queue entry is stale
+        stamps.remove(&2); // remove 2 entirely
+        let victim = r.pop_lru(|k| stamps.get(k).copied());
+        assert_eq!(victim, Some(3), "3 is the least-recently-touched live key");
     }
 }

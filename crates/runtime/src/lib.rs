@@ -16,9 +16,17 @@
 //!   and is re-exported here as the runtime's pool layer.
 //! * **[`GramService`]** — a streaming Gram matrix: structures are
 //!   submitted incrementally, only new row/column blocks are solved,
-//!   entries are cached by content hash in an LRU-bounded [`PairCache`],
-//!   appended pairs warm-start PCG from converged donors of equal shape,
-//!   and a bounded pending queue applies backpressure to producers.
+//!   entries are cached by collision-hardened content key in an
+//!   LRU-bounded [`PairCache`] (O(1) eviction), appended pairs warm-start
+//!   PCG from the best converged donor of equal shape, and a bounded
+//!   pending queue applies backpressure to producers.
+//! * **[`GramScheduler`]** — the service on a dedicated background thread:
+//!   producers submit through a cheap [`GramClient`] over a bounded
+//!   command channel (microsecond submissions, blocking-or-try
+//!   backpressure), consumers follow a versioned [`SnapshotWatch`] whose
+//!   epoch bumps once per completed flush, and
+//!   [`join`](GramScheduler::join) drains gracefully while propagating
+//!   solve panics.
 //!
 //! ```
 //! use mgk_runtime::{GramService, GramServiceConfig};
@@ -47,13 +55,19 @@
 
 pub mod cache;
 pub mod hash;
+pub mod scheduler;
 pub mod service;
+pub mod watch;
 
-pub use cache::{CachedEntry, PairCache, PairKey};
+pub use cache::{CachedEntry, PairCache, PairKey, PairSide};
 pub use hash::{graph_content_hash, ContentHash, Fnv1a};
 pub use rayon::pool::Pool;
+pub use scheduler::{BarrierReply, GramClient, GramScheduler, SchedulerConfig, SchedulerError};
 pub use service::{
     GramService, GramServiceConfig, GramServiceError, GramSnapshot, ServiceStats, StructureId,
+};
+pub use watch::{
+    snapshot_channel, SnapshotPublisher, SnapshotWatch, VersionedSnapshot, WatchClosed,
 };
 
 #[cfg(test)]

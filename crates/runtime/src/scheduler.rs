@@ -1,0 +1,570 @@
+//! The background Gram scheduler: producers submit structures in
+//! microseconds, solves run on a dedicated thread.
+//!
+//! [`GramService::flush`] runs on the caller's thread, so a synchronous
+//! producer stalls for the full PCG solve latency of its batch. The
+//! [`GramScheduler`] decouples the two sides, the serving analogue of the
+//! paper's batched job queue:
+//!
+//! * The scheduler **owns the service on a background thread** and drains
+//!   its queue continuously: commands arriving while a flush is in progress
+//!   coalesce into the next batch, so the solve pipeline stays saturated
+//!   with pair jobs while producers run ahead.
+//! * Producers hold a cheap, cloneable [`GramClient`] over a **bounded
+//!   command channel**. [`submit`](GramClient::submit) blocks only when the
+//!   channel is full (backpressure as flow control) and
+//!   [`try_submit`](GramClient::try_submit) surfaces
+//!   [`SchedulerError::Backpressure`] instead — a blocking-or-try choice at
+//!   the channel, not an error the caller must retry around.
+//! * Consumers hold a [`SnapshotWatch`]: every completed flush publishes
+//!   the new snapshot under a bumped epoch (the service's
+//!   [`version`](GramService::version)), `wait_newer` blocks until a
+//!   fresher snapshot exists, and the per-epoch snapshot is cached so idle
+//!   polls cost an `Arc` clone instead of an O(n²) rebuild.
+//! * [`flush`](GramClient::flush) is a **barrier**: it returns once every
+//!   submission enqueued before it has been admitted and solved.
+//! * [`join`](GramScheduler::join) performs a **graceful shutdown** —
+//!   outstanding submissions are drained and solved first — and returns the
+//!   service for inspection. A panic on the scheduler thread (a poisoned
+//!   solve) closes the watch, unblocks every waiting consumer, and is
+//!   re-raised from `join`.
+//!
+//! Batches are fanned out over the existing persistent worker
+//! [`Pool`](crate::Pool) — the scheduler thread is a coordinator, not a
+//! compute thread.
+
+use std::sync::mpsc::{self, Receiver, SyncSender, TrySendError};
+use std::thread::JoinHandle;
+
+use mgk_graph::Graph;
+use mgk_kernels::BaseKernel;
+
+use crate::hash::ContentHash;
+use crate::service::{GramService, GramServiceError};
+use crate::watch::{snapshot_channel, SnapshotPublisher, SnapshotWatch};
+
+/// Configuration of a [`GramScheduler`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SchedulerConfig {
+    /// Capacity of the bounded command channel between producers and the
+    /// scheduler thread. A full channel blocks [`GramClient::submit`] and
+    /// fails [`GramClient::try_submit`] with backpressure.
+    pub channel_capacity: usize,
+}
+
+impl Default for SchedulerConfig {
+    fn default() -> Self {
+        SchedulerConfig { channel_capacity: 1024 }
+    }
+}
+
+/// Errors reported by [`GramClient`] operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedulerError {
+    /// The submitted structure has no vertices.
+    EmptyStructure,
+    /// The command channel is full ([`GramClient::try_submit`] only);
+    /// block in [`GramClient::submit`] instead, or shed load.
+    Backpressure {
+        /// The configured channel capacity.
+        capacity: usize,
+    },
+    /// The scheduler thread is gone (shut down or panicked).
+    Closed,
+}
+
+impl std::fmt::Display for SchedulerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SchedulerError::EmptyStructure => {
+                write!(f, "cannot admit a structure with no vertices")
+            }
+            SchedulerError::Backpressure { capacity } => {
+                write!(f, "command channel full (capacity {capacity}); block or shed load")
+            }
+            SchedulerError::Closed => write!(f, "scheduler is shut down"),
+        }
+    }
+}
+
+impl std::error::Error for SchedulerError {}
+
+/// Reply of a [`GramClient::flush`] barrier: the scheduler's state after
+/// every previously enqueued submission was admitted and solved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BarrierReply {
+    /// The snapshot epoch after the barrier's flush.
+    pub epoch: u64,
+    /// Structures admitted so far.
+    pub num_structures: usize,
+}
+
+enum Command<V, E> {
+    Submit(Graph<V, E>),
+    SubmitAll(Vec<Graph<V, E>>),
+    Barrier(mpsc::Sender<BarrierReply>),
+    Shutdown,
+}
+
+/// Cheap, cloneable producer/consumer handle to a running
+/// [`GramScheduler`].
+#[derive(Debug)]
+pub struct GramClient<V, E> {
+    tx: SyncSender<Command<V, E>>,
+    watch: SnapshotWatch,
+    capacity: usize,
+}
+
+impl<V, E> Clone for GramClient<V, E> {
+    fn clone(&self) -> Self {
+        GramClient { tx: self.tx.clone(), watch: self.watch.clone(), capacity: self.capacity }
+    }
+}
+
+impl<V, E> GramClient<V, E> {
+    /// Enqueue a structure, blocking while the command channel is full.
+    ///
+    /// Returns in microseconds under normal load — the solve happens on the
+    /// scheduler thread. Blocking on a full channel is the flow-control
+    /// path: a producer outrunning the solver is throttled to its pace.
+    pub fn submit(&self, structure: Graph<V, E>) -> Result<(), SchedulerError> {
+        if structure.num_vertices() == 0 {
+            return Err(SchedulerError::EmptyStructure);
+        }
+        self.tx.send(Command::Submit(structure)).map_err(|_| SchedulerError::Closed)
+    }
+
+    /// Enqueue a structure without blocking; a full channel reports
+    /// [`SchedulerError::Backpressure`] so the producer can shed load.
+    pub fn try_submit(&self, structure: Graph<V, E>) -> Result<(), SchedulerError> {
+        if structure.num_vertices() == 0 {
+            return Err(SchedulerError::EmptyStructure);
+        }
+        self.tx.try_send(Command::Submit(structure)).map_err(|e| match e {
+            TrySendError::Full(_) => SchedulerError::Backpressure { capacity: self.capacity },
+            TrySendError::Disconnected(_) => SchedulerError::Closed,
+        })
+    }
+
+    /// Enqueue a whole collection as one command (empty structures are
+    /// skipped). Returns the number of structures enqueued.
+    pub fn submit_all(
+        &self,
+        structures: impl IntoIterator<Item = Graph<V, E>>,
+    ) -> Result<usize, SchedulerError> {
+        let batch: Vec<Graph<V, E>> =
+            structures.into_iter().filter(|g| g.num_vertices() > 0).collect();
+        let n = batch.len();
+        if n == 0 {
+            return Ok(0);
+        }
+        self.tx.send(Command::SubmitAll(batch)).map_err(|_| SchedulerError::Closed)?;
+        Ok(n)
+    }
+
+    /// Barrier: block until every submission enqueued before this call has
+    /// been admitted and solved, and report the resulting epoch.
+    pub fn flush(&self) -> Result<BarrierReply, SchedulerError> {
+        let (reply_tx, reply_rx) = mpsc::channel();
+        self.tx.send(Command::Barrier(reply_tx)).map_err(|_| SchedulerError::Closed)?;
+        reply_rx.recv().map_err(|_| SchedulerError::Closed)
+    }
+
+    /// The versioned snapshot watch fed by this scheduler.
+    pub fn watch(&self) -> SnapshotWatch {
+        self.watch.clone()
+    }
+}
+
+/// A [`GramService`] running on a dedicated background thread. See the
+/// module docs for the design.
+#[derive(Debug)]
+pub struct GramScheduler<KV, KE, V, E> {
+    client: GramClient<V, E>,
+    handle: JoinHandle<GramService<KV, KE, V, E>>,
+}
+
+impl<KV, KE, V, E> GramScheduler<KV, KE, V, E>
+where
+    V: Clone + Send + Sync + ContentHash + 'static,
+    E: Copy + Default + Send + Sync + ContentHash + 'static,
+    KV: BaseKernel<V> + Clone + Send + Sync + 'static,
+    KE: BaseKernel<E> + Clone + Send + Sync + 'static,
+{
+    /// Move `service` onto a background scheduler thread.
+    ///
+    /// A pre-warmed service (structures admitted before the handoff) has
+    /// its current snapshot published immediately, so watchers see the warm
+    /// state without waiting for the first submission; submissions still
+    /// pending inside the service are flushed first.
+    pub fn spawn(service: GramService<KV, KE, V, E>, config: SchedulerConfig) -> Self {
+        let capacity = config.channel_capacity.max(1);
+        let (tx, rx) = mpsc::sync_channel(capacity);
+        let (publisher, watch) = snapshot_channel();
+        let handle = std::thread::Builder::new()
+            .name("mgk-gram-scheduler".to_string())
+            .spawn(move || {
+                // `publisher` lives on this frame: whether `run` returns or
+                // unwinds on a solve panic, dropping it closes the watch and
+                // unblocks every waiting consumer
+                run(rx, capacity, service, &publisher)
+            })
+            .expect("spawning the scheduler thread");
+        GramScheduler { client: GramClient { tx, watch, capacity }, handle }
+    }
+
+    /// A new producer/consumer handle (cheap; clone freely across threads).
+    pub fn client(&self) -> GramClient<V, E> {
+        self.client.clone()
+    }
+
+    /// The versioned snapshot watch fed by this scheduler.
+    pub fn watch(&self) -> SnapshotWatch {
+        self.client.watch.clone()
+    }
+
+    /// Gracefully shut down: every submission already enqueued is drained
+    /// and solved, the final snapshot is published, and the service is
+    /// returned for inspection. If the scheduler thread panicked, the panic
+    /// is re-raised here.
+    pub fn join(self) -> GramService<KV, KE, V, E> {
+        // best-effort: the thread may already be gone (e.g. after a panic),
+        // in which case the join below reports it
+        let _ = self.client.tx.send(Command::Shutdown);
+        drop(self.client);
+        match self.handle.join() {
+            Ok(service) => service,
+            Err(payload) => std::panic::resume_unwind(payload),
+        }
+    }
+}
+
+/// The scheduler thread body: receive, coalesce, flush, publish, repeat.
+fn run<KV, KE, V, E>(
+    rx: Receiver<Command<V, E>>,
+    capacity: usize,
+    mut service: GramService<KV, KE, V, E>,
+    publisher: &SnapshotPublisher,
+) -> GramService<KV, KE, V, E>
+where
+    V: Clone + Send + Sync + ContentHash,
+    E: Copy + Default + Send + Sync + ContentHash,
+    KV: BaseKernel<V> + Clone + Send + Sync,
+    KE: BaseKernel<E> + Clone + Send + Sync,
+{
+    // hand-off state: flush anything already pending, publish warm state
+    if service.num_pending() > 0 {
+        flush_and_publish(&mut service, publisher);
+    } else if service.num_structures() > 0 {
+        publish(&mut service, publisher);
+    }
+
+    loop {
+        let first = match rx.recv() {
+            Ok(cmd) => cmd,
+            // every client is gone: nothing more can arrive
+            Err(_) => break,
+        };
+        // coalesce whatever has queued up behind the first command into one
+        // batch — under load, many submissions amortize into one flush. The
+        // drain is capped at one channel's worth per batch: producers
+        // refilling the channel as fast as we drain it must not postpone
+        // the flush (and any barrier) indefinitely
+        let mut commands = vec![first];
+        while commands.len() <= capacity {
+            match rx.try_recv() {
+                Ok(cmd) => commands.push(cmd),
+                Err(_) => break,
+            }
+        }
+
+        let mut shutdown = false;
+        let mut barriers: Vec<mpsc::Sender<BarrierReply>> = Vec::new();
+        for command in commands {
+            match command {
+                Command::Submit(g) => admit(&mut service, publisher, g),
+                Command::SubmitAll(gs) => {
+                    for g in gs {
+                        admit(&mut service, publisher, g);
+                    }
+                }
+                Command::Barrier(reply) => barriers.push(reply),
+                Command::Shutdown => shutdown = true,
+            }
+        }
+
+        if service.num_pending() > 0 {
+            flush_and_publish(&mut service, publisher);
+        }
+        for barrier in barriers {
+            // a client that gave up waiting is not an error
+            let _ = barrier.send(BarrierReply {
+                epoch: service.version(),
+                num_structures: service.num_structures(),
+            });
+        }
+        if shutdown {
+            // commands a racing producer enqueued *after* the shutdown are
+            // dropped with the receiver; everything before it was drained
+            break;
+        }
+    }
+    service
+}
+
+/// Queue one structure into the service, flushing mid-batch if the
+/// service's own pending bound fills up first.
+fn admit<KV, KE, V, E>(
+    service: &mut GramService<KV, KE, V, E>,
+    publisher: &SnapshotPublisher,
+    g: Graph<V, E>,
+) where
+    V: Clone + Send + Sync + ContentHash,
+    E: Copy + Default + Send + Sync + ContentHash,
+    KV: BaseKernel<V> + Clone + Send + Sync,
+    KE: BaseKernel<E> + Clone + Send + Sync,
+{
+    if service.num_pending() >= service.config().max_pending {
+        // the service queue is smaller than the coalesced batch: flush what
+        // is pending (publishing the intermediate epoch) so the submission
+        // below cannot hit backpressure
+        flush_and_publish(service, publisher);
+    }
+    match service.submit(g) {
+        Ok(_) => {}
+        Err(GramServiceError::Backpressure { .. }) => {
+            debug_assert!(false, "queue was flushed; backpressure is impossible here");
+        }
+        // the client already rejects empty structures; dropping a stray one
+        // mirrors GramService::submit_all
+        Err(GramServiceError::EmptyStructure) => {}
+    }
+}
+
+/// Flush the service and publish the fresh snapshot under its new version.
+fn flush_and_publish<KV, KE, V, E>(
+    service: &mut GramService<KV, KE, V, E>,
+    publisher: &SnapshotPublisher,
+) where
+    V: Clone + Send + Sync + ContentHash,
+    E: Copy + Default + Send + Sync + ContentHash,
+    KV: BaseKernel<V> + Clone + Send + Sync,
+    KE: BaseKernel<E> + Clone + Send + Sync,
+{
+    service.flush();
+    publish(service, publisher);
+}
+
+/// Publish the service's current snapshot at its current version.
+fn publish<KV, KE, V, E>(service: &mut GramService<KV, KE, V, E>, publisher: &SnapshotPublisher)
+where
+    V: Clone + Send + Sync + ContentHash,
+    E: Copy + Default + Send + Sync + ContentHash,
+    KV: BaseKernel<V> + Clone + Send + Sync,
+    KE: BaseKernel<E> + Clone + Send + Sync,
+{
+    let snapshot = std::sync::Arc::new(service.snapshot());
+    publisher.publish(service.version(), snapshot);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hash::graph_content_hash;
+    use crate::service::GramServiceConfig;
+    use mgk_core::{MarginalizedKernelSolver, SolverConfig};
+    use mgk_graph::generators;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use std::sync::Mutex;
+
+    type UnlabeledScheduler = GramScheduler<
+        mgk_kernels::UnitKernel,
+        mgk_kernels::UnitKernel,
+        mgk_graph::Unlabeled,
+        mgk_graph::Unlabeled,
+    >;
+
+    fn dataset(n: usize, seed: u64) -> Vec<Graph> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|k| generators::newman_watts_strogatz(10 + k % 4, 2, 0.2, &mut rng)).collect()
+    }
+
+    fn service(
+        config: GramServiceConfig,
+    ) -> GramService<
+        mgk_kernels::UnitKernel,
+        mgk_kernels::UnitKernel,
+        mgk_graph::Unlabeled,
+        mgk_graph::Unlabeled,
+    > {
+        GramService::new(MarginalizedKernelSolver::unlabeled(SolverConfig::default()), config)
+    }
+
+    fn spawn_default() -> UnlabeledScheduler {
+        GramScheduler::spawn(service(GramServiceConfig::default()), SchedulerConfig::default())
+    }
+
+    #[test]
+    fn submissions_flow_through_the_background_thread() {
+        let scheduler = spawn_default();
+        let client = scheduler.client();
+        let graphs = dataset(3, 5);
+        for g in &graphs {
+            client.submit(g.clone()).unwrap();
+        }
+        let reply = client.flush().unwrap();
+        assert_eq!(reply.num_structures, 3);
+        assert!(reply.epoch >= 1);
+
+        // the barrier guarantees the snapshot is published
+        let latest = scheduler.watch().latest().expect("snapshot published after the barrier");
+        assert_eq!(latest.snapshot.num_graphs, 3);
+        assert!(latest.snapshot.matrix.iter().all(|v| v.is_finite()));
+
+        let svc = scheduler.join();
+        assert_eq!(svc.num_structures(), 3);
+        assert_eq!(svc.stats().jobs_executed, 3 * 4 / 2);
+    }
+
+    #[test]
+    fn join_drains_outstanding_submissions() {
+        let scheduler = spawn_default();
+        let client = scheduler.client();
+        let graphs = dataset(5, 11);
+        let n = client.submit_all(graphs).unwrap();
+        assert_eq!(n, 5);
+        // no barrier: join itself must drain and solve everything enqueued
+        let svc = scheduler.join();
+        assert_eq!(svc.num_structures(), 5);
+        assert_eq!(svc.stats().jobs_executed, 5 * 6 / 2);
+        assert_eq!(svc.num_pending(), 0);
+    }
+
+    #[test]
+    fn a_panicking_solve_propagates_to_join_and_closes_the_watch() {
+        let panicking: fn(&Graph) -> u64 = |_| panic!("forced solve-path panic");
+        let svc = service(GramServiceConfig::default()).with_content_hasher(panicking);
+        let scheduler = GramScheduler::spawn(svc, SchedulerConfig::default());
+        let client = scheduler.client();
+        let watch = scheduler.watch();
+
+        client.submit(dataset(1, 13).pop().unwrap()).unwrap();
+        // the thread dies flushing; consumers must be unblocked, not hung
+        assert_eq!(watch.wait_newer(0).unwrap_err(), crate::watch::WatchClosed);
+        let propagated = catch_unwind(AssertUnwindSafe(move || scheduler.join()));
+        assert!(propagated.is_err(), "the scheduler panic was swallowed");
+        // post-mortem clients observe closure, not deadlock
+        assert_eq!(client.flush(), Err(SchedulerError::Closed));
+    }
+
+    #[test]
+    fn wait_newer_wakes_exactly_once_per_epoch() {
+        let scheduler = spawn_default();
+        let client = scheduler.client();
+        let watch = scheduler.watch();
+        let graphs = dataset(2, 17);
+
+        client.submit(graphs[0].clone()).unwrap();
+        let first_epoch = client.flush().unwrap().epoch;
+        let v1 = watch.wait_newer(0).unwrap();
+        assert_eq!(v1.epoch, first_epoch);
+        assert_eq!(v1.snapshot.num_graphs, 1);
+
+        client.submit(graphs[1].clone()).unwrap();
+        let second_epoch = client.flush().unwrap().epoch;
+        assert_eq!(second_epoch, first_epoch + 1, "one epoch per completed flush");
+        let v2 = watch.wait_newer(v1.epoch).unwrap();
+        assert_eq!(v2.epoch, second_epoch);
+        assert_eq!(v2.snapshot.num_graphs, 2);
+
+        scheduler.join();
+        // nothing newer ever arrives: the consumer is woken for closure,
+        // not handed a stale epoch twice
+        assert_eq!(watch.wait_newer(v2.epoch).unwrap_err(), crate::watch::WatchClosed);
+    }
+
+    // Gate shared with `gated_hash` so the backpressure test can hold the
+    // scheduler thread inside a flush deterministically.
+    static GATE: Mutex<()> = Mutex::new(());
+
+    fn gated_hash(g: &Graph) -> u64 {
+        let _held = GATE.lock().unwrap();
+        graph_content_hash(g)
+    }
+
+    #[test]
+    fn try_submit_reports_backpressure_when_the_channel_fills() {
+        let gate = GATE.lock().unwrap();
+        let svc = service(GramServiceConfig::default()).with_content_hasher(gated_hash);
+        let scheduler = GramScheduler::spawn(svc, SchedulerConfig { channel_capacity: 1 });
+        let client = scheduler.client();
+        let g = dataset(1, 19).pop().unwrap();
+
+        // the scheduler picks up early submissions and then blocks on the
+        // gate inside its flush; with a 1-slot channel the producer sees
+        // backpressure after at most a handful of accepted submissions
+        client.submit(g.clone()).unwrap();
+        let mut accepted = 1;
+        let mut saw_backpressure = false;
+        for _ in 0..200 {
+            match client.try_submit(g.clone()) {
+                Ok(()) => accepted += 1,
+                Err(SchedulerError::Backpressure { capacity: 1 }) => {
+                    saw_backpressure = true;
+                    break;
+                }
+                Err(other) => panic!("unexpected error: {other}"),
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        assert!(saw_backpressure, "a full 1-slot channel must report backpressure");
+
+        // release the solver; every accepted submission must be admitted
+        drop(gate);
+        let reply = client.flush().unwrap();
+        assert_eq!(reply.num_structures, accepted);
+        scheduler.join();
+    }
+
+    #[test]
+    fn empty_structures_are_rejected_client_side() {
+        let scheduler = spawn_default();
+        let client = scheduler.client();
+        let empty: Graph = Graph::from_edge_list(0, &[]);
+        assert_eq!(client.submit(empty.clone()), Err(SchedulerError::EmptyStructure));
+        assert_eq!(client.try_submit(empty.clone()), Err(SchedulerError::EmptyStructure));
+        assert_eq!(client.submit_all(vec![empty]), Ok(0));
+        assert_eq!(client.flush().unwrap().num_structures, 0);
+        scheduler.join();
+    }
+
+    #[test]
+    fn a_prewarmed_service_publishes_its_snapshot_on_spawn() {
+        let mut svc = service(GramServiceConfig::default());
+        for g in dataset(3, 23) {
+            svc.submit(g).unwrap();
+        }
+        svc.flush();
+        let warm_version = svc.version();
+
+        let scheduler = GramScheduler::spawn(svc, SchedulerConfig::default());
+        let v = scheduler.watch().wait_newer(0).unwrap();
+        assert_eq!(v.epoch, warm_version);
+        assert_eq!(v.snapshot.num_graphs, 3);
+        scheduler.join();
+    }
+
+    #[test]
+    fn coalesced_batches_exceeding_the_service_queue_are_split_not_lost() {
+        // service queue of 2, one coalesced wave of 6: the scheduler must
+        // flush mid-batch instead of dropping submissions
+        let svc = service(GramServiceConfig { max_pending: 2, ..Default::default() });
+        let scheduler = GramScheduler::spawn(svc, SchedulerConfig::default());
+        let client = scheduler.client();
+        client.submit_all(dataset(6, 29)).unwrap();
+        let svc = scheduler.join();
+        assert_eq!(svc.num_structures(), 6, "mid-batch flushes must not lose structures");
+    }
+}

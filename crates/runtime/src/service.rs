@@ -29,6 +29,12 @@
 //!   [`flush`](GramService::flush) drains the queue in batches of
 //!   [`GramServiceConfig::batch_size`] jobs, each batch fanned out over the
 //!   persistent worker pool.
+//!
+//! `flush` runs on the caller's thread; to decouple producers from solve
+//! latency, hand the service to a
+//! [`GramScheduler`](crate::scheduler::GramScheduler), which drains the
+//! queue on a background thread and publishes versioned snapshots to a
+//! [`SnapshotWatch`](crate::watch::SnapshotWatch).
 
 use std::collections::{HashMap, VecDeque};
 
@@ -39,7 +45,7 @@ use mgk_graph::Graph;
 use mgk_kernels::BaseKernel;
 use mgk_reorder::ReorderMethod;
 
-use crate::cache::{CachedEntry, PairCache, PairKey};
+use crate::cache::{CachedEntry, PairCache, PairKey, PairSide, Recency};
 use crate::hash::{graph_content_hash, ContentHash};
 
 /// Configuration of a [`GramService`].
@@ -59,8 +65,8 @@ pub struct GramServiceConfig {
     /// Donate converged solutions as warm starts for equally-sized systems.
     pub warm_start: bool,
     /// Maximum retained warm-start donor vectors (each one `n × m` floats);
-    /// at capacity an arbitrary donor is evicted — the pool is a
-    /// best-effort hint store, not a correctness structure.
+    /// at capacity the least-recently-donated entry is evicted — the pool
+    /// is a best-effort hint store, not a correctness structure.
     pub donor_capacity: usize,
 }
 
@@ -129,6 +135,12 @@ pub struct ServiceStats {
     pub failures: usize,
     /// Parallel batches scheduled.
     pub batches: usize,
+    /// Admitted structures whose content hash equals an earlier admitted
+    /// structure's while vertex or edge counts differ — an observed 64-bit
+    /// content-hash collision. The widened [`PairKey`] keeps such pairs
+    /// from aliasing cache entries; this counter makes the event (and thus
+    /// the residual risk of a collision with *equal* counts) monitorable.
+    pub hash_collisions: usize,
 }
 
 /// A materialized (dense, symmetric) view of the service's Gram matrix.
@@ -153,6 +165,74 @@ struct Member<V, E> {
     graph: Graph<V, E>,
     hash: u64,
     vertices: usize,
+    edges: usize,
+}
+
+impl<V, E> Member<V, E> {
+    /// The member's collision-hardened cache-key side.
+    fn side(&self) -> PairSide {
+        PairSide::new(self.hash, self.vertices as u32, self.edges as u32)
+    }
+}
+
+/// One retained warm-start donor: the converged nodal solution plus the
+/// iteration count of the solve that produced it (fewer iterations ⇒ the
+/// solve started closer to the fixed point ⇒ the better donor).
+#[derive(Debug, Clone)]
+struct DonorEntry {
+    nodal: Vec<f32>,
+    iterations: usize,
+}
+
+/// Warm-start donors keyed by `(left structure hash, right vertex count)`,
+/// bounded by evicting the least-recently-donated key.
+///
+/// Donation policy: a key that already holds a donor keeps the existing
+/// vector when the incoming solve took *more* iterations — it converged
+/// from a worse starting point, so the retained donor was closer to the
+/// fixed point than the one it would be replaced by. Either way the key's
+/// recency is refreshed (it is actively being donated to).
+#[derive(Debug, Clone)]
+struct DonorPool {
+    capacity: usize,
+    map: HashMap<(u64, usize), (u64, DonorEntry)>,
+    recency: Recency<(u64, usize)>,
+}
+
+impl DonorPool {
+    fn new(capacity: usize) -> Self {
+        DonorPool { capacity: capacity.max(1), map: HashMap::new(), recency: Recency::new() }
+    }
+
+    fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// The donated guess for `key`, if any (read-only: batch workers share
+    /// the pool immutably, so recency is donation-time only).
+    fn get(&self, key: &(u64, usize)) -> Option<&[f32]> {
+        self.map.get(key).map(|(_, e)| e.nodal.as_slice())
+    }
+
+    fn donate(&mut self, key: (u64, usize), nodal: Vec<f32>, iterations: usize) {
+        if let Some((stamp, existing)) = self.map.get_mut(&key) {
+            if iterations <= existing.iterations {
+                *existing = DonorEntry { nodal, iterations };
+            }
+            *stamp = self.recency.touch(key);
+        } else {
+            if self.map.len() >= self.capacity {
+                let map = &self.map;
+                if let Some(victim) = self.recency.pop_lru(|k| map.get(k).map(|(t, _)| *t)) {
+                    self.map.remove(&victim);
+                }
+            }
+            let stamp = self.recency.touch(key);
+            self.map.insert(key, (stamp, DonorEntry { nodal, iterations }));
+        }
+        let map = &self.map;
+        self.recency.compact_if_bloated(map.len(), |k| map.get(k).map(|(t, _)| *t));
+    }
 }
 
 /// The streaming Gram service. See the module docs for the design.
@@ -177,12 +257,21 @@ pub struct GramService<KV, KE, V, E> {
     values: Vec<f32>,
     pending: VecDeque<Graph<V, E>>,
     cache: PairCache,
-    /// Last converged nodal solution per `(left structure hash, right
+    /// Best converged nodal solution per `(left structure hash, right
     /// vertex count)`. Keying on the *left* structure means a donor shares
     /// the `A_i ⊗ ·` half of the Kronecker system with the pair it seeds,
     /// which keeps the guess close for ensembles of similar structures; the
     /// `pcg_counted_warm` residual guard discards it when it is not.
-    donors: HashMap<(u64, usize), Vec<f32>>,
+    donors: DonorPool,
+    /// Content hasher for cache keys and donor keys; replaceable via
+    /// [`with_content_hasher`](GramService::with_content_hasher).
+    hasher: fn(&Graph<V, E>) -> u64,
+    /// Discriminators `(vertices, edges)` of the first admitted structure
+    /// per content hash, used to observe hash collisions.
+    seen_hashes: HashMap<u64, (usize, usize)>,
+    /// Monotone snapshot version: bumped by every flush that admits at
+    /// least one structure.
+    version: u64,
     stats: ServiceStats,
 }
 
@@ -214,13 +303,29 @@ where
             prep_solver: solver,
             pair_solver,
             cache: PairCache::new(config.cache_capacity),
+            donors: DonorPool::new(config.donor_capacity),
             config,
             members: Vec::new(),
             values: Vec::new(),
             pending: VecDeque::new(),
-            donors: HashMap::new(),
+            hasher: graph_content_hash,
+            seen_hashes: HashMap::new(),
+            version: 0,
             stats: ServiceStats::default(),
         }
+    }
+
+    /// Replace the content hasher used for cache and donor keys.
+    ///
+    /// The default is [`graph_content_hash`]; a replacement must be set
+    /// before the first structure is admitted (keys of already-admitted
+    /// structures are not rehashed). Primarily useful for callers that want
+    /// a stronger hash — and for tests that force collisions to exercise
+    /// the widened [`PairKey`] discriminators.
+    pub fn with_content_hasher(mut self, hasher: fn(&Graph<V, E>) -> u64) -> Self {
+        debug_assert!(self.members.is_empty(), "set the hasher before admitting structures");
+        self.hasher = hasher;
+        self
     }
 
     /// The service configuration.
@@ -241,6 +346,13 @@ where
     /// Cumulative service counters.
     pub fn stats(&self) -> ServiceStats {
         self.stats
+    }
+
+    /// Monotone snapshot version: bumped by every flush that admits at
+    /// least one structure. The scheduler's watch epochs are exactly these
+    /// versions.
+    pub fn version(&self) -> u64 {
+        self.version
     }
 
     /// Cache hit/size observability for monitoring.
@@ -314,11 +426,25 @@ where
             .map(|g| self.prep_solver.prepare(g).unwrap_or_else(|| g.clone()))
             .collect();
         for g in prepared {
-            let hash = graph_content_hash(&g);
+            let hash = (self.hasher)(&g);
             let vertices = g.num_vertices();
-            self.members.push(Member { graph: g, hash, vertices });
+            let edges = g.num_edges();
+            match self.seen_hashes.get(&hash) {
+                Some(&(v, e)) if (v, e) != (vertices, edges) => {
+                    // same 64-bit content hash, structurally different
+                    // graph: the widened PairKey keeps the entries apart,
+                    // but the event is worth counting
+                    self.stats.hash_collisions += 1;
+                }
+                Some(_) => {}
+                None => {
+                    self.seen_hashes.insert(hash, (vertices, edges));
+                }
+            }
+            self.members.push(Member { graph: g, hash, vertices, edges });
         }
         self.stats.admitted = self.members.len();
+        self.version += 1;
 
         // the new lower-triangle block: rows [first_new, len), all j <= i.
         // Content-identical pairs *within* this flush (duplicate
@@ -332,7 +458,7 @@ where
         let mut deferred: Vec<(usize, usize)> = Vec::new();
         for i in first_new..new_len {
             for j in 0..=i {
-                let key = PairKey::new(self.members[i].hash, self.members[j].hash);
+                let key = PairKey::new(self.members[i].side(), self.members[j].side());
                 if let Some(entry) = self.cache.get(key) {
                     self.values[tri_index(i, j)] = entry.value;
                     self.stats.cache_hits += 1;
@@ -355,7 +481,7 @@ where
         // (a representative that failed to converge leaves its duplicates
         // NaN too — consistent with the entry it mirrors)
         for (i, j) in deferred {
-            let key = PairKey::new(self.members[i].hash, self.members[j].hash);
+            let key = PairKey::new(self.members[i].side(), self.members[j].side());
             if let Some(entry) = self.cache.get(key) {
                 self.values[tri_index(i, j)] = entry.value;
                 self.stats.cache_hits += 1;
@@ -377,11 +503,8 @@ where
         let results: Vec<JobOutcome> = batch
             .par_iter()
             .map(|&(i, j)| {
-                let guess = if warm {
-                    donors.get(&(members[i].hash, members[j].vertices)).map(|v| v.as_slice())
-                } else {
-                    None
-                };
+                let guess =
+                    if warm { donors.get(&(members[i].hash, members[j].vertices)) } else { None };
                 let result =
                     pair_solver.kernel_with_guess(&members[i].graph, &members[j].graph, guess);
                 (i, j, guess.is_some(), result)
@@ -390,7 +513,7 @@ where
 
         for (i, j, warmed, result) in results {
             self.stats.jobs_executed += 1;
-            let key = PairKey::new(self.members[i].hash, self.members[j].hash);
+            let key = PairKey::new(self.members[i].side(), self.members[j].side());
             match result {
                 Ok(r) => {
                     self.values[tri_index(i, j)] = r.value;
@@ -403,15 +526,7 @@ where
                     if self.config.warm_start {
                         if let Some(nodal) = r.nodal {
                             let donor_key = (self.members[i].hash, self.members[j].vertices);
-                            if self.donors.len() >= self.config.donor_capacity.max(1)
-                                && !self.donors.contains_key(&donor_key)
-                            {
-                                // best-effort bound: evict an arbitrary donor
-                                if let Some(&victim) = self.donors.keys().next() {
-                                    self.donors.remove(&victim);
-                                }
-                            }
-                            self.donors.insert(donor_key, nodal);
+                            self.donors.donate(donor_key, nodal, r.iterations);
                         }
                     }
                 }
@@ -740,6 +855,98 @@ mod tests {
         }
         svc.flush();
         assert!(svc.cache_len() <= 5);
+    }
+
+    #[test]
+    fn forced_hash_collision_cannot_serve_a_wrong_kernel_value() {
+        // every structure hashes to the same 64-bit value: before the
+        // PairKey widening, the second distinct graph's pairs would be
+        // served from the first one's cache entries
+        let collide: fn(&Graph) -> u64 = |_| 0xDEAD_BEEF;
+        let path = Graph::from_edge_list(4, &[(0, 1), (1, 2), (2, 3)]);
+        let cycle = Graph::from_edge_list(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+
+        let mut svc = service(GramServiceConfig::default()).with_content_hasher(collide);
+        svc.submit(path.clone()).unwrap();
+        svc.submit(cycle.clone()).unwrap();
+        let snap = svc.snapshot();
+
+        // the collision was observed …
+        assert!(svc.stats().hash_collisions >= 1, "collision went unobserved");
+        // … and despite it, all three distinct pairs were solved, none
+        // aliased to another's cache entry
+        assert_eq!(svc.stats().jobs_executed, 3);
+        assert_eq!(svc.stats().cache_hits, 0);
+
+        // values agree with an un-collided reference service
+        let mut reference = service(GramServiceConfig::default());
+        reference.submit(path).unwrap();
+        reference.submit(cycle).unwrap();
+        let expected = reference.snapshot();
+        for i in 0..2 {
+            for j in 0..2 {
+                let (a, b) = (snap.get(i, j), expected.get(i, j));
+                assert!((a - b).abs() < 1e-5, "entry ({i},{j}): collided {a} vs reference {b}");
+            }
+        }
+        assert!(
+            (snap.get(0, 1) - 1.0).abs() > 1e-3,
+            "off-diagonal must not alias the self-similarity entry"
+        );
+    }
+
+    #[test]
+    fn version_bumps_once_per_admitting_flush() {
+        let graphs = dataset(4, 71);
+        let mut svc = service(GramServiceConfig::default());
+        assert_eq!(svc.version(), 0);
+        svc.flush();
+        assert_eq!(svc.version(), 0, "an empty flush must not bump the version");
+        svc.submit(graphs[0].clone()).unwrap();
+        svc.submit(graphs[1].clone()).unwrap();
+        svc.flush();
+        assert_eq!(svc.version(), 1);
+        svc.flush();
+        assert_eq!(svc.version(), 1);
+        svc.submit(graphs[2].clone()).unwrap();
+        svc.snapshot();
+        assert_eq!(svc.version(), 2);
+    }
+
+    #[test]
+    fn donor_pool_keeps_the_better_donor_and_evicts_lru() {
+        let mut pool = DonorPool::new(2);
+        pool.donate((1, 10), vec![1.0], 5);
+        pool.donate((2, 10), vec![2.0], 5);
+
+        // an incoming solve that took MORE iterations converged from a
+        // worse start: the retained donor stays
+        pool.donate((1, 10), vec![1.5], 9);
+        assert_eq!(pool.get(&(1, 10)), Some(&[1.0][..]));
+        // fewer (or equal) iterations: replace
+        pool.donate((1, 10), vec![1.9], 3);
+        assert_eq!(pool.get(&(1, 10)), Some(&[1.9][..]));
+
+        // (1,10) was just donated to; (2,10) is the least-recently-donated
+        // key and must be the eviction victim — not an arbitrary one
+        pool.donate((3, 10), vec![3.0], 5);
+        assert_eq!(pool.len(), 2);
+        assert!(pool.get(&(2, 10)).is_none(), "LRU donor should have been evicted");
+        assert!(pool.get(&(1, 10)).is_some());
+        assert!(pool.get(&(3, 10)).is_some());
+    }
+
+    #[test]
+    fn donor_recency_is_refreshed_even_when_the_old_donor_is_kept() {
+        let mut pool = DonorPool::new(2);
+        pool.donate((1, 10), vec![1.0], 3);
+        pool.donate((2, 10), vec![2.0], 5);
+        // key 1 is re-donated with a worse solve: vector kept, recency
+        // refreshed — so key 2 is now the LRU victim
+        pool.donate((1, 10), vec![1.1], 8);
+        pool.donate((3, 10), vec![3.0], 4);
+        assert!(pool.get(&(1, 10)).is_some());
+        assert!(pool.get(&(2, 10)).is_none());
     }
 
     #[test]

@@ -1,0 +1,227 @@
+//! Versioned snapshot watch: the consumer side of the background scheduler.
+//!
+//! A [`SnapshotPublisher`] / [`SnapshotWatch`] pair shares one slot holding
+//! the latest published [`GramSnapshot`] together with its epoch (the
+//! service's snapshot [`version`](crate::GramService::version)). The
+//! scheduler publishes once per completed flush; consumers either poll
+//! [`latest`](SnapshotWatch::latest) — a mutex lock and an `Arc` clone, no
+//! O(n²) matrix rebuild — or block in
+//! [`wait_newer`](SnapshotWatch::wait_newer) until a fresher epoch exists.
+//!
+//! The slot is a `Mutex` + `Condvar`, not a channel: consumers that fall
+//! behind skip intermediate epochs and observe only the newest snapshot
+//! (watch semantics), and any number of consumers can wait on the same
+//! publisher. When the publisher is dropped — scheduler shutdown, or its
+//! thread unwinding on a panic — the watch is closed and every blocked
+//! consumer wakes with [`WatchClosed`] instead of hanging.
+
+use std::sync::{Arc, Condvar, Mutex};
+
+use crate::service::GramSnapshot;
+
+/// A snapshot together with the epoch it was published at.
+#[derive(Debug, Clone)]
+pub struct VersionedSnapshot {
+    /// The publisher's epoch for this snapshot (monotonically increasing).
+    pub epoch: u64,
+    /// The published Gram matrix, shared — cloning is pointer-cheap.
+    pub snapshot: Arc<GramSnapshot>,
+}
+
+/// Error returned by [`SnapshotWatch::wait_newer`] when the publisher is
+/// gone and no snapshot newer than the requested epoch will ever arrive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WatchClosed;
+
+impl std::fmt::Display for WatchClosed {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "snapshot publisher closed; no newer snapshot will be published")
+    }
+}
+
+impl std::error::Error for WatchClosed {}
+
+#[derive(Debug)]
+struct Slot {
+    epoch: u64,
+    snapshot: Option<Arc<GramSnapshot>>,
+    closed: bool,
+}
+
+#[derive(Debug)]
+struct Shared {
+    slot: Mutex<Slot>,
+    newer: Condvar,
+}
+
+/// Consumer handle of a snapshot watch; cheap to clone, any number of
+/// consumers may poll or wait concurrently.
+#[derive(Debug, Clone)]
+pub struct SnapshotWatch {
+    shared: Arc<Shared>,
+}
+
+/// Producer handle of a snapshot watch. Not cloneable: one publisher per
+/// watch, and dropping it closes the watch.
+#[derive(Debug)]
+pub struct SnapshotPublisher {
+    shared: Arc<Shared>,
+}
+
+/// Create a connected publisher/watch pair. The watch starts at epoch 0
+/// with no snapshot; the first [`publish`](SnapshotPublisher::publish)
+/// makes one visible.
+pub fn snapshot_channel() -> (SnapshotPublisher, SnapshotWatch) {
+    let shared = Arc::new(Shared {
+        slot: Mutex::new(Slot { epoch: 0, snapshot: None, closed: false }),
+        newer: Condvar::new(),
+    });
+    (SnapshotPublisher { shared: Arc::clone(&shared) }, SnapshotWatch { shared })
+}
+
+impl SnapshotWatch {
+    /// The epoch of the most recently published snapshot (0 before the
+    /// first publication).
+    pub fn epoch(&self) -> u64 {
+        self.shared.slot.lock().unwrap().epoch
+    }
+
+    /// Whether the publisher is gone (no newer snapshot will arrive).
+    pub fn is_closed(&self) -> bool {
+        self.shared.slot.lock().unwrap().closed
+    }
+
+    /// The latest published snapshot, without blocking. Idle polling costs
+    /// a mutex lock and an `Arc` clone — never a matrix rebuild.
+    pub fn latest(&self) -> Option<VersionedSnapshot> {
+        let slot = self.shared.slot.lock().unwrap();
+        slot.snapshot
+            .as_ref()
+            .map(|s| VersionedSnapshot { epoch: slot.epoch, snapshot: Arc::clone(s) })
+    }
+
+    /// Block until a snapshot with an epoch strictly newer than `epoch` is
+    /// published, and return it.
+    ///
+    /// A consumer that starts at `epoch = 0` and feeds each returned epoch
+    /// back in observes every epoch it can keep up with exactly once; a
+    /// consumer that falls behind skips straight to the newest. Returns
+    /// [`WatchClosed`] once the publisher is gone and nothing newer than
+    /// `epoch` was ever published.
+    pub fn wait_newer(&self, epoch: u64) -> Result<VersionedSnapshot, WatchClosed> {
+        let mut slot = self.shared.slot.lock().unwrap();
+        loop {
+            if slot.epoch > epoch {
+                if let Some(s) = &slot.snapshot {
+                    return Ok(VersionedSnapshot { epoch: slot.epoch, snapshot: Arc::clone(s) });
+                }
+            }
+            if slot.closed {
+                return Err(WatchClosed);
+            }
+            slot = self.shared.newer.wait(slot).unwrap();
+        }
+    }
+}
+
+impl SnapshotPublisher {
+    /// Publish `snapshot` at `epoch`, waking every waiting consumer.
+    /// Epochs must be monotonically non-decreasing; a republication at the
+    /// current epoch replaces the snapshot without waking `wait_newer`
+    /// callers already past it.
+    pub fn publish(&self, epoch: u64, snapshot: Arc<GramSnapshot>) {
+        let mut slot = self.shared.slot.lock().unwrap();
+        debug_assert!(epoch >= slot.epoch, "epochs must not go backwards");
+        slot.epoch = epoch;
+        slot.snapshot = Some(snapshot);
+        drop(slot);
+        self.shared.newer.notify_all();
+    }
+
+    /// Close the watch: every current and future waiter observes
+    /// [`WatchClosed`] (after consuming any snapshot still newer than its
+    /// request). Called automatically on drop.
+    pub fn close(&self) {
+        let mut slot = self.shared.slot.lock().unwrap();
+        slot.closed = true;
+        drop(slot);
+        self.shared.newer.notify_all();
+    }
+}
+
+impl Drop for SnapshotPublisher {
+    fn drop(&mut self) {
+        self.close();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap(n: usize) -> Arc<GramSnapshot> {
+        Arc::new(GramSnapshot { matrix: vec![1.0; n * n], num_graphs: n })
+    }
+
+    #[test]
+    fn latest_is_none_until_first_publish() {
+        let (publisher, watch) = snapshot_channel();
+        assert!(watch.latest().is_none());
+        assert_eq!(watch.epoch(), 0);
+        publisher.publish(1, snap(2));
+        let v = watch.latest().unwrap();
+        assert_eq!(v.epoch, 1);
+        assert_eq!(v.snapshot.num_graphs, 2);
+    }
+
+    #[test]
+    fn wait_newer_returns_an_already_newer_snapshot_immediately() {
+        let (publisher, watch) = snapshot_channel();
+        publisher.publish(3, snap(1));
+        let v = watch.wait_newer(0).unwrap();
+        assert_eq!(v.epoch, 3);
+    }
+
+    #[test]
+    fn wait_newer_blocks_until_publication() {
+        let (publisher, watch) = snapshot_channel();
+        publisher.publish(1, snap(1));
+        let waiter = std::thread::spawn(move || watch.wait_newer(1).map(|v| v.epoch));
+        // give the waiter a chance to block, then publish
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        publisher.publish(2, snap(2));
+        assert_eq!(waiter.join().unwrap(), Ok(2));
+    }
+
+    #[test]
+    fn close_wakes_blocked_waiters() {
+        let (publisher, watch) = snapshot_channel();
+        let waiter = std::thread::spawn(move || watch.wait_newer(0));
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        drop(publisher);
+        assert_eq!(waiter.join().unwrap().unwrap_err(), WatchClosed);
+    }
+
+    #[test]
+    fn a_newer_snapshot_is_still_served_after_close() {
+        let (publisher, watch) = snapshot_channel();
+        publisher.publish(5, snap(3));
+        drop(publisher);
+        assert!(watch.is_closed());
+        // the final snapshot is newer than the consumer's epoch: drain it …
+        assert_eq!(watch.wait_newer(2).unwrap().epoch, 5);
+        // … and only then report closure
+        assert_eq!(watch.wait_newer(5).unwrap_err(), WatchClosed);
+    }
+
+    #[test]
+    fn consumers_that_fall_behind_skip_to_the_newest_epoch() {
+        let (publisher, watch) = snapshot_channel();
+        publisher.publish(1, snap(1));
+        publisher.publish(2, snap(2));
+        publisher.publish(3, snap(3));
+        let v = watch.wait_newer(1).unwrap();
+        assert_eq!(v.epoch, 3, "watch semantics: only the newest snapshot is retained");
+        assert_eq!(v.snapshot.num_graphs, 3);
+    }
+}

@@ -25,9 +25,10 @@
 //! * [`learn`] — kernel ridge / Gaussian process regression on top of the
 //!   Gram matrices (the paper's motivating application, reference [2]).
 //! * [`runtime`] — the serving layer: the persistent worker pool every
-//!   parallel region executes on, and the streaming Gram service with
+//!   parallel region executes on, the streaming Gram service with
 //!   incremental extension, content-hash entry caching and warm-started
-//!   solves.
+//!   solves, and the background Gram scheduler (microsecond submissions
+//!   over a bounded command channel, versioned snapshot watch).
 //!
 //! # Quickstart
 //!
@@ -68,5 +69,8 @@ pub mod prelude {
     pub use mgk_kernels::{BaseKernel, KroneckerDelta, SquareExponential, UnitKernel};
     pub use mgk_linalg::{LinearOperator, SolveOptions, TrafficCounters};
     pub use mgk_reorder::ReorderMethod;
-    pub use mgk_runtime::{GramService, GramServiceConfig, Pool};
+    pub use mgk_runtime::{
+        GramClient, GramScheduler, GramService, GramServiceConfig, Pool, SchedulerConfig,
+        SnapshotWatch,
+    };
 }

@@ -1,7 +1,8 @@
 //! Cross-crate integration of the serving layer: labeled structures stream
 //! through the facade's `GramService` and must agree with the batch
-//! `GramEngine`, while every parallel region executes on the persistent
-//! worker pool.
+//! `GramEngine`, every parallel region executes on the persistent worker
+//! pool, and the background `GramScheduler` decouples concurrent producers
+//! from solve latency while consumers follow the versioned snapshot watch.
 
 use mgk::datasets::protein;
 use mgk::kernels::{KroneckerDelta, SquareExponential};
@@ -72,4 +73,95 @@ fn service_parallelism_runs_on_the_global_pool() {
     }
     let snap = service.snapshot();
     assert!(snap.matrix.iter().all(|v| v.is_finite()));
+}
+
+#[test]
+fn scheduled_labeled_stream_matches_batch_computation() {
+    // the full background path — client submissions, scheduler-side
+    // flushes, watch-published snapshots — must agree with the batch engine
+    let mut rng = StdRng::seed_from_u64(211);
+    let structures = protein::pdb_like(5, 20, 35, &mut rng);
+    let graphs: Vec<_> = structures.iter().map(|s| s.graph.clone()).collect();
+
+    let scheduler = GramScheduler::spawn(
+        GramService::new(protein_solver(), GramServiceConfig::default()),
+        SchedulerConfig::default(),
+    );
+    let client = scheduler.client();
+    for g in &graphs {
+        client.submit(g.clone()).unwrap();
+    }
+    let reply = client.flush().unwrap();
+    assert_eq!(reply.num_structures, 5);
+    let watched = scheduler.watch().latest().expect("barrier implies a published snapshot");
+    assert_eq!(watched.snapshot.num_graphs, 5);
+
+    let service = scheduler.join();
+    assert_eq!(service.stats().jobs_executed, 5 * 6 / 2);
+
+    let engine = GramEngine::new(protein_solver(), GramConfig::default());
+    let batch = engine.compute(&graphs);
+    assert_eq!(batch.failures, 0);
+    for i in 0..5 {
+        for j in 0..5 {
+            let (a, b) = (watched.snapshot.get(i, j), batch.get(i, j));
+            assert!((a - b).abs() < 1e-4, "entry ({i},{j}): scheduled {a} vs batch {b}");
+        }
+    }
+}
+
+#[test]
+fn concurrent_producers_and_a_watching_consumer_stress_the_scheduler() {
+    // several producers race submissions through clones of one client while
+    // a consumer follows the watch; runs under RUST_TEST_THREADS=1 too (the
+    // threads here are our own, not the test runner's)
+    const PRODUCERS: usize = 3;
+    const PER_PRODUCER: usize = 10;
+
+    let scheduler = GramScheduler::spawn(
+        GramService::new(
+            MarginalizedKernelSolver::unlabeled(SolverConfig::default()),
+            GramServiceConfig::default(),
+        ),
+        SchedulerConfig { channel_capacity: 8 },
+    );
+
+    let watch = scheduler.watch();
+    let consumer = std::thread::spawn(move || {
+        // follow every epoch we can keep up with; epochs must be strictly
+        // increasing and each snapshot at least as large as the last
+        let (mut epoch, mut last_size, mut observed) = (0u64, 0usize, 0usize);
+        while let Ok(v) = watch.wait_newer(epoch) {
+            assert!(v.epoch > epoch, "epoch went backwards: {} -> {}", epoch, v.epoch);
+            assert!(v.snapshot.num_graphs >= last_size, "snapshot shrank");
+            epoch = v.epoch;
+            last_size = v.snapshot.num_graphs;
+            observed += 1;
+        }
+        (last_size, observed)
+    });
+
+    let producers: Vec<_> = (0..PRODUCERS)
+        .map(|p| {
+            let client = scheduler.client();
+            std::thread::spawn(move || {
+                let mut rng = StdRng::seed_from_u64(300 + p as u64);
+                for _ in 0..PER_PRODUCER {
+                    let g = mgk::graph::generators::newman_watts_strogatz(8, 2, 0.2, &mut rng);
+                    client.submit(g).unwrap();
+                }
+            })
+        })
+        .collect();
+    for producer in producers {
+        producer.join().unwrap();
+    }
+
+    let service = scheduler.join();
+    assert_eq!(service.num_structures(), PRODUCERS * PER_PRODUCER);
+    assert_eq!(service.num_pending(), 0, "graceful shutdown must drain the queue");
+
+    let (final_size, observed) = consumer.join().unwrap();
+    assert_eq!(final_size, PRODUCERS * PER_PRODUCER, "consumer missed the final snapshot");
+    assert!(observed >= 1, "consumer never observed a snapshot");
 }
