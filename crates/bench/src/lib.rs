@@ -15,6 +15,7 @@
 //! | Fig. 8 (profitable regions of tile primitives) | `fig8_profitable_regions` |
 //! | Fig. 9 (incremental optimization ablation) | `fig9_ablation` |
 //! | Fig. 10 (comparison with GraKeL/GraphKernels-style CPU baselines) | `fig10_package_comparison` |
+//! | Table II (PCG convergence per dataset, f32 vs f64 precision) | `table2_convergence` |
 //!
 //! The CPU in this environment obviously cannot hit the absolute numbers of
 //! a V100; each binary therefore reports both the measured CPU time of this

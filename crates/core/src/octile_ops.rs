@@ -24,6 +24,7 @@
 
 use mgk_gpusim::TrafficCounters;
 use mgk_kernels::BaseKernel;
+use mgk_linalg::Scalar;
 use mgk_tile::{Octile, TILE_SIZE};
 
 /// Which tile-pair primitive to use.
@@ -120,9 +121,12 @@ pub struct TileCosts {
 /// `t1` is a tile of the first graph (tile row `I`, tile column `J`), `t2`
 /// of the second (`I'`, `J'`); `n`/`m` are the vertex counts of the two
 /// graphs, `p` the right-hand side of length `n·m`, `y` the output of the
-/// same length.
+/// same length. Generic over the vector [`Scalar`]: tile weights and
+/// base-kernel values are stored in `f32` and each factor is widened
+/// through [`Scalar::from_f32`] before multiplying, so the `f64`
+/// instantiation forms the exact product of the stored operands.
 #[allow(clippy::too_many_arguments)]
-pub fn tile_pair_product<E: Copy + Default, K: BaseKernel<E>>(
+pub fn tile_pair_product<T: Scalar, E: Copy + Default, K: BaseKernel<E>>(
     kind: TileProductKind,
     t1: &Octile<E>,
     t2: &Octile<E>,
@@ -130,8 +134,8 @@ pub fn tile_pair_product<E: Copy + Default, K: BaseKernel<E>>(
     m: usize,
     kernel: &K,
     costs: &TileCosts,
-    p: &[f32],
-    y: &mut [f32],
+    p: &[T],
+    y: &mut [T],
     counters: &mut TrafficCounters,
 ) {
     debug_assert_eq!(p.len(), n * m);
@@ -140,8 +144,11 @@ pub fn tile_pair_product<E: Copy + Default, K: BaseKernel<E>>(
     let col1 = t1.col as usize * TILE_SIZE;
     let row2 = t2.row as usize * TILE_SIZE;
     let col2 = t2.col as usize * TILE_SIZE;
+    // tile weight payloads are f32 storage at every vector precision;
+    // right-hand-side reads follow the vector scalar
     let fb = costs.float_bytes as u64;
     let eb = costs.label_bytes as u64;
+    let vb = T::BYTES;
     let xf = costs.kernel_flops as u64;
 
     match kind {
@@ -153,13 +160,14 @@ pub fn tile_pair_product<E: Copy + Default, K: BaseKernel<E>>(
                     let gip = row2 + ip;
                     let gjp = col2 + jp;
                     let ke = kernel.eval(&l1, &l2);
-                    y[gi * m + gip] += w1 * w2 * ke * p[gj * m + gjp];
+                    y[gi * m + gip] +=
+                        T::from_f32(w1) * T::from_f32(w2) * T::from_f32(ke) * p[gj * m + gjp];
                 }
             }
             let prods = (t1.nnz() * t2.nnz()) as u64;
             counters.flops += prods * xf;
             counters.kernel_evaluations += prods;
-            counters.shared_load_bytes += prods * (2 * (fb + eb) + fb);
+            counters.shared_load_bytes += prods * (2 * (fb + eb) + vb);
         }
         TileProductKind::DenseSparse => {
             // iterate the sparser tile's nonzeros, stream the denser tile as
@@ -181,7 +189,7 @@ pub fn tile_pair_product<E: Copy + Default, K: BaseKernel<E>>(
                         let w2 = dw[di * TILE_SIZE + dj];
                         counters.flops += xf;
                         counters.kernel_evaluations += 1;
-                        counters.shared_load_bytes += fb + eb + fb;
+                        counters.shared_load_bytes += fb + eb + vb;
                         if w2 == 0.0 {
                             continue;
                         }
@@ -191,7 +199,8 @@ pub fn tile_pair_product<E: Copy + Default, K: BaseKernel<E>>(
                         } else {
                             (drow + di, dcol + dj, srow + si, scol + sj)
                         };
-                        y[gi * m + gip] += sw * w2 * ke * p[gj * m + gjp];
+                        y[gi * m + gip] +=
+                            T::from_f32(sw) * T::from_f32(w2) * T::from_f32(ke) * p[gj * m + gjp];
                     }
                 }
             }
@@ -217,7 +226,7 @@ pub fn tile_pair_product<E: Copy + Default, K: BaseKernel<E>>(
                     / TILE_SIZE as u64;
             for i in 0..imax {
                 for ip in 0..ipmax {
-                    let mut acc = 0.0f32;
+                    let mut acc = T::ZERO;
                     for j in 0..jmax {
                         let a1 = w1[i * TILE_SIZE + j];
                         if a1 == 0.0 {
@@ -229,7 +238,10 @@ pub fn tile_pair_product<E: Copy + Default, K: BaseKernel<E>>(
                                 continue;
                             }
                             let ke = kernel.eval(&l1[i * TILE_SIZE + j], &l2[ip * TILE_SIZE + jp]);
-                            acc += a1 * a2 * ke * p[(col1 + j) * m + col2 + jp];
+                            acc += T::from_f32(a1)
+                                * T::from_f32(a2)
+                                * T::from_f32(ke)
+                                * p[(col1 + j) * m + col2 + jp];
                         }
                     }
                     y[(row1 + i) * m + row2 + ip] += acc;

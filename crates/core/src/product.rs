@@ -24,7 +24,7 @@ use std::cell::RefCell;
 use mgk_gpusim::TrafficCounters;
 use mgk_graph::Graph;
 use mgk_kernels::BaseKernel;
-use mgk_linalg::{kron_vec, kronecker::generalized_kron_vec, LinearOperator};
+use mgk_linalg::{kron_vec, kronecker::generalized_kron_vec, LinearOperator, Scalar};
 use mgk_tile::{OctileMatrix, TILE_SIZE};
 
 use crate::octile_ops::{select_kind, tile_pair_product, TileCosts, TileProductKind};
@@ -152,20 +152,34 @@ where
         (self.n, self.m)
     }
 
-    /// The right-hand side `D× q×` of Eq. (1).
-    pub fn rhs(&self) -> Vec<f32> {
-        self.degree_product.iter().zip(&self.stop_product).map(|(&d, &q)| d * q).collect()
+    /// The right-hand side `D× q×` of Eq. (1), at any [`Scalar`]
+    /// precision: the `f32`-stored factors are widened individually before
+    /// multiplying, so the `f64` instantiation forms the exact products.
+    pub fn rhs<T: Scalar>(&self) -> Vec<T> {
+        self.degree_product
+            .iter()
+            .zip(&self.stop_product)
+            .map(|(&d, &q)| T::from_f32(d) * T::from_f32(q))
+            .collect()
     }
 
     /// The diagonal of the system matrix, `D× V×⁻¹`.
-    pub fn system_diagonal(&self) -> Vec<f32> {
-        self.degree_product.iter().zip(&self.vertex_product).map(|(&d, &v)| d / v).collect()
+    pub fn system_diagonal<T: Scalar>(&self) -> Vec<T> {
+        self.degree_product
+            .iter()
+            .zip(&self.vertex_product)
+            .map(|(&d, &v)| T::from_f32(d) / T::from_f32(v))
+            .collect()
     }
 
     /// The Jacobi preconditioner `M⁻¹ = V× D×⁻¹` used on line 14 of
     /// Algorithm 1.
-    pub fn preconditioner_diagonal(&self) -> Vec<f32> {
-        self.degree_product.iter().zip(&self.vertex_product).map(|(&d, &v)| v / d).collect()
+    pub fn preconditioner_diagonal<T: Scalar>(&self) -> Vec<T> {
+        self.degree_product
+            .iter()
+            .zip(&self.vertex_product)
+            .map(|(&d, &v)| T::from_f32(v) / T::from_f32(d))
+            .collect()
     }
 
     /// The starting-probability product `p ⊗ p'` used to contract the
@@ -175,9 +189,16 @@ where
     }
 
     /// Apply the off-diagonal operator: `y ← (A× ∘ E×) x`, adding the
-    /// memory traffic of the application to `counters`.
-    pub fn apply_off_diagonal(&self, x: &[f32], y: &mut [f32], counters: &mut TrafficCounters) {
-        y.iter_mut().for_each(|v| *v = 0.0);
+    /// memory traffic of the application to `counters`. Generic over the
+    /// vector [`Scalar`]; the `f32`-stored tiles and kernel values are
+    /// widened factor-wise at `f64`.
+    pub fn apply_off_diagonal<T: Scalar>(
+        &self,
+        x: &[T],
+        y: &mut [T],
+        counters: &mut TrafficCounters,
+    ) {
+        y.iter_mut().for_each(|v| *v = T::ZERO);
         let local = counters;
         match &self.off_diagonal {
             OffDiagonal::Naive(naive) => naive.apply(x, y, local),
@@ -185,8 +206,12 @@ where
                 primitive.apply(data, &self.edge_kernel, x, y, local)
             }
             OffDiagonal::Octile { tiles1, tiles2, forced_kind, compact, block_sharing } => {
+                // tile payloads and labels keep their stored (f32) sizes at
+                // every vector precision; only right-hand-side and output
+                // traffic follow the vector scalar T
                 let fb = self.tile_costs.float_bytes as u64;
                 let eb = self.tile_costs.label_bytes as u64;
+                let vb = T::BYTES;
                 let tile_bytes = |t: &mgk_tile::Octile<E>| -> u64 {
                     if *compact {
                         8 + t.nnz() as u64 * (fb + eb)
@@ -223,7 +248,7 @@ where
                     }
                 }
                 // the output vector is written back once per application
-                local.global_store_bytes += (self.n * self.m) as u64 * fb;
+                local.global_store_bytes += (self.n * self.m) as u64 * vb;
             }
         }
     }
@@ -245,8 +270,9 @@ impl<'a, E, KE> OffDiagonalOperator<'a, E, KE> {
     }
 }
 
-impl<E, KE> LinearOperator for OffDiagonalOperator<'_, E, KE>
+impl<T, E, KE> LinearOperator<T> for OffDiagonalOperator<'_, E, KE>
 where
+    T: Scalar,
     E: Copy + Default,
     KE: BaseKernel<E>,
 {
@@ -254,60 +280,64 @@ where
         self.system.dim()
     }
 
-    fn apply(&self, x: &[f32], y: &mut [f32]) {
+    fn apply(&self, x: &[T], y: &mut [T]) {
         self.apply_counted(x, y, &mut TrafficCounters::new());
     }
 
-    fn apply_counted(&self, x: &[f32], y: &mut [f32], counters: &mut TrafficCounters) {
+    fn apply_counted(&self, x: &[T], y: &mut [T], counters: &mut TrafficCounters) {
         self.system.apply_off_diagonal(x, y, counters);
     }
 }
 
 /// Adapter making a `ProductSystem` usable as the full system operator
-/// `D× V×⁻¹ − A× ∘ E×` for the conjugate gradient solver.
+/// `D× V×⁻¹ − A× ∘ E×` for the conjugate gradient solver, at the vector
+/// [`Scalar`] precision `T` (defaulting to the `f32` serving precision).
 ///
 /// The off-diagonal part applies through [`OffDiagonalOperator`]; the
-/// diagonal is fused into the same sweep. Traffic is threaded through
+/// diagonal is precomputed at precision `T` and fused into the same sweep.
+/// Traffic is threaded through
 /// [`apply_counted`](LinearOperator::apply_counted) — the operator holds a
 /// scratch buffer (behind a `RefCell`, since `apply` takes `&self`) but no
 /// counter state.
-pub struct SystemOperator<'a, E, KE> {
+pub struct SystemOperator<'a, E, KE, T: Scalar = f32> {
     off_diagonal: OffDiagonalOperator<'a, E, KE>,
-    diagonal: Vec<f32>,
-    scratch: RefCell<Vec<f32>>,
+    diagonal: Vec<T>,
+    scratch: RefCell<Vec<T>>,
 }
 
-impl<'a, E, KE> SystemOperator<'a, E, KE>
+impl<'a, E, KE, T> SystemOperator<'a, E, KE, T>
 where
+    T: Scalar,
     E: Copy + Default,
     KE: BaseKernel<E>,
 {
     /// Wrap an assembled product system.
     pub fn new(system: &'a ProductSystem<E, KE>) -> Self {
         SystemOperator {
-            diagonal: system.system_diagonal(),
-            scratch: RefCell::new(vec![0.0; system.dim()]),
+            diagonal: system.system_diagonal::<T>(),
+            scratch: RefCell::new(vec![T::ZERO; system.dim()]),
             off_diagonal: OffDiagonalOperator::new(system),
         }
     }
 }
 
-impl<E, KE> LinearOperator for SystemOperator<'_, E, KE>
+impl<E, KE, T> LinearOperator<T> for SystemOperator<'_, E, KE, T>
 where
+    T: Scalar,
     E: Copy + Default,
     KE: BaseKernel<E>,
 {
     fn dim(&self) -> usize {
-        self.off_diagonal.dim()
+        LinearOperator::<T>::dim(&self.off_diagonal)
     }
 
-    fn apply(&self, x: &[f32], y: &mut [f32]) {
+    fn apply(&self, x: &[T], y: &mut [T]) {
         self.apply_counted(x, y, &mut TrafficCounters::new());
     }
 
-    fn apply_counted(&self, x: &[f32], y: &mut [f32], counters: &mut TrafficCounters) {
+    fn apply_counted(&self, x: &[T], y: &mut [T], counters: &mut TrafficCounters) {
         let mut scratch = self.scratch.borrow_mut();
-        self.off_diagonal.apply_counted(x, &mut scratch, counters);
+        self.off_diagonal.apply_counted(x, scratch.as_mut_slice(), counters);
         for ((yi, &xi), (&di, &oi)) in
             y.iter_mut().zip(x).zip(self.diagonal.iter().zip(scratch.iter()))
         {
@@ -319,8 +349,8 @@ where
         // mgk_linalg operators)
         let n = self.diagonal.len() as u64;
         counters.flops += 2 * n;
-        counters.global_load_bytes += 3 * n * 4;
-        counters.global_store_bytes += n * 4;
+        counters.global_load_bytes += 3 * n * T::BYTES;
+        counters.global_store_bytes += n * T::BYTES;
     }
 }
 
@@ -348,17 +378,17 @@ mod tests {
         let sys = assemble(&SolverConfig::default());
         assert_eq!(sys.dim(), 20);
         assert_eq!(sys.shape(), (5, 4));
-        assert_eq!(sys.rhs().len(), 20);
-        assert_eq!(sys.system_diagonal().len(), 20);
+        assert_eq!(sys.rhs::<f32>().len(), 20);
+        assert_eq!(sys.system_diagonal::<f32>().len(), 20);
         // with unit vertex kernel the diagonal equals the degree product
-        let d = sys.system_diagonal();
+        let d = sys.system_diagonal::<f32>();
         let (g1, g2) = unlabeled_pair();
         let expect = kron_vec(&g1.laplacian_degrees(), &g2.laplacian_degrees());
         for (a, b) in d.iter().zip(&expect) {
             assert!((a - b).abs() < 1e-6);
         }
         // preconditioner is the element-wise inverse of the diagonal here
-        for (p, d) in sys.preconditioner_diagonal().iter().zip(&d) {
+        for (p, d) in sys.preconditioner_diagonal::<f32>().iter().zip(&d) {
             assert!((p * d - 1.0).abs() < 1e-5);
         }
     }
@@ -390,12 +420,12 @@ mod tests {
     #[test]
     fn system_operator_is_diagonal_minus_off_diagonal() {
         let sys = assemble(&SolverConfig::default());
-        let op = SystemOperator::new(&sys);
-        assert_eq!(op.dim(), 20);
+        let op = SystemOperator::<_, _, f32>::new(&sys);
+        assert_eq!(LinearOperator::<f32>::dim(&op), 20);
         let x = vec![1.0f32; 20];
         let y = op.apply_alloc(&x);
-        let diag = sys.system_diagonal();
-        let off = OffDiagonalOperator::new(&sys).apply_alloc(&x);
+        let diag = sys.system_diagonal::<f32>();
+        let off: Vec<f32> = OffDiagonalOperator::new(&sys).apply_alloc(&x);
         for i in 0..20 {
             assert!((y[i] - (diag[i] - off[i])).abs() < 1e-5);
         }

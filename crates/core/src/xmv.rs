@@ -23,6 +23,14 @@
 use mgk_gpusim::TrafficCounters;
 use mgk_graph::Graph;
 use mgk_kernels::BaseKernel;
+use mgk_linalg::Scalar;
+
+/// Bytes of one stored `f32` operand element (adjacency weights, edge
+/// labels' float payloads, materialized product entries): matrix storage
+/// stays single-precision at every vector precision of the [`Scalar`]
+/// axis, so operand traffic is always counted at 4 bytes while vector
+/// (right-hand-side / output) traffic follows [`Scalar::BYTES`].
+const STORED_F32_BYTES: u64 = 4;
 
 /// Dense operand data for one graph pair: row-major adjacency and
 /// edge-label matrices of both graphs.
@@ -34,7 +42,6 @@ pub struct DensePairData<E> {
     a2: Vec<f32>,
     e1: Vec<E>,
     e2: Vec<E>,
-    float_bytes: usize,
     label_bytes: usize,
     kernel_flops: usize,
 }
@@ -51,7 +58,6 @@ impl<E: Copy + Default> DensePairData<E> {
             a2: g2.adjacency_dense(),
             e1: g1.edge_labels_dense(E::default()),
             e2: g2.edge_labels_dense(E::default()),
-            float_bytes: 4,
             label_bytes: cost.label_bytes,
             kernel_flops: cost.flops,
         }
@@ -127,13 +133,17 @@ impl XmvPrimitive {
     }
 
     /// Apply the primitive: `y ← (A ⊗ A') ∘ (E κ⊗ E') · p`, accumulating
-    /// memory traffic into `counters`.
-    pub fn apply<E: Copy + Default, K: BaseKernel<E>>(
+    /// memory traffic into `counters`. Generic over the vector [`Scalar`]:
+    /// the `f32`-stored operands are widened factor-wise, so the `f64`
+    /// instantiation streams the exact products while the `f32` one keeps
+    /// the single-precision arithmetic (with `f64` accumulation) of the
+    /// paper's kernels.
+    pub fn apply<T: Scalar, E: Copy + Default, K: BaseKernel<E>>(
         self,
         data: &DensePairData<E>,
         kernel: &K,
-        p: &[f32],
-        y: &mut [f32],
+        p: &[T],
+        y: &mut [T],
         counters: &mut TrafficCounters,
     ) {
         assert_eq!(p.len(), data.product_dim(), "right-hand side has wrong length");
@@ -159,7 +169,6 @@ impl XmvPrimitive {
 pub struct NaiveProduct {
     nm: usize,
     l: Vec<f32>,
-    float_bytes: usize,
 }
 
 impl NaiveProduct {
@@ -190,7 +199,7 @@ impl NaiveProduct {
                 }
             }
         }
-        NaiveProduct { nm, l, float_bytes: data.float_bytes }
+        NaiveProduct { nm, l }
     }
 
     /// Dimension of the product system.
@@ -199,25 +208,30 @@ impl NaiveProduct {
     }
 
     /// Apply `y ← L× · p`, counting the traffic of one pass over the
-    /// materialized matrix.
-    pub fn apply(&self, p: &[f32], y: &mut [f32], counters: &mut TrafficCounters) {
+    /// materialized matrix. The matrix entries were rounded to `f32` at
+    /// materialization; any [`Scalar`] instantiation applies exactly those
+    /// stored values.
+    pub fn apply<T: Scalar>(&self, p: &[T], y: &mut [T], counters: &mut TrafficCounters) {
         assert_eq!(p.len(), self.nm);
         assert_eq!(y.len(), self.nm);
-        let f = self.float_bytes as u64;
+        // the materialized matrix is f32 storage at every vector precision;
+        // only the right-hand-side and output traffic follow T
+        let f = STORED_F32_BYTES;
+        let vb = T::BYTES;
         for (i, yi) in y.iter_mut().enumerate() {
             let row = &self.l[i * self.nm..(i + 1) * self.nm];
             let mut acc = 0.0f64;
             for (lij, pj) in row.iter().zip(p) {
-                acc += *lij as f64 * *pj as f64;
+                acc += *lij as f64 * pj.to_f64();
             }
-            *yi = acc as f32;
+            *yi = T::from_f64(acc);
         }
         // Appendix C, "Naive": the matrix is read once, the right-hand side
         // once per warp (32 rows), the output written once; 2 FLOPs per
         // element (one FMA)
         let nm = self.nm as u64;
-        counters.global_load_bytes += nm * nm * f + nm * nm * f / 32;
-        counters.global_store_bytes += nm * f;
+        counters.global_load_bytes += nm * nm * f + nm * nm * vb / 32;
+        counters.global_store_bytes += nm * vb;
         counters.flops += 2 * nm * nm;
     }
 
@@ -232,18 +246,21 @@ impl NaiveProduct {
 // shared tiling
 // --------------------------------------------------------------------------
 
-fn shared_tiling<E: Copy, K: BaseKernel<E>>(
+fn shared_tiling<T: Scalar, E: Copy, K: BaseKernel<E>>(
     data: &DensePairData<E>,
     kernel: &K,
-    p: &[f32],
-    y: &mut [f32],
+    p: &[T],
+    y: &mut [T],
     t: usize,
     r: usize,
     counters: &mut TrafficCounters,
 ) {
     assert!(t > 0 && r > 0, "tile parameters must be positive");
     let (n, m) = (data.n, data.m);
-    let fb = data.float_bytes as u64;
+    // operand matrices (A/E) are f32 storage at every vector precision;
+    // right-hand-side and output traffic follow the vector scalar
+    let fb = STORED_F32_BYTES;
+    let vb = T::BYTES;
     let eb = data.label_bytes as u64;
     let xf = data.kernel_flops as u64;
 
@@ -267,8 +284,8 @@ fn shared_tiling<E: Copy, K: BaseKernel<E>>(
                     // right-hand-side block
                     let chunk2 = ((ip1 - ip0) * (jp1 - jp0)) as u64;
                     let pblk = ((j1 - j0) * (jp1 - jp0)) as u64;
-                    counters.global_load_bytes += chunk2 * (fb + eb) + pblk * fb;
-                    counters.shared_store_bytes += chunk2 * (fb + eb) + pblk * fb;
+                    counters.global_load_bytes += chunk2 * (fb + eb) + pblk * vb;
+                    counters.shared_store_bytes += chunk2 * (fb + eb) + pblk * vb;
 
                     // warp-parallel over (i, i'), serial over (j, j')
                     for i in i0..i1 {
@@ -283,7 +300,7 @@ fn shared_tiling<E: Copy, K: BaseKernel<E>>(
                                     // dense primitive still charges the
                                     // arithmetic for the zero entries
                                     counters.shared_load_bytes +=
-                                        ((jp1 - jp0) as u64) * (2 * fb + eb);
+                                        ((jp1 - jp0) as u64) * (fb + eb + vb);
                                     counters.flops += (jp1 - jp0) as u64 * xf;
                                     counters.kernel_evaluations += (jp1 - jp0) as u64;
                                     continue;
@@ -291,12 +308,14 @@ fn shared_tiling<E: Copy, K: BaseKernel<E>>(
                                 for jp in jp0..jp1 {
                                     let a2 = data.a2[ip * m + jp];
                                     let e2 = &data.e2[ip * m + jp];
-                                    counters.shared_load_bytes += 2 * fb + eb;
+                                    counters.shared_load_bytes += fb + eb + vb;
                                     counters.flops += xf;
                                     counters.kernel_evaluations += 1;
                                     if a2 != 0.0 {
                                         let ke = kernel.eval(e1, e2);
-                                        a += (a1 * a2 * ke) as f64 * p[j * m + jp] as f64;
+                                        a += (T::from_f32(a1) * T::from_f32(a2) * T::from_f32(ke))
+                                            .to_f64()
+                                            * p[j * m + jp].to_f64();
                                     }
                                 }
                             }
@@ -308,10 +327,10 @@ fn shared_tiling<E: Copy, K: BaseKernel<E>>(
 
             for i in i0..i1 {
                 for ip in ip0..ip1 {
-                    y[i * m + ip] = acc[(i - i0) * (ip1 - ip0) + (ip - ip0)] as f32;
+                    y[i * m + ip] = T::from_f64(acc[(i - i0) * (ip1 - ip0) + (ip - ip0)]);
                 }
             }
-            counters.global_store_bytes += ((i1 - i0) * (ip1 - ip0)) as u64 * fb;
+            counters.global_store_bytes += ((i1 - i0) * (ip1 - ip0)) as u64 * vb;
         }
     }
 }
@@ -320,18 +339,21 @@ fn shared_tiling<E: Copy, K: BaseKernel<E>>(
 // register blocking
 // --------------------------------------------------------------------------
 
-fn register_blocking<E: Copy, K: BaseKernel<E>>(
+fn register_blocking<T: Scalar, E: Copy, K: BaseKernel<E>>(
     data: &DensePairData<E>,
     kernel: &K,
-    p: &[f32],
-    y: &mut [f32],
+    p: &[T],
+    y: &mut [T],
     t: usize,
     r: usize,
     counters: &mut TrafficCounters,
 ) {
     assert!(t > 0 && r > 0, "tile parameters must be positive");
     let (n, m) = (data.n, data.m);
-    let fb = data.float_bytes as u64;
+    // operand matrices (A/E) are f32 storage at every vector precision;
+    // right-hand-side and output traffic follow the vector scalar
+    let fb = STORED_F32_BYTES;
+    let vb = T::BYTES;
     let eb = data.label_bytes as u64;
     let xf = data.kernel_flops as u64;
 
@@ -351,9 +373,9 @@ fn register_blocking<E: Copy, K: BaseKernel<E>>(
                     let jp1 = (jp0 + r).min(m);
                     let chunk2 = ((ip1 - ip0) * (jp1 - jp0)) as u64;
                     let pblk = ((j1 - j0) * (jp1 - jp0)) as u64;
-                    counters.global_load_bytes += chunk2 * (fb + eb) + pblk * fb;
+                    counters.global_load_bytes += chunk2 * (fb + eb) + pblk * vb;
                     // only the right-hand side is shared between threads
-                    counters.shared_store_bytes += pblk * fb;
+                    counters.shared_store_bytes += pblk * vb;
 
                     for i in i0..i1 {
                         for ip in ip0..ip1 {
@@ -363,13 +385,15 @@ fn register_blocking<E: Copy, K: BaseKernel<E>>(
                                 let e1 = &data.e1[i * n + j];
                                 for jp in jp0..jp1 {
                                     // p is read from shared memory per term
-                                    counters.shared_load_bytes += fb;
+                                    counters.shared_load_bytes += vb;
                                     counters.flops += xf;
                                     counters.kernel_evaluations += 1;
                                     let a2 = data.a2[ip * m + jp];
                                     if a1 != 0.0 && a2 != 0.0 {
                                         let ke = kernel.eval(e1, &data.e2[ip * m + jp]);
-                                        a += (a1 * a2 * ke) as f64 * p[j * m + jp] as f64;
+                                        a += (T::from_f32(a1) * T::from_f32(a2) * T::from_f32(ke))
+                                            .to_f64()
+                                            * p[j * m + jp].to_f64();
                                     }
                                 }
                             }
@@ -381,10 +405,10 @@ fn register_blocking<E: Copy, K: BaseKernel<E>>(
 
             for i in i0..i1 {
                 for ip in ip0..ip1 {
-                    y[i * m + ip] = acc[(i - i0) * (ip1 - ip0) + (ip - ip0)] as f32;
+                    y[i * m + ip] = T::from_f64(acc[(i - i0) * (ip1 - ip0) + (ip - ip0)]);
                 }
             }
-            counters.global_store_bytes += ((i1 - i0) * (ip1 - ip0)) as u64 * fb;
+            counters.global_store_bytes += ((i1 - i0) * (ip1 - ip0)) as u64 * vb;
         }
     }
 }
@@ -393,18 +417,21 @@ fn register_blocking<E: Copy, K: BaseKernel<E>>(
 // tiling + blocking (the production octile primitive)
 // --------------------------------------------------------------------------
 
-fn tiling_blocking<E: Copy, K: BaseKernel<E>>(
+fn tiling_blocking<T: Scalar, E: Copy, K: BaseKernel<E>>(
     data: &DensePairData<E>,
     kernel: &K,
-    p: &[f32],
-    y: &mut [f32],
+    p: &[T],
+    y: &mut [T],
     t: usize,
     r: usize,
     counters: &mut TrafficCounters,
 ) {
     assert!(t > 0 && r > 0, "tile parameters must be positive");
     let (n, m) = (data.n, data.m);
-    let fb = data.float_bytes as u64;
+    // operand matrices (A/E) are f32 storage at every vector precision;
+    // right-hand-side and output traffic follow the vector scalar
+    let fb = STORED_F32_BYTES;
+    let vb = T::BYTES;
     let eb = data.label_bytes as u64;
     let xf = data.kernel_flops as u64;
 
@@ -425,7 +452,7 @@ fn tiling_blocking<E: Copy, K: BaseKernel<E>>(
                     let jp1 = (jp0 + t).min(m);
                     let tile2 = ((ip1 - ip0) * (jp1 - jp0)) as u64;
                     let pblk = ((j1 - j0) * (jp1 - jp0)) as u64;
-                    counters.global_load_bytes += tile2 * (fb + eb) + pblk * fb;
+                    counters.global_load_bytes += tile2 * (fb + eb) + pblk * vb;
                     counters.shared_store_bytes += tile2 * (fb + eb);
 
                     for i in i0..i1 {
@@ -448,7 +475,11 @@ fn tiling_blocking<E: Copy, K: BaseKernel<E>>(
                                             let a2 = data.a2[ip * m + jp];
                                             if a1 != 0.0 && a2 != 0.0 {
                                                 let ke = kernel.eval(e1, &data.e2[ip * m + jp]);
-                                                a += (a1 * a2 * ke) as f64 * p[j * m + jp] as f64;
+                                                a += (T::from_f32(a1)
+                                                    * T::from_f32(a2)
+                                                    * T::from_f32(ke))
+                                                .to_f64()
+                                                    * p[j * m + jp].to_f64();
                                             }
                                         }
                                     }
@@ -462,10 +493,10 @@ fn tiling_blocking<E: Copy, K: BaseKernel<E>>(
 
             for i in i0..i1 {
                 for ip in ip0..ip1 {
-                    y[i * m + ip] = acc[(i - i0) * (ip1 - ip0) + (ip - ip0)] as f32;
+                    y[i * m + ip] = T::from_f64(acc[(i - i0) * (ip1 - ip0) + (ip - ip0)]);
                 }
             }
-            counters.global_store_bytes += ((i1 - i0) * (ip1 - ip0)) as u64 * fb;
+            counters.global_store_bytes += ((i1 - i0) * (ip1 - ip0)) as u64 * vb;
         }
     }
 }

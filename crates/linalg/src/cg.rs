@@ -1,11 +1,17 @@
-//! Conjugate gradient and preconditioned conjugate gradient solvers.
+//! Conjugate gradient, preconditioned conjugate gradient and fixed-point
+//! iteration drivers, generic over the [`Scalar`] precision.
 //!
 //! This is Algorithm 1 of the paper stripped of the graph-kernel-specific
 //! operator: the system matrix and the preconditioner are abstract
 //! [`LinearOperator`]s, so the same routine serves the explicit (baseline)
-//! solvers and the on-the-fly tensor-product solvers of `mgk-core`.
+//! solvers and the on-the-fly tensor-product solvers of `mgk-core` — and,
+//! through the [`Scalar`] axis, both the `f32` serving precision and the
+//! `f64` validation precision run the *identical* iteration structure
+//! (only the vector element type changes; the scalar recurrences always
+//! evaluate in `f64`).
 
 use crate::operator::LinearOperator;
+use crate::scalar::Scalar;
 use crate::traffic::TrafficCounters;
 use crate::vecops::{axpy, dot, norm_sq, xpby};
 
@@ -30,7 +36,8 @@ impl Default for SolveOptions {
 pub struct ConvergenceInfo {
     /// Number of iterations performed.
     pub iterations: usize,
-    /// Final relative residual `‖r‖ / ‖b‖`.
+    /// Final relative residual `‖r‖ / ‖b‖` (for [`fixed_point_counted`],
+    /// the relative change of the final sweep).
     pub relative_residual: f64,
     /// Whether the tolerance was reached within the iteration budget.
     pub converged: bool,
@@ -40,30 +47,34 @@ pub struct ConvergenceInfo {
 ///
 /// `a` must be symmetric positive definite. Returns the solution and
 /// convergence information. The initial guess is the zero vector.
-pub fn cg<A: LinearOperator>(a: &A, b: &[f32], opts: &SolveOptions) -> (Vec<f32>, ConvergenceInfo) {
+pub fn cg<T: Scalar, A: LinearOperator<T>>(
+    a: &A,
+    b: &[T],
+    opts: &SolveOptions,
+) -> (Vec<T>, ConvergenceInfo) {
     pcg(a, &IdentityPrec, b, opts)
 }
 
 /// [`cg`] with memory-traffic accounting: every application of `a` adds its
 /// traffic to `counters` through
 /// [`LinearOperator::apply_counted`].
-pub fn cg_counted<A: LinearOperator>(
+pub fn cg_counted<T: Scalar, A: LinearOperator<T>>(
     a: &A,
-    b: &[f32],
+    b: &[T],
     opts: &SolveOptions,
     counters: &mut TrafficCounters,
-) -> (Vec<f32>, ConvergenceInfo) {
+) -> (Vec<T>, ConvergenceInfo) {
     pcg_counted(a, &IdentityPrec, b, opts, counters)
 }
 
 /// Identity preconditioner (turns PCG into plain CG).
 struct IdentityPrec;
 
-impl LinearOperator for IdentityPrec {
+impl<T: Scalar> LinearOperator<T> for IdentityPrec {
     fn dim(&self) -> usize {
         usize::MAX
     }
-    fn apply(&self, x: &[f32], y: &mut [f32]) {
+    fn apply(&self, x: &[T], y: &mut [T]) {
         y.copy_from_slice(x);
     }
 }
@@ -74,12 +85,12 @@ impl LinearOperator for IdentityPrec {
 /// to the residual each iteration (`z ← M⁻¹ r` on line 14 of Algorithm 1).
 /// For the marginalized graph kernel the paper uses the Jacobi (diagonal)
 /// preconditioner `M = D× V×⁻¹`.
-pub fn pcg<A: LinearOperator, M: LinearOperator>(
+pub fn pcg<T: Scalar, A: LinearOperator<T>, M: LinearOperator<T>>(
     a: &A,
     m_inv: &M,
-    b: &[f32],
+    b: &[T],
     opts: &SolveOptions,
-) -> (Vec<f32>, ConvergenceInfo) {
+) -> (Vec<T>, ConvergenceInfo) {
     pcg_counted(a, m_inv, b, opts, &mut TrafficCounters::new())
 }
 
@@ -93,7 +104,7 @@ pub fn pcg<A: LinearOperator, M: LinearOperator>(
 /// use mgk_linalg::{pcg_counted, DiagonalOperator, SolveOptions, TrafficCounters};
 ///
 /// // a diagonal SPD system: 2x = 1, 4y = 1
-/// let a = DiagonalOperator::new(vec![2.0, 4.0]);
+/// let a = DiagonalOperator::new(vec![2.0f32, 4.0]);
 /// let m_inv = a.inverse();
 /// let mut traffic = TrafficCounters::new();
 /// let (x, info) = pcg_counted(&a, &m_inv, &[1.0, 1.0], &SolveOptions::default(), &mut traffic);
@@ -101,13 +112,13 @@ pub fn pcg<A: LinearOperator, M: LinearOperator>(
 /// assert!((x[0] - 0.5).abs() < 1e-6 && (x[1] - 0.25).abs() < 1e-6);
 /// assert!(traffic.flops > 0); // operator + preconditioner traffic was counted
 /// ```
-pub fn pcg_counted<A: LinearOperator, M: LinearOperator>(
+pub fn pcg_counted<T: Scalar, A: LinearOperator<T>, M: LinearOperator<T>>(
     a: &A,
     m_inv: &M,
-    b: &[f32],
+    b: &[T],
     opts: &SolveOptions,
     counters: &mut TrafficCounters,
-) -> (Vec<f32>, ConvergenceInfo) {
+) -> (Vec<T>, ConvergenceInfo) {
     pcg_counted_warm(a, m_inv, b, None, opts, counters)
 }
 
@@ -133,7 +144,7 @@ pub fn pcg_counted<A: LinearOperator, M: LinearOperator>(
 /// use mgk_linalg::{pcg_counted, pcg_counted_warm, DiagonalOperator, SolveOptions,
 ///                  TrafficCounters};
 ///
-/// let a = DiagonalOperator::new(vec![2.0, 4.0]);
+/// let a = DiagonalOperator::new(vec![2.0f32, 4.0]);
 /// let m_inv = a.inverse();
 /// let opts = SolveOptions::default();
 /// let (cold, _) = pcg_counted(&a, &m_inv, &[1.0, 1.0], &opts, &mut TrafficCounters::new());
@@ -143,23 +154,23 @@ pub fn pcg_counted<A: LinearOperator, M: LinearOperator>(
 /// assert!(info.converged && info.iterations == 0);
 /// assert_eq!(warm, cold);
 /// ```
-pub fn pcg_counted_warm<A: LinearOperator, M: LinearOperator>(
+pub fn pcg_counted_warm<T: Scalar, A: LinearOperator<T>, M: LinearOperator<T>>(
     a: &A,
     m_inv: &M,
-    b: &[f32],
-    x0: Option<&[f32]>,
+    b: &[T],
+    x0: Option<&[T]>,
     opts: &SolveOptions,
     counters: &mut TrafficCounters,
-) -> (Vec<f32>, ConvergenceInfo) {
+) -> (Vec<T>, ConvergenceInfo) {
     let n = b.len();
     assert_eq!(a.dim(), n, "operator dimension must match right-hand side");
     let nn = n as u64;
 
-    let b_norm = norm_sq(b).sqrt();
-    counters.count_vector_op(nn, 0, 2 * nn);
+    let b_norm = T::accum_to_f64(norm_sq(b)).sqrt();
+    counters.count_vector_op_t::<T>(nn, 0, 2 * nn);
     if b_norm == 0.0 {
         return (
-            vec![0.0; n],
+            vec![T::ZERO; n],
             ConvergenceInfo { iterations: 0, relative_residual: 0.0, converged: true },
         );
     }
@@ -169,64 +180,143 @@ pub fn pcg_counted_warm<A: LinearOperator, M: LinearOperator>(
             assert_eq!(guess.len(), n, "warm-start guess dimension must match right-hand side");
             let x = guess.to_vec();
             // r = b - A x0
-            let mut ax = vec![0.0f32; n];
+            let mut ax = vec![T::ZERO; n];
             a.apply_counted(&x, &mut ax, counters);
-            let r: Vec<f32> = b.iter().zip(&ax).map(|(&bi, &axi)| bi - axi).collect();
-            counters.count_vector_op(2 * nn, nn, nn);
-            counters.count_vector_op(nn, 0, 2 * nn);
-            if norm_sq(&r) <= b_norm * b_norm {
+            let r: Vec<T> = b.iter().zip(&ax).map(|(&bi, &axi)| bi - axi).collect();
+            counters.count_vector_op_t::<T>(2 * nn, nn, nn);
+            counters.count_vector_op_t::<T>(nn, 0, 2 * nn);
+            if T::accum_to_f64(norm_sq(&r)) <= b_norm * b_norm {
                 (x, r)
             } else {
                 // the guess starts farther out than zero would; drop it
-                (vec![0.0f32; n], b.to_vec())
+                (vec![T::ZERO; n], b.to_vec())
             }
         }
         // r = b - A·0 = b
-        None => (vec![0.0f32; n], b.to_vec()),
+        None => (vec![T::ZERO; n], b.to_vec()),
     };
-    let mut z = vec![0.0f32; n];
+    let mut z = vec![T::ZERO; n];
     m_inv.apply_counted(&r, &mut z, counters);
     let mut p = z.clone();
-    let mut rho = dot(&r, &z);
-    counters.count_vector_op(2 * nn, 0, 2 * nn);
-    let mut a_p = vec![0.0f32; n];
+    let mut rho = T::accum_to_f64(dot(&r, &z));
+    counters.count_vector_op_t::<T>(2 * nn, 0, 2 * nn);
+    let mut a_p = vec![T::ZERO; n];
 
     let mut iterations = 0;
-    let mut rel_res = norm_sq(&r).sqrt() / b_norm;
-    counters.count_vector_op(nn, 0, 2 * nn);
+    let mut rel_res = T::accum_to_f64(norm_sq(&r)).sqrt() / b_norm;
+    counters.count_vector_op_t::<T>(nn, 0, 2 * nn);
     let mut converged = rel_res <= opts.tolerance;
 
     while !converged && iterations < opts.max_iterations {
         a.apply_counted(&p, &mut a_p, counters);
-        let p_ap = dot(&p, &a_p);
-        counters.count_vector_op(2 * nn, 0, 2 * nn);
+        let p_ap = T::accum_to_f64(dot(&p, &a_p));
+        counters.count_vector_op_t::<T>(2 * nn, 0, 2 * nn);
         if p_ap <= 0.0 || !p_ap.is_finite() {
             // matrix not positive definite along p (or numerical breakdown)
             break;
         }
-        let alpha = (rho / p_ap) as f32;
+        let alpha = T::from_f64(rho / p_ap);
         axpy(alpha, &p, &mut x);
         axpy(-alpha, &a_p, &mut r);
-        counters.count_vector_op(4 * nn, 2 * nn, 4 * nn);
+        counters.count_vector_op_t::<T>(4 * nn, 2 * nn, 4 * nn);
         iterations += 1;
 
-        rel_res = norm_sq(&r).sqrt() / b_norm;
-        counters.count_vector_op(nn, 0, 2 * nn);
+        rel_res = T::accum_to_f64(norm_sq(&r)).sqrt() / b_norm;
+        counters.count_vector_op_t::<T>(nn, 0, 2 * nn);
         if rel_res <= opts.tolerance {
             converged = true;
             break;
         }
 
         m_inv.apply_counted(&r, &mut z, counters);
-        let rho_next = dot(&r, &z);
-        let beta = (rho_next / rho) as f32;
+        let rho_next = T::accum_to_f64(dot(&r, &z));
+        let beta = T::from_f64(rho_next / rho);
         rho = rho_next;
         xpby(&z, beta, &mut p);
         // the rho recurrence dot plus the search-direction xpby
-        counters.count_vector_op(4 * nn, nn, 4 * nn);
+        counters.count_vector_op_t::<T>(4 * nn, nn, 4 * nn);
     }
 
     (x, ConvergenceInfo { iterations, relative_residual: rel_res, converged })
+}
+
+/// Fixed-point (Richardson) iteration driver `x ← b + A·x`, the second
+/// iteration family of the shared operator surface.
+///
+/// Starting from `x = b`, every sweep applies `a` once and adds `b`; after
+/// `k` sweeps the iterate is the partial Neumann sum `Σ_{i≤k} Aⁱ b`, so for
+/// the marginalized-kernel recurrence (Eq. 9 / Appendix A) the truncated
+/// iterate *is* the truncated path-sum of Eq. (4) — which is why the
+/// GraphKernels-style baseline drives this function instead of [`pcg`]:
+/// its convergence certificate is the monotone partial sum, not a Krylov
+/// residual. Convergence is declared when the relative change of one sweep
+/// drops to `opts.tolerance`:
+/// `‖x_{k+1} − x_k‖ ≤ tolerance · max(‖x_{k+1}‖, ε)`. A `tolerance` of
+/// zero runs exactly `max_iterations` sweeps (a fixed truncation length).
+///
+/// Operator traffic flows through
+/// [`apply_counted`](LinearOperator::apply_counted); the driver's own
+/// vector work (the `b + A·x` add and the change/norm reductions) is
+/// attributed with the same per-element accounting as the CG recurrences.
+pub fn fixed_point_counted<T: Scalar, A: LinearOperator<T> + ?Sized>(
+    a: &A,
+    b: &[T],
+    opts: &SolveOptions,
+    counters: &mut TrafficCounters,
+) -> (Vec<T>, ConvergenceInfo) {
+    let n = b.len();
+    assert_eq!(a.dim(), n, "operator dimension must match right-hand side");
+    let nn = n as u64;
+
+    let mut x: Vec<T> = b.to_vec();
+    let mut ax = vec![T::ZERO; n];
+    let mut next = vec![T::ZERO; n];
+    let mut iterations = 0;
+    let mut converged = false;
+    let mut rel_change = 0.0f64;
+    while iterations < opts.max_iterations {
+        a.apply_counted(&x, &mut ax, counters);
+        for ((ni, &bi), &axi) in next.iter_mut().zip(b).zip(&ax) {
+            *ni = bi + axi;
+        }
+        iterations += 1;
+        // one add streaming b and A·x, plus the change/norm reductions
+        counters.count_vector_op_t::<T>(2 * nn, nn, nn);
+        counters.count_vector_op_t::<T>(2 * nn, 0, 5 * nn);
+        let diff = next
+            .iter()
+            .zip(&x)
+            .map(|(&a, &b)| {
+                let d = a.to_f64() - b.to_f64();
+                d * d
+            })
+            .sum::<f64>()
+            .sqrt();
+        let norm = next
+            .iter()
+            .map(|&a| {
+                let v = a.to_f64();
+                v * v
+            })
+            .sum::<f64>()
+            .sqrt();
+        std::mem::swap(&mut x, &mut next);
+        rel_change = diff / norm.max(1e-300);
+        if diff <= opts.tolerance * norm.max(1e-300) {
+            converged = true;
+            break;
+        }
+    }
+    (x, ConvergenceInfo { iterations, relative_residual: rel_change, converged })
+}
+
+/// [`fixed_point_counted`] without traffic accounting.
+pub fn fixed_point<T: Scalar, A: LinearOperator<T> + ?Sized>(
+    a: &A,
+    b: &[T],
+    opts: &SolveOptions,
+) -> (Vec<T>, ConvergenceInfo) {
+    fixed_point_counted(a, b, opts, &mut TrafficCounters::new())
 }
 
 #[cfg(test)]
@@ -253,7 +343,7 @@ mod tests {
     #[test]
     fn cg_solves_identity() {
         let a = DenseOperator(DenseMatrix::identity(5));
-        let b = vec![1.0, -2.0, 3.0, 0.5, 0.0];
+        let b = vec![1.0f32, -2.0, 3.0, 0.5, 0.0];
         let (x, info) = cg(&a, &b, &SolveOptions::default());
         assert!(info.converged);
         assert!(info.iterations <= 2);
@@ -274,6 +364,27 @@ mod tests {
         m.matvec(&x, &mut ax);
         let res: f32 = ax.iter().zip(&b).map(|(a, b)| (a - b).abs()).fold(0.0, f32::max);
         assert!(res < 1e-3, "residual too large: {res}");
+    }
+
+    #[test]
+    fn both_precisions_solve_the_same_system() {
+        let m = spd_matrix(16, 31);
+        let op = DenseOperator(m);
+        let b32: Vec<f32> = (0..16).map(|i| 1.0 + (i as f32 * 0.4).cos()).collect();
+        let b64: Vec<f64> = b32.iter().map(|&v| v as f64).collect();
+        let opts = SolveOptions { max_iterations: 300, tolerance: 1e-8 };
+        let (x32, i32_) = cg(&op, &b32, &opts);
+        let (x64, i64_) = cg(&op, &b64, &opts);
+        assert!(i32_.converged && i64_.converged);
+        for (a, b) in x32.iter().zip(&x64) {
+            assert!(
+                (*a as f64 - b).abs() <= 1e-5 * b.abs().max(1.0),
+                "precisions diverged: {a} vs {b}"
+            );
+        }
+        // the f64 instantiation reaches a strictly tighter residual budget
+        let (_, deep) = cg(&op, &b64, &SolveOptions { max_iterations: 300, tolerance: 1e-13 });
+        assert!(deep.converged, "f64 CG should reach 1e-13: {deep:?}");
     }
 
     #[test]
@@ -307,7 +418,7 @@ mod tests {
     #[test]
     fn zero_rhs_returns_zero_solution() {
         let a = DenseOperator(DenseMatrix::identity(3));
-        let (x, info) = cg(&a, &[0.0, 0.0, 0.0], &SolveOptions::default());
+        let (x, info) = cg(&a, &[0.0f32, 0.0, 0.0], &SolveOptions::default());
         assert_eq!(x, vec![0.0, 0.0, 0.0]);
         assert!(info.converged);
         assert_eq!(info.iterations, 0);
@@ -416,5 +527,47 @@ mod tests {
         let (_, info) = cg(&op, &b, &SolveOptions { max_iterations: 3 * n, tolerance: 1e-6 });
         assert!(info.converged);
         assert!(info.iterations <= 2 * n);
+    }
+
+    #[test]
+    fn fixed_point_converges_to_the_neumann_sum() {
+        // contraction A = 0.5·I: the fixed point of x = b + A x is 2b
+        let a = DiagonalOperator::new(vec![0.5f64; 4]);
+        let b = vec![1.0f64, 2.0, -1.0, 0.5];
+        let (x, info) =
+            fixed_point(&a, &b, &SolveOptions { max_iterations: 500, tolerance: 1e-12 });
+        assert!(info.converged);
+        for (xi, bi) in x.iter().zip(&b) {
+            assert!((xi - 2.0 * bi).abs() < 1e-9, "{xi} vs {}", 2.0 * bi);
+        }
+    }
+
+    #[test]
+    fn fixed_point_truncation_runs_exactly_the_budget() {
+        // tolerance 0 = fixed truncation length: k sweeps accumulate the
+        // partial Neumann sum Σ_{i<=k} A^i b
+        let a = DiagonalOperator::new(vec![0.5f64; 2]);
+        let b = vec![1.0f64, 1.0];
+        for k in [1usize, 3, 7] {
+            let (x, info) =
+                fixed_point(&a, &b, &SolveOptions { max_iterations: k, tolerance: 0.0 });
+            assert!(!info.converged);
+            assert_eq!(info.iterations, k);
+            let expect: f64 = (0..=k).map(|i| 0.5f64.powi(i as i32)).sum();
+            assert!((x[0] - expect).abs() < 1e-12, "k={k}: {} vs {expect}", x[0]);
+        }
+    }
+
+    #[test]
+    fn fixed_point_counts_operator_and_vector_traffic() {
+        let a = DiagonalOperator::new(vec![0.25f32; 8]);
+        let b = vec![1.0f32; 8];
+        let mut counters = crate::TrafficCounters::new();
+        let (_, info) = fixed_point_counted(&a, &b, &SolveOptions::default(), &mut counters);
+        assert!(info.converged);
+        // per sweep: the diagonal apply (8 flops) plus 6n vector flops
+        let k = info.iterations as u64;
+        assert_eq!(counters.flops, k * (8 + 6 * 8));
+        assert!(counters.global_load_bytes > 0);
     }
 }

@@ -82,18 +82,28 @@ impl DenseMatrix {
 
     /// Matrix–vector product `y = A x`.
     pub fn matvec(&self, x: &[f32], y: &mut [f32]) {
+        self.matvec_t(x, y);
+    }
+
+    /// [`matvec`](Self::matvec) at any [`Scalar`](crate::Scalar) vector
+    /// precision: the `f32`-stored entries are widened individually and
+    /// accumulated in `f64`, so the `f32` instantiation is the classic
+    /// single-precision matvec and the `f64` one applies the exact stored
+    /// matrix. This is the single loop behind both the inherent `f32`
+    /// method and the `DenseOperator` trait impls.
+    pub fn matvec_t<T: crate::Scalar>(&self, x: &[T], y: &mut [T]) {
         assert_eq!(x.len(), self.cols, "matvec: x length must equal cols");
         assert_eq!(y.len(), self.rows, "matvec: y length must equal rows");
         if self.cols == 0 {
-            y.fill(0.0);
+            y.fill(T::ZERO);
             return;
         }
         for (yi, row) in y.iter_mut().zip(self.data.chunks_exact(self.cols)) {
             let mut acc = 0.0f64;
-            for (a, b) in row.iter().zip(x) {
-                acc += *a as f64 * *b as f64;
+            for (&a, &b) in row.iter().zip(x) {
+                acc += a as f64 * b.to_f64();
             }
-            *yi = acc as f32;
+            *yi = T::from_f64(acc);
         }
     }
 

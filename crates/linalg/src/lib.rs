@@ -2,20 +2,27 @@
 //! solvers for the marginalized graph kernel workspace.
 //!
 //! The crate deliberately implements only the operations the solver needs —
-//! it is not a general-purpose BLAS. The scalar type is `f32` (matching the
-//! single-precision GPU arithmetic of the paper) with `f64` accumulation in
-//! reductions, plus `f64` direct solvers used for validation.
+//! it is not a general-purpose BLAS. The operator/solver surface is generic
+//! over the sealed [`Scalar`] trait (`f32` and `f64`): matrix *storage*
+//! stays `f32` (matching the single-precision GPU arithmetic of the paper),
+//! while the iteration vectors run at either precision — `f32` with `f64`
+//! accumulation in the reductions for serving, or `f64` end-to-end for
+//! validation against the dense direct solvers. The runtime-value side of
+//! that axis is the [`Precision`] policy carried by configuration structs.
 //!
 //! Main entry points:
 //!
 //! * [`DenseMatrix`], [`CsrMatrix`] — storage formats.
 //! * [`kronecker`] — standard, generalized (base-kernel) and Hadamard
 //!   products that appear in Eq. (1) of the paper.
+//! * [`Scalar`] / [`Precision`] — the precision axis of the solver surface.
 //! * [`LinearOperator`] — abstraction of `y ← A·x` used by the iterative
 //!   solvers so that the on-the-fly product operators of `mgk-core` never
-//!   materialize the tensor-product system.
+//!   materialize the tensor-product system; generic over [`Scalar`].
 //! * [`cg`] / [`pcg`] — (preconditioned) conjugate gradient, Algorithm 1 of
-//!   the paper.
+//!   the paper, at either precision.
+//! * [`fixed_point`] / [`fixed_point_counted`] — the Richardson /
+//!   truncated-path-sum iteration driver sharing the same operator surface.
 //! * [`direct`] — dense `f64` Cholesky/LU used as ground truth in tests.
 
 pub mod cg;
@@ -24,14 +31,19 @@ pub mod direct;
 pub mod eigen;
 pub mod kronecker;
 pub mod operator;
+pub mod scalar;
 pub mod sparse;
 pub mod traffic;
 pub mod vecops;
 
-pub use cg::{cg, cg_counted, pcg, pcg_counted, pcg_counted_warm, ConvergenceInfo, SolveOptions};
+pub use cg::{
+    cg, cg_counted, fixed_point, fixed_point_counted, pcg, pcg_counted, pcg_counted_warm,
+    ConvergenceInfo, SolveOptions,
+};
 pub use dense::DenseMatrix;
 pub use eigen::{symmetric_eigen, SymmetricEigen};
 pub use kronecker::{generalized_kron, hadamard, kron_dense, kron_vec};
 pub use operator::{CsrOperator, DenseOperator, DiagonalOperator, LinearOperator, ScaledSum};
+pub use scalar::{Precision, Scalar};
 pub use sparse::CsrMatrix;
 pub use traffic::TrafficCounters;

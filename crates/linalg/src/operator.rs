@@ -5,31 +5,42 @@
 //! on-the-fly (Algorithm 2 of the paper). The CG/PCG implementations in
 //! [`crate::cg`] therefore only require the ability to apply the operator
 //! to a vector.
+//!
+//! The trait is generic over the [`Scalar`] precision of the vectors it
+//! acts on (defaulting to `f32`, the paper's serving precision). Operators
+//! whose *data* is stored in `f32` — the dense/CSR wrappers here, the
+//! on-the-fly tensor-product operators of `mgk-core` — implement
+//! `LinearOperator<T>` for every `T: Scalar` by widening each stored factor
+//! through [`Scalar::from_f32`] before multiplying, so the `f64`
+//! instantiation applies the exact matrix the `f32` storage represents.
 
 use crate::dense::DenseMatrix;
+use crate::scalar::Scalar;
 use crate::sparse::CsrMatrix;
 use crate::traffic::TrafficCounters;
 
-/// Bytes of one `f32` element, used by the built-in traffic accounting.
+/// Bytes of one `f32` element — the storage footprint of the workspace's
+/// matrix data, which stays single-precision at every vector precision.
 const F32_BYTES: u64 = 4;
 
-/// A square linear operator that can be applied to a vector.
+/// A square linear operator that can be applied to a vector of scalars `T`.
 ///
 /// This is the single operator surface of the workspace: the iterative
 /// solvers in [`crate::cg`], the on-the-fly tensor-product operators of
-/// `mgk-core` and the explicit baselines all apply matrices through it.
-/// Memory-traffic instrumentation is part of the surface —
+/// `mgk-core` and the explicit baselines all apply matrices through it, at
+/// either precision of the [`Scalar`] axis. Memory-traffic instrumentation
+/// is part of the surface —
 /// [`apply_counted`](Self::apply_counted) threads a [`TrafficCounters`]
 /// through every application, so callers that care about traffic (the GPU
 /// cost model, the benchmark harness) receive exact counts without any
 /// side-channel state on the operator.
-pub trait LinearOperator {
+pub trait LinearOperator<T: Scalar = f32> {
     /// Dimension of the (square) operator.
     fn dim(&self) -> usize;
 
     /// Compute `y ← A·x`. `x` and `y` have length [`dim`](Self::dim) and do
     /// not alias.
-    fn apply(&self, x: &[f32], y: &mut [f32]);
+    fn apply(&self, x: &[T], y: &mut [T]);
 
     /// Compute `y ← A·x` and add the memory traffic and arithmetic of the
     /// application to `counters`.
@@ -38,175 +49,181 @@ pub trait LinearOperator {
     /// counts nothing; operators with a meaningful cost model override it.
     /// Implementations that override `apply_counted` should implement
     /// `apply` as `self.apply_counted(x, y, &mut TrafficCounters::new())`.
-    fn apply_counted(&self, x: &[f32], y: &mut [f32], counters: &mut TrafficCounters) {
+    fn apply_counted(&self, x: &[T], y: &mut [T], counters: &mut TrafficCounters) {
         let _ = counters;
         self.apply(x, y);
     }
 
     /// Convenience allocation-returning variant of [`apply`](Self::apply).
-    fn apply_alloc(&self, x: &[f32]) -> Vec<f32> {
-        let mut y = vec![0.0; self.dim()];
+    fn apply_alloc(&self, x: &[T]) -> Vec<T> {
+        let mut y = vec![T::ZERO; self.dim()];
         self.apply(x, &mut y);
         y
     }
 }
 
-/// A dense matrix viewed as a linear operator.
+/// A dense (`f32`-stored) matrix viewed as a linear operator at any
+/// [`Scalar`] precision.
 #[derive(Debug, Clone)]
 pub struct DenseOperator(pub DenseMatrix);
 
-impl LinearOperator for DenseOperator {
+impl<T: Scalar> LinearOperator<T> for DenseOperator {
     fn dim(&self) -> usize {
         assert_eq!(self.0.rows(), self.0.cols(), "operator must be square");
         self.0.rows()
     }
 
-    fn apply(&self, x: &[f32], y: &mut [f32]) {
-        self.0.matvec(x, y);
+    fn apply(&self, x: &[T], y: &mut [T]) {
+        self.0.matvec_t(x, y);
     }
 
-    fn apply_counted(&self, x: &[f32], y: &mut [f32], counters: &mut TrafficCounters) {
-        self.apply(x, y);
+    fn apply_counted(&self, x: &[T], y: &mut [T], counters: &mut TrafficCounters) {
+        LinearOperator::<T>::apply(self, x, y);
         let (n, m) = (self.0.rows() as u64, self.0.cols() as u64);
-        // stream the matrix and the input vector, write the output once
-        counters.global_load_bytes += (n * m + m) * F32_BYTES;
-        counters.global_store_bytes += n * F32_BYTES;
+        // stream the (f32) matrix and the input vector, write the output once
+        counters.global_load_bytes += n * m * F32_BYTES + m * T::BYTES;
+        counters.global_store_bytes += n * T::BYTES;
         counters.flops += 2 * n * m;
     }
 }
 
-/// A CSR matrix viewed as a linear operator.
+/// A CSR (`f32`-stored) matrix viewed as a linear operator at any
+/// [`Scalar`] precision.
 #[derive(Debug, Clone)]
 pub struct CsrOperator(pub CsrMatrix);
 
-impl LinearOperator for CsrOperator {
+impl<T: Scalar> LinearOperator<T> for CsrOperator {
     fn dim(&self) -> usize {
         assert_eq!(self.0.rows(), self.0.cols(), "operator must be square");
         self.0.rows()
     }
 
-    fn apply(&self, x: &[f32], y: &mut [f32]) {
-        self.0.matvec(x, y);
+    fn apply(&self, x: &[T], y: &mut [T]) {
+        self.0.matvec_t(x, y);
     }
 
-    fn apply_counted(&self, x: &[f32], y: &mut [f32], counters: &mut TrafficCounters) {
-        self.apply(x, y);
+    fn apply_counted(&self, x: &[T], y: &mut [T], counters: &mut TrafficCounters) {
+        LinearOperator::<T>::apply(self, x, y);
         let (n, nnz) = (self.0.rows() as u64, self.0.nnz() as u64);
         // values + column indices + row pointers + gathered x entries
-        counters.global_load_bytes += nnz * (2 * F32_BYTES + 4) + (n + 1) * 4;
-        counters.global_store_bytes += n * F32_BYTES;
+        counters.global_load_bytes += nnz * (F32_BYTES + T::BYTES + 4) + (n + 1) * 4;
+        counters.global_store_bytes += n * T::BYTES;
         counters.flops += 2 * nnz;
     }
 }
 
-/// A diagonal operator `y_i = d_i x_i`; also usable as a Jacobi
-/// preconditioner through [`DiagonalOperator::inverse`].
+/// A diagonal operator `y_i = d_i x_i` storing its diagonal at the vector
+/// precision; also usable as a Jacobi preconditioner through
+/// [`DiagonalOperator::inverse`].
 #[derive(Debug, Clone)]
-pub struct DiagonalOperator {
-    diag: Vec<f32>,
+pub struct DiagonalOperator<T: Scalar = f32> {
+    diag: Vec<T>,
 }
 
-impl DiagonalOperator {
+impl<T: Scalar> DiagonalOperator<T> {
     /// Wrap a diagonal.
-    pub fn new(diag: Vec<f32>) -> Self {
+    pub fn new(diag: Vec<T>) -> Self {
         DiagonalOperator { diag }
     }
 
     /// The element-wise inverse operator. Panics if any diagonal entry is
     /// zero or non-finite.
     pub fn inverse(&self) -> Self {
-        let inv: Vec<f32> = self
+        let inv: Vec<T> = self
             .diag
             .iter()
             .map(|&d| {
-                assert!(d != 0.0 && d.is_finite(), "cannot invert diagonal entry {d}");
-                1.0 / d
+                assert!(d != T::ZERO && d.is_finite(), "cannot invert diagonal entry {d}");
+                T::ONE / d
             })
             .collect();
         DiagonalOperator { diag: inv }
     }
 
     /// Access the diagonal entries.
-    pub fn diagonal(&self) -> &[f32] {
+    pub fn diagonal(&self) -> &[T] {
         &self.diag
     }
 }
 
-impl LinearOperator for DiagonalOperator {
+impl<T: Scalar> LinearOperator<T> for DiagonalOperator<T> {
     fn dim(&self) -> usize {
         self.diag.len()
     }
 
-    fn apply(&self, x: &[f32], y: &mut [f32]) {
+    fn apply(&self, x: &[T], y: &mut [T]) {
         for ((yi, &xi), &di) in y.iter_mut().zip(x).zip(&self.diag) {
             *yi = di * xi;
         }
     }
 
-    fn apply_counted(&self, x: &[f32], y: &mut [f32], counters: &mut TrafficCounters) {
+    fn apply_counted(&self, x: &[T], y: &mut [T], counters: &mut TrafficCounters) {
         self.apply(x, y);
         let n = self.diag.len() as u64;
-        counters.global_load_bytes += 2 * n * F32_BYTES;
-        counters.global_store_bytes += n * F32_BYTES;
+        counters.global_load_bytes += 2 * n * T::BYTES;
+        counters.global_store_bytes += n * T::BYTES;
         counters.flops += n;
     }
 }
 
 /// The operator `alpha·A + beta·B` formed from two operators of the same
-/// dimension. Used to express `D× V×⁻¹ − A× ∘ E×` as a sum of its diagonal
-/// and off-diagonal parts (the two arrows of Algorithm 1, lines 9–10).
-pub struct ScaledSum<A, B> {
+/// dimension and vector precision. Used to express `D× V×⁻¹ − A× ∘ E×` as
+/// a sum of its diagonal and off-diagonal parts (the two arrows of
+/// Algorithm 1, lines 9–10).
+pub struct ScaledSum<A, B, T: Scalar = f32> {
     /// Scale of the first operand.
-    pub alpha: f32,
+    pub alpha: T,
     /// First operand.
     pub a: A,
     /// Scale of the second operand.
-    pub beta: f32,
+    pub beta: T,
     /// Second operand.
     pub b: B,
 }
 
-impl<A: LinearOperator, B: LinearOperator> ScaledSum<A, B> {
+impl<T: Scalar, A: LinearOperator<T>, B: LinearOperator<T>> ScaledSum<A, B, T> {
     /// Construct `alpha·A + beta·B`, checking dimensions agree.
-    pub fn new(alpha: f32, a: A, beta: f32, b: B) -> Self {
+    pub fn new(alpha: T, a: A, beta: T, b: B) -> Self {
         assert_eq!(a.dim(), b.dim(), "operands must have equal dimension");
         ScaledSum { alpha, a, beta, b }
     }
 }
 
-impl<A: LinearOperator, B: LinearOperator> LinearOperator for ScaledSum<A, B> {
+impl<T: Scalar, A: LinearOperator<T>, B: LinearOperator<T>> LinearOperator<T>
+    for ScaledSum<A, B, T>
+{
     fn dim(&self) -> usize {
         self.a.dim()
     }
 
-    fn apply(&self, x: &[f32], y: &mut [f32]) {
+    fn apply(&self, x: &[T], y: &mut [T]) {
         self.apply_counted(x, y, &mut TrafficCounters::new());
     }
 
-    fn apply_counted(&self, x: &[f32], y: &mut [f32], counters: &mut TrafficCounters) {
+    fn apply_counted(&self, x: &[T], y: &mut [T], counters: &mut TrafficCounters) {
         self.a.apply_counted(x, y, counters);
-        let mut tmp = vec![0.0; self.b.dim()];
+        let mut tmp = vec![T::ZERO; self.b.dim()];
         self.b.apply_counted(x, &mut tmp, counters);
-        for (yi, ti) in y.iter_mut().zip(&tmp) {
-            *yi = self.alpha * *yi + self.beta * *ti;
+        for (yi, &ti) in y.iter_mut().zip(&tmp) {
+            *yi = self.alpha * *yi + self.beta * ti;
         }
         // the axpby combination of the two partial results: read both,
         // write y back
-        let n = self.dim() as u64;
+        let n = LinearOperator::<T>::dim(self) as u64;
         counters.flops += 3 * n;
-        counters.global_load_bytes += 2 * n * F32_BYTES;
-        counters.global_store_bytes += n * F32_BYTES;
+        counters.global_load_bytes += 2 * n * T::BYTES;
+        counters.global_store_bytes += n * T::BYTES;
     }
 }
 
-impl<T: LinearOperator + ?Sized> LinearOperator for &T {
+impl<S: Scalar, T: LinearOperator<S> + ?Sized> LinearOperator<S> for &T {
     fn dim(&self) -> usize {
         (**self).dim()
     }
-    fn apply(&self, x: &[f32], y: &mut [f32]) {
+    fn apply(&self, x: &[S], y: &mut [S]) {
         (**self).apply(x, y)
     }
-    fn apply_counted(&self, x: &[f32], y: &mut [f32], counters: &mut TrafficCounters) {
+    fn apply_counted(&self, x: &[S], y: &mut [S], counters: &mut TrafficCounters) {
         (**self).apply_counted(x, y, counters)
     }
 }
@@ -219,8 +236,8 @@ mod tests {
     fn dense_operator_applies_matrix() {
         let m = DenseMatrix::from_row_major(2, 2, vec![1., 2., 3., 4.]);
         let op = DenseOperator(m);
-        assert_eq!(op.dim(), 2);
-        assert_eq!(op.apply_alloc(&[1.0, 1.0]), vec![3.0, 7.0]);
+        assert_eq!(LinearOperator::<f32>::dim(&op), 2);
+        assert_eq!(op.apply_alloc(&[1.0f32, 1.0]), vec![3.0, 7.0]);
     }
 
     #[test]
@@ -228,28 +245,47 @@ mod tests {
         let d = DenseMatrix::from_row_major(3, 3, vec![1., 0., 2., 0., 3., 0., 0., 0., 4.]);
         let dense_op = DenseOperator(d.clone());
         let csr_op = CsrOperator(CsrMatrix::from_dense(&d, 0.0));
-        let x = [1.0, 2.0, 3.0];
+        let x = [1.0f32, 2.0, 3.0];
         assert_eq!(dense_op.apply_alloc(&x), csr_op.apply_alloc(&x));
     }
 
     #[test]
+    fn f32_and_f64_instantiations_apply_the_same_matrix() {
+        let m = DenseMatrix::from_row_major(2, 2, vec![0.5, -1.0, 2.0, 0.25]);
+        let dense = DenseOperator(m.clone());
+        let csr = CsrOperator(CsrMatrix::from_dense(&m, 0.0));
+        let x32 = [1.0f32, -2.0];
+        let x64 = [1.0f64, -2.0];
+        let narrow = LinearOperator::<f32>::apply_alloc(&dense, &x32);
+        let wide = LinearOperator::<f64>::apply_alloc(&dense, &x64);
+        for (a, b) in narrow.iter().zip(&wide) {
+            assert_eq!(*a as f64, *b, "exact inputs must agree across precisions");
+        }
+        let wide_csr = LinearOperator::<f64>::apply_alloc(&csr, &x64);
+        assert_eq!(wide, wide_csr);
+    }
+
+    #[test]
     fn diagonal_operator_and_inverse() {
-        let d = DiagonalOperator::new(vec![2.0, 4.0]);
+        let d = DiagonalOperator::new(vec![2.0f32, 4.0]);
         assert_eq!(d.apply_alloc(&[1.0, 1.0]), vec![2.0, 4.0]);
         let inv = d.inverse();
         assert_eq!(inv.apply_alloc(&[2.0, 4.0]), vec![1.0, 1.0]);
+        // the f64 instantiation stores and applies a true f64 diagonal
+        let d64: DiagonalOperator<f64> = DiagonalOperator::new(vec![3.0, 0.5]);
+        assert_eq!(d64.inverse().apply_alloc(&[3.0, 0.5]), vec![1.0, 1.0]);
     }
 
     #[test]
     #[should_panic(expected = "cannot invert")]
     fn diagonal_inverse_rejects_zero() {
-        let _ = DiagonalOperator::new(vec![1.0, 0.0]).inverse();
+        let _ = DiagonalOperator::new(vec![1.0f32, 0.0]).inverse();
     }
 
     #[test]
     fn scaled_sum_combines_operators() {
-        let a = DiagonalOperator::new(vec![1.0, 2.0]);
-        let b = DiagonalOperator::new(vec![10.0, 10.0]);
+        let a = DiagonalOperator::new(vec![1.0f32, 2.0]);
+        let b = DiagonalOperator::new(vec![10.0f32, 10.0]);
         // 1*A - 0.5*B
         let s = ScaledSum::new(1.0, a, -0.5, b);
         assert_eq!(s.apply_alloc(&[1.0, 1.0]), vec![-4.0, -3.0]);
@@ -260,7 +296,7 @@ mod tests {
         let d = DenseMatrix::from_row_major(2, 2, vec![1., 2., 3., 4.]);
         let csr = CsrOperator(CsrMatrix::from_dense(&d, 0.0));
         let dense = DenseOperator(d);
-        let diag = DiagonalOperator::new(vec![2.0, 3.0]);
+        let diag = DiagonalOperator::new(vec![2.0f32, 3.0]);
         let x = [1.0f32, -1.0];
         for op in [&dense as &dyn LinearOperator, &csr, &diag] {
             let mut counters = TrafficCounters::new();
@@ -275,8 +311,8 @@ mod tests {
 
     #[test]
     fn scaled_sum_threads_counters_through_both_operands() {
-        let a = DiagonalOperator::new(vec![1.0, 2.0]);
-        let b = DiagonalOperator::new(vec![3.0, 4.0]);
+        let a = DiagonalOperator::new(vec![1.0f32, 2.0]);
+        let b = DiagonalOperator::new(vec![3.0f32, 4.0]);
         let s = ScaledSum::new(1.0, a, -1.0, b);
         let mut counters = TrafficCounters::new();
         let mut y = vec![0.0f32; 2];
@@ -288,7 +324,7 @@ mod tests {
 
     #[test]
     fn reference_to_operator_is_operator() {
-        let d = DiagonalOperator::new(vec![3.0]);
+        let d = DiagonalOperator::new(vec![3.0f32]);
         let r: &dyn LinearOperator = &d;
         assert_eq!(r.apply_alloc(&[2.0]), vec![6.0]);
         assert_eq!(d.apply_alloc(&[2.0]), vec![6.0]);

@@ -84,14 +84,22 @@ impl CsrMatrix {
 
     /// Matrix–vector product `y = A x`.
     pub fn matvec(&self, x: &[f32], y: &mut [f32]) {
+        self.matvec_t(x, y);
+    }
+
+    /// [`matvec`](Self::matvec) at any [`Scalar`](crate::Scalar) vector
+    /// precision, widening the `f32`-stored values factor-wise — the single
+    /// loop behind both the inherent `f32` method and the `CsrOperator`
+    /// trait impls.
+    pub fn matvec_t<T: crate::Scalar>(&self, x: &[T], y: &mut [T]) {
         assert_eq!(x.len(), self.cols, "matvec: x length must equal cols");
         assert_eq!(y.len(), self.rows, "matvec: y length must equal rows");
         for (i, yi) in y.iter_mut().enumerate() {
             let mut acc = 0.0f64;
             for (c, v) in self.row(i) {
-                acc += v as f64 * x[c as usize] as f64;
+                acc += v as f64 * x[c as usize].to_f64();
             }
-            *yi = acc as f32;
+            *yi = T::from_f64(acc);
         }
     }
 

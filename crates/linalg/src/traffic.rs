@@ -73,10 +73,19 @@ impl TrafficCounters {
     /// iterative solvers use this to attribute that traffic alongside the
     /// operator and preconditioner applications — without it the Roofline
     /// projections undercount the memory-bound tail of every iteration.
+    /// For vectors of another [`Scalar`](crate::Scalar) precision use
+    /// [`count_vector_op_t`](Self::count_vector_op_t).
     pub fn count_vector_op(&mut self, loads: u64, stores: u64, flops: u64) {
-        const F32_BYTES: u64 = 4;
-        self.global_load_bytes += loads * F32_BYTES;
-        self.global_store_bytes += stores * F32_BYTES;
+        self.count_vector_op_t::<f32>(loads, stores, flops);
+    }
+
+    /// [`count_vector_op`](Self::count_vector_op) for vectors of scalar
+    /// type `T`: the element counts are converted to bytes with
+    /// [`Scalar::BYTES`](crate::Scalar::BYTES), so the `f64` instantiation
+    /// of the solvers attributes its doubled memory footprint faithfully.
+    pub fn count_vector_op_t<T: crate::Scalar>(&mut self, loads: u64, stores: u64, flops: u64) {
+        self.global_load_bytes += loads * T::BYTES;
+        self.global_store_bytes += stores * T::BYTES;
         self.flops += flops;
     }
 

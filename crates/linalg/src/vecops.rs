@@ -1,32 +1,45 @@
-//! Basic vector kernels with `f64` accumulation for reductions.
+//! Basic vector kernels, generic over the [`Scalar`] precision.
 //!
 //! These are the `T` (dot product) and `+` (scaled addition) operations of
-//! Algorithm 1 in the paper. Reductions accumulate in `f64` so that the
+//! Algorithm 1 in the paper. Reductions accumulate in the scalar's
+//! [`Accum`](Scalar::Accum) type — `f64` for both precisions — so that the
 //! conjugate gradient recurrences remain stable even for large tensor
-//! product systems computed in single precision.
+//! product systems computed in single precision, and the `f64`
+//! instantiation keeps the identical accumulation structure.
 
-/// Dot product `xᵀ y` with `f64` accumulation.
+use crate::scalar::Scalar;
+
+/// Dot product `xᵀ y` with [`Accum`](Scalar::Accum) (`f64`) accumulation.
 #[inline]
-pub fn dot(x: &[f32], y: &[f32]) -> f64 {
+pub fn dot<T: Scalar>(x: &[T], y: &[T]) -> T::Accum {
     assert_eq!(x.len(), y.len(), "dot: length mismatch {} vs {}", x.len(), y.len());
-    x.iter().zip(y).map(|(&a, &b)| a as f64 * b as f64).sum()
+    let mut acc = T::Accum::default();
+    for (&a, &b) in x.iter().zip(y) {
+        acc += a.widen() * b.widen();
+    }
+    acc
 }
 
-/// Squared Euclidean norm `‖x‖²` with `f64` accumulation.
+/// Squared Euclidean norm `‖x‖²` with [`Accum`](Scalar::Accum)
+/// accumulation.
 #[inline]
-pub fn norm_sq(x: &[f32]) -> f64 {
-    x.iter().map(|&a| a as f64 * a as f64).sum()
+pub fn norm_sq<T: Scalar>(x: &[T]) -> T::Accum {
+    let mut acc = T::Accum::default();
+    for &a in x {
+        acc += a.widen() * a.widen();
+    }
+    acc
 }
 
 /// Euclidean norm `‖x‖`.
 #[inline]
-pub fn norm(x: &[f32]) -> f64 {
-    norm_sq(x).sqrt()
+pub fn norm<T: Scalar>(x: &[T]) -> f64 {
+    T::accum_to_f64(norm_sq(x)).sqrt()
 }
 
 /// `y ← y + alpha * x`.
 #[inline]
-pub fn axpy(alpha: f32, x: &[f32], y: &mut [f32]) {
+pub fn axpy<T: Scalar>(alpha: T, x: &[T], y: &mut [T]) {
     assert_eq!(x.len(), y.len(), "axpy: length mismatch");
     for (yi, &xi) in y.iter_mut().zip(x) {
         *yi += alpha * xi;
@@ -35,7 +48,7 @@ pub fn axpy(alpha: f32, x: &[f32], y: &mut [f32]) {
 
 /// `y ← x + beta * y` (the search-direction update of CG).
 #[inline]
-pub fn xpby(x: &[f32], beta: f32, y: &mut [f32]) {
+pub fn xpby<T: Scalar>(x: &[T], beta: T, y: &mut [T]) {
     assert_eq!(x.len(), y.len(), "xpby: length mismatch");
     for (yi, &xi) in y.iter_mut().zip(x) {
         *yi = xi + beta * *yi;
@@ -44,30 +57,30 @@ pub fn xpby(x: &[f32], beta: f32, y: &mut [f32]) {
 
 /// Element-wise product `z_i = x_i * y_i`.
 #[inline]
-pub fn elementwise_mul(x: &[f32], y: &[f32]) -> Vec<f32> {
+pub fn elementwise_mul<T: Scalar>(x: &[T], y: &[T]) -> Vec<T> {
     assert_eq!(x.len(), y.len(), "elementwise_mul: length mismatch");
     x.iter().zip(y).map(|(&a, &b)| a * b).collect()
 }
 
 /// Element-wise division `z_i = x_i / y_i`.
 #[inline]
-pub fn elementwise_div(x: &[f32], y: &[f32]) -> Vec<f32> {
+pub fn elementwise_div<T: Scalar>(x: &[T], y: &[T]) -> Vec<T> {
     assert_eq!(x.len(), y.len(), "elementwise_div: length mismatch");
     x.iter().zip(y).map(|(&a, &b)| a / b).collect()
 }
 
 /// Maximum absolute difference between two vectors.
 #[inline]
-pub fn max_abs_diff(x: &[f32], y: &[f32]) -> f32 {
+pub fn max_abs_diff<T: Scalar>(x: &[T], y: &[T]) -> f64 {
     assert_eq!(x.len(), y.len(), "max_abs_diff: length mismatch");
-    x.iter().zip(y).map(|(&a, &b)| (a - b).abs()).fold(0.0, f32::max)
+    x.iter().zip(y).map(|(&a, &b)| (a.to_f64() - b.to_f64()).abs()).fold(0.0, f64::max)
 }
 
 /// Relative L2 error `‖x − y‖ / max(‖y‖, ε)`.
-pub fn relative_error(x: &[f32], y: &[f32]) -> f64 {
+pub fn relative_error<T: Scalar>(x: &[T], y: &[T]) -> f64 {
     assert_eq!(x.len(), y.len(), "relative_error: length mismatch");
-    let diff: f64 = x.iter().zip(y).map(|(&a, &b)| ((a - b) as f64).powi(2)).sum();
-    let base = norm_sq(y).max(1e-30);
+    let diff: f64 = x.iter().zip(y).map(|(&a, &b)| (a.to_f64() - b.to_f64()).powi(2)).sum();
+    let base = T::accum_to_f64(norm_sq(y)).max(1e-30);
     (diff / base).sqrt()
 }
 
@@ -114,7 +127,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "length mismatch")]
     fn dot_length_mismatch_panics() {
-        let _ = dot(&[1.0], &[1.0, 2.0]);
+        let _ = dot(&[1.0f32], &[1.0, 2.0]);
     }
 
     #[test]
@@ -124,5 +137,20 @@ mod tests {
         let ones = vec![1.0f32; 1_000_000];
         let d = dot(&x, &ones);
         assert!((d - 100.0).abs() < 1e-2, "got {d}");
+    }
+
+    #[test]
+    fn both_instantiations_agree_on_exact_inputs() {
+        let x32 = [0.5f32, -1.25, 2.0];
+        let x64: Vec<f64> = x32.iter().map(|&v| v as f64).collect();
+        assert_eq!(dot(&x32, &x32), dot(&x64, &x64));
+        assert_eq!(norm_sq(&x32), norm_sq(&x64));
+        let mut y32 = [1.0f32, 1.0, 1.0];
+        let mut y64 = [1.0f64, 1.0, 1.0];
+        axpy(0.5, &x32, &mut y32);
+        axpy(0.5, &x64, &mut y64);
+        for (a, b) in y32.iter().zip(&y64) {
+            assert_eq!(*a as f64, *b);
+        }
     }
 }

@@ -24,7 +24,9 @@
 //!   producers submit through a cheap [`GramClient`] over a bounded
 //!   command channel (microsecond submissions, blocking-or-try
 //!   backpressure), consumers follow a versioned [`SnapshotWatch`] whose
-//!   epoch bumps once per completed flush, and
+//!   epoch bumps once per completed flush — publication is lazy
+//!   ([`SnapshotSource`]), so the O(n²) dense snapshot is built on the
+//!   first observation of an epoch and never for unwatched ones — and
 //!   [`join`](GramScheduler::join) drains gracefully while propagating
 //!   solve panics.
 //!
@@ -64,7 +66,8 @@ pub use hash::{graph_content_hash, ContentHash, Fnv1a};
 pub use rayon::pool::Pool;
 pub use scheduler::{BarrierReply, GramClient, GramScheduler, SchedulerConfig, SchedulerError};
 pub use service::{
-    GramService, GramServiceConfig, GramServiceError, GramSnapshot, ServiceStats, StructureId,
+    GramService, GramServiceConfig, GramServiceError, GramSnapshot, ServiceStats, SnapshotSource,
+    StructureId,
 };
 pub use watch::{
     snapshot_channel, SnapshotPublisher, SnapshotWatch, VersionedSnapshot, WatchClosed,

@@ -355,7 +355,12 @@ fn flush_and_publish<KV, KE, V, E>(
     publish(service, publisher);
 }
 
-/// Publish the service's current snapshot at its current version.
+/// Publish the service's current snapshot *source* at its current version.
+///
+/// Publication is lazy: only the raw triangle is captured here. The dense
+/// O(n²) snapshot is materialized by the watch on the first
+/// `wait_newer`/`latest` that observes the epoch, so flushes nobody
+/// watches never build a matrix (see `SnapshotWatch::snapshot_builds`).
 fn publish<KV, KE, V, E>(service: &mut GramService<KV, KE, V, E>, publisher: &SnapshotPublisher)
 where
     V: Clone + Send + Sync + ContentHash,
@@ -363,8 +368,7 @@ where
     KV: BaseKernel<V> + Clone + Send + Sync,
     KE: BaseKernel<E> + Clone + Send + Sync,
 {
-    let snapshot = std::sync::Arc::new(service.snapshot());
-    publisher.publish(service.version(), snapshot);
+    publisher.publish(service.version(), service.snapshot_source());
 }
 
 #[cfg(test)]
@@ -553,6 +557,35 @@ mod tests {
         let v = scheduler.watch().wait_newer(0).unwrap();
         assert_eq!(v.epoch, warm_version);
         assert_eq!(v.snapshot.num_graphs, 3);
+        scheduler.join();
+    }
+
+    #[test]
+    fn unwatched_epochs_do_not_build_snapshots() {
+        let scheduler = spawn_default();
+        let client = scheduler.client();
+        let watch = scheduler.watch();
+        let graphs = dataset(4, 31);
+
+        // three admitting flushes, no consumer looking: the solves run and
+        // the epochs advance, but no O(n²) snapshot is ever materialized
+        let mut last_epoch = 0;
+        for g in &graphs[..3] {
+            client.submit(g.clone()).unwrap();
+            last_epoch = client.flush().unwrap().epoch;
+        }
+        assert!(last_epoch >= 3);
+        assert_eq!(watch.snapshot_builds(), 0, "unwatched epochs must not build snapshots");
+
+        // the first observation builds exactly one snapshot — of the
+        // newest epoch only, the skipped ones stay unbuilt forever
+        let v = watch.wait_newer(0).unwrap();
+        assert_eq!(v.epoch, last_epoch);
+        assert_eq!(v.snapshot.num_graphs, 3);
+        assert_eq!(watch.snapshot_builds(), 1);
+        // repeat polls reuse the cached build
+        assert_eq!(watch.latest().unwrap().epoch, last_epoch);
+        assert_eq!(watch.snapshot_builds(), 1);
         scheduler.join();
     }
 

@@ -159,6 +159,75 @@ impl GramSnapshot {
     }
 }
 
+/// The raw ingredients of a [`GramSnapshot`]: the service's lower-triangle
+/// values plus the normalization policy, captured *without* materializing
+/// the dense matrix.
+///
+/// Capturing a source is a triangle copy (`N (N + 1) / 2` floats, no
+/// solves, no mirroring, no normalization); [`build`](Self::build) performs
+/// the O(n²) materialization. The background scheduler publishes sources
+/// and lets the snapshot watch build on first demand, so flushes that
+/// nobody observes never pay for a dense matrix.
+#[derive(Debug, Clone)]
+pub struct SnapshotSource {
+    /// Lower-triangular raw kernel values, entry `(i, j)` with `j <= i` at
+    /// `i (i + 1) / 2 + j`.
+    triangle: Vec<f32>,
+    /// Number of admitted structures.
+    num_graphs: usize,
+    /// Normalize to unit self-similarity on build.
+    normalize: bool,
+}
+
+impl SnapshotSource {
+    /// A source materializing an already-built matrix (test/bench helper
+    /// for feeding a watch without a service).
+    pub fn from_triangle(triangle: Vec<f32>, num_graphs: usize, normalize: bool) -> Self {
+        assert_eq!(
+            triangle.len(),
+            num_graphs * (num_graphs + 1) / 2,
+            "triangle length must match num_graphs"
+        );
+        SnapshotSource { triangle, num_graphs, normalize }
+    }
+
+    /// Number of admitted structures of the snapshot this source builds.
+    pub fn num_graphs(&self) -> usize {
+        self.num_graphs
+    }
+
+    /// Materialize the dense symmetric (optionally normalized) snapshot —
+    /// the O(n²) step that lazy publication defers.
+    pub fn build(&self) -> GramSnapshot {
+        let n = self.num_graphs;
+        let mut matrix = vec![f32::NAN; n * n];
+        for i in 0..n {
+            for j in 0..=i {
+                let v = self.triangle[tri_index(i, j)];
+                matrix[i * n + j] = v;
+                matrix[j * n + i] = v;
+            }
+        }
+        if self.normalize {
+            let diag: Vec<f32> = (0..n).map(|i| matrix[i * n + i]).collect();
+            for i in 0..n {
+                for j in 0..n {
+                    let d = (diag[i] * diag[j]).sqrt();
+                    // a failed or degenerate diagonal poisons its whole
+                    // row/column: mark those entries NaN rather than
+                    // leaking raw-scale values into a normalized matrix
+                    if d > 0.0 {
+                        matrix[i * n + j] /= d;
+                    } else {
+                        matrix[i * n + j] = f32::NAN;
+                    }
+                }
+            }
+        }
+        GramSnapshot { matrix, num_graphs: n }
+    }
+}
+
 /// One admitted structure: the prepared graph plus its content identity.
 #[derive(Debug, Clone)]
 struct Member<V, E> {
@@ -543,32 +612,19 @@ where
     /// submissions first).
     pub fn snapshot(&mut self) -> GramSnapshot {
         self.flush();
-        let n = self.members.len();
-        let mut matrix = vec![f32::NAN; n * n];
-        for i in 0..n {
-            for j in 0..=i {
-                let v = self.values[tri_index(i, j)];
-                matrix[i * n + j] = v;
-                matrix[j * n + i] = v;
-            }
+        self.snapshot_source().build()
+    }
+
+    /// Capture the ingredients of the current snapshot without building it
+    /// — a triangle copy instead of the O(n²) materialization. Pending
+    /// submissions are *not* flushed; the scheduler captures a source right
+    /// after its flush, and the watch materializes it on first demand.
+    pub fn snapshot_source(&self) -> SnapshotSource {
+        SnapshotSource {
+            triangle: self.values.clone(),
+            num_graphs: self.members.len(),
+            normalize: self.config.normalize,
         }
-        if self.config.normalize {
-            let diag: Vec<f32> = (0..n).map(|i| matrix[i * n + i]).collect();
-            for i in 0..n {
-                for j in 0..n {
-                    let d = (diag[i] * diag[j]).sqrt();
-                    // a failed or degenerate diagonal poisons its whole
-                    // row/column: mark those entries NaN rather than
-                    // leaking raw-scale values into a normalized matrix
-                    if d > 0.0 {
-                        matrix[i * n + j] /= d;
-                    } else {
-                        matrix[i * n + j] = f32::NAN;
-                    }
-                }
-            }
-        }
-        GramSnapshot { matrix, num_graphs: n }
     }
 }
 

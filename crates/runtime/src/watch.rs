@@ -1,12 +1,18 @@
 //! Versioned snapshot watch: the consumer side of the background scheduler.
 //!
 //! A [`SnapshotPublisher`] / [`SnapshotWatch`] pair shares one slot holding
-//! the latest published [`GramSnapshot`] together with its epoch (the
+//! the latest published snapshot *source* together with its epoch (the
 //! service's snapshot [`version`](crate::GramService::version)). The
-//! scheduler publishes once per completed flush; consumers either poll
-//! [`latest`](SnapshotWatch::latest) — a mutex lock and an `Arc` clone, no
-//! O(n²) matrix rebuild — or block in
-//! [`wait_newer`](SnapshotWatch::wait_newer) until a fresher epoch exists.
+//! scheduler publishes once per completed flush — but publication is
+//! **lazy**: what is published is a [`SnapshotSource`] (a triangle of raw
+//! values, cheap to capture), and the O(n²) dense materialization runs on
+//! the *first* [`latest`](SnapshotWatch::latest) /
+//! [`wait_newer`](SnapshotWatch::wait_newer) that observes the epoch. Once
+//! built, the per-epoch snapshot is cached behind an `Arc`, so repeat polls
+//! cost a mutex lock and an `Arc` clone — and epochs nobody watches never
+//! build a matrix at all (write-heavy, read-light loads skip the O(n²)
+//! entirely; [`snapshot_builds`](SnapshotWatch::snapshot_builds) makes that
+//! observable).
 //!
 //! The slot is a `Mutex` + `Condvar`, not a channel: consumers that fall
 //! behind skip intermediate epochs and observe only the newest snapshot
@@ -15,9 +21,10 @@
 //! thread unwinding on a panic — the watch is closed and every blocked
 //! consumer wakes with [`WatchClosed`] instead of hanging.
 
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 
-use crate::service::GramSnapshot;
+use crate::service::{GramSnapshot, SnapshotSource};
 
 /// A snapshot together with the epoch it was published at.
 #[derive(Debug, Clone)]
@@ -41,10 +48,42 @@ impl std::fmt::Display for WatchClosed {
 
 impl std::error::Error for WatchClosed {}
 
+/// One published epoch: the source, and the dense snapshot once some
+/// consumer demanded it. `OnceLock` deduplicates concurrent first builds;
+/// the build *consumes* the source (it is dead weight next to the dense
+/// matrix once materialized), so a retained epoch holds either the
+/// triangle or the matrix, never both.
+#[derive(Debug)]
+struct PublishedEpoch {
+    source: Mutex<Option<SnapshotSource>>,
+    built: OnceLock<Arc<GramSnapshot>>,
+}
+
+impl PublishedEpoch {
+    fn new(source: SnapshotSource) -> Self {
+        PublishedEpoch { source: Mutex::new(Some(source)), built: OnceLock::new() }
+    }
+
+    /// The materialized snapshot, building it on first demand and counting
+    /// the build in `builds`.
+    fn materialize(&self, builds: &AtomicU64) -> Arc<GramSnapshot> {
+        Arc::clone(self.built.get_or_init(|| {
+            builds.fetch_add(1, Ordering::Relaxed);
+            let source = self
+                .source
+                .lock()
+                .unwrap()
+                .take()
+                .expect("the source is consumed exactly once, by this init");
+            Arc::new(source.build())
+        }))
+    }
+}
+
 #[derive(Debug)]
 struct Slot {
     epoch: u64,
-    snapshot: Option<Arc<GramSnapshot>>,
+    published: Option<Arc<PublishedEpoch>>,
     closed: bool,
 }
 
@@ -52,6 +91,9 @@ struct Slot {
 struct Shared {
     slot: Mutex<Slot>,
     newer: Condvar,
+    /// Dense materializations performed across all epochs (observability
+    /// for the lazy-publication contract: unwatched epochs build nothing).
+    builds: AtomicU64,
 }
 
 /// Consumer handle of a snapshot watch; cheap to clone, any number of
@@ -73,8 +115,9 @@ pub struct SnapshotPublisher {
 /// makes one visible.
 pub fn snapshot_channel() -> (SnapshotPublisher, SnapshotWatch) {
     let shared = Arc::new(Shared {
-        slot: Mutex::new(Slot { epoch: 0, snapshot: None, closed: false }),
+        slot: Mutex::new(Slot { epoch: 0, published: None, closed: false }),
         newer: Condvar::new(),
+        builds: AtomicU64::new(0),
     });
     (SnapshotPublisher { shared: Arc::clone(&shared) }, SnapshotWatch { shared })
 }
@@ -91,17 +134,31 @@ impl SnapshotWatch {
         self.shared.slot.lock().unwrap().closed
     }
 
-    /// The latest published snapshot, without blocking. Idle polling costs
-    /// a mutex lock and an `Arc` clone — never a matrix rebuild.
+    /// How many dense snapshot materializations this watch has performed.
+    /// Publication is lazy, so epochs that no consumer observed contribute
+    /// nothing here.
+    pub fn snapshot_builds(&self) -> u64 {
+        self.shared.builds.load(Ordering::Relaxed)
+    }
+
+    /// The latest published snapshot, without blocking for a newer one.
+    ///
+    /// The first call per epoch materializes the dense matrix from the
+    /// published source; repeat polls of the same epoch cost a mutex lock
+    /// and an `Arc` clone.
     pub fn latest(&self) -> Option<VersionedSnapshot> {
-        let slot = self.shared.slot.lock().unwrap();
-        slot.snapshot
-            .as_ref()
-            .map(|s| VersionedSnapshot { epoch: slot.epoch, snapshot: Arc::clone(s) })
+        let (epoch, published) = {
+            let slot = self.shared.slot.lock().unwrap();
+            (slot.epoch, slot.published.as_ref().map(Arc::clone))
+        };
+        // build outside the slot lock: a large materialization must not
+        // block the publisher or other consumers on different epochs
+        published.map(|p| VersionedSnapshot { epoch, snapshot: p.materialize(&self.shared.builds) })
     }
 
     /// Block until a snapshot with an epoch strictly newer than `epoch` is
-    /// published, and return it.
+    /// published, and return it (materializing it if this is the first
+    /// observation of that epoch).
     ///
     /// A consumer that starts at `epoch = 0` and feeds each returned epoch
     /// back in observes every epoch it can keep up with exactly once; a
@@ -112,8 +169,13 @@ impl SnapshotWatch {
         let mut slot = self.shared.slot.lock().unwrap();
         loop {
             if slot.epoch > epoch {
-                if let Some(s) = &slot.snapshot {
-                    return Ok(VersionedSnapshot { epoch: slot.epoch, snapshot: Arc::clone(s) });
+                if let Some(p) = &slot.published {
+                    let (found, p) = (slot.epoch, Arc::clone(p));
+                    drop(slot);
+                    return Ok(VersionedSnapshot {
+                        epoch: found,
+                        snapshot: p.materialize(&self.shared.builds),
+                    });
                 }
             }
             if slot.closed {
@@ -125,15 +187,16 @@ impl SnapshotWatch {
 }
 
 impl SnapshotPublisher {
-    /// Publish `snapshot` at `epoch`, waking every waiting consumer.
-    /// Epochs must be monotonically non-decreasing; a republication at the
-    /// current epoch replaces the snapshot without waking `wait_newer`
-    /// callers already past it.
-    pub fn publish(&self, epoch: u64, snapshot: Arc<GramSnapshot>) {
+    /// Publish the source of a snapshot at `epoch`, waking every waiting
+    /// consumer. The dense matrix is *not* built here — the first consumer
+    /// to observe the epoch builds it. Epochs must be monotonically
+    /// non-decreasing; a republication at the current epoch replaces the
+    /// source without waking `wait_newer` callers already past it.
+    pub fn publish(&self, epoch: u64, source: SnapshotSource) {
         let mut slot = self.shared.slot.lock().unwrap();
         debug_assert!(epoch >= slot.epoch, "epochs must not go backwards");
         slot.epoch = epoch;
-        slot.snapshot = Some(snapshot);
+        slot.published = Some(Arc::new(PublishedEpoch::new(source)));
         drop(slot);
         self.shared.newer.notify_all();
     }
@@ -159,8 +222,8 @@ impl Drop for SnapshotPublisher {
 mod tests {
     use super::*;
 
-    fn snap(n: usize) -> Arc<GramSnapshot> {
-        Arc::new(GramSnapshot { matrix: vec![1.0; n * n], num_graphs: n })
+    fn source(n: usize) -> SnapshotSource {
+        SnapshotSource::from_triangle(vec![1.0; n * (n + 1) / 2], n, false)
     }
 
     #[test]
@@ -168,7 +231,7 @@ mod tests {
         let (publisher, watch) = snapshot_channel();
         assert!(watch.latest().is_none());
         assert_eq!(watch.epoch(), 0);
-        publisher.publish(1, snap(2));
+        publisher.publish(1, source(2));
         let v = watch.latest().unwrap();
         assert_eq!(v.epoch, 1);
         assert_eq!(v.snapshot.num_graphs, 2);
@@ -177,7 +240,7 @@ mod tests {
     #[test]
     fn wait_newer_returns_an_already_newer_snapshot_immediately() {
         let (publisher, watch) = snapshot_channel();
-        publisher.publish(3, snap(1));
+        publisher.publish(3, source(1));
         let v = watch.wait_newer(0).unwrap();
         assert_eq!(v.epoch, 3);
     }
@@ -185,11 +248,11 @@ mod tests {
     #[test]
     fn wait_newer_blocks_until_publication() {
         let (publisher, watch) = snapshot_channel();
-        publisher.publish(1, snap(1));
+        publisher.publish(1, source(1));
         let waiter = std::thread::spawn(move || watch.wait_newer(1).map(|v| v.epoch));
         // give the waiter a chance to block, then publish
         std::thread::sleep(std::time::Duration::from_millis(20));
-        publisher.publish(2, snap(2));
+        publisher.publish(2, source(2));
         assert_eq!(waiter.join().unwrap(), Ok(2));
     }
 
@@ -205,7 +268,7 @@ mod tests {
     #[test]
     fn a_newer_snapshot_is_still_served_after_close() {
         let (publisher, watch) = snapshot_channel();
-        publisher.publish(5, snap(3));
+        publisher.publish(5, source(3));
         drop(publisher);
         assert!(watch.is_closed());
         // the final snapshot is newer than the consumer's epoch: drain it …
@@ -217,11 +280,50 @@ mod tests {
     #[test]
     fn consumers_that_fall_behind_skip_to_the_newest_epoch() {
         let (publisher, watch) = snapshot_channel();
-        publisher.publish(1, snap(1));
-        publisher.publish(2, snap(2));
-        publisher.publish(3, snap(3));
+        publisher.publish(1, source(1));
+        publisher.publish(2, source(2));
+        publisher.publish(3, source(3));
         let v = watch.wait_newer(1).unwrap();
         assert_eq!(v.epoch, 3, "watch semantics: only the newest snapshot is retained");
         assert_eq!(v.snapshot.num_graphs, 3);
+    }
+
+    #[test]
+    fn unwatched_epochs_never_materialize_a_snapshot() {
+        let (publisher, watch) = snapshot_channel();
+        publisher.publish(1, source(4));
+        publisher.publish(2, source(5));
+        publisher.publish(3, source(6));
+        assert_eq!(watch.snapshot_builds(), 0, "publication alone must not build");
+        // the first observation of epoch 3 builds exactly once …
+        let v = watch.wait_newer(0).unwrap();
+        assert_eq!(v.epoch, 3);
+        assert_eq!(watch.snapshot_builds(), 1);
+        // … and repeat polls of the same epoch reuse the cached build
+        let again = watch.latest().unwrap();
+        assert_eq!(again.epoch, 3);
+        assert!(Arc::ptr_eq(&v.snapshot, &again.snapshot));
+        assert_eq!(watch.snapshot_builds(), 1);
+        // a newer epoch builds again only when observed
+        publisher.publish(4, source(7));
+        assert_eq!(watch.snapshot_builds(), 1);
+        assert_eq!(watch.latest().unwrap().epoch, 4);
+        assert_eq!(watch.snapshot_builds(), 2);
+    }
+
+    #[test]
+    fn concurrent_first_observers_build_once() {
+        let (publisher, watch) = snapshot_channel();
+        publisher.publish(1, source(64));
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let w = watch.clone();
+                std::thread::spawn(move || w.wait_newer(0).unwrap().snapshot.num_graphs)
+            })
+            .collect();
+        for h in handles {
+            assert_eq!(h.join().unwrap(), 64);
+        }
+        assert_eq!(watch.snapshot_builds(), 1, "OnceLock must deduplicate the build");
     }
 }

@@ -7,7 +7,9 @@
 //!
 //! * [`graph`] — labeled weighted undirected graphs and random generators.
 //! * [`linalg`] — dense/sparse linear algebra, Kronecker products and the
-//!   (preconditioned) conjugate gradient solvers.
+//!   (preconditioned) conjugate gradient and fixed-point solvers, generic
+//!   over the sealed `Scalar` precision axis (`f32` serving / `f64`
+//!   validation, selected at runtime through the `Precision` policy).
 //! * [`kernels`] — base vertex/edge micro-kernels (Kronecker delta, square
 //!   exponential, …) with cost metadata.
 //! * [`tile`] — the octile (8×8 tile, bitmap-compressed) sparse format.
@@ -67,7 +69,7 @@ pub mod prelude {
     };
     pub use mgk_graph::{Graph, GraphBuilder};
     pub use mgk_kernels::{BaseKernel, KroneckerDelta, SquareExponential, UnitKernel};
-    pub use mgk_linalg::{LinearOperator, SolveOptions, TrafficCounters};
+    pub use mgk_linalg::{LinearOperator, Precision, Scalar, SolveOptions, TrafficCounters};
     pub use mgk_reorder::ReorderMethod;
     pub use mgk_runtime::{
         GramClient, GramScheduler, GramService, GramServiceConfig, Pool, SchedulerConfig,

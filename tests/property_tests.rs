@@ -2,7 +2,7 @@
 
 use mgk::graph::{Graph, GraphBuilder};
 use mgk::kernels::{BaseKernel, KroneckerDelta, SquareExponential, UnitKernel};
-use mgk::linalg::{kron_dense, kron_vec, DenseMatrix};
+use mgk::linalg::{kron_dense, kron_vec, pcg, DenseMatrix, DenseOperator, DiagonalOperator};
 use mgk::prelude::*;
 use mgk::reorder::{is_permutation, nonempty_tiles_of_order, ReorderMethod};
 use mgk::solver::{XmvMode, XmvPrimitive};
@@ -136,6 +136,65 @@ proptest! {
         for v in [naive, dense, shared, reg] {
             prop_assert!((v - octile).abs() <= 1e-3 * octile.abs().max(1e-12), "{v} vs {octile}");
         }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// precision axis: the two Scalar instantiations of the solver surface
+// ---------------------------------------------------------------------------
+
+/// A random SPD system: `A = Bᵀ B + n·I` with `B` drawn entry-wise, plus a
+/// right-hand side.
+fn arb_spd_system(max_n: usize) -> impl Strategy<Value = (DenseMatrix, Vec<f32>)> {
+    (2usize..=max_n)
+        .prop_flat_map(|n| {
+            let entries = proptest::collection::vec(-1.0f32..1.0, n * n);
+            let rhs = proptest::collection::vec(-2.0f32..2.0, n);
+            (Just(n), entries, rhs)
+        })
+        .prop_map(|(n, entries, rhs)| {
+            let b = DenseMatrix::from_row_major(n, n, entries);
+            let mut a = b.transpose().matmul(&b);
+            for i in 0..n {
+                a[(i, i)] += n as f32;
+            }
+            (a, rhs)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn pcg_f32_and_f64_agree_on_random_spd_systems(
+        (matrix, rhs) in arb_spd_system(24),
+    ) {
+        // the identical generic iteration at both precisions of the Scalar
+        // axis, over the same f32-stored operator
+        let n = rhs.len();
+        let diag: Vec<f32> = (0..n).map(|i| matrix[(i, i)]).collect();
+        let op = DenseOperator(matrix);
+        let opts = SolveOptions { max_iterations: 10 * n + 50, tolerance: 1e-8 };
+
+        let prec32 = DiagonalOperator::new(diag.clone()).inverse();
+        let (x32, info32) = pcg(&op, &prec32, &rhs, &opts);
+
+        let rhs64: Vec<f64> = rhs.iter().map(|&v| v as f64).collect();
+        let diag64: Vec<f64> = diag.iter().map(|&v| v as f64).collect();
+        let prec64 = DiagonalOperator::new(diag64).inverse();
+        let (x64, info64) = pcg(&op, &prec64, &rhs64, &opts);
+
+        prop_assert!(info32.converged, "f32 PCG stalled: {info32:?}");
+        prop_assert!(info64.converged, "f64 PCG stalled: {info64:?}");
+        // f32-level agreement between the two instantiations
+        let norm: f64 = x64.iter().map(|v| v * v).sum::<f64>().sqrt().max(1e-12);
+        let diff: f64 =
+            x32.iter().zip(&x64).map(|(&a, &b)| (a as f64 - b) * (a as f64 - b)).sum::<f64>().sqrt();
+        prop_assert!(
+            diff / norm <= 1e-4,
+            "instantiations diverged beyond f32 level: {:e}",
+            diff / norm
+        );
     }
 }
 
