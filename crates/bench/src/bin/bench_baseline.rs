@@ -21,7 +21,7 @@ use std::time::Duration;
 use criterion::Criterion;
 use rayon::prelude::*;
 
-use mgk_bench::{bench_rng, bench_scale, scaled};
+use mgk_bench::{bench_rng, bench_scale, git_revision, json_escape, scaled};
 use mgk_core::{GramConfig, GramEngine, MarginalizedKernelSolver, SolverConfig};
 use mgk_datasets::ensembles::EnsembleStream;
 use mgk_graph::{Graph, Unlabeled};
@@ -103,41 +103,6 @@ fn run_suite(c: &mut Criterion) {
     });
 
     group.finish();
-}
-
-/// Minimal JSON escaping for benchmark ids (alphanumerics, `/`, `_`, `+`).
-fn json_escape(s: &str) -> String {
-    s.chars()
-        .flat_map(|ch| match ch {
-            '"' | '\\' => vec!['\\', ch],
-            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
-            c => vec![c],
-        })
-        .collect()
-}
-
-/// The short git revision of the working tree (suffixed `-dirty` when
-/// uncommitted changes were present), or `"unknown"` outside a repository
-/// (the baseline file must still be writable there).
-fn git_revision() -> String {
-    let run = |args: &[&str]| {
-        std::process::Command::new("git")
-            .args(args)
-            .output()
-            .ok()
-            .filter(|o| o.status.success())
-            .and_then(|o| String::from_utf8(o.stdout).ok())
-    };
-    let Some(rev) = run(&["rev-parse", "--short", "HEAD"]).map(|s| s.trim().to_string()) else {
-        return "unknown".to_string();
-    };
-    if rev.is_empty() {
-        return "unknown".to_string();
-    }
-    match run(&["status", "--porcelain"]) {
-        Some(status) if status.trim().is_empty() => rev,
-        _ => format!("{rev}-dirty"),
-    }
 }
 
 fn main() {

@@ -1,0 +1,152 @@
+//! Per-request ticket latency of the request-scoped serving API.
+//!
+//! Measures the producer-visible latency of `KernelClient` tickets —
+//! `request()` to `wait()` returning — in the three regimes the request
+//! lane distinguishes:
+//!
+//! * **cold**: a pair the service has never seen; the ticket's latency is
+//!   dominated by one PCG solve on the scheduler thread.
+//! * **cache**: a pair the flush lane (or an earlier request) already
+//!   solved; the ticket is answered straight from the `PairCache`.
+//! * **coalesced**: a burst of tickets for one unseen pair issued
+//!   back-to-back; the scheduler solves once and fans the answer out, so
+//!   the burst's per-ticket latency approaches the cold latency divided by
+//!   the burst size.
+//!
+//! Writes p50/p95 per regime to `BENCH_request_latency.json` (override the
+//! path with `MGK_BENCH_REQUEST_LATENCY_PATH`), stamped like
+//! `BENCH_baseline.json` with `scale`, `threads` and `git_revision`.
+//!
+//! ```bash
+//! MGK_BENCH_SCALE=1 cargo run --release -p mgk-bench --bin request_latency
+//! ```
+
+use std::time::Instant;
+
+use mgk_bench::{bench_rng, bench_scale, fmt_duration, git_revision, json_escape, scaled};
+use mgk_core::{MarginalizedKernelSolver, SolverConfig};
+use mgk_datasets::ensembles::EnsembleStream;
+use mgk_graph::{Graph, Unlabeled};
+use mgk_runtime::{GramScheduler, GramService, GramServiceConfig, SchedulerConfig};
+
+const GRAPH_NODES: usize = 48;
+const BURST: usize = 8;
+
+struct Regime {
+    name: &'static str,
+    latencies_ns: Vec<u64>,
+}
+
+impl Regime {
+    fn percentile(&self, p: f64) -> u64 {
+        let mut sorted = self.latencies_ns.clone();
+        sorted.sort_unstable();
+        let rank = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+        sorted[rank]
+    }
+}
+
+fn main() {
+    let samples = scaled(64, 16);
+    let corpus: Vec<Graph<Unlabeled, Unlabeled>> =
+        EnsembleStream::small_world(GRAPH_NODES, 2, 0.1, bench_rng()).take(8).collect();
+
+    let mut service = GramService::new(
+        MarginalizedKernelSolver::unlabeled(SolverConfig::default()),
+        GramServiceConfig::default(),
+    );
+    for g in &corpus {
+        service.submit(g.clone()).expect("queue sized for the corpus");
+    }
+    service.flush();
+    let scheduler = GramScheduler::spawn(service, SchedulerConfig::default());
+    let kernels = scheduler.kernel_client::<f32>();
+
+    // fresh probes for the cold and coalesced regimes (disjoint from the
+    // corpus by the skip): never two requests for the same pair, so every
+    // ticket is one real solve
+    let mut probes =
+        EnsembleStream::small_world(GRAPH_NODES, 2, 0.1, bench_rng()).skip(64).take(samples * 4);
+    let mut probe = move || probes.next().expect("stream outlasts the sample budget");
+
+    // cold: one unseen pair per ticket
+    let mut cold = Regime { name: "cold", latencies_ns: Vec::with_capacity(samples) };
+    for k in 0..samples {
+        let pair = (probe(), corpus[k % corpus.len()].clone());
+        let start = Instant::now();
+        let ticket = kernels.request(pair.0, pair.1).expect("scheduler alive");
+        ticket.wait().expect("cold request solves");
+        cold.latencies_ns.push(start.elapsed().as_nanos() as u64);
+    }
+
+    // cache: pairs the flush lane already solved
+    let mut cache = Regime { name: "cache", latencies_ns: Vec::with_capacity(samples) };
+    for k in 0..samples {
+        let (a, b) = (corpus[k % corpus.len()].clone(), corpus[(k + 1) % corpus.len()].clone());
+        let start = Instant::now();
+        let ticket = kernels.request(a, b).expect("scheduler alive");
+        ticket.wait().expect("cached request answers");
+        cache.latencies_ns.push(start.elapsed().as_nanos() as u64);
+    }
+
+    // coalesced: bursts of BURST tickets for one unseen pair
+    let mut coalesced = Regime { name: "coalesced", latencies_ns: Vec::new() };
+    for _ in 0..samples.div_ceil(BURST) {
+        let (a, b) = (probe(), probe());
+        let start = Instant::now();
+        let tickets: Vec<_> = (0..BURST)
+            .map(|_| kernels.request(a.clone(), b.clone()).expect("scheduler alive"))
+            .collect();
+        for ticket in &tickets {
+            ticket.wait().expect("coalesced request solves");
+            coalesced.latencies_ns.push(start.elapsed().as_nanos() as u64);
+        }
+    }
+
+    let service = scheduler.join();
+    let stats = service.stats();
+    assert!(stats.requests_coalesced > 0, "the burst regime must actually coalesce");
+    assert!(
+        stats.request_cache_answers >= cache.latencies_ns.len(),
+        "the cache regime must be answered without solves"
+    );
+
+    println!("request-lane ticket latency ({} samples per regime)\n", samples);
+    println!("{:>10} {:>12} {:>12}", "regime", "p50", "p95");
+    let regimes = [&cold, &cache, &coalesced];
+    for regime in regimes {
+        println!(
+            "{:>10} {:>12} {:>12}",
+            regime.name,
+            fmt_duration(regime.percentile(0.50) as f64 * 1e-9),
+            fmt_duration(regime.percentile(0.95) as f64 * 1e-9),
+        );
+    }
+    println!(
+        "\nscheduler accounting: {} solves, {} cache answers, {} coalesced tickets",
+        stats.request_solves, stats.request_cache_answers, stats.requests_coalesced
+    );
+
+    let path = std::env::var("MGK_BENCH_REQUEST_LATENCY_PATH")
+        .unwrap_or_else(|_| "BENCH_request_latency.json".to_string());
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"scale\": {},\n", bench_scale()));
+    out.push_str(&format!("  \"threads\": {},\n", rayon::current_num_threads()));
+    out.push_str(&format!("  \"git_revision\": \"{}\",\n", json_escape(&git_revision())));
+    out.push_str(&format!("  \"graph_nodes\": {GRAPH_NODES},\n"));
+    out.push_str(&format!("  \"burst\": {BURST},\n"));
+    out.push_str("  \"latency_ns\": {\n");
+    for (k, regime) in regimes.iter().enumerate() {
+        let comma = if k + 1 < regimes.len() { "," } else { "" };
+        out.push_str(&format!(
+            "    \"{}\": {{ \"p50\": {}, \"p95\": {}, \"samples\": {} }}{comma}\n",
+            json_escape(regime.name),
+            regime.percentile(0.50),
+            regime.percentile(0.95),
+            regime.latencies_ns.len()
+        ));
+    }
+    out.push_str("  }\n}\n");
+    std::fs::write(&path, &out).expect("writing the latency record");
+    println!("wrote {path}");
+}

@@ -131,6 +131,42 @@ pub fn benchmark_datasets(graphs_per_set: usize) -> BenchmarkDatasets {
     }
 }
 
+/// Minimal JSON escaping for benchmark ids (alphanumerics, `/`, `_`, `+`).
+pub fn json_escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|ch| match ch {
+            '"' | '\\' => vec!['\\', ch],
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+/// The short git revision of the working tree (suffixed `-dirty` when
+/// uncommitted changes were present), or `"unknown"` outside a repository.
+/// Stamped into every machine-readable benchmark record so a baseline is
+/// never confused with a re-record from a different revision.
+pub fn git_revision() -> String {
+    let run = |args: &[&str]| {
+        std::process::Command::new("git")
+            .args(args)
+            .output()
+            .ok()
+            .filter(|o| o.status.success())
+            .and_then(|o| String::from_utf8(o.stdout).ok())
+    };
+    let Some(rev) = run(&["rev-parse", "--short", "HEAD"]).map(|s| s.trim().to_string()) else {
+        return "unknown".to_string();
+    };
+    if rev.is_empty() {
+        return "unknown".to_string();
+    }
+    match run(&["status", "--porcelain"]) {
+        Some(status) if status.trim().is_empty() => rev,
+        _ => format!("{rev}-dirty"),
+    }
+}
+
 /// Format a duration in an engineering-friendly way.
 pub fn fmt_duration(seconds: f64) -> String {
     if seconds >= 3600.0 {

@@ -15,9 +15,10 @@ use rayon::prelude::*;
 use mgk_gpusim::TrafficCounters;
 use mgk_graph::Graph;
 use mgk_kernels::BaseKernel;
+use mgk_linalg::Scalar;
 use mgk_reorder::ReorderMethod;
 
-use crate::solver::{MarginalizedKernelSolver, SolverConfig, SolverError};
+use crate::solver::{KernelResult, MarginalizedKernelSolver, SolverConfig, SolverError};
 
 /// How graph pairs are assigned to worker threads.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -51,12 +52,17 @@ impl Default for GramConfig {
     }
 }
 
-/// Result of a Gram-matrix computation.
+/// Result of a Gram-matrix computation at one [`Scalar`] entry precision.
+///
+/// The default parameter keeps `GramResult` (no arguments) the `f32`
+/// serving result; [`GramEngine::compute_at`] threads the typed
+/// [`KernelResult<T>`](crate::KernelResult) through to a `T`-valued matrix
+/// for validation paths that must not round at the boundary.
 #[derive(Debug, Clone)]
-pub struct GramResult {
+pub struct GramResult<T: Scalar = f32> {
     /// Row-major `N × N` kernel matrix. Entries of pairs that failed to
     /// converge are `NaN`.
-    pub matrix: Vec<f32>,
+    pub matrix: Vec<T>,
     /// Number of graphs.
     pub num_graphs: usize,
     /// Total PCG iterations across all pairs.
@@ -72,12 +78,23 @@ pub struct GramResult {
     pub preprocessing: Duration,
 }
 
-impl GramResult {
+impl<T: Scalar> GramResult<T> {
     /// Access entry `(i, j)`.
-    pub fn get(&self, i: usize, j: usize) -> f32 {
+    pub fn get(&self, i: usize, j: usize) -> T {
         self.matrix[i * self.num_graphs + j]
     }
 }
+
+/// How one pair is evaluated inside the pairwise sweep: the runtime
+/// [`Precision`](mgk_linalg::Precision)-dispatched `kernel` for
+/// [`GramEngine::compute`], a pinned `kernel_at::<T>` for
+/// [`GramEngine::compute_at`].
+type PairEval<'a, KV, KE, V, E, T> = &'a (dyn Fn(
+    &MarginalizedKernelSolver<KV, KE>,
+    &Graph<V, E>,
+    &Graph<V, E>,
+) -> Result<KernelResult<T>, SolverError>
+         + Sync);
 
 /// The parallel pairwise Gram-matrix engine.
 ///
@@ -123,8 +140,45 @@ impl<KV, KE> GramEngine<KV, KE> {
         KV: BaseKernel<V> + Clone + Send + Sync,
         KE: BaseKernel<E> + Clone + Send + Sync,
     {
+        // per-pair solves go through the runtime Precision policy (F32,
+        // F64 or Refined), narrowed to the f32 serving matrix
+        self.compute_with(graphs, &|solver, a, b| solver.kernel(a, b))
+    }
+
+    /// [`compute`](Self::compute) at a specific [`Scalar`] instantiation of
+    /// the solver surface: every pair solve runs
+    /// [`kernel_at::<T>`](MarginalizedKernelSolver::kernel_at) and the
+    /// matrix entries stay at `T` end-to-end — `compute_at::<f64>` yields a
+    /// Gram matrix with no `f32` rounding at any boundary.
+    pub fn compute_at<T, V, E>(&self, graphs: &[Graph<V, E>]) -> GramResult<T>
+    where
+        T: Scalar,
+        V: Clone + Send + Sync,
+        E: Copy + Default + Send + Sync,
+        KV: BaseKernel<V> + Clone + Send + Sync,
+        KE: BaseKernel<E> + Clone + Send + Sync,
+    {
+        self.compute_with(graphs, &|solver, a, b| solver.kernel_at::<T, V, E>(a, b))
+    }
+
+    /// Shared pairwise sweep behind [`compute`](Self::compute) and
+    /// [`compute_at`](Self::compute_at), generic over how one pair is
+    /// evaluated.
+    fn compute_with<T, V, E>(
+        &self,
+        graphs: &[Graph<V, E>],
+        solve_one: PairEval<'_, KV, KE, V, E, T>,
+    ) -> GramResult<T>
+    where
+        T: Scalar,
+        V: Clone + Send + Sync,
+        E: Copy + Default + Send + Sync,
+        KV: BaseKernel<V> + Clone + Send + Sync,
+        KE: BaseKernel<E> + Clone + Send + Sync,
+    {
         let n = graphs.len();
-        let mut matrix = vec![f32::NAN; n * n];
+        let nan = T::from_f32(f32::NAN);
+        let mut matrix = vec![nan; n * n];
 
         // one-off preprocessing: reorder (and re-weight) each graph once
         let prep_start = Instant::now();
@@ -149,10 +203,10 @@ impl<KV, KE> GramEngine<KV, KE> {
 
         let start = Instant::now();
         let solve_pair = |&(i, j): &(usize, usize)| {
-            let result = pair_solver.kernel(&prepared[i], &prepared[j]);
+            let result = solve_one(&pair_solver, &prepared[i], &prepared[j]);
             (i, j, result)
         };
-        let results: Vec<(usize, usize, Result<crate::solver::KernelResult, SolverError>)> =
+        let results: Vec<(usize, usize, Result<KernelResult<T>, SolverError>)> =
             match self.config.scheduling {
                 Scheduling::Dynamic => pairs.par_iter().map(solve_pair).collect(),
                 Scheduling::Static => {
@@ -185,12 +239,14 @@ impl<KV, KE> GramEngine<KV, KE> {
         }
 
         if self.config.normalize {
-            let diag: Vec<f32> = (0..n).map(|i| matrix[i * n + i]).collect();
+            // the normalization factors are computed in f64 at every entry
+            // precision (exact for both instantiations' diagonals)
+            let diag: Vec<f64> = (0..n).map(|i| matrix[i * n + i].to_f64()).collect();
             for i in 0..n {
                 for j in 0..n {
                     let d = (diag[i] * diag[j]).sqrt();
                     if d > 0.0 {
-                        matrix[i * n + j] /= d;
+                        matrix[i * n + j] = T::from_f64(matrix[i * n + j].to_f64() / d);
                     }
                 }
             }
@@ -372,6 +428,23 @@ mod tests {
             }
         }
         det
+    }
+
+    #[test]
+    fn compute_at_f64_agrees_with_the_serving_matrix_and_keeps_precision() {
+        let graphs = small_dataset(4);
+        let serving = engine(GramConfig::default()).compute(&graphs);
+        let wide: GramResult<f64> = engine(GramConfig::default()).compute_at::<f64, _, _>(&graphs);
+        assert_eq!(wide.num_graphs, 4);
+        assert_eq!(wide.failures, 0);
+        for i in 0..4 {
+            // unit diagonal survives at full precision
+            assert!((wide.get(i, i) - 1.0).abs() < 1e-9);
+            for j in 0..4 {
+                let (a, b) = (wide.get(i, j), serving.get(i, j) as f64);
+                assert!((a - b).abs() < 1e-4, "entry ({i},{j}): f64 {a} vs f32 {b}");
+            }
+        }
     }
 
     #[test]

@@ -3,7 +3,9 @@
 use mgk_gpusim::TrafficCounters;
 use mgk_graph::Graph;
 use mgk_kernels::{BaseKernel, UnitKernel};
-use mgk_linalg::{pcg_counted_warm, DiagonalOperator, Precision, Scalar, SolveOptions};
+use mgk_linalg::{
+    pcg_counted_warm_multi, pcg_refined_counted, DiagonalOperator, Precision, Scalar, SolveOptions,
+};
 use mgk_reorder::ReorderMethod;
 
 use crate::product::{ProductSystem, SystemOperator};
@@ -41,8 +43,10 @@ pub struct SolverConfig {
     /// surface the PCG iteration runs at. [`Precision::F32`] is the paper's
     /// serving arithmetic (f32 vectors, f64-accumulating reductions);
     /// [`Precision::F64`] iterates the identical structure in f64 over the
-    /// same f32-stored operands, which is the validation oracle. The
-    /// default consults the `MGK_TEST_PRECISION` environment variable
+    /// same f32-stored operands, which is the validation oracle;
+    /// [`Precision::Refined`] runs f32 inner sweeps with f64 residual
+    /// correction — f64-quality values at near-f32 stored-matrix traffic.
+    /// The default consults the `MGK_TEST_PRECISION` environment variable
     /// ([`Precision::from_env`]) so entire test suites can be re-run at
     /// f64 without modification; unset, it is `F32`.
     pub precision: Precision,
@@ -82,15 +86,24 @@ impl Default for SolverConfig {
     }
 }
 
-/// Result of one kernel evaluation.
+/// Result of one kernel evaluation at one [`Scalar`] instantiation of the
+/// solver surface.
+///
+/// The type parameter is the precision the result *carries*, not merely the
+/// one it was computed at: `KernelResult<f64>` (from
+/// [`kernel_at`](MarginalizedKernelSolver::kernel_at) or a typed
+/// `KernelClient` request) holds `f64` nodal vectors end-to-end, so
+/// validation paths no longer lose the solution vector at a rounded `f32`
+/// boundary. The default parameter keeps `KernelResult` (no arguments) the
+/// `f32` serving result it always was.
 #[derive(Debug, Clone, PartialEq)]
-pub struct KernelResult {
-    /// The kernel value `K(G, G')`.
-    pub value: f32,
-    /// The kernel value before narrowing to `f32`: the start-probability
-    /// contraction of the solution is always accumulated in `f64`, and at
-    /// [`Precision::F64`] this carries the full-precision value the
-    /// validation paths compare against the dense direct solvers.
+pub struct KernelResult<T: Scalar = f32> {
+    /// The kernel value `K(G, G')` at this result's precision.
+    pub value: T,
+    /// The kernel value at full precision: the start-probability
+    /// contraction of the solution is always accumulated in `f64`,
+    /// whatever the iteration precision, so this is the compat accessor
+    /// narrow-precision callers use for validation.
     pub value_f64: f64,
     /// PCG iterations used.
     pub iterations: usize,
@@ -101,9 +114,32 @@ pub struct KernelResult {
     /// Memory traffic accumulated by the off-diagonal operator across all
     /// iterations (feeds the GPU cost model).
     pub traffic: TrafficCounters,
-    /// Nodal similarities (row-major `n × m`), present when
-    /// [`SolverConfig::compute_nodal`] is set.
-    pub nodal: Option<Vec<f32>>,
+    /// Nodal similarities (row-major `n × m`) at this result's precision,
+    /// present when [`SolverConfig::compute_nodal`] is set.
+    pub nodal: Option<Vec<T>>,
+}
+
+impl<T: Scalar> KernelResult<T> {
+    /// The kernel value narrowed to `f32` (identity for the serving
+    /// precision).
+    pub fn value_f32(&self) -> f32 {
+        self.value.to_f32()
+    }
+
+    /// Narrow this result to the `f32` serving representation (value and
+    /// nodal vector element-wise; `value_f64` keeps the full-precision
+    /// scalar).
+    pub fn narrow(self) -> KernelResult<f32> {
+        KernelResult {
+            value: self.value.to_f32(),
+            value_f64: self.value_f64,
+            iterations: self.iterations,
+            converged: self.converged,
+            relative_residual: self.relative_residual,
+            traffic: self.traffic,
+            nodal: self.nodal.map(|v| v.iter().map(|&x| x.to_f32()).collect()),
+        }
+    }
 }
 
 /// Errors reported by the solver.
@@ -187,7 +223,7 @@ impl<KV, KE> MarginalizedKernelSolver<KV, KE> {
         KV: BaseKernel<V>,
         KE: BaseKernel<E> + Clone,
     {
-        self.kernel_with_guess(g1, g2, None)
+        self.kernel_with_candidates(g1, g2, &[])
     }
 
     /// Evaluate the kernel with an optional warm-start guess for the nodal
@@ -210,41 +246,126 @@ impl<KV, KE> MarginalizedKernelSolver<KV, KE> {
         KV: BaseKernel<V>,
         KE: BaseKernel<E> + Clone,
     {
-        if g1.num_vertices() == 0 || g2.num_vertices() == 0 {
-            return Err(SolverError::EmptyGraph);
+        match guess {
+            Some(g) => self.kernel_with_candidates(g1, g2, &[g]),
+            None => self.kernel_with_candidates(g1, g2, &[]),
         }
+    }
 
-        // optional stopping-probability override and reordering
+    /// [`kernel_with_guess`](Self::kernel_with_guess) with *several*
+    /// candidate warm starts: the solve begins from whichever candidate has
+    /// the best measured initial residual (each costs one operator
+    /// application to rank), falling back to the cold start when none beats
+    /// it. Candidates of the wrong length are ignored. This is the entry
+    /// point the streaming Gram service's k-nearest donor pool drives.
+    pub fn kernel_with_candidates<V, E>(
+        &self,
+        g1: &Graph<V, E>,
+        g2: &Graph<V, E>,
+        candidates: &[&[f32]],
+    ) -> Result<KernelResult, SolverError>
+    where
+        V: Clone,
+        E: Copy + Default,
+        KV: BaseKernel<V>,
+        KE: BaseKernel<E> + Clone,
+    {
+        let system = match self.assemble_pair(g1, g2) {
+            Some(system) => system,
+            None => return Err(SolverError::EmptyGraph),
+        };
+        // dispatch the Precision policy to the matching Scalar
+        // instantiation of the generic solve
+        match self.config.precision {
+            Precision::F32 => self.solve_system::<f32, E, KE>(&system, candidates),
+            Precision::F64 => {
+                self.solve_system::<f64, E, KE>(&system, candidates).map(KernelResult::narrow)
+            }
+            Precision::Refined => self.solve_refined(&system, candidates).map(KernelResult::narrow),
+        }
+    }
+
+    /// Evaluate the kernel at a *specific* [`Scalar`] instantiation of the
+    /// solver surface, bypassing the runtime [`Precision`] policy: the
+    /// returned [`KernelResult<T>`] carries the kernel value and nodal
+    /// vector at `T` end-to-end. `kernel_at::<f64>` is the entry point for
+    /// validation paths (and typed `KernelClient<_, _, f64>` requests) that
+    /// need the full-precision solution vector, not just the contracted
+    /// scalar.
+    pub fn kernel_at<T, V, E>(
+        &self,
+        g1: &Graph<V, E>,
+        g2: &Graph<V, E>,
+    ) -> Result<KernelResult<T>, SolverError>
+    where
+        T: Scalar,
+        V: Clone,
+        E: Copy + Default,
+        KV: BaseKernel<V>,
+        KE: BaseKernel<E> + Clone,
+    {
+        self.kernel_with_candidates_at::<T, V, E>(g1, g2, &[])
+    }
+
+    /// [`kernel_at`](Self::kernel_at) with candidate warm starts (donated
+    /// as `f32` nodal vectors, widened to `T` before ranking by initial
+    /// residual).
+    pub fn kernel_with_candidates_at<T, V, E>(
+        &self,
+        g1: &Graph<V, E>,
+        g2: &Graph<V, E>,
+        candidates: &[&[f32]],
+    ) -> Result<KernelResult<T>, SolverError>
+    where
+        T: Scalar,
+        V: Clone,
+        E: Copy + Default,
+        KV: BaseKernel<V>,
+        KE: BaseKernel<E> + Clone,
+    {
+        match self.assemble_pair(g1, g2) {
+            Some(system) => self.solve_system::<T, E, KE>(&system, candidates),
+            None => Err(SolverError::EmptyGraph),
+        }
+    }
+
+    /// Prepare both graphs (stopping-probability override, reordering) and
+    /// assemble the tensor-product system, or `None` for an empty pair.
+    fn assemble_pair<V, E>(
+        &self,
+        g1: &Graph<V, E>,
+        g2: &Graph<V, E>,
+    ) -> Option<ProductSystem<E, KE>>
+    where
+        V: Clone,
+        E: Copy + Default,
+        KV: BaseKernel<V>,
+        KE: BaseKernel<E> + Clone,
+    {
+        if g1.num_vertices() == 0 || g2.num_vertices() == 0 {
+            return None;
+        }
         let prepared1 = self.prepare(g1);
         let prepared2 = self.prepare(g2);
         let (g1, g2) = (prepared1.as_ref().unwrap_or(g1), prepared2.as_ref().unwrap_or(g2));
-
-        let system = ProductSystem::assemble(
+        Some(ProductSystem::assemble(
             g1,
             g2,
             &self.vertex_kernel,
             self.edge_kernel.clone(),
             &self.config,
-        );
-        // dispatch the Precision policy to the matching Scalar
-        // instantiation of the generic solve
-        match self.config.precision {
-            Precision::F32 => self.solve_system::<f32, E, KE>(&system, guess),
-            Precision::F64 => self.solve_system::<f64, E, KE>(&system, guess),
-        }
+        ))
     }
 
     /// Run the PCG solve of an assembled system at one [`Scalar`]
-    /// instantiation of the generic operator surface. The warm-start guess
-    /// and the reported value/nodal vector stay `f32` at the API boundary
-    /// (the Gram layers store `f32` entries); at `T = f64` the iteration,
-    /// the operator applications and the value contraction all run in
-    /// double precision in between.
+    /// instantiation of the generic operator surface. Warm-start candidates
+    /// arrive as `f32` (the Gram layers store `f32` donors) and are widened
+    /// to `T`; the result — value and nodal vector — stays at `T`.
     fn solve_system<T, E, KE2>(
         &self,
         system: &ProductSystem<E, KE2>,
-        guess: Option<&[f32]>,
-    ) -> Result<KernelResult, SolverError>
+        candidates: &[&[f32]],
+    ) -> Result<KernelResult<T>, SolverError>
     where
         T: Scalar,
         E: Copy + Default,
@@ -254,14 +375,23 @@ impl<KV, KE> MarginalizedKernelSolver<KV, KE> {
         let operator = SystemOperator::<E, KE2, T>::new(system);
         let preconditioner = DiagonalOperator::new(system.preconditioner_diagonal::<T>());
         let opts = self.config.solve;
-        let x0: Option<Vec<T>> = guess
+        let widened: Vec<Vec<T>> = candidates
+            .iter()
             .filter(|g| g.len() == rhs.len())
-            .map(|g| g.iter().map(|&v| T::from_f32(v)).collect());
+            .map(|g| g.iter().map(|&v| T::from_f32(v)).collect())
+            .collect();
+        let candidate_refs: Vec<&[T]> = widened.iter().map(|v| v.as_slice()).collect();
         // traffic flows through the instrumented LinearOperator surface:
         // every operator and preconditioner application adds to `traffic`
         let mut traffic = TrafficCounters::new();
-        let (x, info) =
-            pcg_counted_warm(&operator, &preconditioner, &rhs, x0.as_deref(), &opts, &mut traffic);
+        let (x, info) = pcg_counted_warm_multi(
+            &operator,
+            &preconditioner,
+            &rhs,
+            &candidate_refs,
+            &opts,
+            &mut traffic,
+        );
         if !info.converged {
             return Err(SolverError::DidNotConverge {
                 iterations: info.iterations,
@@ -273,17 +403,68 @@ impl<KV, KE> MarginalizedKernelSolver<KV, KE> {
         let value_f64: f64 =
             system.start_product().iter().zip(&x).map(|(&p, &xi)| p as f64 * xi.to_f64()).sum();
         Ok(KernelResult {
-            value: value_f64 as f32,
+            value: T::from_f64(value_f64),
             value_f64,
             iterations: info.iterations,
             converged: info.converged,
             relative_residual: info.relative_residual,
             traffic,
-            nodal: if self.config.compute_nodal {
-                Some(x.iter().map(|&v| v.to_f32()).collect())
-            } else {
-                None
-            },
+            nodal: if self.config.compute_nodal { Some(x) } else { None },
+        })
+    }
+
+    /// Solve an assembled system with mixed-precision iterative refinement
+    /// ([`Precision::Refined`]): inner PCG sweeps at the `f32`
+    /// instantiation, `f64` residual corrections against the `f64`
+    /// instantiation of the *same* operator. Warm-start candidates (f32
+    /// donors) are widened and ranked by initial residual like every other
+    /// path. The result carries `f64` value and nodal vectors —
+    /// `f64`-quality answers at near-`f32` stored-matrix traffic.
+    fn solve_refined<E, KE2>(
+        &self,
+        system: &ProductSystem<E, KE2>,
+        candidates: &[&[f32]],
+    ) -> Result<KernelResult<f64>, SolverError>
+    where
+        E: Copy + Default,
+        KE2: BaseKernel<E>,
+    {
+        let rhs = system.rhs::<f64>();
+        let op32 = SystemOperator::<E, KE2, f32>::new(system);
+        let op64 = SystemOperator::<E, KE2, f64>::new(system);
+        let prec32 = DiagonalOperator::new(system.preconditioner_diagonal::<f32>());
+        let widened: Vec<Vec<f64>> = candidates
+            .iter()
+            .filter(|g| g.len() == rhs.len())
+            .map(|g| g.iter().map(|&v| v as f64).collect())
+            .collect();
+        let candidate_refs: Vec<&[f64]> = widened.iter().map(|v| v.as_slice()).collect();
+        let mut traffic = TrafficCounters::new();
+        let (x, info) = pcg_refined_counted(
+            &op32,
+            &op64,
+            &prec32,
+            &rhs,
+            &candidate_refs,
+            &self.config.solve,
+            &mut traffic,
+        );
+        if !info.converged {
+            return Err(SolverError::DidNotConverge {
+                iterations: info.iterations,
+                relative_residual: info.relative_residual,
+            });
+        }
+        let value_f64: f64 =
+            system.start_product().iter().zip(&x).map(|(&p, &xi)| p as f64 * xi).sum();
+        Ok(KernelResult {
+            value: value_f64,
+            value_f64,
+            iterations: info.iterations,
+            converged: info.converged,
+            relative_residual: info.relative_residual,
+            traffic,
+            nodal: if self.config.compute_nodal { Some(x) } else { None },
         })
     }
 
@@ -579,6 +760,82 @@ mod tests {
         // ... but not the doubled footprint a naive all-T::BYTES accounting
         // would charge: the f32-stored operand matrices keep their size
         assert!(wide.traffic.global_load_bytes < 2 * narrow.traffic.global_load_bytes);
+    }
+
+    #[test]
+    fn kernel_at_f64_carries_f64_nodal_vectors_end_to_end() {
+        let g1 =
+            Graph::from_edge_list(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0), (1, 4)]);
+        let g2 = Graph::from_edge_list(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let config = SolverConfig {
+            reorder: ReorderMethod::Natural,
+            compute_nodal: true,
+            solve: SolveOptions { tolerance: 1e-13, max_iterations: 5000 },
+            ..SolverConfig::default()
+        };
+        let solver = MarginalizedKernelSolver::unlabeled(config);
+        let result: KernelResult<f64> = solver.kernel_at::<f64, _, _>(&g1, &g2).unwrap();
+        let nodal = result.nodal.as_ref().expect("compute_nodal was requested");
+        assert_eq!(nodal.len(), 6 * 5);
+
+        // the typed nodal vector matches the direct f64 solution of the
+        // widened reference system to 1e-10 — no f32 boundary in between
+        let (mat, b, px) = widened_reference_system(&g1, &g2, &UnitKernel, &UnitKernel);
+        let x_direct = direct::lu_solve(&mat, &b).expect("reference system solvable");
+        let err_sq: f64 = nodal.iter().zip(&x_direct).map(|(a, b)| (a - b) * (a - b)).sum();
+        let norm_sq: f64 = x_direct.iter().map(|v| v * v).sum();
+        assert!((err_sq / norm_sq).sqrt() <= 1e-10, "nodal error {:e}", (err_sq / norm_sq).sqrt());
+        // a nodal vector narrowed through f32 cannot be this close
+        let narrowed: Vec<f64> = nodal.iter().map(|&v| v as f32 as f64).collect();
+        let narrow_err: f64 = narrowed.iter().zip(&x_direct).map(|(a, b)| (a - b) * (a - b)).sum();
+        assert!(
+            (narrow_err / norm_sq).sqrt() > 1e-10,
+            "the f64 result must be distinguishable from an f32-rounded one"
+        );
+        // the typed value agrees with the contraction of the direct solve
+        let value_direct: f64 = px.iter().zip(&x_direct).map(|(p, x)| p * x).sum();
+        assert!((result.value - value_direct).abs() / value_direct.abs() <= 1e-10);
+        assert_eq!(result.value, result.value_f64, "f64 results carry the full value in both");
+    }
+
+    #[test]
+    fn refined_precision_matches_the_dense_direct_solver_to_1e10() {
+        // the mixed-precision mode must hit the same validation bar as the
+        // f64 instantiation while iterating in f32
+        let g1 =
+            Graph::from_edge_list(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0), (1, 4)]);
+        let g2 = Graph::from_edge_list(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let config = SolverConfig {
+            reorder: ReorderMethod::Natural,
+            precision: Precision::Refined,
+            solve: SolveOptions { tolerance: 1e-12, max_iterations: 5000 },
+            ..SolverConfig::default()
+        };
+        let solver = MarginalizedKernelSolver::unlabeled(config);
+        let result = solver.kernel(&g1, &g2).unwrap();
+        assert!(result.converged);
+        assert!(result.relative_residual <= 1e-12);
+
+        let (mat, b, px) = widened_reference_system(&g1, &g2, &UnitKernel, &UnitKernel);
+        let x_direct = direct::lu_solve(&mat, &b).expect("reference system solvable");
+        let value_direct: f64 = px.iter().zip(&x_direct).map(|(p, x)| p * x).sum();
+        let rel = (result.value_f64 - value_direct).abs() / value_direct.abs();
+        assert!(rel <= 1e-10, "refined value {} vs direct {value_direct}", result.value_f64);
+
+        // near-f32 traffic: the refined solve moves fewer bytes per inner
+        // iteration than the f64 instantiation of the same solve
+        let wide = MarginalizedKernelSolver::unlabeled(SolverConfig {
+            precision: Precision::F64,
+            ..config
+        })
+        .kernel(&g1, &g2)
+        .unwrap();
+        let refined_per_iter = result.traffic.global_bytes() / result.iterations as u64;
+        let wide_per_iter = wide.traffic.global_bytes() / wide.iterations as u64;
+        assert!(
+            refined_per_iter < wide_per_iter,
+            "refined bytes/iter {refined_per_iter} must undercut f64's {wide_per_iter}"
+        );
     }
 
     #[test]

@@ -162,6 +162,32 @@ pub fn pcg_counted_warm<T: Scalar, A: LinearOperator<T>, M: LinearOperator<T>>(
     opts: &SolveOptions,
     counters: &mut TrafficCounters,
 ) -> (Vec<T>, ConvergenceInfo) {
+    match x0 {
+        Some(guess) => pcg_counted_warm_multi(a, m_inv, b, &[guess], opts, counters),
+        None => pcg_counted_warm_multi(a, m_inv, b, &[], opts, counters),
+    }
+}
+
+/// [`pcg_counted_warm`] with several candidate warm starts: the iteration
+/// begins from the candidate with the *best initial residual*.
+///
+/// Each candidate costs one counted operator application up front (its
+/// residual `b − A·c` must be evaluated to rank it); a candidate is only
+/// kept when its residual beats the cold start's `‖b‖`, so an empty or
+/// uniformly bad candidate list degenerates to the cold solve. This is the
+/// donor-selection primitive of the streaming Gram service: the donor pool
+/// retains the `k` most recent donors per key and the solver picks whichever
+/// actually starts closest for *this* system — a donor that looks plausible
+/// by content similarity but starts farther out than another is ranked out
+/// here, by measurement instead of heuristics.
+pub fn pcg_counted_warm_multi<T: Scalar, A: LinearOperator<T>, M: LinearOperator<T>>(
+    a: &A,
+    m_inv: &M,
+    b: &[T],
+    candidates: &[&[T]],
+    opts: &SolveOptions,
+    counters: &mut TrafficCounters,
+) -> (Vec<T>, ConvergenceInfo) {
     let n = b.len();
     assert_eq!(a.dim(), n, "operator dimension must match right-hand side");
     let nn = n as u64;
@@ -175,26 +201,26 @@ pub fn pcg_counted_warm<T: Scalar, A: LinearOperator<T>, M: LinearOperator<T>>(
         );
     }
 
-    let (mut x, mut r) = match x0 {
-        Some(guess) => {
-            assert_eq!(guess.len(), n, "warm-start guess dimension must match right-hand side");
-            let x = guess.to_vec();
-            // r = b - A x0
-            let mut ax = vec![T::ZERO; n];
-            a.apply_counted(&x, &mut ax, counters);
-            let r: Vec<T> = b.iter().zip(&ax).map(|(&bi, &axi)| bi - axi).collect();
-            counters.count_vector_op_t::<T>(2 * nn, nn, nn);
-            counters.count_vector_op_t::<T>(nn, 0, 2 * nn);
-            if T::accum_to_f64(norm_sq(&r)) <= b_norm * b_norm {
-                (x, r)
-            } else {
-                // the guess starts farther out than zero would; drop it
-                (vec![T::ZERO; n], b.to_vec())
-            }
+    // rank the candidates by initial residual; the cold start's ‖b‖² is the
+    // bar a candidate must meet to be used at all
+    let mut best: Option<(Vec<T>, Vec<T>)> = None;
+    let mut best_sq = b_norm * b_norm;
+    let mut ax = vec![T::ZERO; n];
+    for guess in candidates {
+        assert_eq!(guess.len(), n, "warm-start guess dimension must match right-hand side");
+        // r = b - A·guess
+        a.apply_counted(guess, &mut ax, counters);
+        let r: Vec<T> = b.iter().zip(&ax).map(|(&bi, &axi)| bi - axi).collect();
+        counters.count_vector_op_t::<T>(2 * nn, nn, nn);
+        counters.count_vector_op_t::<T>(nn, 0, 2 * nn);
+        let r_sq = T::accum_to_f64(norm_sq(&r));
+        if r_sq <= best_sq {
+            best_sq = r_sq;
+            best = Some((guess.to_vec(), r));
         }
-        // r = b - A·0 = b
-        None => (vec![T::ZERO; n], b.to_vec()),
-    };
+    }
+    // r = b - A·0 = b for the cold start
+    let (mut x, mut r) = best.unwrap_or_else(|| (vec![T::ZERO; n], b.to_vec()));
     let mut z = vec![T::ZERO; n];
     m_inv.apply_counted(&r, &mut z, counters);
     let mut p = z.clone();
@@ -319,11 +345,127 @@ pub fn fixed_point<T: Scalar, A: LinearOperator<T> + ?Sized>(
     fixed_point_counted(a, b, opts, &mut TrafficCounters::new())
 }
 
+/// Mixed-precision iterative refinement: `f32` inner PCG sweeps, `f64`
+/// residual correction — `f64`-quality solutions at near-`f32`
+/// stored-matrix traffic (the [`Precision::Refined`](crate::Precision)
+/// mode).
+///
+/// `a32` and `a64` must be the two [`Scalar`] instantiations of the *same*
+/// operator (the workspace's `f32`-stored operators implement both by
+/// widening each factor before multiplying), and `m32` a preconditioner for
+/// the `f32` instantiation. Each outer sweep solves the correction system
+/// `A d = r` at `f32` (cheap: the matrix streams at 4 bytes per stored
+/// element), then recomputes the residual `r = b − A x` exactly at `f64`
+/// and folds the correction into the `f64` iterate. A single `f32` solve
+/// bottoms out near the `f32` unit roundoff; the `f64` residual recurrence
+/// pushes past it, sweep by sweep, to tolerances (`1e-10` and below) that
+/// a pure `f32` iteration cannot reach.
+///
+/// `opts.max_iterations` bounds the *total* inner PCG iterations across
+/// all sweeps (reported in [`ConvergenceInfo::iterations`]); convergence is
+/// the `f64` relative residual reaching `opts.tolerance`. The driver stops
+/// early when a sweep fails to halve the residual — at that point the `f32`
+/// corrections have bottomed out and further sweeps cannot help.
+///
+/// `candidates` are optional warm starts, ranked by measured `f64` initial
+/// residual exactly like [`pcg_counted_warm_multi`]: the best one that
+/// beats the cold start seeds the outer iterate (one counted `a64`
+/// application each), so donor reuse composes with refinement.
+pub fn pcg_refined_counted<A32, A64, M32>(
+    a32: &A32,
+    a64: &A64,
+    m32: &M32,
+    b: &[f64],
+    candidates: &[&[f64]],
+    opts: &SolveOptions,
+    counters: &mut TrafficCounters,
+) -> (Vec<f64>, ConvergenceInfo)
+where
+    A32: LinearOperator<f32>,
+    A64: LinearOperator<f64>,
+    M32: LinearOperator<f32>,
+{
+    let n = b.len();
+    assert_eq!(a64.dim(), n, "operator dimension must match right-hand side");
+    assert_eq!(a32.dim(), n, "the two instantiations must share one dimension");
+    let nn = n as u64;
+
+    let b_norm = f64::accum_to_f64(norm_sq(b)).sqrt();
+    counters.count_vector_op_t::<f64>(nn, 0, 2 * nn);
+    if b_norm == 0.0 {
+        return (
+            vec![0.0; n],
+            ConvergenceInfo { iterations: 0, relative_residual: 0.0, converged: true },
+        );
+    }
+
+    // the inner solves only need to deliver f32-quality corrections; the
+    // outer f64 recurrence supplies the accuracy beyond that
+    let inner_tolerance = opts.tolerance.max(1e-6);
+    let mut ax = vec![0.0f64; n];
+
+    // best-initial-residual warm start, measured against the f64 operator
+    let mut start: Option<(Vec<f64>, Vec<f64>)> = None;
+    let mut best_sq = b_norm * b_norm;
+    for guess in candidates {
+        assert_eq!(guess.len(), n, "warm-start guess dimension must match right-hand side");
+        a64.apply_counted(guess, &mut ax, counters);
+        let r: Vec<f64> = b.iter().zip(&ax).map(|(&bi, &axi)| bi - axi).collect();
+        counters.count_vector_op_t::<f64>(2 * nn, nn, nn);
+        counters.count_vector_op_t::<f64>(nn, 0, 2 * nn);
+        let r_sq = f64::accum_to_f64(norm_sq(&r));
+        if r_sq <= best_sq {
+            best_sq = r_sq;
+            start = Some((guess.to_vec(), r));
+        }
+    }
+    let (mut x, mut r) = start.unwrap_or_else(|| (vec![0.0f64; n], b.to_vec()));
+    let mut iterations = 0;
+    let mut rel_res = best_sq.sqrt() / b_norm;
+    let mut converged = rel_res <= opts.tolerance;
+    while !converged && iterations < opts.max_iterations {
+        // narrow the residual (n f64 reads, n f32 writes) and solve the
+        // f32 correction system with the remaining iteration budget
+        let r32: Vec<f32> = r.iter().map(|&v| v as f32).collect();
+        counters.count_vector_op_t::<f64>(nn, 0, 0);
+        counters.count_vector_op_t::<f32>(0, nn, 0);
+        let inner_opts = SolveOptions {
+            tolerance: inner_tolerance,
+            max_iterations: opts.max_iterations - iterations,
+        };
+        let (d, inner) = pcg_counted(a32, m32, &r32, &inner_opts, counters);
+        iterations += inner.iterations.max(1);
+
+        // x += d and a fresh residual r = b − A x, both in f64
+        for (xi, &di) in x.iter_mut().zip(&d) {
+            *xi += di as f64;
+        }
+        a64.apply_counted(&x, &mut ax, counters);
+        for ((ri, &bi), &axi) in r.iter_mut().zip(b).zip(&ax) {
+            *ri = bi - axi;
+        }
+        counters.count_vector_op_t::<f64>(4 * nn, 2 * nn, 2 * nn);
+        let prev = rel_res;
+        rel_res = f64::accum_to_f64(norm_sq(&r)).sqrt() / b_norm;
+        counters.count_vector_op_t::<f64>(nn, 0, 2 * nn);
+        if rel_res <= opts.tolerance {
+            converged = true;
+            break;
+        }
+        if rel_res > 0.5 * prev {
+            // the f32 corrections have bottomed out; more sweeps only burn
+            // budget without making progress
+            break;
+        }
+    }
+    (x, ConvergenceInfo { iterations, relative_residual: rel_res, converged })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::dense::DenseMatrix;
-    use crate::operator::{DenseOperator, DiagonalOperator};
+    use crate::operator::{CsrOperator, DenseOperator, DiagonalOperator};
 
     fn spd_matrix(n: usize, seed: u64) -> DenseMatrix {
         // A = Bᵀ B + n*I is SPD; B filled from a simple LCG for determinism
@@ -514,6 +656,155 @@ mod tests {
             warm.iterations,
             cold.iterations
         );
+    }
+
+    #[test]
+    fn the_best_of_several_warm_start_candidates_wins() {
+        let m = spd_matrix(32, 2);
+        let op = DenseOperator(m);
+        let b: Vec<f32> = (0..32).map(|i| (i as f32 * 0.2).sin() + 1.5).collect();
+        let opts = SolveOptions { max_iterations: 500, tolerance: 1e-8 };
+        let (x, _) = pcg_counted_warm(&op, &IdentityPrec, &b, None, &opts, &mut Default::default());
+
+        // candidate 0 is plausible but far; candidate 1 is nearly exact —
+        // the driver must start from the *measured* best, not the first
+        let far: Vec<f32> = x.iter().map(|&v| v * 1.5 + 0.3).collect();
+        let near: Vec<f32> = x.iter().map(|&v| v * 1.0001).collect();
+        let solve = |candidates: &[&[f32]]| {
+            let (sol, info) = pcg_counted_warm_multi(
+                &op,
+                &IdentityPrec,
+                &b,
+                candidates,
+                &opts,
+                &mut Default::default(),
+            );
+            assert!(info.converged);
+            (sol, info.iterations)
+        };
+        let (_, far_only) = solve(&[&far]);
+        let (sol, both) = solve(&[&far, &near]);
+        let (_, near_only) = solve(&[&near]);
+        assert_eq!(both, near_only, "the second candidate has the best residual and must win");
+        assert!(both < far_only, "best-of-k ({both}) should beat the far donor ({far_only})");
+        for (a, b) in sol.iter().zip(&x) {
+            assert!((a - b).abs() < 1e-4, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn uniformly_bad_candidates_fall_back_to_the_cold_start() {
+        let m = spd_matrix(16, 41);
+        let op = DenseOperator(m);
+        let b = vec![1.0f32; 16];
+        let opts = SolveOptions::default();
+        let (cold, cold_info) =
+            pcg_counted_warm_multi(&op, &IdentityPrec, &b, &[], &opts, &mut Default::default());
+        let awful = vec![1e6f32; 16];
+        let worse = vec![-1e6f32; 16];
+        let (warm, warm_info) = pcg_counted_warm_multi(
+            &op,
+            &IdentityPrec,
+            &b,
+            &[&awful, &worse],
+            &opts,
+            &mut Default::default(),
+        );
+        assert_eq!(warm, cold, "bad candidates must not change the solve");
+        assert_eq!(warm_info.iterations, cold_info.iterations);
+    }
+
+    #[test]
+    fn refined_solve_reaches_f64_tolerances_at_near_f32_traffic() {
+        // a tridiagonal SPD system in CSR — the sparse regime the solver
+        // actually serves, where vector traffic is a real fraction of the
+        // per-iteration bytes
+        let n = 64usize;
+        let mut triplets: Vec<(u32, u32, f32)> = Vec::new();
+        for i in 0..n as u32 {
+            triplets.push((i, i, 2.5));
+            if i + 1 < n as u32 {
+                triplets.push((i, i + 1, -1.0));
+                triplets.push((i + 1, i, -1.0));
+            }
+        }
+        let op = CsrOperator(crate::CsrMatrix::from_triplets(n, n, &triplets));
+        let prec32 = DiagonalOperator::new(vec![2.5f32; n]).inverse();
+        let b64: Vec<f64> = (0..n).map(|i| 1.0 + (i as f64 * 0.3).sin()).collect();
+        let opts = SolveOptions { max_iterations: 4000, tolerance: 1e-12 };
+
+        let mut refined_traffic = crate::TrafficCounters::new();
+        let (x, info) =
+            pcg_refined_counted(&op, &op, &prec32, &b64, &[], &opts, &mut refined_traffic);
+        assert!(info.converged, "refinement did not reach 1e-12: {info:?}");
+
+        // the residual claim holds against the widened (true) matrix
+        let mut ax = vec![0.0f64; n];
+        LinearOperator::<f64>::apply(&op, &x, &mut ax);
+        let res_sq: f64 = b64.iter().zip(&ax).map(|(b, a)| (b - a) * (b - a)).sum();
+        let b_sq: f64 = b64.iter().map(|v| v * v).sum();
+        assert!(
+            (res_sq / b_sq).sqrt() <= 1e-10,
+            "relative residual {:e} above 1e-10",
+            (res_sq / b_sq).sqrt()
+        );
+
+        // a pure f32 iteration cannot get there at all: its recurrence may
+        // report convergence, but the *true* residual floors at f32
+        // roundoff, orders of magnitude above the refined solution's
+        let b32: Vec<f32> = b64.iter().map(|&v| v as f32).collect();
+        let (x32, _) = pcg(&op, &prec32, &b32, &opts);
+        let x32w: Vec<f64> = x32.iter().map(|&v| v as f64).collect();
+        LinearOperator::<f64>::apply(&op, &x32w, &mut ax);
+        let res32_sq: f64 = b64.iter().zip(&ax).map(|(b, a)| (b - a) * (b - a)).sum();
+        assert!(
+            (res32_sq / b_sq).sqrt() > 1e-8,
+            "an f32 solution should not truly reach 1e-8: {:e}",
+            (res32_sq / b_sq).sqrt()
+        );
+
+        // … and the f64 instantiation that can moves strictly more bytes
+        // per iteration: refinement streams its iterations at f32 vector
+        // width, paying f64 width only for the few outer corrections
+        let prec64 = DiagonalOperator::new(vec![2.5f64; n]).inverse();
+        let mut f64_traffic = crate::TrafficCounters::new();
+        let (_, full) = pcg_counted(&op, &prec64, &b64, &opts, &mut f64_traffic);
+        assert!(full.converged);
+        let refined_per_iter = refined_traffic.global_bytes() / info.iterations as u64;
+        let f64_per_iter = f64_traffic.global_bytes() / full.iterations as u64;
+        assert!(
+            refined_per_iter < f64_per_iter,
+            "refined bytes/iteration {refined_per_iter} must undercut the f64 solve's {f64_per_iter}"
+        );
+    }
+
+    #[test]
+    fn refined_warm_start_from_the_solution_skips_the_sweeps() {
+        let n = 16usize;
+        let mut triplets: Vec<(u32, u32, f32)> = Vec::new();
+        for i in 0..n as u32 {
+            triplets.push((i, i, 3.0));
+            if i + 1 < n as u32 {
+                triplets.push((i, i + 1, -1.0));
+                triplets.push((i + 1, i, -1.0));
+            }
+        }
+        let op = CsrOperator(crate::CsrMatrix::from_triplets(n, n, &triplets));
+        let prec = DiagonalOperator::new(vec![3.0f32; n]).inverse();
+        let b: Vec<f64> = (0..n).map(|i| 1.0 + (i as f64 * 0.5).cos()).collect();
+        let opts = SolveOptions { max_iterations: 2000, tolerance: 1e-11 };
+
+        let (x, cold) =
+            pcg_refined_counted(&op, &op, &prec, &b, &[], &opts, &mut Default::default());
+        assert!(cold.converged && cold.iterations > 0);
+        // restarting from the converged solution needs no sweeps at all;
+        // a bad candidate alongside it must not confuse the selection
+        let bad = vec![1e6f64; n];
+        let (warm, info) =
+            pcg_refined_counted(&op, &op, &prec, &b, &[&bad, &x], &opts, &mut Default::default());
+        assert!(info.converged);
+        assert_eq!(info.iterations, 0, "a converged warm start skips every sweep");
+        assert_eq!(warm, x);
     }
 
     #[test]

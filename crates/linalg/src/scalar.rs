@@ -180,28 +180,36 @@ pub enum Precision {
     /// validation oracle, sharing the exact iteration structure of the
     /// `f32` path.
     F64,
+    /// Mixed-precision iterative refinement: inner PCG sweeps run at the
+    /// `f32` instantiation while an outer loop corrects the solution with
+    /// `f64` residuals — `f64`-quality answers at near-`f32` stored-matrix
+    /// traffic (see [`pcg_refined_counted`](crate::cg::pcg_refined_counted)).
+    Refined,
 }
 
 impl Precision {
-    /// Bytes per element at this precision.
+    /// Bytes per element of the *iteration* vectors at this precision (the
+    /// refined mode iterates in `f32`; only its outer corrections touch
+    /// `f64` vectors).
     pub fn bytes(self) -> u64 {
         match self {
-            Precision::F32 => f32::BYTES,
+            Precision::F32 | Precision::Refined => f32::BYTES,
             Precision::F64 => f64::BYTES,
         }
     }
 
-    /// Display name (`"f32"` / `"f64"`).
+    /// Display name (`"f32"` / `"f64"` / `"refined"`).
     pub fn name(self) -> &'static str {
         match self {
             Precision::F32 => f32::NAME,
             Precision::F64 => f64::NAME,
+            Precision::Refined => "refined",
         }
     }
 
     /// The precision selected by the `MGK_TEST_PRECISION` environment
-    /// variable (`"f32"` / `"f64"`, case-insensitive), or [`Precision::F32`]
-    /// when unset or unrecognized.
+    /// variable (`"f32"` / `"f64"` / `"refined"`, case-insensitive), or
+    /// [`Precision::F32`] when unset or unrecognized.
     ///
     /// This is the env-gated test-harness hook: `SolverConfig::default()`
     /// consults it, so running a solver test suite under
@@ -213,6 +221,7 @@ impl Precision {
         static CACHED: std::sync::OnceLock<Precision> = std::sync::OnceLock::new();
         *CACHED.get_or_init(|| match std::env::var("MGK_TEST_PRECISION") {
             Ok(v) if v.eq_ignore_ascii_case("f64") => Precision::F64,
+            Ok(v) if v.eq_ignore_ascii_case("refined") => Precision::Refined,
             _ => Precision::F32,
         })
     }
@@ -256,6 +265,8 @@ mod tests {
         assert_eq!(Precision::F64.bytes(), 8);
         assert_eq!(Precision::F32.name(), "f32");
         assert_eq!(Precision::F64.to_string(), "f64");
+        assert_eq!(Precision::Refined.name(), "refined");
+        assert_eq!(Precision::Refined.bytes(), 4, "refined iterates in f32");
         assert_eq!(Precision::default(), Precision::F32);
     }
 }

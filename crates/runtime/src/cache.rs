@@ -25,6 +25,8 @@
 use std::collections::{HashMap, VecDeque};
 use std::hash::Hash;
 
+use mgk_linalg::Precision;
+
 /// One side of a pair key: the structure's content hash plus cheap
 /// discriminators that keep a 64-bit hash collision from aliasing two
 /// structurally different graphs.
@@ -69,12 +71,37 @@ impl PairKey {
 }
 
 /// One cached pair solve.
+///
+/// The entry keeps enough of the original [`KernelResult`] to answer a
+/// request without re-solving: the serving (`f32`) value, the
+/// full-precision contraction, the precision the solve ran at — a typed
+/// `f64` request is only answered from entries whose solve actually
+/// carried `f64` accuracy — and the convergence metadata.
 #[derive(Debug, Clone)]
 pub struct CachedEntry {
     /// The (unnormalized) kernel value `K(G_i, G_j)`.
     pub value: f32,
+    /// The full-precision (`f64`-contracted) kernel value of the original
+    /// solve.
+    pub value_f64: f64,
+    /// The [`Precision`] the original solve ran at.
+    pub precision: Precision,
+    /// Final relative residual of the original solve.
+    pub relative_residual: f64,
     /// PCG iterations the original solve took.
     pub iterations: usize,
+}
+
+impl CachedEntry {
+    /// Whether this entry can answer a request at `wanted` without losing
+    /// accuracy: `f32` requests accept any entry, `f64`/refined requests
+    /// only entries whose solve carried `f64` accuracy.
+    pub fn answers(&self, wanted: Precision) -> bool {
+        match wanted {
+            Precision::F32 => true,
+            Precision::F64 | Precision::Refined => self.precision != Precision::F32,
+        }
+    }
 }
 
 /// Tick-ordered recency index with lazy deletion.
@@ -221,7 +248,13 @@ mod tests {
     }
 
     fn entry(v: f32) -> CachedEntry {
-        CachedEntry { value: v, iterations: 1 }
+        CachedEntry {
+            value: v,
+            value_f64: v as f64,
+            precision: Precision::F32,
+            relative_residual: 0.0,
+            iterations: 1,
+        }
     }
 
     #[test]
@@ -248,6 +281,17 @@ mod tests {
         c.insert(PairKey::new(cycle, cycle), entry(2.0));
         assert_eq!(c.get(PairKey::new(path, path)).unwrap().value, 1.0);
         assert_eq!(c.get(PairKey::new(cycle, cycle)).unwrap().value, 2.0);
+    }
+
+    #[test]
+    fn precision_gating_blocks_narrow_entries_from_wide_requests() {
+        let narrow = entry(1.0);
+        let wide = CachedEntry { precision: Precision::F64, ..entry(1.0) };
+        let refined = CachedEntry { precision: Precision::Refined, ..entry(1.0) };
+        assert!(narrow.answers(Precision::F32));
+        assert!(!narrow.answers(Precision::F64));
+        assert!(wide.answers(Precision::F32) && wide.answers(Precision::F64));
+        assert!(refined.answers(Precision::F64), "refined entries carry f64 accuracy");
     }
 
     #[test]

@@ -24,11 +24,19 @@
 //!   producers submit through a cheap [`GramClient`] over a bounded
 //!   command channel (microsecond submissions, blocking-or-try
 //!   backpressure), consumers follow a versioned [`SnapshotWatch`] whose
-//!   epoch bumps once per completed flush — publication is lazy
-//!   ([`SnapshotSource`]), so the O(n²) dense snapshot is built on the
-//!   first observation of an epoch and never for unwatched ones — and
+//!   epoch bumps once per completed flush — publication is lazy *and*
+//!   O(1) ([`SnapshotSource`] `Arc`-shares the triangle copy-on-write), so
+//!   the O(n²) dense snapshot is built on the first observation of an
+//!   epoch and never for unwatched ones — and
 //!   [`join`](GramScheduler::join) drains gracefully while propagating
 //!   solve panics.
+//! * **[`KernelClient`]** — the request lane on the same scheduler thread:
+//!   `request(pair)` returns a [`Ticket`] immediately and resolves it to a
+//!   typed `KernelResult<T>` (f32 serving or f64 end-to-end). Duplicate
+//!   in-flight requests coalesce onto one solve, already-solved pairs are
+//!   answered from the [`PairCache`] without touching the solve lane, and
+//!   expired or dropped tickets are skipped before their solve starts —
+//!   tickets can never hang ([`RequestError::Closed`] on shutdown).
 //!
 //! ```
 //! use mgk_runtime::{GramService, GramServiceConfig};
@@ -59,16 +67,21 @@ pub mod cache;
 pub mod hash;
 pub mod scheduler;
 pub mod service;
+pub mod ticket;
 pub mod watch;
 
 pub use cache::{CachedEntry, PairCache, PairKey, PairSide};
 pub use hash::{graph_content_hash, ContentHash, Fnv1a};
 pub use rayon::pool::Pool;
-pub use scheduler::{BarrierReply, GramClient, GramScheduler, SchedulerConfig, SchedulerError};
-pub use service::{
-    GramService, GramServiceConfig, GramServiceError, GramSnapshot, ServiceStats, SnapshotSource,
-    StructureId,
+pub use scheduler::{
+    BarrierReply, GramClient, GramScheduler, KernelClient, RequestScalar, SchedulerConfig,
+    SchedulerError,
 };
+pub use service::{
+    GramService, GramServiceConfig, GramServiceError, GramSnapshot, PreparedPair, ServiceStats,
+    SnapshotSource, StructureId,
+};
+pub use ticket::{RequestError, Ticket};
 pub use watch::{
     snapshot_channel, SnapshotPublisher, SnapshotWatch, VersionedSnapshot, WatchClosed,
 };

@@ -33,14 +33,21 @@
 //! [`Pool`](crate::Pool) — the scheduler thread is a coordinator, not a
 //! compute thread.
 
+use std::collections::HashMap;
+use std::marker::PhantomData;
 use std::sync::mpsc::{self, Receiver, SyncSender, TrySendError};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
+use mgk_core::KernelResult;
 use mgk_graph::Graph;
 use mgk_kernels::BaseKernel;
+use mgk_linalg::{Precision, Scalar, TrafficCounters};
 
+use crate::cache::{CachedEntry, PairSide};
 use crate::hash::ContentHash;
-use crate::service::{GramService, GramServiceError};
+use crate::service::{precision_of, GramService, GramServiceError, PreparedPair};
+use crate::ticket::{ticket, RequestError, Ticket, TicketResolver};
 use crate::watch::{snapshot_channel, SnapshotPublisher, SnapshotWatch};
 
 /// Configuration of a [`GramScheduler`].
@@ -103,7 +110,72 @@ enum Command<V, E> {
     Submit(Graph<V, E>),
     SubmitAll(Vec<Graph<V, E>>),
     Barrier(mpsc::Sender<BarrierReply>),
+    // boxed: a request (two graphs + resolver + deadline) is several times
+    // a Submit, and the channel moves Commands by value
+    Request(Box<KernelRequest<V, E>>),
     Shutdown,
+}
+
+/// One request-lane command: a pair to evaluate, an optional deadline, and
+/// the typed resolver its answer goes to.
+struct KernelRequest<V, E> {
+    left: Graph<V, E>,
+    right: Graph<V, E>,
+    deadline: Option<Instant>,
+    resolver: KernelResolver,
+}
+
+/// A typed ticket resolver routed through the scheduler's untyped command
+/// stream. Internal plumbing of the request lane — constructed by
+/// [`RequestScalar::wrap_resolver`], consumed by the scheduler thread.
+#[doc(hidden)]
+#[derive(Debug)]
+pub enum KernelResolver {
+    F32(TicketResolver<KernelResult<f32>>),
+    F64(TicketResolver<KernelResult<f64>>),
+}
+
+impl KernelResolver {
+    fn precision(&self) -> Precision {
+        match self {
+            KernelResolver::F32(_) => Precision::F32,
+            KernelResolver::F64(_) => Precision::F64,
+        }
+    }
+
+    fn is_cancelled(&self) -> bool {
+        match self {
+            KernelResolver::F32(r) => r.is_cancelled(),
+            KernelResolver::F64(r) => r.is_cancelled(),
+        }
+    }
+
+    fn expire(self) {
+        match self {
+            KernelResolver::F32(r) => r.resolve(Err(RequestError::Expired)),
+            KernelResolver::F64(r) => r.resolve(Err(RequestError::Expired)),
+        }
+    }
+}
+
+/// The [`Scalar`] instantiations a typed [`KernelClient`] can request at.
+/// Sealed through `Scalar` itself (only `f32` and `f64` implement it); the
+/// trait routes a typed ticket into the scheduler's command stream.
+pub trait RequestScalar: Scalar {
+    #[doc(hidden)]
+    fn wrap_resolver(resolver: TicketResolver<KernelResult<Self>>) -> KernelResolver;
+}
+
+impl RequestScalar for f32 {
+    fn wrap_resolver(resolver: TicketResolver<KernelResult<f32>>) -> KernelResolver {
+        KernelResolver::F32(resolver)
+    }
+}
+
+impl RequestScalar for f64 {
+    fn wrap_resolver(resolver: TicketResolver<KernelResult<f64>>) -> KernelResolver {
+        KernelResolver::F64(resolver)
+    }
 }
 
 /// Cheap, cloneable producer/consumer handle to a running
@@ -176,6 +248,111 @@ impl<V, E> GramClient<V, E> {
     }
 }
 
+/// The request-scoped serving handle: ask the scheduler for *one pair's*
+/// kernel value and get a [`Ticket`] back immediately, instead of watching
+/// whole-Gram snapshots.
+///
+/// A `KernelClient` shares the scheduler thread (and command channel) with
+/// the flush lane of its sibling [`GramClient`]; requests ride the same
+/// bounded channel, so producer backpressure applies uniformly. The type
+/// parameter `T` picks the [`Scalar`] instantiation every request of this
+/// client resolves at: `KernelClient<_, _, f64>` tickets carry
+/// [`KernelResult<f64>`] — f64 values *and* nodal vectors — end-to-end.
+///
+/// Request-lane guarantees (see the module docs for the mechanism):
+///
+/// * duplicate in-flight requests for one pair **coalesce** onto a single
+///   solve, every ticket woken with the shared answer;
+/// * pairs the service has already solved are **answered from the pair
+///   cache** without touching the solve lane;
+/// * a ticket whose **deadline** passes before its solve starts resolves
+///   [`RequestError::Expired`]; a **dropped** ticket cancels its request;
+///   a scheduler that shuts down **closes** every outstanding ticket —
+///   tickets can never hang, and stale requests never occupy the solver.
+#[derive(Debug)]
+pub struct KernelClient<V, E, T: RequestScalar = f32> {
+    tx: SyncSender<Command<V, E>>,
+    capacity: usize,
+    _precision: PhantomData<T>,
+}
+
+impl<V, E, T: RequestScalar> Clone for KernelClient<V, E, T> {
+    fn clone(&self) -> Self {
+        KernelClient { tx: self.tx.clone(), capacity: self.capacity, _precision: PhantomData }
+    }
+}
+
+impl<V, E, T: RequestScalar> KernelClient<V, E, T> {
+    /// Request the kernel value of one pair, blocking while the command
+    /// channel is full. The returned [`Ticket`] resolves to the pair's
+    /// typed [`KernelResult<T>`].
+    pub fn request(
+        &self,
+        left: Graph<V, E>,
+        right: Graph<V, E>,
+    ) -> Result<Ticket<KernelResult<T>>, SchedulerError> {
+        self.enqueue(left, right, None)
+    }
+
+    /// [`request`](Self::request) with a deadline: if the solve has not
+    /// *started* within `budget`, the ticket resolves
+    /// [`RequestError::Expired`] instead of occupying the solve lane.
+    pub fn request_within(
+        &self,
+        left: Graph<V, E>,
+        right: Graph<V, E>,
+        budget: Duration,
+    ) -> Result<Ticket<KernelResult<T>>, SchedulerError> {
+        self.enqueue(left, right, Some(Instant::now() + budget))
+    }
+
+    /// [`request`](Self::request) without blocking: a full command channel
+    /// reports [`SchedulerError::Backpressure`] so the caller can shed
+    /// load.
+    pub fn try_request(
+        &self,
+        left: Graph<V, E>,
+        right: Graph<V, E>,
+    ) -> Result<Ticket<KernelResult<T>>, SchedulerError> {
+        if left.num_vertices() == 0 || right.num_vertices() == 0 {
+            return Err(SchedulerError::EmptyStructure);
+        }
+        let (ticket, resolver) = ticket::<KernelResult<T>>();
+        let request =
+            KernelRequest { left, right, deadline: None, resolver: T::wrap_resolver(resolver) };
+        self.tx.try_send(Command::Request(Box::new(request))).map_err(|e| match e {
+            TrySendError::Full(_) => SchedulerError::Backpressure { capacity: self.capacity },
+            TrySendError::Disconnected(_) => SchedulerError::Closed,
+        })?;
+        Ok(ticket)
+    }
+
+    /// Request a whole batch of pairs in submission order. Duplicate pairs
+    /// within the batch coalesce onto one solve on the scheduler side; the
+    /// returned tickets are independent (drop any subset to cancel it).
+    pub fn request_all(
+        &self,
+        pairs: impl IntoIterator<Item = (Graph<V, E>, Graph<V, E>)>,
+    ) -> Result<Vec<Ticket<KernelResult<T>>>, SchedulerError> {
+        pairs.into_iter().map(|(l, r)| self.request(l, r)).collect()
+    }
+
+    fn enqueue(
+        &self,
+        left: Graph<V, E>,
+        right: Graph<V, E>,
+        deadline: Option<Instant>,
+    ) -> Result<Ticket<KernelResult<T>>, SchedulerError> {
+        if left.num_vertices() == 0 || right.num_vertices() == 0 {
+            return Err(SchedulerError::EmptyStructure);
+        }
+        let (ticket, resolver) = ticket::<KernelResult<T>>();
+        let request = KernelRequest { left, right, deadline, resolver: T::wrap_resolver(resolver) };
+        self.tx.send(Command::Request(Box::new(request))).map_err(|_| SchedulerError::Closed)?;
+        Ok(ticket)
+    }
+}
+
 /// A [`GramService`] running on a dedicated background thread. See the
 /// module docs for the design.
 #[derive(Debug)]
@@ -216,6 +393,18 @@ where
     /// A new producer/consumer handle (cheap; clone freely across threads).
     pub fn client(&self) -> GramClient<V, E> {
         self.client.clone()
+    }
+
+    /// A typed request client at the [`Scalar`] instantiation `T` (cheap;
+    /// clone freely across threads). `kernel_client::<f32>()` serves the
+    /// paper's f32 arithmetic; `kernel_client::<f64>()` resolves tickets to
+    /// [`KernelResult<f64>`] with f64 nodal vectors end-to-end.
+    pub fn kernel_client<T: RequestScalar>(&self) -> KernelClient<V, E, T> {
+        KernelClient {
+            tx: self.client.tx.clone(),
+            capacity: self.client.capacity,
+            _precision: PhantomData,
+        }
     }
 
     /// The versioned snapshot watch fed by this scheduler.
@@ -280,6 +469,7 @@ where
 
         let mut shutdown = false;
         let mut barriers: Vec<mpsc::Sender<BarrierReply>> = Vec::new();
+        let mut requests: Vec<KernelRequest<V, E>> = Vec::new();
         for command in commands {
             match command {
                 Command::Submit(g) => admit(&mut service, publisher, g),
@@ -289,6 +479,7 @@ where
                     }
                 }
                 Command::Barrier(reply) => barriers.push(reply),
+                Command::Request(req) => requests.push(*req),
                 Command::Shutdown => shutdown = true,
             }
         }
@@ -296,6 +487,10 @@ where
         if service.num_pending() > 0 {
             flush_and_publish(&mut service, publisher);
         }
+        // the request lane runs after the flush lane so requests in the
+        // same drain see the freshest cache (and before the barrier
+        // replies, so a barrier-then-wait consumer cannot outrun them)
+        serve_requests(&mut service, requests);
         for barrier in barriers {
             // a client that gave up waiting is not an error
             let _ = barrier.send(BarrierReply {
@@ -306,10 +501,184 @@ where
         if shutdown {
             // commands a racing producer enqueued *after* the shutdown are
             // dropped with the receiver; everything before it was drained
+            // (requests among them resolve Closed as their resolvers drop)
             break;
         }
     }
     service
+}
+
+/// The request lane: group the drained requests by pair identity and
+/// precision, skip what cannot or need not run (cancelled, expired,
+/// cache-answerable), and solve once per surviving group — every ticket of
+/// a group is woken with the shared answer.
+fn serve_requests<KV, KE, V, E>(
+    service: &mut GramService<KV, KE, V, E>,
+    requests: Vec<KernelRequest<V, E>>,
+) where
+    V: Clone + Send + Sync + ContentHash,
+    E: Copy + Default + Send + Sync + ContentHash,
+    KV: BaseKernel<V> + Clone + Send + Sync,
+    KE: BaseKernel<E> + Clone + Send + Sync,
+{
+    if requests.is_empty() {
+        return;
+    }
+    // coalesce: one group per (pair identity, precision), keyed by the
+    // *raw* content identity so duplicates share the per-pair
+    // preprocessing (reordering) as well as the solve — preparation runs
+    // once per group, below, not once per ticket. The key is the ORDERED
+    // side pair, not the normalized PairKey: a solved request's nodal
+    // vector is laid out in the request's orientation (row-major n_left ×
+    // n_right), so (A, B) and (B, A) must not share one solve result —
+    // the second orientation resolves from the symmetric cache entry the
+    // first one inserts (value only, no transposed vector)
+    type Group<V, E> = (Graph<V, E>, Graph<V, E>, Vec<(KernelResolver, Option<Instant>)>);
+    type Slot = ((PairSide, PairSide), Precision);
+    let mut groups: HashMap<Slot, Group<V, E>> = HashMap::new();
+    let mut order: Vec<Slot> = Vec::new();
+    for req in requests {
+        if req.resolver.is_cancelled() {
+            // the ticket is gone; dropping the resolver is the whole skip
+            service.note_request_cancelled();
+            continue;
+        }
+        if req.deadline.is_some_and(|d| Instant::now() >= d) {
+            service.note_request_expired();
+            req.resolver.expire();
+            continue;
+        }
+        let precision = req.resolver.precision();
+        let slot = (service.raw_pair_sides(&req.left, &req.right), precision);
+        match groups.get_mut(&slot) {
+            Some((_, _, resolvers)) => {
+                service.note_requests_coalesced(1);
+                resolvers.push((req.resolver, req.deadline));
+            }
+            None => {
+                order.push(slot);
+                groups.insert(slot, (req.left, req.right, vec![(req.resolver, req.deadline)]));
+            }
+        }
+    }
+
+    for slot in order {
+        let (left, right, resolvers) = groups.remove(&slot).expect("group inserted above");
+        let (_, precision) = slot;
+        // cancellations and deadlines may have landed while earlier groups
+        // solved; re-check so no solve starts for a fully stale group
+        let mut live: Vec<KernelResolver> = Vec::new();
+        for (resolver, deadline) in resolvers {
+            if resolver.is_cancelled() {
+                service.note_request_cancelled();
+            } else if deadline.is_some_and(|d| Instant::now() >= d) {
+                service.note_request_expired();
+                resolver.expire();
+            } else {
+                live.push(resolver);
+            }
+        }
+        if live.is_empty() {
+            continue;
+        }
+        // one preparation per group, shared by every coalesced ticket
+        let prepared = service.prepare_pair(&left, &right);
+        match precision {
+            Precision::F32 => answer_group::<f32, KV, KE, V, E>(service, &prepared, live),
+            Precision::F64 => answer_group::<f64, KV, KE, V, E>(service, &prepared, live),
+            Precision::Refined => {
+                debug_assert!(false, "clients only produce f32/f64 request precisions");
+            }
+        }
+    }
+}
+
+/// Answer one coalesced group at the instantiation `T`: from the pair
+/// cache when an adequate entry exists, from a single solve otherwise.
+fn answer_group<T, KV, KE, V, E>(
+    service: &mut GramService<KV, KE, V, E>,
+    prepared: &PreparedPair<V, E>,
+    resolvers: Vec<KernelResolver>,
+) where
+    T: RequestScalar,
+    V: Clone + Send + Sync + ContentHash,
+    E: Copy + Default + Send + Sync + ContentHash,
+    KV: BaseKernel<V> + Clone + Send + Sync,
+    KE: BaseKernel<E> + Clone + Send + Sync,
+{
+    let result: Result<KernelResult<T>, RequestError> =
+        match service.cached_answer(prepared.key(), precision_of::<T>()) {
+            Some(entry) => Ok(result_from_entry::<T>(&entry)),
+            None => service.solve_request::<T>(prepared).map_err(RequestError::Solver),
+        };
+    // groups are precision-homogeneous, so the conversion runs once; the
+    // fan-out clones the converted result per extra ticket and moves it
+    // into the last one (a burst of k tickets costs k - 1 clones, not 2k)
+    match resolvers.first() {
+        Some(KernelResolver::F32(_)) => {
+            fan_out(resolvers, result.map(narrow_result), |resolver, answer| match resolver {
+                KernelResolver::F32(r) => r.resolve(answer),
+                KernelResolver::F64(_) => unreachable!("precision-homogeneous group"),
+            });
+        }
+        Some(KernelResolver::F64(_)) => {
+            fan_out(resolvers, result.map(widen_result), |resolver, answer| match resolver {
+                KernelResolver::F64(r) => r.resolve(answer),
+                KernelResolver::F32(_) => unreachable!("precision-homogeneous group"),
+            });
+        }
+        None => {}
+    }
+}
+
+/// Wake every resolver of a group with one shared answer: clones for all
+/// but the last, which takes the answer by move.
+fn fan_out<R: Clone>(
+    resolvers: Vec<KernelResolver>,
+    answer: Result<R, RequestError>,
+    resolve: impl Fn(KernelResolver, Result<R, RequestError>),
+) {
+    let total = resolvers.len();
+    let mut answer = Some(answer);
+    for (k, resolver) in resolvers.into_iter().enumerate() {
+        let shared = if k + 1 == total {
+            answer.take().expect("the answer is moved exactly once, into the last ticket")
+        } else {
+            answer.clone().expect("the answer is only taken by the last ticket")
+        };
+        resolve(resolver, shared);
+    }
+}
+
+/// A cache entry replayed as a typed result: the stored full-precision
+/// value, no nodal vector (the cache keeps values, not megabyte vectors)
+/// and no fresh traffic.
+fn result_from_entry<T: Scalar>(entry: &CachedEntry) -> KernelResult<T> {
+    KernelResult {
+        value: T::from_f64(entry.value_f64),
+        value_f64: entry.value_f64,
+        iterations: entry.iterations,
+        converged: true,
+        relative_residual: entry.relative_residual,
+        traffic: TrafficCounters::new(),
+        nodal: None,
+    }
+}
+
+fn narrow_result<T: Scalar>(r: KernelResult<T>) -> KernelResult<f32> {
+    r.narrow()
+}
+
+fn widen_result<T: Scalar>(r: KernelResult<T>) -> KernelResult<f64> {
+    KernelResult {
+        value: r.value.to_f64(),
+        value_f64: r.value_f64,
+        iterations: r.iterations,
+        converged: r.converged,
+        relative_residual: r.relative_residual,
+        traffic: r.traffic,
+        nodal: r.nodal.map(|v| v.iter().map(|&x| x.to_f64()).collect()),
+    }
 }
 
 /// Queue one structure into the service, flushing mid-batch if the
@@ -351,6 +720,10 @@ fn flush_and_publish<KV, KE, V, E>(
     KV: BaseKernel<V> + Clone + Send + Sync,
     KE: BaseKernel<E> + Clone + Send + Sync,
 {
+    // an epoch nobody observed still shares the service's triangle: drop
+    // that share first so the flush below appends in place instead of
+    // paying a copy-on-write clone for a snapshot nobody will ever build
+    publisher.retire_unobserved();
     service.flush();
     publish(service, publisher);
 }
@@ -587,6 +960,237 @@ mod tests {
         assert_eq!(watch.latest().unwrap().epoch, last_epoch);
         assert_eq!(watch.snapshot_builds(), 1);
         scheduler.join();
+    }
+
+    // A second gate for the request-lane tests, so they never contend with
+    // the backpressure test's gate.
+    static REQUEST_GATE: Mutex<()> = Mutex::new(());
+
+    fn request_gated_hash(g: &Graph) -> u64 {
+        let _held = REQUEST_GATE.lock().unwrap();
+        graph_content_hash(g)
+    }
+
+    #[test]
+    fn requests_resolve_with_correct_values_and_cache_answers() {
+        let scheduler = spawn_default();
+        let kernels = scheduler.kernel_client::<f32>();
+        let graphs = dataset(2, 101);
+        let direct = MarginalizedKernelSolver::unlabeled(SolverConfig::default())
+            .kernel(&graphs[0], &graphs[1])
+            .unwrap();
+
+        let ticket = kernels.request(graphs[0].clone(), graphs[1].clone()).unwrap();
+        let first = ticket.wait().expect("request must resolve");
+        assert!(first.converged);
+        assert!(first.nodal.is_some(), "a solved request carries its nodal vector");
+        assert!(
+            (first.value - direct.value).abs() <= 1e-4 * direct.value.abs(),
+            "request {} vs direct {}",
+            first.value,
+            direct.value
+        );
+
+        // the same pair again: answered from the cache, no second solve
+        let again = kernels.request(graphs[0].clone(), graphs[1].clone()).unwrap();
+        let second = again.wait().unwrap();
+        assert_eq!(second.value, first.value);
+        assert!(second.nodal.is_none(), "cache answers replay values, not vectors");
+
+        let svc = scheduler.join();
+        assert_eq!(svc.stats().request_solves, 1);
+        assert_eq!(svc.stats().request_cache_answers, 1);
+    }
+
+    #[test]
+    fn empty_requests_are_rejected_client_side() {
+        let scheduler = spawn_default();
+        let kernels = scheduler.kernel_client::<f32>();
+        let empty: Graph = Graph::from_edge_list(0, &[]);
+        let g = dataset(1, 107).pop().unwrap();
+        assert!(matches!(
+            kernels.request(empty.clone(), g.clone()),
+            Err(SchedulerError::EmptyStructure)
+        ));
+        assert!(matches!(kernels.try_request(g, empty), Err(SchedulerError::EmptyStructure)));
+        scheduler.join();
+    }
+
+    #[test]
+    fn coalesced_requests_for_one_pair_solve_once_and_all_wake() {
+        let gate = REQUEST_GATE.lock().unwrap();
+        let svc = service(GramServiceConfig::default()).with_content_hasher(request_gated_hash);
+        let scheduler = GramScheduler::spawn(svc, SchedulerConfig::default());
+        let producers = scheduler.client();
+        let kernels = scheduler.kernel_client::<f32>();
+        let graphs = dataset(3, 103);
+
+        // park the scheduler inside a gated flush, so every request below
+        // lands in one coalesced drain
+        producers.submit(graphs[2].clone()).unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        let tickets: Vec<_> = (0..6)
+            .map(|_| kernels.request(graphs[0].clone(), graphs[1].clone()).unwrap())
+            .collect();
+        drop(gate);
+
+        let values: Vec<f32> = tickets.iter().map(|t| t.wait().unwrap().value).collect();
+        assert!(values.iter().all(|v| v.is_finite()));
+        assert!(values.windows(2).all(|w| w[0] == w[1]), "all tickets share one answer");
+
+        let svc = scheduler.join();
+        assert_eq!(svc.stats().request_solves, 1, "six tickets, exactly one solve");
+        assert_eq!(svc.stats().requests_coalesced, 5);
+        assert_eq!(svc.stats().request_cache_answers, 0);
+    }
+
+    #[test]
+    fn opposite_orientations_never_share_a_transposed_nodal_vector() {
+        let gate = REQUEST_GATE.lock().unwrap();
+        let svc = service(GramServiceConfig::default()).with_content_hasher(request_gated_hash);
+        let scheduler = GramScheduler::spawn(svc, SchedulerConfig::default());
+        let producers = scheduler.client();
+        let kernels = scheduler.kernel_client::<f32>();
+        // different vertex counts, so a transposed nodal layout would be
+        // silently wrong rather than shape-checked
+        let graphs = dataset(3, 149);
+        let (a, b) = (graphs[0].clone(), graphs[1].clone());
+        assert_ne!(a.num_vertices(), b.num_vertices());
+
+        // park the scheduler so both orientations land in one drain
+        producers.submit(graphs[2].clone()).unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        let ab = kernels.request(a.clone(), b.clone()).unwrap();
+        let ba = kernels.request(b.clone(), a.clone()).unwrap();
+        drop(gate);
+
+        let first = ab.wait().unwrap();
+        let second = ba.wait().unwrap();
+        // the kernel is symmetric, so the values agree …
+        assert_eq!(first.value, second.value);
+        // … but the two orientations must not have shared one solve: the
+        // first solves (nodal in ITS orientation), the mirrored request is
+        // answered from the symmetric cache entry, value-only
+        assert_eq!(
+            first.nodal.expect("the solved orientation carries its nodal vector").len(),
+            a.num_vertices() * b.num_vertices()
+        );
+        assert!(second.nodal.is_none(), "no transposed vector may be handed out");
+
+        let svc = scheduler.join();
+        assert_eq!(svc.stats().request_solves, 1);
+        assert_eq!(svc.stats().request_cache_answers, 1);
+        assert_eq!(svc.stats().requests_coalesced, 0, "orientations must not coalesce");
+    }
+
+    #[test]
+    fn a_deadline_expiring_mid_queue_skips_the_solve() {
+        let gate = REQUEST_GATE.lock().unwrap();
+        let svc = service(GramServiceConfig::default()).with_content_hasher(request_gated_hash);
+        let scheduler = GramScheduler::spawn(svc, SchedulerConfig::default());
+        let producers = scheduler.client();
+        let kernels = scheduler.kernel_client::<f32>();
+        let graphs = dataset(3, 109);
+
+        producers.submit(graphs[2].clone()).unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        let ticket = kernels
+            .request_within(
+                graphs[0].clone(),
+                graphs[1].clone(),
+                std::time::Duration::from_millis(20),
+            )
+            .unwrap();
+        // the deadline passes while the request waits behind the gate
+        std::thread::sleep(std::time::Duration::from_millis(40));
+        drop(gate);
+
+        assert_eq!(ticket.wait(), Err(crate::ticket::RequestError::Expired));
+        let svc = scheduler.join();
+        assert_eq!(svc.stats().requests_expired, 1);
+        assert_eq!(svc.stats().request_solves, 0, "an expired request never occupies the solver");
+    }
+
+    #[test]
+    fn cancellation_by_drop_skips_the_solve() {
+        let gate = REQUEST_GATE.lock().unwrap();
+        let svc = service(GramServiceConfig::default()).with_content_hasher(request_gated_hash);
+        let scheduler = GramScheduler::spawn(svc, SchedulerConfig::default());
+        let producers = scheduler.client();
+        let kernels = scheduler.kernel_client::<f32>();
+        let graphs = dataset(3, 113);
+
+        producers.submit(graphs[2].clone()).unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        let ticket = kernels.request(graphs[0].clone(), graphs[1].clone()).unwrap();
+        drop(ticket);
+        drop(gate);
+
+        let svc = scheduler.join();
+        assert_eq!(svc.stats().requests_cancelled, 1);
+        assert_eq!(svc.stats().request_solves, 0, "a dropped ticket never occupies the solver");
+    }
+
+    #[test]
+    fn join_drains_outstanding_requests_before_shutdown() {
+        let scheduler = spawn_default();
+        let kernels = scheduler.kernel_client::<f32>();
+        let graphs = dataset(2, 127);
+        let ticket = kernels.request(graphs[0].clone(), graphs[1].clone()).unwrap();
+        // no wait before join: the drain must still answer the ticket
+        let svc = scheduler.join();
+        assert!(ticket.wait().is_ok(), "join must drain outstanding requests");
+        assert_eq!(svc.stats().request_solves, 1);
+        // post-shutdown requests observe closure at the channel
+        assert!(matches!(
+            kernels.request(graphs[0].clone(), graphs[1].clone()),
+            Err(SchedulerError::Closed)
+        ));
+    }
+
+    #[test]
+    fn a_panicking_scheduler_closes_outstanding_tickets() {
+        let panicking: fn(&Graph) -> u64 = |_| panic!("forced request-path panic");
+        let svc = service(GramServiceConfig::default()).with_content_hasher(panicking);
+        let scheduler = GramScheduler::spawn(svc, SchedulerConfig::default());
+        let kernels = scheduler.kernel_client::<f32>();
+        let graphs = dataset(2, 131);
+
+        let ticket = kernels.request(graphs[0].clone(), graphs[1].clone()).unwrap();
+        // the thread dies hashing the request pair; the ticket must close,
+        // not hang
+        assert_eq!(ticket.wait(), Err(crate::ticket::RequestError::Closed));
+        let propagated = catch_unwind(AssertUnwindSafe(move || scheduler.join()));
+        assert!(propagated.is_err(), "the scheduler panic was swallowed");
+    }
+
+    #[test]
+    fn typed_f64_requests_resolve_with_f64_nodal_vectors() {
+        let scheduler = spawn_default();
+        let kernels = scheduler.kernel_client::<f64>();
+        let graphs = dataset(2, 137);
+        let ticket = kernels.request(graphs[0].clone(), graphs[1].clone()).unwrap();
+        let result = ticket.wait().expect("typed request must resolve");
+        assert!(result.converged);
+        assert_eq!(result.value, result.value_f64, "f64 results carry the full value");
+        let nodal = result.nodal.expect("typed solved requests carry nodal vectors");
+        assert!(nodal.iter().all(|v: &f64| v.is_finite()));
+        let svc = scheduler.join();
+        assert_eq!(svc.stats().request_solves, 1);
+    }
+
+    #[test]
+    fn unwatched_scheduler_flushes_never_copy_the_triangle() {
+        let scheduler = spawn_default();
+        let client = scheduler.client();
+        // several admitting flushes, each publishing an epoch nobody
+        // observes: retirement must keep every flush copy-free
+        for g in dataset(4, 139) {
+            client.submit(g).unwrap();
+            client.flush().unwrap();
+        }
+        let svc = scheduler.join();
+        assert_eq!(svc.stats().triangle_copies, 0, "unwatched publication must be O(1)");
     }
 
     #[test]

@@ -49,10 +49,12 @@ impl std::fmt::Display for WatchClosed {
 impl std::error::Error for WatchClosed {}
 
 /// One published epoch: the source, and the dense snapshot once some
-/// consumer demanded it. `OnceLock` deduplicates concurrent first builds;
-/// the build *consumes* the source (it is dead weight next to the dense
-/// matrix once materialized), so a retained epoch holds either the
-/// triangle or the matrix, never both.
+/// consumer demanded it. The build *consumes* the source (it is dead
+/// weight next to the dense matrix once materialized), so a retained epoch
+/// holds either the triangle or the matrix, never both — and a source the
+/// publisher [retired](SnapshotPublisher::retire_unobserved) before anyone
+/// built it holds neither (`materialize` then reports `None` and waiters
+/// keep waiting for the successor epoch that is already being flushed).
 #[derive(Debug)]
 struct PublishedEpoch {
     source: Mutex<Option<SnapshotSource>>,
@@ -64,19 +66,34 @@ impl PublishedEpoch {
         PublishedEpoch { source: Mutex::new(Some(source)), built: OnceLock::new() }
     }
 
-    /// The materialized snapshot, building it on first demand and counting
-    /// the build in `builds`.
-    fn materialize(&self, builds: &AtomicU64) -> Arc<GramSnapshot> {
-        Arc::clone(self.built.get_or_init(|| {
-            builds.fetch_add(1, Ordering::Relaxed);
-            let source = self
-                .source
-                .lock()
-                .unwrap()
-                .take()
-                .expect("the source is consumed exactly once, by this init");
-            Arc::new(source.build())
-        }))
+    /// The materialized snapshot, building it on first demand (counted in
+    /// `builds`), or `None` if the publisher retired the source before any
+    /// consumer observed this epoch.
+    ///
+    /// The source mutex is held across the build so a concurrent retirement
+    /// cannot yank the triangle from under the building consumer: whoever
+    /// locks first wins, the other sees the outcome.
+    fn materialize(&self, builds: &AtomicU64) -> Option<Arc<GramSnapshot>> {
+        if let Some(built) = self.built.get() {
+            return Some(Arc::clone(built));
+        }
+        let mut source = self.source.lock().unwrap();
+        // a concurrent first observer may have built while this consumer
+        // waited on the lock
+        if let Some(built) = self.built.get() {
+            return Some(Arc::clone(built));
+        }
+        let taken = source.take()?;
+        builds.fetch_add(1, Ordering::Relaxed);
+        let built = Arc::new(taken.build());
+        self.built.set(Arc::clone(&built)).expect("first build under the source lock");
+        drop(source);
+        Some(built)
+    }
+
+    /// Whether some consumer has materialized this epoch.
+    fn is_built(&self) -> bool {
+        self.built.get().is_some()
     }
 }
 
@@ -145,7 +162,10 @@ impl SnapshotWatch {
     ///
     /// The first call per epoch materializes the dense matrix from the
     /// published source; repeat polls of the same epoch cost a mutex lock
-    /// and an `Arc` clone.
+    /// and an `Arc` clone. During the brief window in which the publisher
+    /// has retired an epoch nobody observed and its successor's flush is
+    /// still running, there is nothing to materialize and `None` is
+    /// returned (exactly as before the first publication).
     pub fn latest(&self) -> Option<VersionedSnapshot> {
         let (epoch, published) = {
             let slot = self.shared.slot.lock().unwrap();
@@ -153,7 +173,9 @@ impl SnapshotWatch {
         };
         // build outside the slot lock: a large materialization must not
         // block the publisher or other consumers on different epochs
-        published.map(|p| VersionedSnapshot { epoch, snapshot: p.materialize(&self.shared.builds) })
+        published.and_then(|p| {
+            Some(VersionedSnapshot { epoch, snapshot: p.materialize(&self.shared.builds)? })
+        })
     }
 
     /// Block until a snapshot with an epoch strictly newer than `epoch` is
@@ -172,10 +194,17 @@ impl SnapshotWatch {
                 if let Some(p) = &slot.published {
                     let (found, p) = (slot.epoch, Arc::clone(p));
                     drop(slot);
-                    return Ok(VersionedSnapshot {
-                        epoch: found,
-                        snapshot: p.materialize(&self.shared.builds),
-                    });
+                    if let Some(snapshot) = p.materialize(&self.shared.builds) {
+                        return Ok(VersionedSnapshot { epoch: found, snapshot });
+                    }
+                    // the epoch was retired unobserved while its successor
+                    // flushes: re-examine the slot; if nothing newer has
+                    // landed yet, fall through to the condvar wait for the
+                    // successor's publication (or closure)
+                    slot = self.shared.slot.lock().unwrap();
+                    if slot.epoch > found {
+                        continue;
+                    }
                 }
             }
             if slot.closed {
@@ -199,6 +228,31 @@ impl SnapshotPublisher {
         slot.published = Some(Arc::new(PublishedEpoch::new(source)));
         drop(slot);
         self.shared.newer.notify_all();
+    }
+
+    /// Release the current epoch's snapshot *source* if no consumer ever
+    /// materialized it — called by the scheduler right before a flush that
+    /// will republish, so an unwatched epoch's `Arc`-shared triangle is
+    /// dropped *before* the service mutates it (unwatched flushes then
+    /// never pay the copy-on-write clone; see
+    /// `ServiceStats::triangle_copies`).
+    ///
+    /// Consumers remain safe: an already-built epoch is untouched, a
+    /// consumer mid-build holds the source lock until its build lands, and
+    /// a `wait_newer`/`latest` that races the retirement simply waits for
+    /// (or polls until) the successor epoch the flush is about to publish.
+    pub fn retire_unobserved(&self) {
+        let published = {
+            let slot = self.shared.slot.lock().unwrap();
+            slot.published.as_ref().map(Arc::clone)
+        };
+        if let Some(p) = published {
+            if !p.is_built() {
+                // drop the triangle share; materialize() reports None to
+                // any racing first observer, who then awaits the successor
+                p.source.lock().unwrap().take();
+            }
+        }
     }
 
     /// Close the watch: every current and future waiter observes
@@ -309,6 +363,36 @@ mod tests {
         assert_eq!(watch.snapshot_builds(), 1);
         assert_eq!(watch.latest().unwrap().epoch, 4);
         assert_eq!(watch.snapshot_builds(), 2);
+    }
+
+    #[test]
+    fn retire_unobserved_releases_the_source_and_waiters_get_the_successor() {
+        let (publisher, watch) = snapshot_channel();
+        publisher.publish(1, source(2));
+        publisher.retire_unobserved();
+        // nothing to build: the epoch was never observed and is now retired
+        assert!(watch.latest().is_none());
+        assert_eq!(watch.snapshot_builds(), 0);
+
+        // a waiter in the retirement window blocks for the successor
+        // instead of spinning or erroring
+        let w = watch.clone();
+        let waiter = std::thread::spawn(move || w.wait_newer(0).map(|v| v.epoch));
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        publisher.publish(2, source(3));
+        assert_eq!(waiter.join().unwrap(), Ok(2));
+        assert_eq!(watch.snapshot_builds(), 1, "only the successor was ever built");
+    }
+
+    #[test]
+    fn retire_unobserved_leaves_built_epochs_alone() {
+        let (publisher, watch) = snapshot_channel();
+        publisher.publish(1, source(4));
+        let before = watch.latest().unwrap();
+        publisher.retire_unobserved();
+        let after = watch.latest().expect("a built epoch survives retirement");
+        assert_eq!(after.epoch, 1);
+        assert!(Arc::ptr_eq(&before.snapshot, &after.snapshot));
     }
 
     #[test]

@@ -29,8 +29,10 @@
 //! * [`runtime`] — the serving layer: the persistent worker pool every
 //!   parallel region executes on, the streaming Gram service with
 //!   incremental extension, content-hash entry caching and warm-started
-//!   solves, and the background Gram scheduler (microsecond submissions
-//!   over a bounded command channel, versioned snapshot watch).
+//!   solves, the background Gram scheduler (microsecond submissions over a
+//!   bounded command channel, versioned snapshot watch), and the
+//!   request-scoped `KernelClient` (per-pair tickets with coalescing,
+//!   deadlines, cancellation and typed `KernelResult<T>` answers).
 //!
 //! # Quickstart
 //!
@@ -72,7 +74,7 @@ pub mod prelude {
     pub use mgk_linalg::{LinearOperator, Precision, Scalar, SolveOptions, TrafficCounters};
     pub use mgk_reorder::ReorderMethod;
     pub use mgk_runtime::{
-        GramClient, GramScheduler, GramService, GramServiceConfig, Pool, SchedulerConfig,
-        SnapshotWatch,
+        GramClient, GramScheduler, GramService, GramServiceConfig, KernelClient, Pool,
+        RequestError, SchedulerConfig, SnapshotWatch, Ticket,
     };
 }

@@ -46,9 +46,21 @@ fn prelude_reexports_resolve() {
     // runtime: the persistent pool and the streaming Gram service
     assert!(Pool::global().max_parallelism() >= 1);
     let mut service = GramService::new(solver, GramServiceConfig::default());
-    service.submit(g).unwrap();
+    service.submit(g.clone()).unwrap();
     let snapshot = service.snapshot();
     assert_eq!(snapshot.num_graphs, 1);
+
+    // the request-scoped serving surface: scheduler, typed client, ticket
+    let scheduler = GramScheduler::spawn(service, SchedulerConfig::default());
+    let kernels: KernelClient<_, _, f32> = scheduler.kernel_client::<f32>();
+    let ticket: Ticket<KernelResult> = kernels.request(g.clone(), g).unwrap();
+    match ticket.wait() {
+        Ok(result) => assert!(result.converged),
+        Err(RequestError::Expired | RequestError::Closed | RequestError::Solver(_)) => {
+            panic!("an undisturbed request must resolve")
+        }
+    }
+    scheduler.join();
 }
 
 /// All eleven crate-level facade modules resolve.
@@ -85,6 +97,7 @@ fn example_inventory_matches() {
         "property_regression.rs",
         "protein_contact_maps.rs",
         "quickstart.rs",
+        "request_serving.rs",
     ];
     assert_eq!(found, expected, "examples/ changed; update this inventory and the README");
 }
