@@ -1,0 +1,121 @@
+//! Criterion micro-benchmark of the bitmap-driven tile-pair kernels
+//! against the retained scalar reference, per primitive and tile
+//! population.
+//!
+//! Three implementations per `(primitive, nnz)` point:
+//!
+//! * `scalar/*` — the branching per-element reference
+//!   (`tile_pair_product_scalar`);
+//! * `bitmap/*` — the branchless bitmap kernels including per-call panel
+//!   construction (`tile_pair_product`), the cost a one-off caller pays;
+//! * `panels/*` — the bitmap kernels with panels prebuilt
+//!   (`tile_pair_product_with_panels`), the amortized cost the operator
+//!   pays once per tile pair inside a sweep.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mgk_bench::bench_rng;
+use mgk_core::octile_ops::{
+    tile_pair_product, tile_pair_product_scalar, tile_pair_product_with_panels, PairContext,
+    PaneledTile, TileCosts, TilePanels, TileProductKind,
+};
+use mgk_gpusim::TrafficCounters;
+use mgk_kernels::SquareExponential;
+use mgk_tile::Octile;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+fn random_octile<R: Rng>(nnz: usize, rng: &mut R) -> Octile<f32> {
+    let mut positions: Vec<u8> = (0..64).collect();
+    positions.shuffle(rng);
+    let mut chosen: Vec<u8> = positions[..nnz].to_vec();
+    chosen.sort_unstable();
+    let mut mask = 0u64;
+    let mut weights = Vec::new();
+    let mut labels = Vec::new();
+    for &bit in &chosen {
+        mask |= 1u64 << bit;
+        weights.push(rng.gen_range(0.1..1.0));
+        labels.push(rng.gen_range(0.0..3.0));
+    }
+    Octile { row: 0, col: 0, mask, weights, labels }
+}
+
+fn bench_octile_kernels(c: &mut Criterion) {
+    let mut rng = bench_rng();
+    let kernel = SquareExponential::new(1.0);
+    let costs = TileCosts { label_bytes: 4, float_bytes: 4, kernel_flops: 11 };
+    let p = vec![0.5f32; 64];
+
+    let mut group = c.benchmark_group("octile_kernels");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    for nnz in [4usize, 16, 64] {
+        let t1 = random_octile(nnz, &mut rng);
+        let t2 = random_octile(nnz, &mut rng);
+        let panels1 = TilePanels::new(&t1);
+        let panels2 = TilePanels::new(&t2);
+        for kind in [
+            TileProductKind::SparseSparse,
+            TileProductKind::DenseSparse,
+            TileProductKind::DenseDense,
+        ] {
+            let point = format!("{}/{nnz}", kind.name());
+            group.bench_function(BenchmarkId::new("scalar", &point), |b| {
+                b.iter(|| {
+                    let mut y = vec![0.0f32; 64];
+                    let mut counters = TrafficCounters::new();
+                    tile_pair_product_scalar(
+                        kind,
+                        &t1,
+                        &t2,
+                        PairContext { n: 8, m: 8, kernel: &kernel, costs: &costs },
+                        &p,
+                        &mut y,
+                        &mut counters,
+                    );
+                    y
+                })
+            });
+            group.bench_function(BenchmarkId::new("bitmap", &point), |b| {
+                b.iter(|| {
+                    let mut y = vec![0.0f32; 64];
+                    let mut counters = TrafficCounters::new();
+                    tile_pair_product(
+                        kind,
+                        &t1,
+                        &t2,
+                        8,
+                        8,
+                        &kernel,
+                        &costs,
+                        &p,
+                        &mut y,
+                        &mut counters,
+                    );
+                    y
+                })
+            });
+            group.bench_function(BenchmarkId::new("panels", &point), |b| {
+                b.iter(|| {
+                    let mut y = vec![0.0f32; 64];
+                    let mut counters = TrafficCounters::new();
+                    tile_pair_product_with_panels(
+                        kind,
+                        PaneledTile { tile: &t1, panels: &panels1 },
+                        PaneledTile { tile: &t2, panels: &panels2 },
+                        PairContext { n: 8, m: 8, kernel: &kernel, costs: &costs },
+                        &p,
+                        &mut y,
+                        &mut counters,
+                    );
+                    y
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_octile_kernels);
+criterion_main!(benches);

@@ -22,10 +22,10 @@
 //! per-primitive cycle estimate that mirrors the GPU execution efficiency
 //! of each variant.
 
-use mgk_gpusim::TrafficCounters;
+use mgk_gpusim::{octile_pair_traffic, OctilePairShape, TrafficCounters};
 use mgk_kernels::BaseKernel;
 use mgk_linalg::Scalar;
-use mgk_tile::{Octile, TILE_SIZE};
+use mgk_tile::{Octile, TILE_AREA, TILE_SIZE};
 
 /// Which tile-pair primitive to use.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -104,6 +104,40 @@ pub fn select_kind(nnz1: usize, nnz2: usize, x: usize) -> TileProductKind {
     best
 }
 
+/// Precomputed 65×65 decision table for [`select_kind`], keyed by
+/// `(nnz1, nnz2)`.
+///
+/// The adaptive rule only depends on the two tile populations and the
+/// base-kernel FLOP count, so an operator that sweeps every tile pair of a
+/// graph pair can evaluate the three [`estimated_cycles`] candidates once
+/// per population pair at assembly time and reduce the per-pair selection
+/// to a table lookup.
+#[derive(Debug, Clone)]
+pub struct KindTable {
+    kinds: [[TileProductKind; TILE_AREA + 1]; TILE_AREA + 1],
+}
+
+impl KindTable {
+    /// Build the decision table for a base kernel costing `kernel_flops`
+    /// FLOPs per evaluation.
+    pub fn new(kernel_flops: usize) -> Self {
+        let mut kinds = [[TileProductKind::DenseDense; TILE_AREA + 1]; TILE_AREA + 1];
+        for (n1, row) in kinds.iter_mut().enumerate() {
+            for (n2, slot) in row.iter_mut().enumerate() {
+                *slot = select_kind(n1, n2, kernel_flops);
+            }
+        }
+        KindTable { kinds }
+    }
+
+    /// The primitive [`select_kind`] would pick for a tile pair with
+    /// `nnz1`/`nnz2` nonzeros.
+    #[inline]
+    pub fn get(&self, nnz1: usize, nnz2: usize) -> TileProductKind {
+        self.kinds[nnz1][nnz2]
+    }
+}
+
 /// Cost metadata threaded through the tile product (byte sizes and FLOP
 /// count of the base kernel).
 #[derive(Debug, Clone, Copy)]
@@ -116,15 +150,77 @@ pub struct TileCosts {
     pub kernel_flops: usize,
 }
 
+/// Precomputed bitmap-derived views of one octile, shared by the branchless
+/// tile-pair kernels: dense row-major and transposed (column-major)
+/// expansions of the payload, per-column occupancy masks, and the scatter
+/// positions of each packed nonzero in both layouts.
+///
+/// Building the panels costs `O(nnz)` per tile; an operator sweeping all
+/// tile pairs of a graph pair builds them once per tile and amortizes the
+/// cost across the whole sweep (see `ProductSystem`). The standalone
+/// [`tile_pair_product`] entry builds them per call.
+#[derive(Debug, Clone)]
+pub struct TilePanels<E> {
+    /// Row-major dense weights (`w[r * 8 + c]`), zero in the empty slots.
+    pub weights: [f32; TILE_AREA],
+    /// Transposed dense weights (`w[c * 8 + r]`).
+    pub weights_t: [f32; TILE_AREA],
+    /// Row-major dense labels, `E::default()` in the empty slots.
+    pub labels: [E; TILE_AREA],
+    /// Transposed dense labels.
+    pub labels_t: [E; TILE_AREA],
+    /// Per-column occupancy masks (bit `r` of byte `c`).
+    pub col_masks: [u8; TILE_SIZE],
+    /// Row-major position of the `k`-th packed nonzero.
+    pub pos: [u8; TILE_AREA],
+    /// Transposed position of the `k`-th packed nonzero.
+    pub pos_t: [u8; TILE_AREA],
+    /// Number of nonzeros (valid prefix length of `pos`/`pos_t`).
+    pub nnz: usize,
+}
+
+impl<E: Copy + Default> TilePanels<E> {
+    /// Expand one octile's bitmap and packed payload into dense panels.
+    pub fn new(tile: &Octile<E>) -> Self {
+        let mut panels = TilePanels {
+            weights: [0.0; TILE_AREA],
+            weights_t: [0.0; TILE_AREA],
+            labels: [E::default(); TILE_AREA],
+            labels_t: [E::default(); TILE_AREA],
+            col_masks: tile.col_masks(),
+            pos: [0; TILE_AREA],
+            pos_t: [0; TILE_AREA],
+            nnz: 0,
+        };
+        for (k, (r, c, w, l)) in tile.iter().enumerate() {
+            let rm = r * TILE_SIZE + c;
+            let tr = c * TILE_SIZE + r;
+            panels.weights[rm] = w;
+            panels.weights_t[tr] = w;
+            panels.labels[rm] = l;
+            panels.labels_t[tr] = l;
+            panels.pos[k] = rm as u8;
+            panels.pos_t[k] = tr as u8;
+            panels.nnz = k + 1;
+        }
+        panels
+    }
+}
+
 /// Accumulate the product of one pair of octiles into the output vector.
 ///
 /// `t1` is a tile of the first graph (tile row `I`, tile column `J`), `t2`
-/// of the second (`I'`, `J'`); `n`/`m` are the vertex counts of the two
-/// graphs, `p` the right-hand side of length `n·m`, `y` the output of the
-/// same length. Generic over the vector [`Scalar`]: tile weights and
+/// of the second (`I'`, `I'`→`J'`); `n`/`m` are the vertex counts of the
+/// two graphs, `p` the right-hand side of length `n·m`, `y` the output of
+/// the same length. Generic over the vector [`Scalar`]: tile weights and
 /// base-kernel values are stored in `f32` and each factor is widened
 /// through [`Scalar::from_f32`] before multiplying, so the `f64`
 /// instantiation forms the exact product of the stored operands.
+///
+/// This entry expands both tiles' [`TilePanels`] per call and dispatches to
+/// the bitmap-driven kernels of [`tile_pair_product_with_panels`]; the
+/// results are bit-for-bit identical to [`tile_pair_product_scalar`] at
+/// every precision.
 #[allow(clippy::too_many_arguments)]
 pub fn tile_pair_product<T: Scalar, E: Copy + Default, K: BaseKernel<E>>(
     kind: TileProductKind,
@@ -138,6 +234,279 @@ pub fn tile_pair_product<T: Scalar, E: Copy + Default, K: BaseKernel<E>>(
     y: &mut [T],
     counters: &mut TrafficCounters,
 ) {
+    let panels1 = TilePanels::new(t1);
+    let panels2 = TilePanels::new(t2);
+    tile_pair_product_with_panels(
+        kind,
+        PaneledTile { tile: t1, panels: &panels1 },
+        PaneledTile { tile: t2, panels: &panels2 },
+        PairContext { n, m, kernel, costs },
+        p,
+        y,
+        counters,
+    );
+}
+
+/// One octile plus its precomputed [`TilePanels`] — the unit the
+/// panel-amortized entry point consumes. The operator builds the panels
+/// once per tile at assembly and pairs them back up here for every tile
+/// pair of the sweep.
+#[derive(Clone, Copy)]
+pub struct PaneledTile<'a, E> {
+    /// The packed tile.
+    pub tile: &'a Octile<E>,
+    /// Its bitmap-derived dense and transposed panels.
+    pub panels: &'a TilePanels<E>,
+}
+
+/// The context shared by every tile pair of one graph-pair sweep: problem
+/// dimensions, base kernel and the cost metadata of the traffic closed
+/// forms.
+#[derive(Clone, Copy)]
+pub struct PairContext<'a, K> {
+    /// First graph's vertex count (row blocks of the product system).
+    pub n: usize,
+    /// Second graph's vertex count (column blocks).
+    pub m: usize,
+    /// Base kernel evaluated per edge-label pair.
+    pub kernel: &'a K,
+    /// Byte sizes and FLOP count threaded into the traffic closed forms.
+    pub costs: &'a TileCosts,
+}
+
+/// Bitmap-driven tile-pair product over precomputed [`TilePanels`] — the
+/// hot-path entry used by the octile operator, which builds the panels once
+/// per tile and reuses them across the whole tile-pair sweep.
+///
+/// The three primitives are restructured around the 64-bit occupancy
+/// bitmaps so the inner loops are branchless fixed-8-lane sweeps (see the
+/// private kernels below). Every inserted term at an empty slot is an exact
+/// `±0.0` — base kernels return finite values in `[0, 1]` by contract — so
+/// each output element accumulates the same nonzero terms in the same
+/// order, at the same associativity, as [`tile_pair_product_scalar`]: the
+/// results are bitwise identical at `f32` and `f64`. Traffic is attributed
+/// through the per-pair closed forms of
+/// [`mgk_gpusim::octile_pair_traffic`], which match the scalar reference's
+/// totals exactly.
+pub fn tile_pair_product_with_panels<T: Scalar, E: Copy + Default, K: BaseKernel<E>>(
+    kind: TileProductKind,
+    s1: PaneledTile<'_, E>,
+    s2: PaneledTile<'_, E>,
+    ctx: PairContext<'_, K>,
+    p: &[T],
+    y: &mut [T],
+    counters: &mut TrafficCounters,
+) {
+    let PairContext { n, m, kernel, costs } = ctx;
+    let (t1, t2) = (s1.tile, s2.tile);
+    debug_assert_eq!(p.len(), n * m);
+    debug_assert_eq!(y.len(), n * m);
+    let fb = costs.float_bytes as u64;
+    let eb = costs.label_bytes as u64;
+    let vb = T::BYTES;
+    let xf = costs.kernel_flops as u64;
+    match kind {
+        TileProductKind::SparseSparse => {
+            counters.accumulate(&octile_pair_traffic(
+                OctilePairShape::SparseSparse { nnz1: t1.nnz() as u64, nnz2: t2.nnz() as u64 },
+                eb,
+                fb,
+                vb,
+                xf,
+            ));
+            sparse_outer_lanes(t1, s2, m, kernel, p, y);
+        }
+        TileProductKind::DenseSparse => {
+            // orient exactly like the scalar reference: the first tile is
+            // "sparse" on ties, so the iteration order (and therefore the
+            // floating-point result) matches
+            let sparse_is_first = t1.nnz() <= t2.nnz();
+            let (dense, dense_dim) = if sparse_is_first { (t2, m) } else { (t1, n) };
+            let drow = dense.row as usize * TILE_SIZE;
+            let rows_in_range = TILE_SIZE.min(dense_dim.saturating_sub(drow)) as u64;
+            let nnz_sparse = t1.nnz().min(t2.nnz()) as u64;
+            counters.accumulate(&octile_pair_traffic(
+                OctilePairShape::DenseSparse { nnz_sparse, rows_in_range },
+                eb,
+                fb,
+                vb,
+                xf,
+            ));
+            if sparse_is_first {
+                sparse_outer_lanes(t1, s2, m, kernel, p, y);
+            } else {
+                dense_rows_direct(t2, s1, (n, m), kernel, p, y);
+            }
+        }
+        TileProductKind::DenseDense => {
+            counters.accumulate(&octile_pair_traffic(OctilePairShape::DenseDense, eb, fb, vb, xf));
+            dense_dense_blocked(s1, s2, (n, m), kernel, p, y);
+        }
+    }
+}
+
+/// Sparse-outer bitmap-expansion kernel: walk the sparse tile's nonzeros
+/// (a tile of the first graph) and fan each one across the dense tile's
+/// transposed panels with a fixed 8-lane inner loop over the dense tile's
+/// local rows — contiguous in `y`. Serves both the sparse×sparse primitive
+/// and the mixed primitive when the first operand is the sparser one.
+///
+/// The base-kernel evaluations are hoisted out of the lane loop: per sparse
+/// nonzero the kernel is evaluated once against each of the dense tile's
+/// packed labels and scattered into a transposed panel, leaving the
+/// innermost loop a branchless multiply-accumulate.
+fn sparse_outer_lanes<T: Scalar, E: Copy + Default, K: BaseKernel<E>>(
+    sp: &Octile<E>,
+    dense: PaneledTile<'_, E>,
+    m: usize,
+    kernel: &K,
+    p: &[T],
+    y: &mut [T],
+) {
+    let (dn, dn_panels) = (dense.tile, dense.panels);
+    let (srow, scol) = (sp.row as usize * TILE_SIZE, sp.col as usize * TILE_SIZE);
+    let (drow, dcol) = (dn.row as usize * TILE_SIZE, dn.col as usize * TILE_SIZE);
+    let lanes = TILE_SIZE.min(m.saturating_sub(drow));
+    let wt = &dn_panels.weights_t;
+    let col_masks = dn_panels.col_masks;
+    let nnzd = dn_panels.nnz;
+    // empty slots stay zero across all outer iterations: nonzero slots are
+    // rewritten for every sparse element, zero slots never contribute
+    // because the paired transposed weight there is exactly zero
+    let mut ket = [0.0f32; TILE_AREA];
+    for (i, j, w1, l1) in sp.iter() {
+        for k in 0..nnzd {
+            ket[dn_panels.pos_t[k] as usize] = kernel.eval(&l1, &dn.labels[k]);
+        }
+        let w1t = T::from_f32(w1);
+        let yrow = (srow + i) * m + drow;
+        let prow = (scol + j) * m + dcol;
+        for jp in 0..TILE_SIZE {
+            // a set column mask bit also proves `dcol + jp` is in range
+            if col_masks[jp] == 0 {
+                continue;
+            }
+            let ps = p[prow + jp];
+            let base = jp * TILE_SIZE;
+            for ip in 0..lanes {
+                y[yrow + ip] +=
+                    ((w1t * T::from_f32(wt[base + ip])) * T::from_f32(ket[base + ip])) * ps;
+            }
+        }
+    }
+}
+
+/// Mixed primitive when the *second* tile is the sparser operand: the
+/// outputs for one sparse nonzero vary over the dense tile's rows with
+/// stride `m`, so lanes cannot stay contiguous in `y`. Instead each output
+/// element is accumulated in a register over a branchless sweep of one
+/// dense panel row, with the kernel evaluations scattered into a row-major
+/// panel first.
+fn dense_rows_direct<T: Scalar, E: Copy + Default, K: BaseKernel<E>>(
+    sp: &Octile<E>,
+    dense: PaneledTile<'_, E>,
+    (n, m): (usize, usize),
+    kernel: &K,
+    p: &[T],
+    y: &mut [T],
+) {
+    let (dn, dn_panels) = (dense.tile, dense.panels);
+    let (srow, scol) = (sp.row as usize * TILE_SIZE, sp.col as usize * TILE_SIZE);
+    let (drow, dcol) = (dn.row as usize * TILE_SIZE, dn.col as usize * TILE_SIZE);
+    let dimax = TILE_SIZE.min(n.saturating_sub(drow));
+    let djmax = TILE_SIZE.min(n.saturating_sub(dcol));
+    let dw = &dn_panels.weights;
+    let nnzd = dn_panels.nnz;
+    let mut kev = [0.0f32; TILE_AREA];
+    for (si, sj, sw, sl) in sp.iter() {
+        for k in 0..nnzd {
+            kev[dn_panels.pos[k] as usize] = kernel.eval(&sl, &dn.labels[k]);
+        }
+        let swt = T::from_f32(sw);
+        let gip = srow + si;
+        let gjp = scol + sj;
+        for di in 0..dimax {
+            let yi = (drow + di) * m + gip;
+            let base = di * TILE_SIZE;
+            // a register chain over the row is the same addition sequence
+            // as the reference's repeated `y[yi] += …`
+            let mut acc = y[yi];
+            for dj in 0..djmax {
+                acc += ((swt * T::from_f32(dw[base + dj])) * T::from_f32(kev[base + dj]))
+                    * p[(dcol + dj) * m + gjp];
+            }
+            y[yi] = acc;
+        }
+    }
+}
+
+/// Register-blocked dense×dense kernel: both payloads expanded to panels,
+/// the second tile transposed so the inner 8-lane loop runs over its local
+/// rows (`ip`) — contiguous in the accumulator block and in `y`. Rows of
+/// the first tile with zero weight are skipped (they contribute only zero
+/// terms); all other terms accumulate per output in the same `(j, jp)`
+/// order as the scalar reference.
+fn dense_dense_blocked<T: Scalar, E: Copy + Default, K: BaseKernel<E>>(
+    s1: PaneledTile<'_, E>,
+    s2: PaneledTile<'_, E>,
+    (n, m): (usize, usize),
+    kernel: &K,
+    p: &[T],
+    y: &mut [T],
+) {
+    let (t1, panels1) = (s1.tile, s1.panels);
+    let (t2, panels2) = (s2.tile, s2.panels);
+    let (row1, col1) = (t1.row as usize * TILE_SIZE, t1.col as usize * TILE_SIZE);
+    let (row2, col2) = (t2.row as usize * TILE_SIZE, t2.col as usize * TILE_SIZE);
+    let imax = TILE_SIZE.min(n.saturating_sub(row1));
+    let jmax = TILE_SIZE.min(n.saturating_sub(col1));
+    let ipmax = TILE_SIZE.min(m.saturating_sub(row2));
+    let jpmax = TILE_SIZE.min(m.saturating_sub(col2));
+    let w1 = &panels1.weights;
+    let l1 = &panels1.labels;
+    let w2t = &panels2.weights_t;
+    let l2t = &panels2.labels_t;
+    for i in 0..imax {
+        let mut acc = [T::ZERO; TILE_SIZE];
+        for j in 0..jmax {
+            let a1 = w1[i * TILE_SIZE + j];
+            if a1 == 0.0 {
+                continue;
+            }
+            let a1t = T::from_f32(a1);
+            let l1e = l1[i * TILE_SIZE + j];
+            let pbase = (col1 + j) * m + col2;
+            for jp in 0..jpmax {
+                let ps = p[pbase + jp];
+                let base = jp * TILE_SIZE;
+                for (ip, a) in acc.iter_mut().enumerate() {
+                    *a += ((a1t * T::from_f32(w2t[base + ip]))
+                        * T::from_f32(kernel.eval(&l1e, &l2t[base + ip])))
+                        * ps;
+                }
+            }
+        }
+        for (ip, &a) in acc.iter().enumerate().take(ipmax) {
+            y[(row1 + i) * m + row2 + ip] += a;
+        }
+    }
+}
+
+/// The retained scalar reference implementation of the tile-pair product —
+/// per-element bitmap walking with `w == 0.0` branches, exactly as the
+/// kernels were first written. The bitmap kernels above are proven against
+/// it bit-for-bit (unit tests here, property tests in `tests/`), and the
+/// `octile_kernels` bench compares the two.
+pub fn tile_pair_product_scalar<T: Scalar, E: Copy + Default, K: BaseKernel<E>>(
+    kind: TileProductKind,
+    t1: &Octile<E>,
+    t2: &Octile<E>,
+    ctx: PairContext<'_, K>,
+    p: &[T],
+    y: &mut [T],
+    counters: &mut TrafficCounters,
+) {
+    let PairContext { n, m, kernel, costs } = ctx;
     debug_assert_eq!(p.len(), n * m);
     debug_assert_eq!(y.len(), n * m);
     let row1 = t1.row as usize * TILE_SIZE;
@@ -366,22 +735,24 @@ mod tests {
 
     #[test]
     fn selection_rule_reproduces_figure_8_crossovers() {
+        // the hot path reads the precomputed decision table; pin the Fig. 8
+        // crossovers to the table itself
+        let unl_table = KindTable::new(3);
+        let lab_table = KindTable::new(11);
         // unlabeled graphs: X = 3
-        let unl = 3;
-        assert_eq!(select_kind(4, 4, unl), TileProductKind::SparseSparse);
-        assert_eq!(select_kind(8, 8, unl), TileProductKind::SparseSparse);
-        assert_eq!(select_kind(16, 16, unl), TileProductKind::DenseDense);
-        assert_eq!(select_kind(64, 64, unl), TileProductKind::DenseDense);
+        assert_eq!(unl_table.get(4, 4), TileProductKind::SparseSparse);
+        assert_eq!(unl_table.get(8, 8), TileProductKind::SparseSparse);
+        assert_eq!(unl_table.get(16, 16), TileProductKind::DenseDense);
+        assert_eq!(unl_table.get(64, 64), TileProductKind::DenseDense);
         // strongly asymmetric pairs favour dense×sparse
-        assert_eq!(select_kind(2, 60, unl), TileProductKind::DenseSparse);
+        assert_eq!(unl_table.get(2, 60), TileProductKind::DenseSparse);
         // labeled graphs (X = 11): the sparse×sparse region extends further
-        let lab = 11;
-        assert_eq!(select_kind(12, 12, lab), TileProductKind::SparseSparse);
-        assert_eq!(select_kind(32, 32, lab), TileProductKind::DenseDense);
+        assert_eq!(lab_table.get(12, 12), TileProductKind::SparseSparse);
+        assert_eq!(lab_table.get(32, 32), TileProductKind::DenseDense);
         let threshold_unlabeled =
-            (1..=64).find(|&s| select_kind(s, s, unl) != TileProductKind::SparseSparse).unwrap();
+            (1..=64).find(|&s| unl_table.get(s, s) != TileProductKind::SparseSparse).unwrap();
         let threshold_labeled =
-            (1..=64).find(|&s| select_kind(s, s, lab) != TileProductKind::SparseSparse).unwrap();
+            (1..=64).find(|&s| lab_table.get(s, s) != TileProductKind::SparseSparse).unwrap();
         assert!(
             threshold_labeled > threshold_unlabeled,
             "labeled threshold {threshold_labeled} should exceed unlabeled {threshold_unlabeled}"
@@ -391,6 +762,121 @@ mod tests {
             "unlabeled threshold {threshold_unlabeled}"
         );
         assert!((12..=20).contains(&threshold_labeled), "labeled threshold {threshold_labeled}");
+    }
+
+    #[test]
+    fn kind_table_matches_select_kind_exhaustively() {
+        for flops in [1, 3, 11, 40] {
+            let table = KindTable::new(flops);
+            for n1 in 0..=TILE_AREA {
+                for n2 in 0..=TILE_AREA {
+                    assert_eq!(
+                        table.get(n1, n2),
+                        select_kind(n1, n2, flops),
+                        "table disagrees at ({n1}, {n2}) with X = {flops}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Run the full tile-pair sweep through either the bitmap kernels or
+    /// the scalar reference, returning the output and the traffic totals.
+    fn sweep<T: Scalar>(
+        scalar_reference: bool,
+        kind_for: impl Fn(usize, usize) -> TileProductKind,
+        g1: &Graph<Unlabeled, f32>,
+        g2: &Graph<Unlabeled, f32>,
+        kernel: &SquareExponential,
+        p: &[T],
+    ) -> (Vec<T>, TrafficCounters) {
+        let (n, m) = (g1.num_vertices(), g2.num_vertices());
+        let t1 = OctileMatrix::from_graph(g1);
+        let t2 = OctileMatrix::from_graph(g2);
+        let costs = costs();
+        let ctx = PairContext { n, m, kernel, costs: &costs };
+        let mut y = vec![T::ZERO; n * m];
+        let mut c = TrafficCounters::new();
+        for a in t1.tiles() {
+            for b in t2.tiles() {
+                let kind = kind_for(a.nnz(), b.nnz());
+                if scalar_reference {
+                    tile_pair_product_scalar(kind, a, b, ctx, p, &mut y, &mut c);
+                } else {
+                    tile_pair_product(kind, a, b, n, m, kernel, &costs, p, &mut y, &mut c);
+                }
+            }
+        }
+        (y, c)
+    }
+
+    /// Exact bitwise equality (distinguishing `±0.0`), via the exact
+    /// widening to `f64`.
+    fn bitwise_equal<T: Scalar>(a: &[T], b: &[T]) -> bool {
+        a.len() == b.len()
+            && a.iter().zip(b).all(|(x, y)| x.to_f64().to_bits() == y.to_f64().to_bits())
+    }
+
+    #[test]
+    fn bitmap_kernels_match_scalar_reference_bitwise() {
+        // edge tiles: neither 19, 13, 25 nor 9 is a multiple of 8
+        let pairs = [
+            (small_graph(1, 19, &[(0, 10), (3, 15)]), small_graph(2, 13, &[(1, 9)])),
+            (small_graph(3, 25, &[(0, 20), (5, 17), (2, 11)]), small_graph(4, 9, &[])),
+        ];
+        let kernel = SquareExponential::new(0.8);
+        for (g1, g2) in &pairs {
+            let nm = g1.num_vertices() * g2.num_vertices();
+            let p32: Vec<f32> = (0..nm).map(|k| ((k % 11) as f32) * 0.1 - 0.3).collect();
+            let p64: Vec<f64> = p32.iter().map(|&v| v as f64).collect();
+            for kind in [
+                TileProductKind::DenseDense,
+                TileProductKind::DenseSparse,
+                TileProductKind::SparseSparse,
+            ] {
+                let (y_new, _) = sweep(false, |_, _| kind, g1, g2, &kernel, &p32);
+                let (y_ref, _) = sweep(true, |_, _| kind, g1, g2, &kernel, &p32);
+                assert!(
+                    bitwise_equal(&y_new, &y_ref),
+                    "{} differs from the scalar reference at f32",
+                    kind.name()
+                );
+                let (d_new, _) = sweep(false, |_, _| kind, g1, g2, &kernel, &p64);
+                let (d_ref, _) = sweep(true, |_, _| kind, g1, g2, &kernel, &p64);
+                assert!(
+                    bitwise_equal(&d_new, &d_ref),
+                    "{} differs from the scalar reference at f64",
+                    kind.name()
+                );
+            }
+            // and under the adaptive table, as the operator runs it
+            let table = KindTable::new(costs().kernel_flops);
+            let (y_new, _) = sweep(false, |a, b| table.get(a, b), g1, g2, &kernel, &p32);
+            let (y_ref, _) = sweep(true, |a, b| table.get(a, b), g1, g2, &kernel, &p32);
+            assert!(bitwise_equal(&y_new, &y_ref));
+        }
+    }
+
+    #[test]
+    fn closed_form_counters_match_scalar_reference_totals() {
+        // the DenseSparse branch in particular counted per element in the
+        // scalar reference; the bitmap kernels attribute per-tile-pair
+        // closed forms — totals must be identical for identical work
+        let g1 = small_graph(1, 19, &[(0, 10), (3, 15), (2, 12)]);
+        let g2 = small_graph(2, 13, &[(1, 9), (0, 11)]);
+        let kernel = SquareExponential::new(1.0);
+        let p: Vec<f32> = (0..19 * 13).map(|k| ((k % 7) as f32) * 0.2 - 0.5).collect();
+        let table = KindTable::new(costs().kernel_flops);
+        for kind_for in [
+            Box::new(|_, _| TileProductKind::DenseDense) as Box<dyn Fn(usize, usize) -> _>,
+            Box::new(|_, _| TileProductKind::DenseSparse),
+            Box::new(|_, _| TileProductKind::SparseSparse),
+            Box::new(move |a, b| table.get(a, b)),
+        ] {
+            let (_, c_new) = sweep(false, &kind_for, &g1, &g2, &kernel, &p);
+            let (_, c_ref) = sweep(true, &kind_for, &g1, &g2, &kernel, &p);
+            assert_eq!(c_new, c_ref, "traffic totals diverge from the scalar reference");
+        }
     }
 
     #[test]

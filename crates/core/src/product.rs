@@ -27,7 +27,10 @@ use mgk_kernels::BaseKernel;
 use mgk_linalg::{kron_vec, kronecker::generalized_kron_vec, LinearOperator, Scalar};
 use mgk_tile::{OctileMatrix, TILE_SIZE};
 
-use crate::octile_ops::{select_kind, tile_pair_product, TileCosts, TileProductKind};
+use crate::octile_ops::{
+    tile_pair_product_with_panels, KindTable, PairContext, PaneledTile, TileCosts, TilePanels,
+    TileProductKind,
+};
 use crate::solver::{SolverConfig, XmvMode};
 use crate::xmv::{DensePairData, NaiveProduct, XmvPrimitive};
 
@@ -48,6 +51,17 @@ pub enum OffDiagonal<E> {
         tiles1: OctileMatrix<E>,
         /// Octiles of the second graph.
         tiles2: OctileMatrix<E>,
+        /// Expanded panels of `tiles1`, parallel to `tiles1.tiles()` —
+        /// built once at assembly so every CG iteration's tile-pair sweep
+        /// reuses them.
+        panels1: Vec<TilePanels<E>>,
+        /// Expanded panels of `tiles2`, parallel to `tiles2.tiles()`.
+        panels2: Vec<TilePanels<E>>,
+        /// Precomputed adaptive-selection table for the edge kernel's FLOP
+        /// cost; the per-pair decision is a lookup, not three cycle
+        /// estimates. Boxed so the 65×65 table does not dominate the enum's
+        /// inline size.
+        kinds: Box<KindTable>,
         /// Force a specific tile primitive, or `None` for the adaptive rule.
         forced_kind: Option<TileProductKind>,
         /// Use the compact (bitmap + packed payload) storage accounting.
@@ -116,17 +130,26 @@ where
             XmvMode::DenseOnTheFly(primitive) => {
                 OffDiagonal::Dense { data: DensePairData::new(g1, g2, &edge_kernel), primitive }
             }
-            XmvMode::Octile => OffDiagonal::Octile {
-                tiles1: OctileMatrix::from_graph(g1),
-                tiles2: OctileMatrix::from_graph(g2),
-                forced_kind: if config.adaptive_tiles {
-                    None
-                } else {
-                    Some(TileProductKind::DenseDense)
-                },
-                compact: config.compact_storage,
-                block_sharing: config.block_sharing.max(1),
-            },
+            XmvMode::Octile => {
+                let tiles1 = OctileMatrix::from_graph(g1);
+                let tiles2 = OctileMatrix::from_graph(g2);
+                let panels1 = tiles1.tiles().iter().map(TilePanels::new).collect();
+                let panels2 = tiles2.tiles().iter().map(TilePanels::new).collect();
+                OffDiagonal::Octile {
+                    tiles1,
+                    tiles2,
+                    panels1,
+                    panels2,
+                    kinds: Box::new(KindTable::new(cost.flops)),
+                    forced_kind: if config.adaptive_tiles {
+                        None
+                    } else {
+                        Some(TileProductKind::DenseDense)
+                    },
+                    compact: config.compact_storage,
+                    block_sharing: config.block_sharing.max(1),
+                }
+            }
         };
 
         ProductSystem {
@@ -205,7 +228,16 @@ where
             OffDiagonal::Dense { data, primitive } => {
                 primitive.apply(data, &self.edge_kernel, x, y, local)
             }
-            OffDiagonal::Octile { tiles1, tiles2, forced_kind, compact, block_sharing } => {
+            OffDiagonal::Octile {
+                tiles1,
+                tiles2,
+                panels1,
+                panels2,
+                kinds,
+                forced_kind,
+                compact,
+                block_sharing,
+            } => {
                 // tile payloads and labels keep their stored (f32) sizes at
                 // every vector precision; only right-hand-side and output
                 // traffic follow the vector scalar T
@@ -219,28 +251,29 @@ where
                         (TILE_SIZE * TILE_SIZE) as u64 * (fb + eb)
                     }
                 };
-                for t1 in tiles1.tiles() {
+                for (t1, p1) in tiles1.tiles().iter().zip(panels1) {
                     // the outer tile is loaded once and kept for the whole
                     // sweep over the inner graph
                     local.global_load_bytes += tile_bytes(t1);
-                    for t2 in tiles2.tiles() {
+                    let nnz1 = t1.nnz();
+                    for (t2, p2) in tiles2.tiles().iter().zip(panels2) {
                         // inner tiles are re-streamed for every outer tile;
                         // block-level sharing amortizes the load across the
                         // warps of a block (Section V-A)
                         local.global_load_bytes += tile_bytes(t2).div_ceil(*block_sharing as u64);
                         // the right-hand-side block for this tile pair
                         local.global_load_bytes += (TILE_SIZE * TILE_SIZE) as u64 * fb;
-                        let kind = forced_kind.unwrap_or_else(|| {
-                            select_kind(t1.nnz(), t2.nnz(), self.tile_costs.kernel_flops)
-                        });
-                        tile_pair_product(
+                        let kind = forced_kind.unwrap_or_else(|| kinds.get(nnz1, t2.nnz()));
+                        tile_pair_product_with_panels(
                             kind,
-                            t1,
-                            t2,
-                            self.n,
-                            self.m,
-                            &self.edge_kernel,
-                            &self.tile_costs,
+                            PaneledTile { tile: t1, panels: p1 },
+                            PaneledTile { tile: t2, panels: p2 },
+                            PairContext {
+                                n: self.n,
+                                m: self.m,
+                                kernel: &self.edge_kernel,
+                                costs: &self.tile_costs,
+                            },
                             x,
                             y,
                             local,

@@ -487,6 +487,14 @@ impl<KV, KE> MarginalizedKernelSolver<KV, KE> {
         }
         out
     }
+
+    /// Whether [`prepare`](Self::prepare) is the identity under this
+    /// configuration (no stopping-probability override, natural vertex
+    /// order). Serving layers use this to skip caching prepared structures
+    /// that would be plain clones of their inputs.
+    pub fn preparation_is_identity(&self) -> bool {
+        self.config.stopping_probability.is_none() && self.config.reorder == ReorderMethod::Natural
+    }
 }
 
 #[cfg(test)]

@@ -455,25 +455,38 @@ fn tiling_blocking<T: Scalar, E: Copy, K: BaseKernel<E>>(
                     counters.global_load_bytes += tile2 * (fb + eb) + pblk * vb;
                     counters.shared_store_bytes += tile2 * (fb + eb);
 
+                    // traffic and arithmetic attribution for the whole block,
+                    // hoisted out of the element loops (identical totals to
+                    // counting per element): every (i, i') pair walks
+                    // (j1−j0) staged row elements plus one register chunk of
+                    // the second tile per (h0, hp0) chunk pair, and the
+                    // dense primitive charges the arithmetic for zero
+                    // entries too
+                    let pairs = ((i1 - i0) * (ip1 - ip0)) as u64;
+                    let elems = ((j1 - j0) * (jp1 - jp0)) as u64;
+                    let chunk_pairs = ((j1 - j0).div_ceil(r) * (jp1 - jp0)) as u64;
+                    counters.shared_load_bytes +=
+                        pairs * ((j1 - j0) as u64 + chunk_pairs) * (fb + eb);
+                    counters.flops += pairs * elems * xf;
+                    counters.kernel_evaluations += pairs * elems;
+
                     for i in i0..i1 {
                         for ip in ip0..ip1 {
                             let mut a = acc[(i - i0) * (ip1 - ip0) + (ip - ip0)];
                             // march across the columns in register chunks of r
                             for h0 in (j0..j1).step_by(r) {
                                 let h1 = (h0 + r).min(j1);
-                                // stage a row chunk of the first tile in registers
-                                counters.shared_load_bytes += (h1 - h0) as u64 * (fb + eb);
                                 for hp0 in (jp0..jp1).step_by(r) {
                                     let hp1 = (hp0 + r).min(jp1);
-                                    counters.shared_load_bytes += (hp1 - hp0) as u64 * (fb + eb);
                                     for j in h0..h1 {
                                         let a1 = data.a1[i * n + j];
+                                        if a1 == 0.0 {
+                                            continue;
+                                        }
                                         let e1 = &data.e1[i * n + j];
                                         for jp in hp0..hp1 {
-                                            counters.flops += xf;
-                                            counters.kernel_evaluations += 1;
                                             let a2 = data.a2[ip * m + jp];
-                                            if a1 != 0.0 && a2 != 0.0 {
+                                            if a2 != 0.0 {
                                                 let ke = kernel.eval(e1, &data.e2[ip * m + jp]);
                                                 a += (T::from_f32(a1)
                                                     * T::from_f32(a2)

@@ -182,11 +182,116 @@ pub fn xmv_traffic(kind: PrimitiveKind, shape: &ProblemShape) -> TrafficCounters
     }
 }
 
+/// The shape of one octile tile-pair product, for the per-pair closed
+/// forms of [`octile_pair_traffic`].
+///
+/// The sparsity-dependent parameters are exactly the quantities the CPU
+/// kernels in `mgk-core` know before touching any payload: the per-tile
+/// populations and, for the mixed primitive, how many of the dense tile's
+/// rows fall inside the matrix (edge tiles are clamped).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OctilePairShape {
+    /// Both tiles expanded; all `t⁴` products evaluated.
+    DenseDense,
+    /// The sparser tile iterated per nonzero against the dense tile's
+    /// in-range rows.
+    DenseSparse {
+        /// Nonzeros of the sparser tile.
+        nnz_sparse: u64,
+        /// Dense-tile rows inside the matrix (`min(t, dim − 8·tile_row)`).
+        rows_in_range: u64,
+    },
+    /// Only `nnz₁ · nnz₂` products formed.
+    SparseSparse {
+        /// Nonzeros of the first tile.
+        nnz1: u64,
+        /// Nonzeros of the second tile.
+        nnz2: u64,
+    },
+}
+
+/// Closed-form shared-memory traffic, FLOPs and base-kernel evaluations of
+/// one 8×8 tile-pair product (Section IV-B), attributing what the Appendix-C
+/// table attributes per term: `label_bytes`/`float_bytes` are the stored
+/// `E`/`F` sizes, `vector_bytes` the right-hand-side scalar width and
+/// `kernel_flops` the per-evaluation cost `X`.
+///
+/// Global traffic is *not* included — tile streaming is accounted at the
+/// operator layer, where compact storage and block sharing apply. The
+/// tile-pair kernels in `mgk-core` accumulate exactly these counters, so a
+/// test can hold the measured totals against this model.
+pub fn octile_pair_traffic(
+    shape: OctilePairShape,
+    label_bytes: u64,
+    float_bytes: u64,
+    vector_bytes: u64,
+    kernel_flops: u64,
+) -> TrafficCounters {
+    const T: u64 = 8;
+    let (eb, fb, vb, x) = (label_bytes, float_bytes, vector_bytes, kernel_flops);
+    let mut c = TrafficCounters::new();
+    match shape {
+        OctilePairShape::SparseSparse { nnz1, nnz2 } => {
+            let prods = nnz1 * nnz2;
+            c.flops = prods * x;
+            c.kernel_evaluations = prods;
+            c.shared_load_bytes = prods * (2 * (fb + eb) + vb);
+        }
+        OctilePairShape::DenseSparse { nnz_sparse, rows_in_range } => {
+            // the dense tile is expanded into shared memory once, then every
+            // in-range dense slot is visited per sparse nonzero
+            let elems = nnz_sparse * rows_in_range * T;
+            c.flops = elems * x;
+            c.kernel_evaluations = elems;
+            c.shared_load_bytes = elems * (fb + eb + vb);
+            c.shared_store_bytes = T * T * (fb + eb);
+        }
+        OctilePairShape::DenseDense => {
+            // both tiles expanded; the full t⁴ block is evaluated with the
+            // tiling-blocking reuse pattern (~2(E+F)/t bytes per term)
+            let full = T * T * T * T;
+            c.flops = full * x;
+            c.kernel_evaluations = full;
+            c.shared_load_bytes = full * (fb + eb) * 2 / T;
+            c.shared_store_bytes = 2 * T * T * (fb + eb);
+        }
+    }
+    c
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     const UNLABELED: (f64, f64, f64) = (0.0, 4.0, 3.0);
+
+    #[test]
+    fn octile_pair_closed_forms_scale_with_population() {
+        let ss =
+            octile_pair_traffic(OctilePairShape::SparseSparse { nnz1: 3, nnz2: 5 }, 4, 4, 4, 11);
+        assert_eq!(ss.kernel_evaluations, 15);
+        assert_eq!(ss.flops, 15 * 11);
+        assert_eq!(ss.shared_load_bytes, 15 * (2 * 8 + 4));
+        assert_eq!(ss.shared_store_bytes, 0);
+
+        let ds = octile_pair_traffic(
+            OctilePairShape::DenseSparse { nnz_sparse: 4, rows_in_range: 6 },
+            4,
+            4,
+            8,
+            11,
+        );
+        assert_eq!(ds.kernel_evaluations, 4 * 6 * 8);
+        assert_eq!(ds.flops, 4 * 6 * 8 * 11);
+        assert_eq!(ds.shared_load_bytes, 4 * 6 * 8 * (4 + 4 + 8));
+        assert_eq!(ds.shared_store_bytes, 64 * 8);
+
+        let dd = octile_pair_traffic(OctilePairShape::DenseDense, 0, 4, 4, 3);
+        assert_eq!(dd.kernel_evaluations, 4096);
+        assert_eq!(dd.flops, 4096 * 3);
+        assert_eq!(dd.shared_load_bytes, 4096 * 4 * 2 / 8);
+        assert_eq!(dd.shared_store_bytes, 2 * 64 * 4);
+    }
 
     #[test]
     fn naive_intensity_matches_section_2d() {

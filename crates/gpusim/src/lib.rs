@@ -23,7 +23,7 @@ pub mod project;
 pub mod roofline;
 pub mod traffic;
 
-pub use cost::{xmv_traffic, PrimitiveKind, ProblemShape};
+pub use cost::{octile_pair_traffic, xmv_traffic, OctilePairShape, PrimitiveKind, ProblemShape};
 pub use device::DeviceSpec;
 pub use occupancy::{occupancy, OccupancyLimits};
 pub use project::{estimate_time, Bound, TimeEstimate};

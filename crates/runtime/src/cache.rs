@@ -235,6 +235,83 @@ impl PairCache {
     }
 }
 
+/// LRU-bounded map from one structure's content identity ([`PairSide`]) to
+/// its prepared (reordered) form.
+///
+/// The per-structure preprocessing of the serving path — pseudo-BFS
+/// reordering, stopping-probability overrides — is a pure function of the
+/// structure's content, so its output can be shared across every lane that
+/// re-encounters the structure: batch admission, the request lane, and
+/// (because reordering permutes indices identically regardless of the
+/// scalar type of the eventual solve) both solve precisions. Keys are the
+/// same collision-hardened `(content hash, vertices, edges)` triple the
+/// [`PairCache`] builds its [`PairKey`]s from; a content-hash collision
+/// between structurally different graphs cannot alias their prepared forms
+/// unless the graphs also agree on both counts.
+///
+/// The value type is generic so the cache stays free of graph types; the
+/// service stores `Arc<Graph<V, E>>` and hands out clones of the pointer.
+/// Hit/miss counters live with the owner
+/// (`ServiceStats::reorder_hits`/`reorder_misses`), not here.
+#[derive(Debug, Clone)]
+pub struct ReorderCache<T> {
+    capacity: usize,
+    map: HashMap<PairSide, (u64, T)>,
+    recency: Recency<PairSide>,
+}
+
+impl<T> ReorderCache<T> {
+    /// An empty cache holding at most `capacity` prepared structures
+    /// (0 disables caching entirely).
+    pub fn new(capacity: usize) -> Self {
+        ReorderCache { capacity, map: HashMap::new(), recency: Recency::new() }
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Maximum number of entries.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Look up a structure's prepared form, refreshing its recency on a
+    /// hit.
+    pub fn get(&mut self, key: PairSide) -> Option<&T> {
+        let stamp_entry = self.map.get_mut(&key)?;
+        stamp_entry.0 = self.recency.touch(key);
+        let map = &self.map;
+        self.recency.compact_if_bloated(map.len(), |k| map.get(k).map(|(t, _)| *t));
+        // reborrow: compaction only touched the recency queue
+        self.map.get(&key).map(|(_, prepared)| prepared)
+    }
+
+    /// Insert (or refresh) a prepared structure, evicting the
+    /// least-recently-used entry when at capacity.
+    pub fn insert(&mut self, key: PairSide, prepared: T) {
+        if self.capacity == 0 {
+            return;
+        }
+        if self.map.len() >= self.capacity && !self.map.contains_key(&key) {
+            let map = &self.map;
+            if let Some(victim) = self.recency.pop_lru(|k| map.get(k).map(|(t, _)| *t)) {
+                self.map.remove(&victim);
+            }
+        }
+        let stamp = self.recency.touch(key);
+        self.map.insert(key, (stamp, prepared));
+        let map = &self.map;
+        self.recency.compact_if_bloated(map.len(), |k| map.get(k).map(|(t, _)| *t));
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -376,6 +453,27 @@ mod tests {
             "lazy queue must be compacted: {} entries for 8 live keys",
             c.recency.queue.len()
         );
+    }
+
+    #[test]
+    fn reorder_cache_evicts_least_recently_used_at_capacity() {
+        let mut c: ReorderCache<u32> = ReorderCache::new(2);
+        c.insert(side(1), 10);
+        c.insert(side(2), 20);
+        assert_eq!(c.get(side(1)), Some(&10)); // refresh 1: LRU is now 2
+        c.insert(side(3), 30);
+        assert_eq!(c.len(), 2, "capacity bound violated");
+        assert_eq!(c.get(side(2)), None, "2 was the LRU entry");
+        assert_eq!(c.get(side(1)), Some(&10));
+        assert_eq!(c.get(side(3)), Some(&30));
+    }
+
+    #[test]
+    fn reorder_cache_with_zero_capacity_stores_nothing() {
+        let mut c: ReorderCache<u32> = ReorderCache::new(0);
+        c.insert(side(1), 10);
+        assert!(c.is_empty());
+        assert_eq!(c.get(side(1)), None);
     }
 
     #[test]

@@ -70,7 +70,7 @@ pub mod service;
 pub mod ticket;
 pub mod watch;
 
-pub use cache::{CachedEntry, PairCache, PairKey, PairSide};
+pub use cache::{CachedEntry, PairCache, PairKey, PairSide, ReorderCache};
 pub use hash::{graph_content_hash, ContentHash, Fnv1a};
 pub use rayon::pool::Pool;
 pub use scheduler::{

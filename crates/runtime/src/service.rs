@@ -47,7 +47,7 @@ use mgk_kernels::BaseKernel;
 use mgk_linalg::{Precision, Scalar};
 use mgk_reorder::ReorderMethod;
 
-use crate::cache::{CachedEntry, PairCache, PairKey, PairSide, Recency};
+use crate::cache::{CachedEntry, PairCache, PairKey, PairSide, Recency, ReorderCache};
 use crate::hash::{graph_content_hash, ContentHash};
 
 /// Configuration of a [`GramService`].
@@ -64,6 +64,14 @@ pub struct GramServiceConfig {
     pub batch_size: usize,
     /// Capacity of the pair-entry cache (entries, not bytes).
     pub cache_capacity: usize,
+    /// Capacity of the reorder cache: prepared (reordered) structures
+    /// retained per content identity so re-encountered structures skip the
+    /// per-structure preprocessing entirely — on batch admission and on
+    /// the request lane alike. 0 disables the cache; it is also bypassed
+    /// when the configured preprocessing is the identity
+    /// (natural ordering, no stopping-probability override), where there
+    /// is nothing to reuse.
+    pub reorder_cache_capacity: usize,
     /// Donate converged solutions as warm starts for equally-sized systems.
     pub warm_start: bool,
     /// Maximum retained warm-start donor *keys* (each holding up to
@@ -86,6 +94,7 @@ impl Default for GramServiceConfig {
             max_pending: 1024,
             batch_size: 256,
             cache_capacity: 4096,
+            reorder_cache_capacity: 512,
             warm_start: true,
             donor_capacity: 256,
             donors_per_key: 3,
@@ -171,6 +180,14 @@ pub struct ServiceStats {
     /// Tickets skipped because the consumer dropped them before the solve
     /// started.
     pub requests_cancelled: usize,
+    /// Structures whose prepared (reordered) form was served from the
+    /// reorder cache instead of recomputed — on batch admission or on the
+    /// request lane.
+    pub reorder_hits: usize,
+    /// Structures whose preprocessing actually ran because no cached
+    /// prepared form existed. Bypassed lookups (identity preprocessing,
+    /// cache disabled) count in neither bucket.
+    pub reorder_misses: usize,
 }
 
 /// A materialized (dense, symmetric) view of the service's Gram matrix.
@@ -261,9 +278,12 @@ impl SnapshotSource {
 }
 
 /// One admitted structure: the prepared graph plus its content identity.
+/// The graph is `Arc`-shared with the reorder cache, so admitting a
+/// structure whose prepared form is already cached copies a pointer, not a
+/// graph.
 #[derive(Debug, Clone)]
 struct Member<V, E> {
-    graph: Graph<V, E>,
+    graph: Arc<Graph<V, E>>,
     hash: u64,
     vertices: usize,
     edges: usize,
@@ -394,6 +414,12 @@ pub struct GramService<KV, KE, V, E> {
     values: Arc<Vec<f32>>,
     pending: VecDeque<Graph<V, E>>,
     cache: PairCache,
+    /// Prepared (reordered) structures keyed by the *raw* structure's
+    /// content identity, shared across batch admission and the request
+    /// lane. The stored `Arc` makes reuse allocation-free, and — because
+    /// reordering is precision-independent — one entry serves f32 and f64
+    /// solves alike.
+    reorder: ReorderCache<Arc<Graph<V, E>>>,
     /// Best converged nodal solution per `(left structure hash, right
     /// vertex count)`. Keying on the *left* structure means a donor shares
     /// the `A_i ⊗ ·` half of the Kronecker system with the pair it seeds,
@@ -440,6 +466,7 @@ where
             prep_solver: solver,
             pair_solver,
             cache: PairCache::new(config.cache_capacity),
+            reorder: ReorderCache::new(config.reorder_cache_capacity),
             donors: DonorPool::new(config.donor_capacity, config.donors_per_key),
             config,
             members: Vec::new(),
@@ -503,6 +530,12 @@ where
         self.donors.len()
     }
 
+    /// Number of retained prepared (reordered) structures (bounded by
+    /// [`GramServiceConfig::reorder_cache_capacity`]).
+    pub fn reorder_cache_len(&self) -> usize {
+        self.reorder.len()
+    }
+
     /// Queue a structure for admission.
     ///
     /// Returns the [`StructureId`] (snapshot row) it will occupy once
@@ -556,13 +589,45 @@ where
             return 0;
         }
 
-        // admit: apply the per-structure preprocessing once, hash content
+        // admit: apply the per-structure preprocessing once, hash content.
+        // The reorder cache (keyed by *raw* content identity) is prescanned
+        // first, so only structures the service has never prepared pay the
+        // reordering cost; the parallel preparation below runs over the
+        // misses alone.
         let incoming: Vec<Graph<V, E>> = self.pending.drain(..).collect();
-        let prepared: Vec<Graph<V, E>> = incoming
+        let cache_reorders = self.reorder_cache_active();
+        let mut slots: Vec<Option<Arc<Graph<V, E>>>> = vec![None; incoming.len()];
+        let mut missed: Vec<usize> = Vec::new();
+        let keys: Vec<PairSide> = if cache_reorders {
+            incoming.iter().map(|g| self.raw_side(g)).collect()
+        } else {
+            missed.extend(0..incoming.len());
+            Vec::new()
+        };
+        for (idx, &key) in keys.iter().enumerate() {
+            if let Some(prepared) = self.reorder.get(key) {
+                self.stats.reorder_hits += 1;
+                slots[idx] = Some(Arc::clone(prepared));
+            } else {
+                self.stats.reorder_misses += 1;
+                missed.push(idx);
+            }
+        }
+        let prep_solver = &self.prep_solver;
+        let freshly: Vec<(usize, Arc<Graph<V, E>>)> = missed
             .par_iter()
-            .map(|g| self.prep_solver.prepare(g).unwrap_or_else(|| g.clone()))
+            .map(|&idx| {
+                let g = &incoming[idx];
+                (idx, Arc::new(prep_solver.prepare(g).unwrap_or_else(|| g.clone())))
+            })
             .collect();
-        for g in prepared {
+        for (idx, prepared) in freshly {
+            if cache_reorders {
+                self.reorder.insert(keys[idx], Arc::clone(&prepared));
+            }
+            slots[idx] = Some(prepared);
+        }
+        for g in slots.into_iter().flatten() {
             let hash = (self.hasher)(&g);
             let vertices = g.num_vertices();
             let edges = g.num_edges();
@@ -735,22 +800,53 @@ where
     /// ([`prepare_pair`](Self::prepare_pair)) is still what the
     /// [`PairCache`] answers by.
     pub fn raw_pair_sides(&self, left: &Graph<V, E>, right: &Graph<V, E>) -> (PairSide, PairSide) {
-        let lh = (self.hasher)(left);
-        let rh = (self.hasher)(right);
-        (
-            PairSide::new(lh, left.num_vertices() as u32, left.num_edges() as u32),
-            PairSide::new(rh, right.num_vertices() as u32, right.num_edges() as u32),
-        )
+        (self.raw_side(left), self.raw_side(right))
+    }
+
+    /// The collision-hardened content identity of one raw structure — the
+    /// reorder cache's key.
+    fn raw_side(&self, g: &Graph<V, E>) -> PairSide {
+        PairSide::new((self.hasher)(g), g.num_vertices() as u32, g.num_edges() as u32)
+    }
+
+    /// Whether prepared structures are worth caching: the cache has
+    /// capacity and the configured preprocessing actually does something
+    /// (identity preparation has no output to reuse — a lookup would cost
+    /// a content hash to save a clone).
+    fn reorder_cache_active(&self) -> bool {
+        self.config.reorder_cache_capacity > 0 && !self.prep_solver.preparation_is_identity()
+    }
+
+    /// Apply the per-structure preprocessing through the reorder cache:
+    /// a structure the service has already prepared (on either lane) comes
+    /// back as a shared pointer without touching the reordering pass.
+    fn prepare_structure(&mut self, g: &Graph<V, E>) -> Arc<Graph<V, E>> {
+        if !self.reorder_cache_active() {
+            return Arc::new(self.prep_solver.prepare(g).unwrap_or_else(|| g.clone()));
+        }
+        let key = self.raw_side(g);
+        if let Some(prepared) = self.reorder.get(key) {
+            self.stats.reorder_hits += 1;
+            return Arc::clone(prepared);
+        }
+        self.stats.reorder_misses += 1;
+        let prepared = Arc::new(self.prep_solver.prepare(g).unwrap_or_else(|| g.clone()));
+        self.reorder.insert(key, Arc::clone(&prepared));
+        prepared
     }
 
     /// Prepare a request pair for the request lane: apply the per-structure
     /// preprocessing and compute the pair's content identity, *without*
     /// solving anything. The returned key is what the [`PairCache`] answers
     /// by (duplicate in-flight requests coalesce earlier, on
-    /// [`raw_pair_key`](Self::raw_pair_key)).
-    pub fn prepare_pair(&self, left: &Graph<V, E>, right: &Graph<V, E>) -> PreparedPair<V, E> {
-        let left = self.prep_solver.prepare(left).unwrap_or_else(|| left.clone());
-        let right = self.prep_solver.prepare(right).unwrap_or_else(|| right.clone());
+    /// [`raw_pair_key`](Self::raw_pair_key)). Structures the service has
+    /// already prepared — on a previous request or at batch admission —
+    /// come back from the reorder cache as shared pointers
+    /// ([`ServiceStats::reorder_hits`]) instead of re-running the
+    /// preprocessing.
+    pub fn prepare_pair(&mut self, left: &Graph<V, E>, right: &Graph<V, E>) -> PreparedPair<V, E> {
+        let left = self.prepare_structure(left);
+        let right = self.prepare_structure(right);
         let left_hash = (self.hasher)(&left);
         let right_hash = (self.hasher)(&right);
         let key = PairKey::new(
@@ -846,8 +942,8 @@ where
 /// identity: the coalescing/caching unit of the request lane.
 #[derive(Debug, Clone)]
 pub struct PreparedPair<V, E> {
-    left: Graph<V, E>,
-    right: Graph<V, E>,
+    left: Arc<Graph<V, E>>,
+    right: Arc<Graph<V, E>>,
     key: PairKey,
     left_hash: u64,
     right_hash: u64,
@@ -1410,5 +1506,159 @@ mod tests {
         assert_eq!(svc.stats().batches, (7usize * 8 / 2).div_ceil(3));
         let snap = svc.snapshot();
         assert!(snap.matrix.iter().all(|v| v.is_finite()));
+    }
+
+    /// A service whose per-structure preprocessing actually reorders (the
+    /// paper's PBR), so the reorder cache has output to share.
+    fn reordering_service(
+        config: GramServiceConfig,
+    ) -> GramService<
+        mgk_kernels::UnitKernel,
+        mgk_kernels::UnitKernel,
+        mgk_graph::Unlabeled,
+        mgk_graph::Unlabeled,
+    > {
+        let solver = MarginalizedKernelSolver::unlabeled(SolverConfig {
+            reorder: ReorderMethod::Pbr,
+            ..SolverConfig::default()
+        });
+        GramService::new(solver, config)
+    }
+
+    #[test]
+    fn reorder_cache_serves_resubmitted_structures_on_both_lanes() {
+        let graphs = dataset(3, 131);
+        let mut svc = reordering_service(GramServiceConfig::default());
+        for g in &graphs {
+            svc.submit(g.clone()).unwrap();
+        }
+        svc.flush();
+        assert_eq!(svc.stats().reorder_misses, 3, "first admission prepares every structure");
+        assert_eq!(svc.stats().reorder_hits, 0);
+
+        // batch lane: resubmitting a structure reuses its prepared form
+        svc.submit(graphs[0].clone()).unwrap();
+        svc.flush();
+        assert_eq!(svc.stats().reorder_hits, 1, "resubmission must hit the reorder cache");
+        assert_eq!(svc.stats().reorder_misses, 3);
+
+        // request lane: a request over admitted structures prepares nothing
+        let pair = svc.prepare_pair(&graphs[1], &graphs[2]);
+        assert_eq!(svc.stats().reorder_hits, 3, "both request sides were already prepared");
+        assert_eq!(svc.stats().reorder_misses, 3);
+        svc.solve_request::<f32>(&pair).unwrap();
+
+        // and a request lane miss seeds the cache for later admission
+        let extra = dataset(4, 131)[3].clone();
+        svc.prepare_pair(&extra, &graphs[0]);
+        assert_eq!(svc.stats().reorder_misses, 4);
+        svc.submit(extra).unwrap();
+        svc.flush();
+        assert_eq!(svc.stats().reorder_misses, 4, "admission reuses the request's preparation");
+    }
+
+    #[test]
+    fn reorder_cache_values_match_an_uncached_service() {
+        let graphs = dataset(4, 137);
+        let mut cached = reordering_service(GramServiceConfig::default());
+        let mut uncached = reordering_service(GramServiceConfig {
+            reorder_cache_capacity: 0,
+            ..Default::default()
+        });
+        // admit every structure once, then resubmit all of them: the
+        // second flush serves every preparation from the cache
+        for g in &graphs {
+            cached.submit(g.clone()).unwrap();
+            uncached.submit(g.clone()).unwrap();
+        }
+        cached.flush();
+        uncached.flush();
+        for g in &graphs {
+            cached.submit(g.clone()).unwrap();
+            uncached.submit(g.clone()).unwrap();
+        }
+        let a = cached.snapshot();
+        let b = uncached.snapshot();
+        assert!(cached.stats().reorder_hits >= 4, "duplicates must hit the cache");
+        assert_eq!(uncached.stats().reorder_hits, 0, "capacity 0 disables the cache");
+        assert_eq!(uncached.stats().reorder_misses, 0, "a disabled cache counts nothing");
+        for (x, y) in a.matrix.iter().zip(&b.matrix) {
+            assert_eq!(x, y, "cached preparation must be bit-identical to uncached");
+        }
+    }
+
+    #[test]
+    fn forced_hash_collision_cannot_alias_prepared_structures() {
+        // path and cycle share the forced content hash but differ in edge
+        // count: the widened PairSide key must keep their prepared forms
+        // apart — a contaminated reorder cache would hand the path's
+        // reordering to the cycle and corrupt every downstream solve
+        let collide: fn(&Graph) -> u64 = |_| 0xDEAD_BEEF;
+        let path = Graph::from_edge_list(4, &[(0, 1), (1, 2), (2, 3)]);
+        let cycle = Graph::from_edge_list(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+
+        let mut svc = reordering_service(GramServiceConfig::default()).with_content_hasher(collide);
+        svc.submit(path.clone()).unwrap();
+        svc.submit(cycle.clone()).unwrap();
+        let snap = svc.snapshot();
+        assert_eq!(svc.stats().reorder_misses, 2, "distinct structures must both prepare");
+        assert_eq!(svc.stats().reorder_hits, 0, "a collision must not look like a hit");
+
+        let mut reference = reordering_service(GramServiceConfig::default());
+        reference.submit(path).unwrap();
+        reference.submit(cycle).unwrap();
+        let expected = reference.snapshot();
+        for i in 0..2 {
+            for j in 0..2 {
+                let (a, b) = (snap.get(i, j), expected.get(i, j));
+                assert!((a - b).abs() < 1e-5, "entry ({i},{j}): collided {a} vs reference {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn reorder_cache_eviction_respects_the_configured_bound() {
+        let graphs = dataset(5, 139);
+        let mut svc = reordering_service(GramServiceConfig {
+            reorder_cache_capacity: 2,
+            ..Default::default()
+        });
+        for g in &graphs {
+            svc.submit(g.clone()).unwrap();
+        }
+        svc.flush();
+        assert!(
+            svc.reorder_cache_len() <= 2,
+            "reorder cache exceeded its bound: {}",
+            svc.reorder_cache_len()
+        );
+        assert_eq!(svc.stats().reorder_misses, 5);
+
+        // the earliest structure was evicted: resubmitting it re-prepares
+        svc.submit(graphs[0].clone()).unwrap();
+        svc.flush();
+        assert_eq!(svc.stats().reorder_misses, 6, "an evicted structure must miss");
+        assert!(svc.reorder_cache_len() <= 2);
+    }
+
+    #[test]
+    fn identity_preparation_bypasses_the_reorder_cache() {
+        // natural order, no stopping override: preparing is a no-op clone,
+        // so caching it would pay a content hash to save nothing
+        let graphs = dataset(2, 149);
+        let solver = MarginalizedKernelSolver::unlabeled(SolverConfig {
+            reorder: ReorderMethod::Natural,
+            ..SolverConfig::default()
+        });
+        let mut svc = GramService::new(solver, GramServiceConfig::default());
+        for g in graphs.iter().chain(graphs.iter()) {
+            svc.submit(g.clone()).unwrap();
+        }
+        svc.flush();
+        let pair = svc.prepare_pair(&graphs[0], &graphs[1]);
+        svc.solve_request::<f32>(&pair).unwrap();
+        assert_eq!(svc.stats().reorder_hits, 0);
+        assert_eq!(svc.stats().reorder_misses, 0);
+        assert_eq!(svc.reorder_cache_len(), 0);
     }
 }

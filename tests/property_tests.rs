@@ -5,6 +5,9 @@ use mgk::kernels::{BaseKernel, KroneckerDelta, SquareExponential, UnitKernel};
 use mgk::linalg::{kron_dense, kron_vec, pcg, DenseMatrix, DenseOperator, DiagonalOperator};
 use mgk::prelude::*;
 use mgk::reorder::{is_permutation, nonempty_tiles_of_order, ReorderMethod};
+use mgk::solver::octile_ops::{
+    tile_pair_product, tile_pair_product_scalar, KindTable, PairContext, TileCosts, TileProductKind,
+};
 use mgk::solver::{XmvMode, XmvPrimitive};
 use mgk::tile::{OctileMatrix, TILE_SIZE};
 use proptest::prelude::*;
@@ -201,6 +204,97 @@ proptest! {
 // ---------------------------------------------------------------------------
 // structural properties: tiles, reorderings, Kronecker algebra
 // ---------------------------------------------------------------------------
+
+/// Sweep every tile pair of `(g1, g2)` through one tile-product
+/// implementation (the branchless bitmap kernels or the retained scalar
+/// reference), accumulating into a fresh `y` — the operator's off-diagonal
+/// application without the graph-level bookkeeping.
+fn octile_sweep<T: Scalar>(
+    scalar_reference: bool,
+    kind_for: impl Fn(usize, usize) -> TileProductKind,
+    g1: &Graph<u8, f32>,
+    g2: &Graph<u8, f32>,
+    p: &[T],
+) -> (Vec<T>, TrafficCounters) {
+    let kernel = SquareExponential::new(0.9);
+    let costs = TileCosts { label_bytes: 4, float_bytes: 4, kernel_flops: 11 };
+    let (n, m) = (g1.num_vertices(), g2.num_vertices());
+    let t1 = OctileMatrix::from_graph(g1);
+    let t2 = OctileMatrix::from_graph(g2);
+    let mut y = vec![T::ZERO; n * m];
+    let mut c = TrafficCounters::new();
+    for a in t1.tiles() {
+        for b in t2.tiles() {
+            let kind = kind_for(a.nnz(), b.nnz());
+            if scalar_reference {
+                let ctx = PairContext { n, m, kernel: &kernel, costs: &costs };
+                tile_pair_product_scalar(kind, a, b, ctx, p, &mut y, &mut c);
+            } else {
+                tile_pair_product(kind, a, b, n, m, &kernel, &costs, p, &mut y, &mut c);
+            }
+        }
+    }
+    (y, c)
+}
+
+/// A graph pair plus a random probability-like vector of matching length.
+fn arb_tile_sweep_input() -> impl Strategy<Value = (Graph<u8, f32>, Graph<u8, f32>, Vec<f32>)> {
+    (arb_labeled_graph(19), arb_labeled_graph(13)).prop_flat_map(|(g1, g2)| {
+        let nm = g1.num_vertices() * g2.num_vertices();
+        let p = proptest::collection::vec(-1.0f32..1.0, nm);
+        (Just(g1), Just(g2), p)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn bitmap_tile_kernels_match_the_scalar_reference(
+        (g1, g2, p) in arb_tile_sweep_input(),
+    ) {
+        // sizes are rarely multiples of 8, so edge tiles (partial rows and
+        // columns) are exercised on nearly every case
+        let p64: Vec<f64> = p.iter().map(|&v| v as f64).collect();
+        for kind in [
+            TileProductKind::DenseDense,
+            TileProductKind::DenseSparse,
+            TileProductKind::SparseSparse,
+        ] {
+            let (y_new, _) = octile_sweep(false, |_, _| kind, &g1, &g2, &p);
+            let (y_ref, _) = octile_sweep(true, |_, _| kind, &g1, &g2, &p);
+            for (a, b) in y_new.iter().zip(&y_ref) {
+                prop_assert_eq!(
+                    a.to_bits(), b.to_bits(),
+                    "{} must be bit-for-bit at f32: {} vs {}", kind.name(), a, b
+                );
+            }
+            let (d_new, _) = octile_sweep::<f64>(false, |_, _| kind, &g1, &g2, &p64);
+            let (d_ref, _) = octile_sweep::<f64>(true, |_, _| kind, &g1, &g2, &p64);
+            for (a, b) in d_new.iter().zip(&d_ref) {
+                prop_assert!(
+                    (a - b).abs() <= 1e-12,
+                    "{} drifted past 1e-12 at f64: {} vs {}", kind.name(), a, b
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn adaptive_kind_table_sweep_matches_reference_values_and_counters(
+        (g1, g2, p) in arb_tile_sweep_input(),
+    ) {
+        // the operator's real dispatch path: per-pair kinds from the
+        // precomputed table, closed-form counters from the bitmap kernels
+        let table = KindTable::new(11);
+        let (y_new, c_new) = octile_sweep(false, |a, b| table.get(a, b), &g1, &g2, &p);
+        let (y_ref, c_ref) = octile_sweep(true, |a, b| table.get(a, b), &g1, &g2, &p);
+        for (a, b) in y_new.iter().zip(&y_ref) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+        prop_assert_eq!(c_new, c_ref, "closed-form traffic must equal per-element totals");
+    }
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
