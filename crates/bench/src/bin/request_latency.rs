@@ -21,6 +21,14 @@
 //! path with `MGK_BENCH_REQUEST_LATENCY_PATH`), stamped like
 //! `BENCH_baseline.json` with `scale`, `threads` and `git_revision`.
 //!
+//! The run also cross-checks the telemetry plane against itself: the cold
+//! regime's measured p50/p95 must land within one log2 bucket of the
+//! quantiles the scheduler's `mgk_request_latency_seconds` histogram
+//! derives for the same phase, and the per-record overhead of the
+//! histogram/counter primitives is measured and stamped into the JSON.
+//! Build with `--features mgk-telemetry/noop` for the compiled-out A/B
+//! baseline (the cross-check is skipped; `"compiled": false` is stamped).
+//!
 //! ```bash
 //! MGK_BENCH_SCALE=1 cargo run --release -p mgk-bench --bin request_latency
 //! ```
@@ -31,7 +39,9 @@ use mgk_bench::{bench_rng, bench_scale, fmt_duration, git_revision, json_escape,
 use mgk_core::{MarginalizedKernelSolver, SolverConfig};
 use mgk_datasets::ensembles::EnsembleStream;
 use mgk_graph::{Graph, Unlabeled};
+use mgk_runtime::metrics::names;
 use mgk_runtime::{GramScheduler, GramService, GramServiceConfig, SchedulerConfig};
+use mgk_telemetry::{bucket_index, Counter, Histogram, HistogramSnapshot};
 
 const GRAPH_NODES: usize = 48;
 const BURST: usize = 8;
@@ -73,6 +83,12 @@ fn main() {
         EnsembleStream::small_world(GRAPH_NODES, 2, 0.1, bench_rng()).skip(64).take(samples * 4);
     let mut probe = move || probes.next().expect("stream outlasts the sample budget");
 
+    // the same latency, seen from inside: the scheduler records every
+    // ticket into this histogram at resolution. Delta-ing around the cold
+    // phase isolates its distribution for the cross-check below.
+    let ticket_histogram = scheduler.telemetry().histogram(names::REQUEST_LATENCY);
+    let before_cold = ticket_histogram.snapshot();
+
     // cold: one unseen pair per ticket. The unseen probes are kept: once
     // requested, their prepared forms live in the reorder cache, which the
     // cold_warm_reorder regime below exploits.
@@ -86,6 +102,7 @@ fn main() {
         ticket.wait().expect("cold request solves");
         cold.latencies_ns.push(start.elapsed().as_nanos() as u64);
     }
+    let cold_histogram = ticket_histogram.snapshot().delta(&before_cold);
 
     // cache: pairs the flush lane already solved
     let mut cache = Regime { name: "cache", latencies_ns: Vec::with_capacity(samples) };
@@ -126,18 +143,23 @@ fn main() {
 
     let service = scheduler.join();
     let stats = service.stats();
-    assert!(stats.requests_coalesced > 0, "the burst regime must actually coalesce");
-    assert!(
-        stats.request_cache_answers >= cache.latencies_ns.len(),
-        "the cache regime must be answered without solves"
-    );
-    assert!(
-        stats.reorder_hits >= 2 * warm_reorder.latencies_ns.len(),
-        "the warm-reorder regime must hit the reorder cache on both sides: \
-         {} hits for {} requests",
-        stats.reorder_hits,
-        warm_reorder.latencies_ns.len()
-    );
+    // `ServiceStats` is a view over the telemetry counters, which the
+    // `noop` A/B build compiles out — the accounting checks only hold on
+    // the default build
+    if mgk_telemetry::COMPILED {
+        assert!(stats.requests_coalesced > 0, "the burst regime must actually coalesce");
+        assert!(
+            stats.request_cache_answers >= cache.latencies_ns.len(),
+            "the cache regime must be answered without solves"
+        );
+        assert!(
+            stats.reorder_hits >= 2 * warm_reorder.latencies_ns.len(),
+            "the warm-reorder regime must hit the reorder cache on both sides: \
+             {} hits for {} requests",
+            stats.reorder_hits,
+            warm_reorder.latencies_ns.len()
+        );
+    }
 
     println!("request-lane ticket latency ({} samples per regime)\n", samples);
     println!("{:>18} {:>12} {:>12}", "regime", "p50", "p95");
@@ -160,6 +182,49 @@ fn main() {
         stats.reorder_misses
     );
 
+    // cross-check: the histogram the scheduler filled during the cold
+    // phase must agree with the directly measured quantiles to within one
+    // log2 bucket (the histogram times intake → resolution, the stopwatch
+    // adds the consumer's wake-up — same bucket or the one next door)
+    let telemetry = if mgk_telemetry::COMPILED {
+        assert_eq!(
+            cold_histogram.count(),
+            cold.latencies_ns.len() as u64,
+            "one histogram record per cold ticket"
+        );
+        let mut agreement = Vec::new();
+        for (p, tag) in [(0.50, "p50"), (0.95, "p95")] {
+            let measured_bucket = bucket_index(cold.percentile(p));
+            let histogram_bucket =
+                cold_histogram.quantile_bucket(p).expect("cold histogram is non-empty");
+            assert!(
+                measured_bucket.abs_diff(histogram_bucket) <= 1,
+                "cold {tag}: measured bucket {measured_bucket} vs histogram bucket \
+                 {histogram_bucket} — more than one bucket apart"
+            );
+            agreement.push((tag, measured_bucket, histogram_bucket));
+            println!(
+                "telemetry cross-check {tag}: measured {} vs histogram {} (buckets {} / {})",
+                fmt_duration(cold.percentile(p) as f64 * 1e-9),
+                fmt_duration(cold_histogram.quantile(p).unwrap() as f64 * 1e-9),
+                measured_bucket,
+                histogram_bucket
+            );
+        }
+        Some((cold_histogram, agreement))
+    } else {
+        println!("telemetry compiled out (noop feature): cross-check skipped");
+        None
+    };
+
+    // overhead of the recording primitives themselves, measured at the
+    // same granularity the hot path pays them
+    let (histogram_ns, counter_ns) = primitive_overhead();
+    println!(
+        "telemetry primitives: {histogram_ns:.2} ns/record (histogram), \
+         {counter_ns:.2} ns/inc (counter)"
+    );
+
     let path = std::env::var("MGK_BENCH_REQUEST_LATENCY_PATH")
         .unwrap_or_else(|_| "BENCH_request_latency.json".to_string());
     let mut out = String::from("{\n");
@@ -179,7 +244,58 @@ fn main() {
             regime.latencies_ns.len()
         ));
     }
+    out.push_str("  },\n");
+    out.push_str("  \"telemetry\": {\n");
+    out.push_str(&format!("    \"compiled\": {},\n", mgk_telemetry::COMPILED));
+    out.push_str(&format!("    \"histogram_ns_per_record\": {histogram_ns:.2},\n"));
+    out.push_str(&format!("    \"counter_ns_per_inc\": {counter_ns:.2}"));
+    if let Some((cold_histogram, agreement)) = &telemetry {
+        out.push_str(",\n");
+        out.push_str(&format!(
+            "    \"cold_histogram_p50_ns\": {},\n",
+            cold_histogram.quantile(0.50).unwrap()
+        ));
+        out.push_str(&format!(
+            "    \"cold_histogram_p95_ns\": {},\n",
+            cold_histogram.quantile(0.95).unwrap()
+        ));
+        for (k, (tag, measured_bucket, histogram_bucket)) in agreement.iter().enumerate() {
+            let comma = if k + 1 < agreement.len() { "," } else { "" };
+            out.push_str(&format!(
+                "    \"cold_{tag}_bucket_delta\": {}{comma}\n",
+                measured_bucket.abs_diff(*histogram_bucket)
+            ));
+        }
+    } else {
+        out.push('\n');
+    }
     out.push_str("  }\n}\n");
     std::fs::write(&path, &out).expect("writing the latency record");
     println!("wrote {path}");
+}
+
+/// Nanoseconds per histogram record / counter increment, measured over a
+/// million operations each. Under the `noop` feature both compile to
+/// (nearly) nothing; the gap between the two builds is the telemetry
+/// plane's per-event cost.
+fn primitive_overhead() -> (f64, f64) {
+    const OPS: u64 = 1_000_000;
+    let histogram = Histogram::new();
+    let start = Instant::now();
+    for k in 0..OPS {
+        histogram.record(k);
+    }
+    let histogram_ns = start.elapsed().as_nanos() as f64 / OPS as f64;
+    // keep the loop observable so the optimizer cannot delete it
+    let recorded: HistogramSnapshot = histogram.snapshot();
+    assert!(recorded.count() == OPS || !mgk_telemetry::COMPILED);
+
+    let counter = Counter::new();
+    let start = Instant::now();
+    for _ in 0..OPS {
+        counter.inc();
+    }
+    let counter_ns = start.elapsed().as_nanos() as f64 / OPS as f64;
+    assert!(counter.value() == OPS || !mgk_telemetry::COMPILED);
+    (histogram_ns, counter_ns)
 }

@@ -38,6 +38,7 @@ pub mod xmv;
 
 pub use ablation::OptimizationLevel;
 pub use gram::{GramConfig, GramEngine, GramResult, Scheduling};
+pub use mgk_telemetry::StageBreakdown;
 pub use product::{OffDiagonalOperator, ProductSystem, SystemOperator};
 pub use solver::{KernelResult, MarginalizedKernelSolver, SolverConfig, SolverError, XmvMode};
 pub use xmv::{DensePairData, XmvPrimitive};

@@ -7,6 +7,7 @@ use mgk_linalg::{
     pcg_counted_warm_multi, pcg_refined_counted, DiagonalOperator, Precision, Scalar, SolveOptions,
 };
 use mgk_reorder::ReorderMethod;
+use mgk_telemetry::StageBreakdown;
 
 use crate::product::{ProductSystem, SystemOperator};
 use crate::xmv::XmvPrimitive;
@@ -117,6 +118,10 @@ pub struct KernelResult<T: Scalar = f32> {
     /// Nodal similarities (row-major `n × m`) at this result's precision,
     /// present when [`SolverConfig::compute_nodal`] is set.
     pub nodal: Option<Vec<T>>,
+    /// Where this result's wall-clock went, stage by stage. The solver
+    /// itself leaves this zeroed; the serving pipeline stamps queue wait,
+    /// preparation, solve and fold durations per answered ticket.
+    pub stages: StageBreakdown,
 }
 
 impl<T: Scalar> KernelResult<T> {
@@ -138,6 +143,7 @@ impl<T: Scalar> KernelResult<T> {
             relative_residual: self.relative_residual,
             traffic: self.traffic,
             nodal: self.nodal.map(|v| v.iter().map(|&x| x.to_f32()).collect()),
+            stages: self.stages,
         }
     }
 }
@@ -410,6 +416,7 @@ impl<KV, KE> MarginalizedKernelSolver<KV, KE> {
             relative_residual: info.relative_residual,
             traffic,
             nodal: if self.config.compute_nodal { Some(x) } else { None },
+            stages: StageBreakdown::default(),
         })
     }
 
@@ -465,6 +472,7 @@ impl<KV, KE> MarginalizedKernelSolver<KV, KE> {
             relative_residual: info.relative_residual,
             traffic,
             nodal: if self.config.compute_nodal { Some(x) } else { None },
+            stages: StageBreakdown::default(),
         })
     }
 

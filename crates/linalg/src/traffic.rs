@@ -99,6 +99,14 @@ impl TrafficCounters {
         self.kernel_evaluations += other.kernel_evaluations;
     }
 
+    /// Fold this execution's totals into a live telemetry accumulator:
+    /// global bytes and flops flow into the registry-backed counters and
+    /// the running arithmetic-intensity gauge refreshes — the serving
+    /// stack's live Roofline x-axis, updated per solve.
+    pub fn export_to(&self, totals: &mgk_telemetry::TrafficTotals) {
+        totals.record(self.global_bytes(), self.flops);
+    }
+
     /// Multiply every counter by a constant factor (e.g. number of CG
     /// iterations or number of graph pairs).
     pub fn scaled(&self, factor: u64) -> TrafficCounters {
@@ -151,6 +159,23 @@ mod tests {
         let c = TrafficCounters { flops: 10, ..Default::default() };
         assert!(c.arithmetic_intensity_global().is_infinite());
         assert!(c.arithmetic_intensity_shared().is_infinite());
+    }
+
+    #[test]
+    fn export_feeds_the_live_intensity_gauge() {
+        use mgk_telemetry::{Counter, Gauge, TrafficTotals};
+        let totals = TrafficTotals::new(Counter::new(), Counter::new(), Gauge::new());
+        let c = TrafficCounters {
+            global_load_bytes: 96,
+            global_store_bytes: 32,
+            flops: 256,
+            ..Default::default()
+        };
+        c.export_to(&totals);
+        c.export_to(&totals);
+        assert_eq!(totals.bytes.value(), 2 * c.global_bytes());
+        assert_eq!(totals.flops.value(), 2 * c.flops);
+        assert!((totals.intensity.value() - c.arithmetic_intensity_global()).abs() < 1e-12);
     }
 
     #[test]

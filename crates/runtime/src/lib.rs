@@ -37,6 +37,15 @@
 //!   answered from the [`PairCache`] without touching the solve lane, and
 //!   expired or dropped tickets are skipped before their solve starts —
 //!   tickets can never hang ([`RequestError::Closed`] on shutdown).
+//! * **Telemetry plane** — both lanes record into the service's
+//!   [`RuntimeMetrics`] hub (an `mgk-telemetry` registry): stage-latency
+//!   histograms for intake → queue wait → drain/group → preparation →
+//!   solve → cache/donor fold → publish, a queue-depth gauge, live
+//!   bytes/flops traffic with a running arithmetic-intensity gauge, and
+//!   every [`ServiceStats`] counter. Scrape it via
+//!   [`GramScheduler::telemetry`]/[`KernelClient::telemetry`] and render
+//!   with `TelemetrySnapshot::render_prometheus`/`render_json`; every
+//!   answered `KernelResult` also carries a per-ticket `StageBreakdown`.
 //!
 //! ```
 //! use mgk_runtime::{GramService, GramServiceConfig};
@@ -65,6 +74,7 @@
 
 pub mod cache;
 pub mod hash;
+pub mod metrics;
 pub mod scheduler;
 pub mod service;
 pub mod ticket;
@@ -72,6 +82,7 @@ pub mod watch;
 
 pub use cache::{CachedEntry, PairCache, PairKey, PairSide, ReorderCache};
 pub use hash::{graph_content_hash, ContentHash, Fnv1a};
+pub use metrics::RuntimeMetrics;
 pub use rayon::pool::Pool;
 pub use scheduler::{
     BarrierReply, GramClient, GramScheduler, KernelClient, RequestScalar, SchedulerConfig,
@@ -83,7 +94,8 @@ pub use service::{
 };
 pub use ticket::{RequestError, Ticket};
 pub use watch::{
-    snapshot_channel, SnapshotPublisher, SnapshotWatch, VersionedSnapshot, WatchClosed,
+    snapshot_channel, snapshot_channel_counted, SnapshotPublisher, SnapshotWatch,
+    VersionedSnapshot, WatchClosed,
 };
 
 #[cfg(test)]

@@ -1,0 +1,281 @@
+//! The runtime's typed telemetry hub: every counter, gauge and stage
+//! histogram the serving stack records, pre-registered in one
+//! [`MetricsRegistry`] and held as cached lock-free handles.
+//!
+//! One hub is created per [`GramService`](crate::GramService); the
+//! scheduler and its clients share it (handles are `Arc`-backed, cloning
+//! is cheap and clones observe the same cells). [`ServiceStats`]
+//! (and every legacy getter such as `SnapshotWatch::snapshot_builds`) is
+//! now a thin view assembled from these cells — one capture path, no
+//! parallel bookkeeping.
+
+use std::sync::Arc;
+
+use mgk_telemetry::{Counter, Gauge, Histogram, MetricsRegistry, TrafficTotals};
+
+/// Metric names exported by the serving stack, kept in one place so tests,
+/// docs and exposition consumers agree on the vocabulary.
+pub mod names {
+    /// Structures admitted (counter).
+    pub const ADMITTED: &str = "mgk_structures_admitted_total";
+    /// Flush-lane pair solves executed (counter).
+    pub const JOBS_EXECUTED: &str = "mgk_pair_solves_total";
+    /// Flush-lane pairs served from the cache (counter).
+    pub const CACHE_HITS: &str = "mgk_cache_hits_total";
+    /// Solves that started from a donated warm-start guess (counter).
+    pub const WARM_STARTED: &str = "mgk_warm_started_solves_total";
+    /// Total PCG iterations across executed solves (counter).
+    pub const TOTAL_ITERATIONS: &str = "mgk_solver_iterations_total";
+    /// Solves that failed to converge (counter).
+    pub const FAILURES: &str = "mgk_solve_failures_total";
+    /// Parallel flush batches scheduled (counter).
+    pub const BATCHES: &str = "mgk_solve_batches_total";
+    /// Observed content-hash collisions (counter).
+    pub const HASH_COLLISIONS: &str = "mgk_hash_collisions_total";
+    /// Copy-on-write clones of the snapshot triangle (counter).
+    pub const TRIANGLE_COPIES: &str = "mgk_triangle_copies_total";
+    /// Request-lane solves executed (counter).
+    pub const REQUEST_SOLVES: &str = "mgk_request_solves_total";
+    /// Requests answered straight from the pair cache (counter).
+    pub const REQUEST_CACHE_ANSWERS: &str = "mgk_request_cache_answers_total";
+    /// Tickets coalesced onto an in-flight request (counter).
+    pub const REQUESTS_COALESCED: &str = "mgk_requests_coalesced_total";
+    /// Tickets expired, split by `phase="queue"` / `phase="pre_solve"`
+    /// (labeled counter).
+    pub const REQUESTS_EXPIRED: &str = "mgk_requests_expired_total";
+    /// Tickets cancelled before their solve started (counter).
+    pub const REQUESTS_CANCELLED: &str = "mgk_requests_cancelled_total";
+    /// Reorder-cache hits (counter).
+    pub const REORDER_HITS: &str = "mgk_reorder_hits_total";
+    /// Reorder-cache misses (counter).
+    pub const REORDER_MISSES: &str = "mgk_reorder_misses_total";
+    /// Snapshots materialized by the watch (counter).
+    pub const SNAPSHOT_BUILDS: &str = "mgk_snapshot_builds_total";
+    /// Global-memory bytes moved by solves (counter).
+    pub const TRAFFIC_BYTES: &str = "mgk_traffic_global_bytes_total";
+    /// Floating-point operations executed by solves (counter).
+    pub const TRAFFIC_FLOPS: &str = "mgk_traffic_flops_total";
+    /// Running flops/byte of everything solved so far (gauge) — the
+    /// serving hot path's live Roofline x-coordinate.
+    pub const ARITHMETIC_INTENSITY: &str = "mgk_arithmetic_intensity_flops_per_byte";
+    /// Commands sitting in the scheduler's channel (gauge).
+    pub const QUEUE_DEPTH: &str = "mgk_scheduler_queue_depth";
+    /// 1 while the scheduler thread is processing a drain cycle (gauge;
+    /// RAII-tracked so panics cannot leave it raised).
+    pub const SCHEDULER_BUSY: &str = "mgk_scheduler_busy";
+    /// Per-stage pipeline latencies, labeled `stage="..."` (histograms).
+    pub const STAGE_DURATION: &str = "mgk_stage_duration_seconds";
+    /// End-to-end per-ticket latency, intake to resolution (histogram).
+    pub const REQUEST_LATENCY: &str = "mgk_request_latency_seconds";
+}
+
+/// Typed handles into one service's registry. See the module docs.
+#[derive(Debug, Clone)]
+pub struct RuntimeMetrics {
+    registry: Arc<MetricsRegistry>,
+    /// Structures admitted.
+    pub admitted: Counter,
+    /// Flush-lane pair solves executed.
+    pub jobs_executed: Counter,
+    /// Flush-lane cache hits.
+    pub cache_hits: Counter,
+    /// Warm-started solves.
+    pub warm_started: Counter,
+    /// Total PCG iterations.
+    pub total_iterations: Counter,
+    /// Non-converged solves.
+    pub failures: Counter,
+    /// Flush batches scheduled.
+    pub batches: Counter,
+    /// Observed content-hash collisions.
+    pub hash_collisions: Counter,
+    /// Copy-on-write triangle clones.
+    pub triangle_copies: Counter,
+    /// Request-lane solves.
+    pub request_solves: Counter,
+    /// Request-lane cache answers.
+    pub request_cache_answers: Counter,
+    /// Coalesced tickets.
+    pub requests_coalesced: Counter,
+    /// Tickets whose deadline passed while they sat in the command queue.
+    pub requests_expired_in_queue: Counter,
+    /// Tickets whose deadline passed after drain but before their group's
+    /// solve started (earlier groups of the same drain were solving).
+    pub requests_expired_pre_solve: Counter,
+    /// Cancelled tickets.
+    pub requests_cancelled: Counter,
+    /// Reorder-cache hits.
+    pub reorder_hits: Counter,
+    /// Reorder-cache misses.
+    pub reorder_misses: Counter,
+    /// Snapshots materialized by the watch.
+    pub snapshot_builds: Counter,
+    /// Live bytes/flops totals and the derived intensity gauge.
+    pub traffic: TrafficTotals,
+    /// Commands currently in the scheduler channel.
+    pub queue_depth: Gauge,
+    /// 1 while the scheduler thread is inside a drain cycle.
+    pub scheduler_busy: Gauge,
+    /// Queue-wait stage latencies (intake → drain).
+    pub stage_queue_wait: Histogram,
+    /// Drain/group stage latencies (one span per request drain).
+    pub stage_drain: Histogram,
+    /// PBR-preparation stage latencies.
+    pub stage_prepare: Histogram,
+    /// Solve stage latencies.
+    pub stage_solve: Histogram,
+    /// Cache/donor fold stage latencies.
+    pub stage_fold: Histogram,
+    /// Snapshot publication stage latencies.
+    pub stage_publish: Histogram,
+    /// End-to-end per-ticket latencies.
+    pub request_latency: Histogram,
+}
+
+impl RuntimeMetrics {
+    /// A fresh hub over a fresh registry, with every metric registered.
+    pub fn new() -> Self {
+        let registry = Arc::new(MetricsRegistry::new());
+        let stage = |s| registry.histogram_labeled(names::STAGE_DURATION, Some(("stage", s)));
+        RuntimeMetrics {
+            admitted: registry.counter(names::ADMITTED),
+            jobs_executed: registry.counter(names::JOBS_EXECUTED),
+            cache_hits: registry.counter(names::CACHE_HITS),
+            warm_started: registry.counter(names::WARM_STARTED),
+            total_iterations: registry.counter(names::TOTAL_ITERATIONS),
+            failures: registry.counter(names::FAILURES),
+            batches: registry.counter(names::BATCHES),
+            hash_collisions: registry.counter(names::HASH_COLLISIONS),
+            triangle_copies: registry.counter(names::TRIANGLE_COPIES),
+            request_solves: registry.counter(names::REQUEST_SOLVES),
+            request_cache_answers: registry.counter(names::REQUEST_CACHE_ANSWERS),
+            requests_coalesced: registry.counter(names::REQUESTS_COALESCED),
+            requests_expired_in_queue: registry
+                .counter_labeled(names::REQUESTS_EXPIRED, Some(("phase", "queue"))),
+            requests_expired_pre_solve: registry
+                .counter_labeled(names::REQUESTS_EXPIRED, Some(("phase", "pre_solve"))),
+            requests_cancelled: registry.counter(names::REQUESTS_CANCELLED),
+            reorder_hits: registry.counter(names::REORDER_HITS),
+            reorder_misses: registry.counter(names::REORDER_MISSES),
+            snapshot_builds: registry.counter(names::SNAPSHOT_BUILDS),
+            traffic: TrafficTotals::new(
+                registry.counter(names::TRAFFIC_BYTES),
+                registry.counter(names::TRAFFIC_FLOPS),
+                registry.gauge(names::ARITHMETIC_INTENSITY),
+            ),
+            queue_depth: registry.gauge(names::QUEUE_DEPTH),
+            scheduler_busy: registry.gauge(names::SCHEDULER_BUSY),
+            stage_queue_wait: stage("queue_wait"),
+            stage_drain: stage("drain_group"),
+            stage_prepare: stage("prepare"),
+            stage_solve: stage("solve"),
+            stage_fold: stage("cache_fold"),
+            stage_publish: stage("publish"),
+            request_latency: registry.histogram(names::REQUEST_LATENCY),
+            registry,
+        }
+    }
+
+    /// The registry behind these handles — the scrape/pull surface.
+    pub fn registry(&self) -> Arc<MetricsRegistry> {
+        Arc::clone(&self.registry)
+    }
+
+    /// A *fresh* hub (new registry, new cells) seeded at this hub's
+    /// current values. Cloning a `GramService` snapshots its full state for
+    /// replay; its telemetry forks the same way, so the clone and the
+    /// original never double-count each other's future activity.
+    pub fn fork(&self) -> RuntimeMetrics {
+        let fresh = RuntimeMetrics::new();
+        for (new, old) in fresh.counter_cells().into_iter().zip(self.counter_cells()) {
+            new.add(old.value());
+        }
+        fresh.traffic.bytes.add(self.traffic.bytes.value());
+        fresh.traffic.flops.add(self.traffic.flops.value());
+        fresh.traffic.intensity.set(self.traffic.intensity.value());
+        fresh.queue_depth.set(self.queue_depth.value());
+        fresh.scheduler_busy.set(self.scheduler_busy.value());
+        for (new, old) in fresh.histogram_cells().into_iter().zip(self.histogram_cells()) {
+            new.absorb(&old.snapshot());
+        }
+        fresh
+    }
+
+    fn counter_cells(&self) -> [&Counter; 18] {
+        [
+            &self.admitted,
+            &self.jobs_executed,
+            &self.cache_hits,
+            &self.warm_started,
+            &self.total_iterations,
+            &self.failures,
+            &self.batches,
+            &self.hash_collisions,
+            &self.triangle_copies,
+            &self.request_solves,
+            &self.request_cache_answers,
+            &self.requests_coalesced,
+            &self.requests_expired_in_queue,
+            &self.requests_expired_pre_solve,
+            &self.requests_cancelled,
+            &self.reorder_hits,
+            &self.reorder_misses,
+            &self.snapshot_builds,
+        ]
+    }
+
+    fn histogram_cells(&self) -> [&Histogram; 7] {
+        [
+            &self.stage_queue_wait,
+            &self.stage_drain,
+            &self.stage_prepare,
+            &self.stage_solve,
+            &self.stage_fold,
+            &self.stage_publish,
+            &self.request_latency,
+        ]
+    }
+}
+
+impl Default for RuntimeMetrics {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forked_hubs_do_not_share_cells() {
+        let hub = RuntimeMetrics::new();
+        hub.jobs_executed.add(5);
+        hub.stage_solve.record(1_000);
+        hub.traffic.record(100, 300);
+        let fork = hub.fork();
+        if mgk_telemetry::COMPILED {
+            assert_eq!(fork.jobs_executed.value(), 5);
+            assert_eq!(fork.stage_solve.snapshot().count(), 1);
+            assert!((fork.traffic.intensity.value() - 3.0).abs() < 1e-12);
+        }
+        fork.jobs_executed.inc();
+        hub.jobs_executed.add(10);
+        if mgk_telemetry::COMPILED {
+            assert_eq!(fork.jobs_executed.value(), 6);
+            assert_eq!(hub.jobs_executed.value(), 15);
+        }
+    }
+
+    #[test]
+    fn shared_clones_do_share_cells() {
+        let hub = RuntimeMetrics::new();
+        let shared = hub.clone();
+        shared.cache_hits.add(3);
+        hub.cache_hits.add(4);
+        if mgk_telemetry::COMPILED {
+            assert_eq!(hub.cache_hits.value(), 7);
+            assert_eq!(hub.registry().snapshot().counter(names::CACHE_HITS), Some(7));
+        }
+    }
+}

@@ -36,19 +36,22 @@
 use std::collections::HashMap;
 use std::marker::PhantomData;
 use std::sync::mpsc::{self, Receiver, SyncSender, TrySendError};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use mgk_core::KernelResult;
+use mgk_core::{KernelResult, StageBreakdown};
 use mgk_graph::Graph;
 use mgk_kernels::BaseKernel;
 use mgk_linalg::{Precision, Scalar, TrafficCounters};
+use mgk_telemetry::{Histogram, MetricsRegistry, Stopwatch};
 
 use crate::cache::{CachedEntry, PairSide};
 use crate::hash::ContentHash;
+use crate::metrics::RuntimeMetrics;
 use crate::service::{precision_of, GramService, GramServiceError, PreparedPair};
 use crate::ticket::{ticket, RequestError, Ticket, TicketResolver};
-use crate::watch::{snapshot_channel, SnapshotPublisher, SnapshotWatch};
+use crate::watch::{snapshot_channel_counted, SnapshotPublisher, SnapshotWatch};
 
 /// Configuration of a [`GramScheduler`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -117,12 +120,15 @@ enum Command<V, E> {
 }
 
 /// One request-lane command: a pair to evaluate, an optional deadline, and
-/// the typed resolver its answer goes to.
+/// the typed resolver its answer goes to. The intake stopwatch starts in
+/// the client's enqueue call, so queue wait and end-to-end latency are
+/// measured from the producer's perspective, channel time included.
 struct KernelRequest<V, E> {
     left: Graph<V, E>,
     right: Graph<V, E>,
     deadline: Option<Instant>,
     resolver: KernelResolver,
+    intake: Stopwatch,
 }
 
 /// A typed ticket resolver routed through the scheduler's untyped command
@@ -185,11 +191,17 @@ pub struct GramClient<V, E> {
     tx: SyncSender<Command<V, E>>,
     watch: SnapshotWatch,
     capacity: usize,
+    metrics: RuntimeMetrics,
 }
 
 impl<V, E> Clone for GramClient<V, E> {
     fn clone(&self) -> Self {
-        GramClient { tx: self.tx.clone(), watch: self.watch.clone(), capacity: self.capacity }
+        GramClient {
+            tx: self.tx.clone(),
+            watch: self.watch.clone(),
+            capacity: self.capacity,
+            metrics: self.metrics.clone(),
+        }
     }
 }
 
@@ -203,7 +215,13 @@ impl<V, E> GramClient<V, E> {
         if structure.num_vertices() == 0 {
             return Err(SchedulerError::EmptyStructure);
         }
-        self.tx.send(Command::Submit(structure)).map_err(|_| SchedulerError::Closed)
+        // raised before the send so a scraper never observes a queued
+        // command the gauge has not counted; unwound if the send fails
+        self.metrics.queue_depth.inc();
+        self.tx.send(Command::Submit(structure)).map_err(|_| {
+            self.metrics.queue_depth.dec();
+            SchedulerError::Closed
+        })
     }
 
     /// Enqueue a structure without blocking; a full channel reports
@@ -212,9 +230,13 @@ impl<V, E> GramClient<V, E> {
         if structure.num_vertices() == 0 {
             return Err(SchedulerError::EmptyStructure);
         }
-        self.tx.try_send(Command::Submit(structure)).map_err(|e| match e {
-            TrySendError::Full(_) => SchedulerError::Backpressure { capacity: self.capacity },
-            TrySendError::Disconnected(_) => SchedulerError::Closed,
+        self.metrics.queue_depth.inc();
+        self.tx.try_send(Command::Submit(structure)).map_err(|e| {
+            self.metrics.queue_depth.dec();
+            match e {
+                TrySendError::Full(_) => SchedulerError::Backpressure { capacity: self.capacity },
+                TrySendError::Disconnected(_) => SchedulerError::Closed,
+            }
         })
     }
 
@@ -230,7 +252,11 @@ impl<V, E> GramClient<V, E> {
         if n == 0 {
             return Ok(0);
         }
-        self.tx.send(Command::SubmitAll(batch)).map_err(|_| SchedulerError::Closed)?;
+        self.metrics.queue_depth.add(n as f64);
+        self.tx.send(Command::SubmitAll(batch)).map_err(|_| {
+            self.metrics.queue_depth.add(-(n as f64));
+            SchedulerError::Closed
+        })?;
         Ok(n)
     }
 
@@ -245,6 +271,12 @@ impl<V, E> GramClient<V, E> {
     /// The versioned snapshot watch fed by this scheduler.
     pub fn watch(&self) -> SnapshotWatch {
         self.watch.clone()
+    }
+
+    /// The metrics registry of the scheduler's service — the scrape/pull
+    /// surface (`registry.snapshot().render_prometheus()`).
+    pub fn telemetry(&self) -> Arc<MetricsRegistry> {
+        self.metrics.registry()
     }
 }
 
@@ -273,12 +305,18 @@ impl<V, E> GramClient<V, E> {
 pub struct KernelClient<V, E, T: RequestScalar = f32> {
     tx: SyncSender<Command<V, E>>,
     capacity: usize,
+    metrics: RuntimeMetrics,
     _precision: PhantomData<T>,
 }
 
 impl<V, E, T: RequestScalar> Clone for KernelClient<V, E, T> {
     fn clone(&self) -> Self {
-        KernelClient { tx: self.tx.clone(), capacity: self.capacity, _precision: PhantomData }
+        KernelClient {
+            tx: self.tx.clone(),
+            capacity: self.capacity,
+            metrics: self.metrics.clone(),
+            _precision: PhantomData,
+        }
     }
 }
 
@@ -318,11 +356,20 @@ impl<V, E, T: RequestScalar> KernelClient<V, E, T> {
             return Err(SchedulerError::EmptyStructure);
         }
         let (ticket, resolver) = ticket::<KernelResult<T>>();
-        let request =
-            KernelRequest { left, right, deadline: None, resolver: T::wrap_resolver(resolver) };
-        self.tx.try_send(Command::Request(Box::new(request))).map_err(|e| match e {
-            TrySendError::Full(_) => SchedulerError::Backpressure { capacity: self.capacity },
-            TrySendError::Disconnected(_) => SchedulerError::Closed,
+        let request = KernelRequest {
+            left,
+            right,
+            deadline: None,
+            resolver: T::wrap_resolver(resolver),
+            intake: Stopwatch::start(),
+        };
+        self.metrics.queue_depth.inc();
+        self.tx.try_send(Command::Request(Box::new(request))).map_err(|e| {
+            self.metrics.queue_depth.dec();
+            match e {
+                TrySendError::Full(_) => SchedulerError::Backpressure { capacity: self.capacity },
+                TrySendError::Disconnected(_) => SchedulerError::Closed,
+            }
         })?;
         Ok(ticket)
     }
@@ -337,6 +384,12 @@ impl<V, E, T: RequestScalar> KernelClient<V, E, T> {
         pairs.into_iter().map(|(l, r)| self.request(l, r)).collect()
     }
 
+    /// The metrics registry of the scheduler's service — the scrape/pull
+    /// surface (`registry.snapshot().render_prometheus()`).
+    pub fn telemetry(&self) -> Arc<MetricsRegistry> {
+        self.metrics.registry()
+    }
+
     fn enqueue(
         &self,
         left: Graph<V, E>,
@@ -347,8 +400,18 @@ impl<V, E, T: RequestScalar> KernelClient<V, E, T> {
             return Err(SchedulerError::EmptyStructure);
         }
         let (ticket, resolver) = ticket::<KernelResult<T>>();
-        let request = KernelRequest { left, right, deadline, resolver: T::wrap_resolver(resolver) };
-        self.tx.send(Command::Request(Box::new(request))).map_err(|_| SchedulerError::Closed)?;
+        let request = KernelRequest {
+            left,
+            right,
+            deadline,
+            resolver: T::wrap_resolver(resolver),
+            intake: Stopwatch::start(),
+        };
+        self.metrics.queue_depth.inc();
+        self.tx.send(Command::Request(Box::new(request))).map_err(|_| {
+            self.metrics.queue_depth.dec();
+            SchedulerError::Closed
+        })?;
         Ok(ticket)
     }
 }
@@ -377,7 +440,11 @@ where
     pub fn spawn(service: GramService<KV, KE, V, E>, config: SchedulerConfig) -> Self {
         let capacity = config.channel_capacity.max(1);
         let (tx, rx) = mpsc::sync_channel(capacity);
-        let (publisher, watch) = snapshot_channel();
+        // shared handles into the service's registry: clients record queue
+        // depth (and hold the scrape surface) through the same cells the
+        // scheduler thread records stages into
+        let metrics = service.metrics().clone();
+        let (publisher, watch) = snapshot_channel_counted(metrics.snapshot_builds.clone());
         let handle = std::thread::Builder::new()
             .name("mgk-gram-scheduler".to_string())
             .spawn(move || {
@@ -387,7 +454,7 @@ where
                 run(rx, capacity, service, &publisher)
             })
             .expect("spawning the scheduler thread");
-        GramScheduler { client: GramClient { tx, watch, capacity }, handle }
+        GramScheduler { client: GramClient { tx, watch, capacity, metrics }, handle }
     }
 
     /// A new producer/consumer handle (cheap; clone freely across threads).
@@ -403,6 +470,7 @@ where
         KernelClient {
             tx: self.client.tx.clone(),
             capacity: self.client.capacity,
+            metrics: self.client.metrics.clone(),
             _precision: PhantomData,
         }
     }
@@ -410,6 +478,16 @@ where
     /// The versioned snapshot watch fed by this scheduler.
     pub fn watch(&self) -> SnapshotWatch {
         self.client.watch.clone()
+    }
+
+    /// The metrics registry of the scheduler's service — the scrape/pull
+    /// surface. Snapshot and render it while the scheduler runs:
+    ///
+    /// ```ignore
+    /// let text = scheduler.telemetry().snapshot().render_prometheus();
+    /// ```
+    pub fn telemetry(&self) -> Arc<MetricsRegistry> {
+        self.client.telemetry()
     }
 
     /// Gracefully shut down: every submission already enqueued is drained
@@ -441,6 +519,8 @@ where
     KV: BaseKernel<V> + Clone + Send + Sync,
     KE: BaseKernel<E> + Clone + Send + Sync,
 {
+    let metrics = service.metrics().clone();
+
     // hand-off state: flush anything already pending, publish warm state
     if service.num_pending() > 0 {
         flush_and_publish(&mut service, publisher);
@@ -466,6 +546,18 @@ where
                 Err(_) => break,
             }
         }
+        // the drained commands leave the queue now; clients raised the
+        // gauge one unit per structure/request when they enqueued
+        for command in &commands {
+            match command {
+                Command::Submit(_) | Command::Request(_) => metrics.queue_depth.dec(),
+                Command::SubmitAll(gs) => metrics.queue_depth.add(-(gs.len() as f64)),
+                Command::Barrier(_) | Command::Shutdown => {}
+            }
+        }
+        // raised for the whole processing cycle; RAII so a solve panic
+        // unwinding through `run` cannot leave the gauge stuck at 1
+        let _busy = metrics.scheduler_busy.track();
 
         let mut shutdown = false;
         let mut barriers: Vec<mpsc::Sender<BarrierReply>> = Vec::new();
@@ -524,6 +616,7 @@ fn serve_requests<KV, KE, V, E>(
     if requests.is_empty() {
         return;
     }
+    let metrics = service.metrics().clone();
     // coalesce: one group per (pair identity, precision), keyed by the
     // *raw* content identity so duplicates share the per-pair
     // preprocessing (reordering) as well as the solve — preparation runs
@@ -533,10 +626,14 @@ fn serve_requests<KV, KE, V, E>(
     // n_right), so (A, B) and (B, A) must not share one solve result —
     // the second orientation resolves from the symmetric cache entry the
     // first one inserts (value only, no transposed vector)
-    type Group<V, E> = (Graph<V, E>, Graph<V, E>, Vec<(KernelResolver, Option<Instant>)>);
+    type Group<V, E> = (Graph<V, E>, Graph<V, E>, Vec<LiveTicket>);
     type Slot = ((PairSide, PairSide), Precision);
     let mut groups: HashMap<Slot, Group<V, E>> = HashMap::new();
     let mut order: Vec<Slot> = Vec::new();
+    // a span, not a stopwatch: the content hashers grouping calls into can
+    // panic (tests rely on it), and the drain stage must stay balanced
+    // through that unwind
+    let drain_span = metrics.stage_drain.span();
     for req in requests {
         if req.resolver.is_cancelled() {
             // the ticket is gone; dropping the resolver is the whole skip
@@ -544,38 +641,48 @@ fn serve_requests<KV, KE, V, E>(
             continue;
         }
         if req.deadline.is_some_and(|d| Instant::now() >= d) {
-            service.note_request_expired();
+            service.note_request_expired_in_queue();
             req.resolver.expire();
             continue;
         }
-        let precision = req.resolver.precision();
+        // the queue-wait stage ends here, where grouping admits the ticket
+        let queue_wait_ns = req.intake.elapsed_ns();
+        metrics.stage_queue_wait.record(queue_wait_ns);
+        let live = LiveTicket {
+            resolver: req.resolver,
+            deadline: req.deadline,
+            intake: req.intake,
+            queue_wait_ns,
+        };
+        let precision = live.resolver.precision();
         let slot = (service.raw_pair_sides(&req.left, &req.right), precision);
         match groups.get_mut(&slot) {
-            Some((_, _, resolvers)) => {
+            Some((_, _, tickets)) => {
                 service.note_requests_coalesced(1);
-                resolvers.push((req.resolver, req.deadline));
+                tickets.push(live);
             }
             None => {
                 order.push(slot);
-                groups.insert(slot, (req.left, req.right, vec![(req.resolver, req.deadline)]));
+                groups.insert(slot, (req.left, req.right, vec![live]));
             }
         }
     }
+    drop(drain_span);
 
     for slot in order {
-        let (left, right, resolvers) = groups.remove(&slot).expect("group inserted above");
+        let (left, right, tickets) = groups.remove(&slot).expect("group inserted above");
         let (_, precision) = slot;
         // cancellations and deadlines may have landed while earlier groups
         // solved; re-check so no solve starts for a fully stale group
-        let mut live: Vec<KernelResolver> = Vec::new();
-        for (resolver, deadline) in resolvers {
-            if resolver.is_cancelled() {
+        let mut live: Vec<LiveTicket> = Vec::new();
+        for ticket in tickets {
+            if ticket.resolver.is_cancelled() {
                 service.note_request_cancelled();
-            } else if deadline.is_some_and(|d| Instant::now() >= d) {
-                service.note_request_expired();
-                resolver.expire();
+            } else if ticket.deadline.is_some_and(|d| Instant::now() >= d) {
+                service.note_request_expired_pre_solve();
+                ticket.resolver.expire();
             } else {
-                live.push(resolver);
+                live.push(ticket);
             }
         }
         if live.is_empty() {
@@ -593,12 +700,22 @@ fn serve_requests<KV, KE, V, E>(
     }
 }
 
+/// A request that survived the in-queue expiry checkpoint: its resolver,
+/// deadline, the intake stopwatch (still running — it times the ticket
+/// end-to-end) and the queue wait already credited to the ticket.
+struct LiveTicket {
+    resolver: KernelResolver,
+    deadline: Option<Instant>,
+    intake: Stopwatch,
+    queue_wait_ns: u64,
+}
+
 /// Answer one coalesced group at the instantiation `T`: from the pair
 /// cache when an adequate entry exists, from a single solve otherwise.
 fn answer_group<T, KV, KE, V, E>(
     service: &mut GramService<KV, KE, V, E>,
     prepared: &PreparedPair<V, E>,
-    resolvers: Vec<KernelResolver>,
+    tickets: Vec<LiveTicket>,
 ) where
     T: RequestScalar,
     V: Clone + Send + Sync + ContentHash,
@@ -608,45 +725,70 @@ fn answer_group<T, KV, KE, V, E>(
 {
     let result: Result<KernelResult<T>, RequestError> =
         match service.cached_answer(prepared.key(), precision_of::<T>()) {
-            Some(entry) => Ok(result_from_entry::<T>(&entry)),
+            Some(entry) => {
+                let mut replayed = result_from_entry::<T>(&entry);
+                // preparation ran for this group even though the solve was
+                // skipped; the cache answer still reports that cost
+                replayed.stages.prepare_ns = prepared.prepare_ns();
+                Ok(replayed)
+            }
             None => service.solve_request::<T>(prepared).map_err(RequestError::Solver),
         };
+    let latency = service.metrics().request_latency.clone();
     // groups are precision-homogeneous, so the conversion runs once; the
     // fan-out clones the converted result per extra ticket and moves it
     // into the last one (a burst of k tickets costs k - 1 clones, not 2k)
-    match resolvers.first() {
+    match tickets.first().map(|t| &t.resolver) {
         Some(KernelResolver::F32(_)) => {
-            fan_out(resolvers, result.map(narrow_result), |resolver, answer| match resolver {
-                KernelResolver::F32(r) => r.resolve(answer),
-                KernelResolver::F64(_) => unreachable!("precision-homogeneous group"),
-            });
+            fan_out(
+                tickets,
+                result.map(narrow_result),
+                &latency,
+                |resolver, answer| match resolver {
+                    KernelResolver::F32(r) => r.resolve(answer),
+                    KernelResolver::F64(_) => unreachable!("precision-homogeneous group"),
+                },
+            );
         }
         Some(KernelResolver::F64(_)) => {
-            fan_out(resolvers, result.map(widen_result), |resolver, answer| match resolver {
-                KernelResolver::F64(r) => r.resolve(answer),
-                KernelResolver::F32(_) => unreachable!("precision-homogeneous group"),
-            });
+            fan_out(
+                tickets,
+                result.map(widen_result),
+                &latency,
+                |resolver, answer| match resolver {
+                    KernelResolver::F64(r) => r.resolve(answer),
+                    KernelResolver::F32(_) => unreachable!("precision-homogeneous group"),
+                },
+            );
         }
         None => {}
     }
 }
 
-/// Wake every resolver of a group with one shared answer: clones for all
-/// but the last, which takes the answer by move.
-fn fan_out<R: Clone>(
-    resolvers: Vec<KernelResolver>,
-    answer: Result<R, RequestError>,
-    resolve: impl Fn(KernelResolver, Result<R, RequestError>),
+/// Wake every ticket of a group with one shared answer: clones for all
+/// but the last, which takes the answer by move. Each ticket's copy is
+/// stamped with that ticket's own queue wait (coalesced tickets share the
+/// solve, not the wait), and its end-to-end latency is recorded at the
+/// moment of resolution.
+fn fan_out<T: Scalar>(
+    tickets: Vec<LiveTicket>,
+    answer: Result<KernelResult<T>, RequestError>,
+    latency: &Histogram,
+    resolve: impl Fn(KernelResolver, Result<KernelResult<T>, RequestError>),
 ) {
-    let total = resolvers.len();
+    let total = tickets.len();
     let mut answer = Some(answer);
-    for (k, resolver) in resolvers.into_iter().enumerate() {
-        let shared = if k + 1 == total {
+    for (k, ticket) in tickets.into_iter().enumerate() {
+        let mut shared = if k + 1 == total {
             answer.take().expect("the answer is moved exactly once, into the last ticket")
         } else {
             answer.clone().expect("the answer is only taken by the last ticket")
         };
-        resolve(resolver, shared);
+        if let Ok(result) = &mut shared {
+            result.stages.queue_wait_ns = ticket.queue_wait_ns;
+        }
+        latency.record(ticket.intake.elapsed_ns());
+        resolve(ticket.resolver, shared);
     }
 }
 
@@ -662,6 +804,7 @@ fn result_from_entry<T: Scalar>(entry: &CachedEntry) -> KernelResult<T> {
         relative_residual: entry.relative_residual,
         traffic: TrafficCounters::new(),
         nodal: None,
+        stages: StageBreakdown::default(),
     }
 }
 
@@ -678,6 +821,7 @@ fn widen_result<T: Scalar>(r: KernelResult<T>) -> KernelResult<f64> {
         relative_residual: r.relative_residual,
         traffic: r.traffic,
         nodal: r.nodal.map(|v| v.iter().map(|&x| x.to_f64()).collect()),
+        stages: r.stages,
     }
 }
 
@@ -741,6 +885,7 @@ where
     KV: BaseKernel<V> + Clone + Send + Sync,
     KE: BaseKernel<E> + Clone + Send + Sync,
 {
+    let _span = service.metrics().stage_publish.span();
     publisher.publish(service.version(), service.snapshot_source());
 }
 
@@ -1108,7 +1253,60 @@ mod tests {
         assert_eq!(ticket.wait(), Err(crate::ticket::RequestError::Expired));
         let svc = scheduler.join();
         assert_eq!(svc.stats().requests_expired, 1);
+        // the deadline passed while the ticket sat in the command queue, so
+        // the expiry is attributed to the queue phase, not pre-solve
+        assert_eq!(svc.stats().requests_expired_in_queue, 1);
+        assert_eq!(svc.stats().requests_expired_pre_solve, 0);
         assert_eq!(svc.stats().request_solves, 0, "an expired request never occupies the solver");
+    }
+
+    // Hasher for the pre-solve expiry test: hashing the 7-vertex sentinel
+    // graph stalls long enough for a sibling group's deadline to pass
+    // between the drain checkpoint and its pre-solve checkpoint.
+    fn stalling_hash(g: &Graph) -> u64 {
+        let _held = REQUEST_GATE.lock().unwrap();
+        if g.num_vertices() == 7 {
+            std::thread::sleep(std::time::Duration::from_millis(300));
+        }
+        graph_content_hash(g)
+    }
+
+    #[test]
+    fn a_deadline_expiring_after_drain_counts_as_pre_solve() {
+        let gate = REQUEST_GATE.lock().unwrap();
+        let svc = service(GramServiceConfig::default()).with_content_hasher(stalling_hash);
+        let scheduler = GramScheduler::spawn(svc, SchedulerConfig::default());
+        let producers = scheduler.client();
+        let kernels = scheduler.kernel_client::<f32>();
+        let graphs = dataset(4, 151);
+        let stalling: Graph =
+            Graph::from_edge_list(7, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6)]);
+        assert!(graphs.iter().all(|g| g.num_vertices() != 7));
+
+        // park the scheduler inside a gated flush so both requests below
+        // land in one coalesced drain
+        producers.submit(graphs[2].clone()).unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        // drained first: passes the in-queue checkpoint well inside its
+        // deadline, then waits while the second request's grouping hash
+        // stalls 300ms — its deadline passes *after* drain admission
+        let doomed = kernels
+            .request_within(
+                graphs[0].clone(),
+                graphs[1].clone(),
+                std::time::Duration::from_millis(100),
+            )
+            .unwrap();
+        let stalled = kernels.request(stalling, graphs[3].clone()).unwrap();
+        drop(gate);
+
+        assert_eq!(doomed.wait(), Err(crate::ticket::RequestError::Expired));
+        assert!(stalled.wait().is_ok(), "the stalling pair itself still resolves");
+        let svc = scheduler.join();
+        assert_eq!(svc.stats().requests_expired_in_queue, 0);
+        assert_eq!(svc.stats().requests_expired_pre_solve, 1);
+        assert_eq!(svc.stats().requests_expired, 1);
+        assert_eq!(svc.stats().request_solves, 1, "only the surviving group was solved");
     }
 
     #[test]
@@ -1203,5 +1401,72 @@ mod tests {
         client.submit_all(dataset(6, 29)).unwrap();
         let svc = scheduler.join();
         assert_eq!(svc.num_structures(), 6, "mid-batch flushes must not lose structures");
+    }
+
+    #[test]
+    fn solved_requests_report_their_stage_breakdown() {
+        let scheduler = spawn_default();
+        let kernels = scheduler.kernel_client::<f32>();
+        let graphs = dataset(2, 157);
+        let ticket = kernels.request(graphs[0].clone(), graphs[1].clone()).unwrap();
+        let result = ticket.wait().unwrap();
+        if mgk_telemetry::COMPILED {
+            assert!(result.stages.solve_ns > 0, "a solved request times its solve stage");
+            assert!(result.stages.total_ns() >= result.stages.solve_ns);
+        }
+        scheduler.join();
+    }
+
+    #[test]
+    fn the_scrape_surface_reports_stages_and_queue_state() {
+        use crate::metrics::names;
+
+        let scheduler = spawn_default();
+        let client = scheduler.client();
+        let kernels = scheduler.kernel_client::<f32>();
+        let graphs = dataset(3, 163);
+        client.submit(graphs[2].clone()).unwrap();
+        client.flush().unwrap();
+        kernels.request(graphs[0].clone(), graphs[1].clone()).unwrap().wait().unwrap();
+
+        let snapshot = scheduler.telemetry().snapshot();
+        if mgk_telemetry::COMPILED {
+            let queue_wait = snapshot
+                .histogram(names::STAGE_DURATION, Some(("stage", "queue_wait")))
+                .expect("queue-wait stage histogram registered");
+            assert_eq!(queue_wait.count(), 1, "one admitted request, one queue wait");
+            let solve = snapshot
+                .histogram(names::STAGE_DURATION, Some(("stage", "solve")))
+                .expect("solve stage histogram registered");
+            assert!(solve.count() >= 1);
+            assert!(snapshot.histogram(names::REQUEST_LATENCY, None).unwrap().count() >= 1);
+            // both answered: nothing left in the channel, scheduler idle
+            assert_eq!(snapshot.gauge(names::QUEUE_DEPTH), Some(0.0));
+        }
+        let text = snapshot.render_prometheus();
+        assert!(text.contains(names::STAGE_DURATION));
+        assert!(text.contains(names::QUEUE_DEPTH));
+        assert!(text.contains(names::ARITHMETIC_INTENSITY));
+        scheduler.join();
+    }
+
+    #[test]
+    fn gauges_return_to_zero_after_a_scheduler_panic() {
+        use crate::metrics::names;
+
+        let panicking: fn(&Graph) -> u64 = |_| panic!("forced solve-path panic");
+        let svc = service(GramServiceConfig::default()).with_content_hasher(panicking);
+        let scheduler = GramScheduler::spawn(svc, SchedulerConfig::default());
+        let registry = scheduler.telemetry();
+        let client = scheduler.client();
+
+        client.submit(dataset(1, 167).pop().unwrap()).unwrap();
+        let propagated = catch_unwind(AssertUnwindSafe(move || scheduler.join()));
+        assert!(propagated.is_err(), "the scheduler panic was swallowed");
+        // the busy tracker and queue accounting are RAII/drain balanced:
+        // the unwinding drain cycle cannot leave either gauge raised
+        let snapshot = registry.snapshot();
+        assert_eq!(snapshot.gauge(names::SCHEDULER_BUSY), Some(0.0));
+        assert_eq!(snapshot.gauge(names::QUEUE_DEPTH), Some(0.0));
     }
 }

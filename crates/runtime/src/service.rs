@@ -46,9 +46,11 @@ use mgk_graph::Graph;
 use mgk_kernels::BaseKernel;
 use mgk_linalg::{Precision, Scalar};
 use mgk_reorder::ReorderMethod;
+use mgk_telemetry::{MetricsRegistry, Stopwatch};
 
 use crate::cache::{CachedEntry, PairCache, PairKey, PairSide, Recency, ReorderCache};
 use crate::hash::{graph_content_hash, ContentHash};
+use crate::metrics::RuntimeMetrics;
 
 /// Configuration of a [`GramService`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -138,6 +140,11 @@ impl std::fmt::Display for GramServiceError {
 impl std::error::Error for GramServiceError {}
 
 /// Cumulative counters of one service instance.
+///
+/// Since the telemetry plane landed this is a *view*, not the store:
+/// every field is read out of the service's [`RuntimeMetrics`] registry by
+/// [`GramService::stats`], so scraping the registry and reading this
+/// struct can never disagree.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ServiceStats {
     /// Structures admitted (pending ones not yet included).
@@ -175,8 +182,18 @@ pub struct ServiceStats {
     /// group's first).
     pub requests_coalesced: usize,
     /// Tickets resolved [`Expired`](crate::RequestError::Expired) because
-    /// their deadline passed before the solve started.
+    /// their deadline passed before the solve started — the sum of
+    /// [`requests_expired_in_queue`](Self::requests_expired_in_queue) and
+    /// [`requests_expired_pre_solve`](Self::requests_expired_pre_solve).
     pub requests_expired: usize,
+    /// Tickets whose deadline had already passed when the scheduler
+    /// drained them out of the command queue: the time died waiting in the
+    /// channel, before any work was attempted.
+    pub requests_expired_in_queue: usize,
+    /// Tickets that were alive at drain but expired before their group's
+    /// solve started, because earlier groups of the same drain were
+    /// solving.
+    pub requests_expired_pre_solve: usize,
     /// Tickets skipped because the consumer dropped them before the solve
     /// started.
     pub requests_cancelled: usize,
@@ -393,8 +410,10 @@ impl DonorPool {
 ///
 /// Cloning a service (all label and kernel types are `Clone`) snapshots its
 /// full state — members, triangle, cache and donors — which benchmarks use
-/// to replay an extension from the same warm starting point.
-#[derive(Debug, Clone)]
+/// to replay an extension from the same warm starting point. The telemetry
+/// hub forks on clone (fresh cells seeded at current values), so a replayed
+/// clone never double-counts into the original's registry.
+#[derive(Debug)]
 pub struct GramService<KV, KE, V, E> {
     /// Applies the user's preprocessing (reordering, stopping-probability
     /// override) once per admitted structure, mirroring the Gram engine's
@@ -435,7 +454,38 @@ pub struct GramService<KV, KE, V, E> {
     /// Monotone snapshot version: bumped by every flush that admits at
     /// least one structure.
     version: u64,
-    stats: ServiceStats,
+    /// Telemetry hub: the one store behind [`ServiceStats`], the stage
+    /// histograms and the live traffic gauges.
+    metrics: RuntimeMetrics,
+}
+
+impl<KV, KE, V, E> Clone for GramService<KV, KE, V, E>
+where
+    KV: Clone,
+    KE: Clone,
+    V: Clone,
+    E: Clone,
+{
+    fn clone(&self) -> Self {
+        GramService {
+            prep_solver: self.prep_solver.clone(),
+            pair_solver: self.pair_solver.clone(),
+            config: self.config,
+            members: self.members.clone(),
+            values: Arc::clone(&self.values),
+            pending: self.pending.clone(),
+            cache: self.cache.clone(),
+            reorder: self.reorder.clone(),
+            donors: self.donors.clone(),
+            hasher: self.hasher,
+            seen_hashes: self.seen_hashes.clone(),
+            version: self.version,
+            // fresh cells seeded at current values: the clone replays from
+            // the same observable counts without writing into the
+            // original's registry
+            metrics: self.metrics.fork(),
+        }
+    }
 }
 
 impl<KV, KE, V, E> GramService<KV, KE, V, E>
@@ -475,7 +525,7 @@ where
             hasher: graph_content_hash,
             seen_hashes: HashMap::new(),
             version: 0,
-            stats: ServiceStats::default(),
+            metrics: RuntimeMetrics::new(),
         }
     }
 
@@ -507,9 +557,46 @@ where
         self.pending.len()
     }
 
-    /// Cumulative service counters.
+    /// Cumulative service counters, assembled from the telemetry registry
+    /// (the registry is the store; this struct is the thin view).
     pub fn stats(&self) -> ServiceStats {
-        self.stats
+        let m = &self.metrics;
+        let expired_in_queue = m.requests_expired_in_queue.value() as usize;
+        let expired_pre_solve = m.requests_expired_pre_solve.value() as usize;
+        ServiceStats {
+            admitted: m.admitted.value() as usize,
+            jobs_executed: m.jobs_executed.value() as usize,
+            cache_hits: m.cache_hits.value() as usize,
+            warm_started: m.warm_started.value() as usize,
+            total_iterations: m.total_iterations.value() as usize,
+            failures: m.failures.value() as usize,
+            batches: m.batches.value() as usize,
+            hash_collisions: m.hash_collisions.value() as usize,
+            triangle_copies: m.triangle_copies.value() as usize,
+            request_solves: m.request_solves.value() as usize,
+            request_cache_answers: m.request_cache_answers.value() as usize,
+            requests_coalesced: m.requests_coalesced.value() as usize,
+            requests_expired: expired_in_queue + expired_pre_solve,
+            requests_expired_in_queue: expired_in_queue,
+            requests_expired_pre_solve: expired_pre_solve,
+            requests_cancelled: m.requests_cancelled.value() as usize,
+            reorder_hits: m.reorder_hits.value() as usize,
+            reorder_misses: m.reorder_misses.value() as usize,
+        }
+    }
+
+    /// The service's telemetry hub: typed handles every pipeline stage
+    /// records into. The scheduler shares this hub (handles are
+    /// `Arc`-backed) and registers its own activity into the same cells.
+    pub fn metrics(&self) -> &RuntimeMetrics {
+        &self.metrics
+    }
+
+    /// The registry behind [`metrics`](Self::metrics) — the pull/scrape
+    /// surface ([`MetricsRegistry::snapshot`] → Prometheus or JSON
+    /// rendering).
+    pub fn telemetry(&self) -> Arc<MetricsRegistry> {
+        self.metrics.registry()
     }
 
     /// Monotone snapshot version: bumped by every flush that admits at
@@ -595,6 +682,7 @@ where
         // reordering cost; the parallel preparation below runs over the
         // misses alone.
         let incoming: Vec<Graph<V, E>> = self.pending.drain(..).collect();
+        let prepare_watch = Stopwatch::start();
         let cache_reorders = self.reorder_cache_active();
         let mut slots: Vec<Option<Arc<Graph<V, E>>>> = vec![None; incoming.len()];
         let mut missed: Vec<usize> = Vec::new();
@@ -606,10 +694,10 @@ where
         };
         for (idx, &key) in keys.iter().enumerate() {
             if let Some(prepared) = self.reorder.get(key) {
-                self.stats.reorder_hits += 1;
+                self.metrics.reorder_hits.inc();
                 slots[idx] = Some(Arc::clone(prepared));
             } else {
-                self.stats.reorder_misses += 1;
+                self.metrics.reorder_misses.inc();
                 missed.push(idx);
             }
         }
@@ -627,6 +715,8 @@ where
             }
             slots[idx] = Some(prepared);
         }
+        // one preparation span per flush batch: prescan + parallel reorder
+        self.metrics.stage_prepare.record(prepare_watch.elapsed_ns());
         for g in slots.into_iter().flatten() {
             let hash = (self.hasher)(&g);
             let vertices = g.num_vertices();
@@ -636,7 +726,7 @@ where
                     // same 64-bit content hash, structurally different
                     // graph: the widened PairKey keeps the entries apart,
                     // but the event is worth counting
-                    self.stats.hash_collisions += 1;
+                    self.metrics.hash_collisions.inc();
                 }
                 Some(_) => {}
                 None => {
@@ -645,7 +735,7 @@ where
             }
             self.members.push(Member { graph: g, hash, vertices, edges });
         }
-        self.stats.admitted = self.members.len();
+        self.metrics.admitted.add((self.members.len() - first_new) as u64);
         self.version += 1;
 
         // the new lower-triangle block: rows [first_new, len), all j <= i.
@@ -657,7 +747,7 @@ where
         // copy-on-write: captured snapshot sources share the triangle; a
         // flush that lands while one is alive clones it once, up front
         if Arc::strong_count(&self.values) > 1 {
-            self.stats.triangle_copies += 1;
+            self.metrics.triangle_copies.inc();
         }
         Arc::make_mut(&mut self.values).resize(new_len * (new_len + 1) / 2, f32::NAN);
         let mut jobs: Vec<(usize, usize)> = Vec::new();
@@ -668,7 +758,7 @@ where
                 let key = PairKey::new(self.members[i].side(), self.members[j].side());
                 if let Some(entry) = self.cache.get(key) {
                     Arc::make_mut(&mut self.values)[tri_index(i, j)] = entry.value;
-                    self.stats.cache_hits += 1;
+                    self.metrics.cache_hits.inc();
                 } else if scheduled.insert(key) {
                     jobs.push((i, j));
                 } else {
@@ -691,7 +781,7 @@ where
             let key = PairKey::new(self.members[i].side(), self.members[j].side());
             if let Some(entry) = self.cache.get(key) {
                 Arc::make_mut(&mut self.values)[tri_index(i, j)] = entry.value;
-                self.stats.cache_hits += 1;
+                self.metrics.cache_hits.inc();
             }
         }
         executed
@@ -700,13 +790,16 @@ where
     /// Solve one batch of `(i, j)` pairs in parallel and fold the results
     /// into the triangle, the cache and the donor pool.
     fn run_batch(&mut self, batch: &[(usize, usize)]) {
-        self.stats.batches += 1;
+        self.metrics.batches.inc();
         // snapshot donors so every job in the batch sees a consistent pool
         let donors = &self.donors;
         let members = &self.members;
         let pair_solver = &self.pair_solver;
         let warm = self.config.warm_start;
         type JobOutcome = (usize, usize, bool, Result<KernelResult, SolverError>);
+        // one solve span per batch (the paper's unit of scheduling), one
+        // fold span for the sequential cache/donor/triangle writeback
+        let solve_span = self.metrics.stage_solve.span();
         let results: Vec<JobOutcome> = batch
             .par_iter()
             .map(|&(i, j)| {
@@ -723,18 +816,21 @@ where
                 (i, j, !candidates.is_empty(), result)
             })
             .collect();
+        drop(solve_span);
 
+        let _fold_span = self.metrics.stage_fold.span();
         let precision = self.pair_solver.config().precision;
         for (i, j, warmed, result) in results {
-            self.stats.jobs_executed += 1;
+            self.metrics.jobs_executed.inc();
             let key = PairKey::new(self.members[i].side(), self.members[j].side());
             match result {
                 Ok(r) => {
                     Arc::make_mut(&mut self.values)[tri_index(i, j)] = r.value;
-                    self.stats.total_iterations += r.iterations;
+                    self.metrics.total_iterations.add(r.iterations as u64);
                     if warmed {
-                        self.stats.warm_started += 1;
+                        self.metrics.warm_started.inc();
                     }
+                    r.traffic.export_to(&self.metrics.traffic);
                     self.cache.insert(
                         key,
                         CachedEntry {
@@ -760,7 +856,7 @@ where
                 Err(_) => {
                     // leave the entry NaN and do not cache: a retry after
                     // resubmission gets a fresh chance to converge
-                    self.stats.failures += 1;
+                    self.metrics.failures.inc();
                 }
             }
         }
@@ -826,10 +922,10 @@ where
         }
         let key = self.raw_side(g);
         if let Some(prepared) = self.reorder.get(key) {
-            self.stats.reorder_hits += 1;
+            self.metrics.reorder_hits.inc();
             return Arc::clone(prepared);
         }
-        self.stats.reorder_misses += 1;
+        self.metrics.reorder_misses.inc();
         let prepared = Arc::new(self.prep_solver.prepare(g).unwrap_or_else(|| g.clone()));
         self.reorder.insert(key, Arc::clone(&prepared));
         prepared
@@ -845,6 +941,7 @@ where
     /// ([`ServiceStats::reorder_hits`]) instead of re-running the
     /// preprocessing.
     pub fn prepare_pair(&mut self, left: &Graph<V, E>, right: &Graph<V, E>) -> PreparedPair<V, E> {
+        let watch = Stopwatch::start();
         let left = self.prepare_structure(left);
         let right = self.prepare_structure(right);
         let left_hash = (self.hasher)(&left);
@@ -853,7 +950,9 @@ where
             PairSide::new(left_hash, left.num_vertices() as u32, left.num_edges() as u32),
             PairSide::new(right_hash, right.num_vertices() as u32, right.num_edges() as u32),
         );
-        PreparedPair { left, right, key, left_hash, right_hash }
+        let prepare_ns = watch.elapsed_ns();
+        self.metrics.stage_prepare.record(prepare_ns);
+        PreparedPair { left, right, key, left_hash, right_hash, prepare_ns }
     }
 
     /// Answer a request straight from the [`PairCache`], if an entry of
@@ -864,7 +963,7 @@ where
         if !entry.answers(wanted) {
             return None;
         }
-        self.stats.request_cache_answers += 1;
+        self.metrics.request_cache_answers.inc();
         Some(entry)
     }
 
@@ -884,19 +983,24 @@ where
             Vec::new()
         };
         let warmed = !candidates.is_empty();
+        let solve_watch = Stopwatch::start();
         let result = self.pair_solver.kernel_with_candidates_at::<T, V, E>(
             &pair.left,
             &pair.right,
             &candidates,
         );
+        let solve_ns = solve_watch.elapsed_ns();
+        self.metrics.stage_solve.record(solve_ns);
         drop(candidates);
         match result {
-            Ok(r) => {
-                self.stats.request_solves += 1;
-                self.stats.total_iterations += r.iterations;
+            Ok(mut r) => {
+                self.metrics.request_solves.inc();
+                self.metrics.total_iterations.add(r.iterations as u64);
                 if warmed {
-                    self.stats.warm_started += 1;
+                    self.metrics.warm_started.inc();
                 }
+                r.traffic.export_to(&self.metrics.traffic);
+                let fold_watch = Stopwatch::start();
                 self.cache.insert(
                     pair.key,
                     CachedEntry {
@@ -913,10 +1017,15 @@ where
                         self.donors.donate(donor_key, pair.right_hash, narrowed, r.iterations);
                     }
                 }
+                let fold_ns = fold_watch.elapsed_ns();
+                self.metrics.stage_fold.record(fold_ns);
+                r.stages.prepare_ns = pair.prepare_ns;
+                r.stages.solve_ns = solve_ns;
+                r.stages.fold_ns = fold_ns;
                 Ok(r)
             }
             Err(e) => {
-                self.stats.failures += 1;
+                self.metrics.failures.inc();
                 Err(e)
             }
         }
@@ -926,15 +1035,23 @@ where
     /// expired and cancelled tickets never reach a service solve, but they
     /// belong in the same stats block).
     pub(crate) fn note_requests_coalesced(&mut self, n: usize) {
-        self.stats.requests_coalesced += n;
+        self.metrics.requests_coalesced.add(n as u64);
     }
 
-    pub(crate) fn note_request_expired(&mut self) {
-        self.stats.requests_expired += 1;
+    /// A ticket whose deadline had already passed at drain: it died
+    /// waiting in the command queue.
+    pub(crate) fn note_request_expired_in_queue(&mut self) {
+        self.metrics.requests_expired_in_queue.inc();
+    }
+
+    /// A ticket alive at drain that expired before its group's solve
+    /// started (earlier groups of the same drain were solving).
+    pub(crate) fn note_request_expired_pre_solve(&mut self) {
+        self.metrics.requests_expired_pre_solve.inc();
     }
 
     pub(crate) fn note_request_cancelled(&mut self) {
-        self.stats.requests_cancelled += 1;
+        self.metrics.requests_cancelled.inc();
     }
 }
 
@@ -947,12 +1064,22 @@ pub struct PreparedPair<V, E> {
     key: PairKey,
     left_hash: u64,
     right_hash: u64,
+    /// Wall-clock of the preparation that produced this pair, stamped onto
+    /// the `StageBreakdown` of every result answered for it.
+    prepare_ns: u64,
 }
 
 impl<V, E> PreparedPair<V, E> {
     /// The order-normalized, collision-hardened identity of the pair.
     pub fn key(&self) -> PairKey {
         self.key
+    }
+
+    /// Nanoseconds the per-structure preprocessing of this pair took
+    /// (zero when both sides came straight from the reorder cache — the
+    /// cached pointers cost only a hash lookup).
+    pub fn prepare_ns(&self) -> u64 {
+        self.prepare_ns
     }
 }
 

@@ -21,8 +21,9 @@
 //! thread unwinding on a panic — the watch is closed and every blocked
 //! consumer wakes with [`WatchClosed`] instead of hanging.
 
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+use mgk_telemetry::Counter;
 
 use crate::service::{GramSnapshot, SnapshotSource};
 
@@ -73,7 +74,7 @@ impl PublishedEpoch {
     /// The source mutex is held across the build so a concurrent retirement
     /// cannot yank the triangle from under the building consumer: whoever
     /// locks first wins, the other sees the outcome.
-    fn materialize(&self, builds: &AtomicU64) -> Option<Arc<GramSnapshot>> {
+    fn materialize(&self, builds: &Counter) -> Option<Arc<GramSnapshot>> {
         if let Some(built) = self.built.get() {
             return Some(Arc::clone(built));
         }
@@ -84,7 +85,7 @@ impl PublishedEpoch {
             return Some(Arc::clone(built));
         }
         let taken = source.take()?;
-        builds.fetch_add(1, Ordering::Relaxed);
+        builds.inc();
         let built = Arc::new(taken.build());
         self.built.set(Arc::clone(&built)).expect("first build under the source lock");
         drop(source);
@@ -110,7 +111,9 @@ struct Shared {
     newer: Condvar,
     /// Dense materializations performed across all epochs (observability
     /// for the lazy-publication contract: unwatched epochs build nothing).
-    builds: AtomicU64,
+    /// A telemetry counter so the scheduler can register the same cell in
+    /// its service's metrics registry (`mgk_snapshot_builds_total`).
+    builds: Counter,
 }
 
 /// Consumer handle of a snapshot watch; cheap to clone, any number of
@@ -129,12 +132,22 @@ pub struct SnapshotPublisher {
 
 /// Create a connected publisher/watch pair. The watch starts at epoch 0
 /// with no snapshot; the first [`publish`](SnapshotPublisher::publish)
-/// makes one visible.
+/// makes one visible. The build counter is a detached telemetry cell; use
+/// [`snapshot_channel_counted`] to share one that a registry already
+/// holds.
 pub fn snapshot_channel() -> (SnapshotPublisher, SnapshotWatch) {
+    snapshot_channel_counted(Counter::new())
+}
+
+/// [`snapshot_channel`] with a caller-provided build counter — the
+/// scheduler passes its registry's `mgk_snapshot_builds_total` cell here,
+/// so [`SnapshotWatch::snapshot_builds`] and the scraped registry read the
+/// same number.
+pub fn snapshot_channel_counted(builds: Counter) -> (SnapshotPublisher, SnapshotWatch) {
     let shared = Arc::new(Shared {
         slot: Mutex::new(Slot { epoch: 0, published: None, closed: false }),
         newer: Condvar::new(),
-        builds: AtomicU64::new(0),
+        builds,
     });
     (SnapshotPublisher { shared: Arc::clone(&shared) }, SnapshotWatch { shared })
 }
@@ -155,7 +168,7 @@ impl SnapshotWatch {
     /// Publication is lazy, so epochs that no consumer observed contribute
     /// nothing here.
     pub fn snapshot_builds(&self) -> u64 {
-        self.shared.builds.load(Ordering::Relaxed)
+        self.shared.builds.value()
     }
 
     /// The latest published snapshot, without blocking for a newer one.

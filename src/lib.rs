@@ -33,6 +33,11 @@
 //!   bounded command channel, versioned snapshot watch), and the
 //!   request-scoped `KernelClient` (per-pair tickets with coalescing,
 //!   deadlines, cancellation and typed `KernelResult<T>` answers).
+//! * [`telemetry`] — the dependency-free observability plane: sharded
+//!   atomic metrics registry (counters, gauges, log-scaled latency
+//!   histograms), RAII stage spans, and Prometheus-text / JSON exposition.
+//!   The runtime records every pipeline stage into it; scrape a live
+//!   scheduler via `GramScheduler::telemetry`.
 //!
 //! # Quickstart
 //!
@@ -62,6 +67,7 @@ pub use mgk_learn as learn;
 pub use mgk_linalg as linalg;
 pub use mgk_reorder as reorder;
 pub use mgk_runtime as runtime;
+pub use mgk_telemetry as telemetry;
 pub use mgk_tile as tile;
 
 /// Commonly used items, re-exported for convenience.
@@ -75,6 +81,9 @@ pub mod prelude {
     pub use mgk_reorder::ReorderMethod;
     pub use mgk_runtime::{
         GramClient, GramScheduler, GramService, GramServiceConfig, KernelClient, Pool,
-        RequestError, SchedulerConfig, SnapshotWatch, Ticket,
+        RequestError, RuntimeMetrics, SchedulerConfig, SnapshotWatch, Ticket,
+    };
+    pub use mgk_telemetry::{
+        MetricsRegistry, StageBreakdown, TelemetryReporter, TelemetrySnapshot,
     };
 }

@@ -63,7 +63,7 @@ fn prelude_reexports_resolve() {
     scheduler.join();
 }
 
-/// All eleven crate-level facade modules resolve.
+/// All twelve crate-level facade modules resolve.
 #[test]
 fn facade_modules_resolve() {
     let _ = mgk::graph::DEFAULT_STOPPING_PROBABILITY;
@@ -77,6 +77,7 @@ fn facade_modules_resolve() {
     let _ = mgk::datasets::parse_smiles("CC");
     let _ = mgk::learn::KernelRidgeRegression::fit(&[1.0], &[1.0], 0.1);
     let _ = mgk::runtime::GramServiceConfig::default();
+    let _ = mgk::telemetry::MetricsRegistry::new();
 }
 
 /// The examples on disk are exactly the set this workspace expects; CI runs
@@ -98,6 +99,7 @@ fn example_inventory_matches() {
         "protein_contact_maps.rs",
         "quickstart.rs",
         "request_serving.rs",
+        "telemetry_report.rs",
     ];
     assert_eq!(found, expected, "examples/ changed; update this inventory and the README");
 }
