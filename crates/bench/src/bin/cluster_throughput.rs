@@ -1,0 +1,225 @@
+//! Burst throughput of the sharded serving plane.
+//!
+//! A multi-producer burst workload against `GramCluster` at K = 1, 2 and
+//! 4 shards: P producer threads each fire a back-to-back burst of typed
+//! kernel requests (distinct pairs over a shared corpus, with natural
+//! duplicates that must coalesce on their owning shard), then wait their
+//! tickets, recording each ticket's issue-to-resolution latency. One
+//! scheduler thread serializes every solve at K = 1; sharding splits the
+//! burst across K scheduler threads by content hash, so on a multi-core
+//! host the p95 per-ticket latency drops as K grows.
+//!
+//! Writes per-K p50/p95 (and the cluster-wide solve/coalesce accounting)
+//! to `BENCH_cluster.json` (override with `MGK_BENCH_CLUSTER_PATH`),
+//! stamped like `BENCH_baseline.json` with `scale`, `threads` and
+//! `git_revision`. On a single-core host the K shard threads timeshare
+//! one core and the scaling claim cannot be observed — the record is
+//! stamped `"single_core": true` with a caveat string so downstream
+//! comparisons know to re-record on a multi-core host.
+//!
+//! ```bash
+//! MGK_BENCH_SCALE=1 cargo run --release -p mgk-bench --bin cluster_throughput
+//! ```
+
+use std::time::Instant;
+
+use mgk_bench::{bench_rng, bench_scale, fmt_duration, git_revision, json_escape, scaled};
+use mgk_core::{MarginalizedKernelSolver, SolverConfig};
+use mgk_datasets::ensembles::EnsembleStream;
+use mgk_graph::{Graph, Unlabeled};
+use mgk_runtime::{ClusterConfig, GramCluster, GramService, GramServiceConfig, SchedulerConfig};
+
+const GRAPH_NODES: usize = 40;
+const PRODUCERS: usize = 4;
+const SHARD_COUNTS: [usize; 3] = [1, 2, 4];
+
+struct ClusterRun {
+    shards: usize,
+    latencies_ns: Vec<u64>,
+    request_solves: usize,
+    requests_coalesced: usize,
+    cache_answers: usize,
+    active_shards: usize,
+}
+
+impl ClusterRun {
+    fn percentile(&self, p: f64) -> u64 {
+        let mut sorted = self.latencies_ns.clone();
+        sorted.sort_unstable();
+        let rank = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+        sorted[rank]
+    }
+}
+
+/// One burst campaign against a fresh, cold cluster of `shards` shards.
+/// Every K sees the identical request sequence (same corpus, same
+/// per-producer pair pattern), so the runs differ only in sharding.
+fn run_cluster(
+    shards: usize,
+    corpus: &[Graph<Unlabeled, Unlabeled>],
+    per_producer: usize,
+) -> ClusterRun {
+    let cluster: GramCluster<_, _, Unlabeled, Unlabeled> = GramCluster::spawn(
+        GramService::new(
+            MarginalizedKernelSolver::unlabeled(SolverConfig::default()),
+            GramServiceConfig::default(),
+        ),
+        ClusterConfig { shards, scheduler: SchedulerConfig::default() },
+    );
+
+    let producers: Vec<_> = (0..PRODUCERS)
+        .map(|p| {
+            let kernels = cluster.kernel_client::<f32>();
+            let corpus = corpus.to_vec();
+            std::thread::spawn(move || {
+                // the whole burst is issued before the first wait: ticket
+                // latency includes the queueing the burst itself causes,
+                // which is exactly what sharding is supposed to cut
+                let tickets: Vec<_> = (0..per_producer)
+                    .map(|k| {
+                        // stride the pair walk per producer so producers
+                        // overlap on some pairs (coalescing pressure)
+                        // while still covering many distinct pairs
+                        let i = (p + 3 * k) % corpus.len();
+                        let j = (p + 3 * k + 1 + k % 5) % corpus.len();
+                        let issued = Instant::now();
+                        let ticket = kernels
+                            .request(corpus[i].clone(), corpus[j].clone())
+                            .expect("cluster alive");
+                        (issued, ticket)
+                    })
+                    .collect();
+                tickets
+                    .into_iter()
+                    .map(|(issued, ticket)| {
+                        ticket.wait().expect("burst request resolves");
+                        issued.elapsed().as_nanos() as u64
+                    })
+                    .collect::<Vec<u64>>()
+            })
+        })
+        .collect();
+
+    let mut latencies_ns = Vec::with_capacity(PRODUCERS * per_producer);
+    for producer in producers {
+        latencies_ns.extend(producer.join().expect("producer thread panicked"));
+    }
+
+    let services = cluster.join();
+    let mut run = ClusterRun {
+        shards,
+        latencies_ns,
+        request_solves: 0,
+        requests_coalesced: 0,
+        cache_answers: 0,
+        active_shards: 0,
+    };
+    for service in &services {
+        let stats = service.stats();
+        run.request_solves += stats.request_solves;
+        run.requests_coalesced += stats.requests_coalesced;
+        run.cache_answers += stats.request_cache_answers;
+        if stats.request_solves + stats.request_cache_answers + stats.requests_coalesced > 0 {
+            run.active_shards += 1;
+        }
+    }
+    run
+}
+
+fn main() {
+    let per_producer = scaled(48, 12);
+    let corpus: Vec<Graph<Unlabeled, Unlabeled>> =
+        EnsembleStream::small_world(GRAPH_NODES, 2, 0.1, bench_rng()).take(12).collect();
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+
+    println!(
+        "cluster burst throughput: {PRODUCERS} producers x {per_producer} requests, \
+         {} structures of {GRAPH_NODES} nodes, {cores} cores\n",
+        corpus.len()
+    );
+    println!(
+        "{:>7} {:>12} {:>12} {:>8} {:>10} {:>8} {:>7}",
+        "shards", "p50", "p95", "solves", "coalesced", "cached", "active"
+    );
+
+    let runs: Vec<ClusterRun> =
+        SHARD_COUNTS.iter().map(|&k| run_cluster(k, &corpus, per_producer)).collect();
+    for run in &runs {
+        println!(
+            "{:>7} {:>12} {:>12} {:>8} {:>10} {:>8} {:>7}",
+            run.shards,
+            fmt_duration(run.percentile(0.50) as f64 * 1e-9),
+            fmt_duration(run.percentile(0.95) as f64 * 1e-9),
+            run.request_solves,
+            run.requests_coalesced,
+            run.cache_answers,
+            run.active_shards,
+        );
+    }
+
+    // accounting invariants that hold at every K: each ticket is solved,
+    // coalesced or cache-answered exactly once, and sharding never splits
+    // a pair across shards (so duplicates never solve twice — the solve
+    // count cannot grow with K beyond drain-timing jitter on new pairs)
+    let total = PRODUCERS * per_producer;
+    for run in &runs {
+        assert_eq!(
+            run.request_solves + run.requests_coalesced + run.cache_answers,
+            total,
+            "K={}: every ticket accounted for",
+            run.shards
+        );
+        assert!(
+            run.active_shards <= run.shards,
+            "K={}: more active shards than shards",
+            run.shards
+        );
+    }
+
+    let single_core = cores < 2;
+    if single_core {
+        println!(
+            "\nnote: single-core host — K scheduler threads timeshare one core, so the \
+             p95-vs-K comparison is not meaningful here; re-record on a multi-core host"
+        );
+    }
+
+    let path = std::env::var("MGK_BENCH_CLUSTER_PATH")
+        .unwrap_or_else(|_| "BENCH_cluster.json".to_string());
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"scale\": {},\n", bench_scale()));
+    out.push_str(&format!("  \"threads\": {},\n", rayon::current_num_threads()));
+    out.push_str(&format!("  \"git_revision\": \"{}\",\n", json_escape(&git_revision())));
+    out.push_str(&format!("  \"cores\": {cores},\n"));
+    out.push_str(&format!("  \"single_core\": {single_core},\n"));
+    if single_core {
+        out.push_str(
+            "  \"caveat\": \"single-core host: shard scheduler threads timeshare one core, \
+             so p95 does not improve with K here; re-record on a multi-core host to observe \
+             the scaling claim\",\n",
+        );
+    }
+    out.push_str(&format!("  \"graph_nodes\": {GRAPH_NODES},\n"));
+    out.push_str(&format!("  \"producers\": {PRODUCERS},\n"));
+    out.push_str(&format!("  \"requests_per_producer\": {per_producer},\n"));
+    out.push_str("  \"shard_counts\": {\n");
+    for (k, run) in runs.iter().enumerate() {
+        let comma = if k + 1 < runs.len() { "," } else { "" };
+        out.push_str(&format!(
+            "    \"{}\": {{ \"p50_ns\": {}, \"p95_ns\": {}, \"tickets\": {}, \
+             \"request_solves\": {}, \"requests_coalesced\": {}, \"cache_answers\": {}, \
+             \"active_shards\": {} }}{comma}\n",
+            run.shards,
+            run.percentile(0.50),
+            run.percentile(0.95),
+            run.latencies_ns.len(),
+            run.request_solves,
+            run.requests_coalesced,
+            run.cache_answers,
+            run.active_shards,
+        ));
+    }
+    out.push_str("  }\n}\n");
+    std::fs::write(&path, &out).expect("writing the cluster record");
+    println!("wrote {path}");
+}

@@ -335,6 +335,32 @@ impl<KV, KE> MarginalizedKernelSolver<KV, KE> {
         }
     }
 
+    /// Evaluate the kernel on the mixed-precision refinement path —
+    /// f32 inner PCG sweeps with f64 residual corrections — regardless of
+    /// the configured [`Precision`] policy, and return the f64-quality
+    /// result *un-narrowed*: value and nodal vector at f64. This is the
+    /// entry point for [`Precision::Refined`] typed request clients, which
+    /// want f64 answers at (mostly) f32 arithmetic cost; the policy-driven
+    /// [`kernel_with_candidates`](Self::kernel_with_candidates) narrows
+    /// the same solve to f32 instead.
+    pub fn kernel_refined_with_candidates<V, E>(
+        &self,
+        g1: &Graph<V, E>,
+        g2: &Graph<V, E>,
+        candidates: &[&[f32]],
+    ) -> Result<KernelResult<f64>, SolverError>
+    where
+        V: Clone,
+        E: Copy + Default,
+        KV: BaseKernel<V>,
+        KE: BaseKernel<E> + Clone,
+    {
+        match self.assemble_pair(g1, g2) {
+            Some(system) => self.solve_refined(&system, candidates),
+            None => Err(SolverError::EmptyGraph),
+        }
+    }
+
     /// Prepare both graphs (stopping-probability override, reordering) and
     /// assemble the tensor-product system, or `None` for an empty pair.
     fn assemble_pair<V, E>(

@@ -1,0 +1,500 @@
+//! The sharded serving plane: K [`GramScheduler`]s behind a content-hash
+//! router.
+//!
+//! One scheduler thread serializes every flush and request drain behind a
+//! single command channel. A [`GramCluster`] multiplies that plane: it
+//! spawns `K` independent shards (each its own `GramScheduler` owning its
+//! own [`GramService`]) and routes work to them by **content hash** —
+//! structures by their own [`PairSide`] identity, request pairs by their
+//! order-normalized [`PairKey`]. Routing is a pure function of content, so
+//! it is deterministic across restarts, and both orientations of a pair
+//! land on the *same* shard — per-shard request coalescing and the
+//! symmetric-cache-answer guarantee survive sharding unchanged (duplicates
+//! of one pair can never split across shards).
+//!
+//! The cluster fronts are thin and cloneable:
+//!
+//! * [`ClusterClient`] routes `submit` / `submit_all` / `flush`; a cluster
+//!   [`flush`](ClusterClient::flush) barriers *every* shard and reports the
+//!   merged [`ClusterBarrierReply`].
+//! * [`ClusterKernelClient`] routes typed requests (including the
+//!   [`Precision::Refined`] lane via
+//!   [`GramCluster::kernel_client_refined`]) to the pair's owning shard.
+//! * [`ClusterWatch`] merges the per-shard [`SnapshotWatch`]es into one
+//!   **cluster epoch** — the sum of the shard epochs. A
+//!   [`ClusterSnapshot`] is consistent iff every shard's epoch was
+//!   observed in one capture pass, which [`ClusterWatch::latest`]
+//!   guarantees; per-shard epochs are monotone, so the summed cluster
+//!   epoch is too.
+//! * [`ClusterTelemetry`] aggregates the per-shard registries into one
+//!   scrape surface, stamping `shard="k"` onto every metric.
+//! * [`GramCluster::join`] drains **all** shards (a panicked shard never
+//!   prevents the others from finishing their outstanding work) and then
+//!   re-raises the first shard panic, mirroring
+//!   [`GramScheduler::join`]'s propagation contract.
+//!
+//! `K = 1` is the degenerate case: one shard, every route resolves to it,
+//! and the cluster behaves exactly like the underlying scheduler.
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+use std::time::Duration;
+
+use mgk_core::KernelResult;
+use mgk_graph::Graph;
+use mgk_kernels::BaseKernel;
+use mgk_telemetry::{MetricsRegistry, TelemetrySnapshot};
+
+use crate::cache::{PairKey, PairSide};
+use crate::hash::{ContentHash, Fnv1a};
+use crate::scheduler::{
+    GramClient, GramScheduler, KernelClient, RequestScalar, SchedulerConfig, SchedulerError,
+};
+use crate::service::GramService;
+use crate::ticket::Ticket;
+use crate::watch::{SnapshotWatch, VersionedSnapshot, WatchClosed};
+
+#[allow(unused_imports)] // rustdoc links
+use mgk_linalg::Precision;
+
+/// Configuration of a [`GramCluster`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClusterConfig {
+    /// Number of shards (scheduler threads). `0` is treated as `1`; with
+    /// one shard the cluster degenerates to a plain [`GramScheduler`].
+    pub shards: usize,
+    /// Per-shard scheduler configuration (each shard gets its own command
+    /// channel of this capacity).
+    pub scheduler: SchedulerConfig,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig { shards: 1, scheduler: SchedulerConfig::default() }
+    }
+}
+
+/// The shard owning one structure, by its content-identity
+/// [`PairSide`] — a pure function of `(hash, vertices, edges)` and the
+/// shard count, so the assignment is stable across restarts.
+pub fn shard_of_side(side: &PairSide, shards: usize) -> usize {
+    debug_assert!(shards > 0, "a cluster has at least one shard");
+    let mut h = Fnv1a::new();
+    h.write_u64(side.hash);
+    h.write_u32(side.vertices);
+    h.write_u32(side.edges);
+    (h.finish() % shards.max(1) as u64) as usize
+}
+
+/// The shard owning one request pair, by its order-normalized
+/// [`PairKey`]. Normalization means `(A, B)` and `(B, A)` route
+/// identically, so both orientations coalesce/cache-share on one shard —
+/// duplicates of a pair can never solve twice on different shards.
+pub fn shard_of_key(key: &PairKey, shards: usize) -> usize {
+    debug_assert!(shards > 0, "a cluster has at least one shard");
+    let mut h = Fnv1a::new();
+    h.write_u64(key.lo.hash);
+    h.write_u32(key.lo.vertices);
+    h.write_u32(key.lo.edges);
+    h.write_u64(key.hi.hash);
+    h.write_u32(key.hi.vertices);
+    h.write_u32(key.hi.edges);
+    (h.finish() % shards.max(1) as u64) as usize
+}
+
+/// Reply of a [`ClusterClient::flush`] barrier: every shard flushed, all
+/// replies merged.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClusterBarrierReply {
+    /// The cluster epoch after the barrier — the sum of the shard epochs.
+    pub epoch: u64,
+    /// Each shard's own epoch at its barrier, by shard index.
+    pub shard_epochs: Vec<u64>,
+    /// Structures admitted cluster-wide.
+    pub num_structures: usize,
+}
+
+/// K schedulers behind a content-hash router. See the module docs.
+#[derive(Debug)]
+pub struct GramCluster<KV, KE, V, E> {
+    shards: Vec<GramScheduler<KV, KE, V, E>>,
+    hasher: fn(&Graph<V, E>) -> u64,
+}
+
+impl<KV, KE, V, E> GramCluster<KV, KE, V, E>
+where
+    V: Clone + Send + Sync + ContentHash + 'static,
+    E: Copy + Default + Send + Sync + ContentHash + 'static,
+    KV: BaseKernel<V> + Clone + Send + Sync + 'static,
+    KE: BaseKernel<E> + Clone + Send + Sync + 'static,
+{
+    /// Spawn `config.shards` scheduler shards, each owning a clone of
+    /// `prototype` (cloning forks the telemetry hub, so every shard gets
+    /// its own registry; a pre-warmed prototype warms every shard). The
+    /// prototype's content hasher doubles as the cluster's routing hash,
+    /// so routing always agrees with the shards' own identity computation.
+    pub fn spawn(prototype: GramService<KV, KE, V, E>, config: ClusterConfig) -> Self {
+        let k = config.shards.max(1);
+        let hasher = prototype.content_hasher();
+        let mut shards = Vec::with_capacity(k);
+        for _ in 0..k - 1 {
+            shards.push(GramScheduler::spawn(prototype.clone(), config.scheduler));
+        }
+        shards.push(GramScheduler::spawn(prototype, config.scheduler));
+        GramCluster { shards, hasher }
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// A routing producer/consumer handle (cheap; clone freely across
+    /// threads).
+    pub fn client(&self) -> ClusterClient<V, E> {
+        ClusterClient {
+            clients: self.shards.iter().map(|s| s.client()).collect(),
+            hasher: self.hasher,
+        }
+    }
+
+    /// A routing typed request client at the [`Scalar`](mgk_linalg::Scalar)
+    /// instantiation `T`, mirroring [`GramScheduler::kernel_client`].
+    pub fn kernel_client<T: RequestScalar>(&self) -> ClusterKernelClient<V, E, T> {
+        ClusterKernelClient {
+            clients: self.shards.iter().map(|s| s.kernel_client::<T>()).collect(),
+            hasher: self.hasher,
+        }
+    }
+
+    /// A routing request client on the mixed-precision refinement path,
+    /// mirroring [`GramScheduler::kernel_client_refined`]: tickets resolve
+    /// to f64-quality [`KernelResult<f64>`]s computed by f32 PCG sweeps
+    /// with f64 residual corrections, on the pair's owning shard.
+    pub fn kernel_client_refined(&self) -> ClusterKernelClient<V, E, f64> {
+        ClusterKernelClient {
+            clients: self.shards.iter().map(|s| s.kernel_client_refined()).collect(),
+            hasher: self.hasher,
+        }
+    }
+
+    /// The merged cluster watch over every shard's snapshot watch.
+    pub fn watch(&self) -> ClusterWatch {
+        ClusterWatch { watches: self.shards.iter().map(|s| s.watch()).collect() }
+    }
+
+    /// The aggregated scrape surface over every shard's registry.
+    pub fn telemetry(&self) -> ClusterTelemetry {
+        ClusterTelemetry { registries: self.shards.iter().map(|s| s.telemetry()).collect() }
+    }
+
+    /// Gracefully shut down every shard: each drains its outstanding
+    /// submissions and requests, then the services are returned by shard
+    /// index. Every shard is joined before any panic is re-raised — a
+    /// poisoned shard never strands its siblings' outstanding work — and
+    /// the **first** shard panic (by shard index) is then re-raised,
+    /// matching [`GramScheduler::join`].
+    pub fn join(self) -> Vec<GramService<KV, KE, V, E>> {
+        let mut services = Vec::with_capacity(self.shards.len());
+        let mut first_panic = None;
+        for shard in self.shards {
+            match catch_unwind(AssertUnwindSafe(move || shard.join())) {
+                Ok(service) => services.push(service),
+                Err(payload) => {
+                    if first_panic.is_none() {
+                        first_panic = Some(payload);
+                    }
+                }
+            }
+        }
+        if let Some(payload) = first_panic {
+            resume_unwind(payload);
+        }
+        services
+    }
+}
+
+/// Cheap, cloneable producer handle routing submissions to their owning
+/// shard by content hash.
+#[derive(Debug)]
+pub struct ClusterClient<V, E> {
+    clients: Vec<GramClient<V, E>>,
+    hasher: fn(&Graph<V, E>) -> u64,
+}
+
+impl<V, E> Clone for ClusterClient<V, E> {
+    fn clone(&self) -> Self {
+        ClusterClient { clients: self.clients.clone(), hasher: self.hasher }
+    }
+}
+
+impl<V, E> ClusterClient<V, E> {
+    fn side(&self, g: &Graph<V, E>) -> PairSide {
+        PairSide::new((self.hasher)(g), g.num_vertices() as u32, g.num_edges() as u32)
+    }
+
+    /// The shard index a structure routes to.
+    pub fn shard_of(&self, structure: &Graph<V, E>) -> usize {
+        shard_of_side(&self.side(structure), self.clients.len())
+    }
+
+    /// Enqueue a structure on its owning shard, blocking while that
+    /// shard's command channel is full.
+    pub fn submit(&self, structure: Graph<V, E>) -> Result<(), SchedulerError> {
+        if structure.num_vertices() == 0 {
+            return Err(SchedulerError::EmptyStructure);
+        }
+        self.clients[self.shard_of(&structure)].submit(structure)
+    }
+
+    /// [`submit`](Self::submit) without blocking; a full owning-shard
+    /// channel reports [`SchedulerError::Backpressure`].
+    pub fn try_submit(&self, structure: Graph<V, E>) -> Result<(), SchedulerError> {
+        if structure.num_vertices() == 0 {
+            return Err(SchedulerError::EmptyStructure);
+        }
+        self.clients[self.shard_of(&structure)].try_submit(structure)
+    }
+
+    /// Enqueue a collection, routed per structure and batched per shard
+    /// (one command per shard that receives anything). Returns the number
+    /// of structures enqueued; empty structures are skipped.
+    pub fn submit_all(
+        &self,
+        structures: impl IntoIterator<Item = Graph<V, E>>,
+    ) -> Result<usize, SchedulerError> {
+        let mut per_shard: Vec<Vec<Graph<V, E>>> =
+            (0..self.clients.len()).map(|_| Vec::new()).collect();
+        for g in structures {
+            if g.num_vertices() == 0 {
+                continue;
+            }
+            per_shard[self.shard_of(&g)].push(g);
+        }
+        let mut enqueued = 0;
+        for (shard, batch) in per_shard.into_iter().enumerate() {
+            if !batch.is_empty() {
+                enqueued += self.clients[shard].submit_all(batch)?;
+            }
+        }
+        Ok(enqueued)
+    }
+
+    /// Cluster barrier: block until every submission enqueued before this
+    /// call — on any shard — has been admitted and solved. Shards are
+    /// barriered in index order; each shard only ever receives its own
+    /// routed submissions, so the sequential sweep observes a consistent
+    /// "everything enqueued before the call" state.
+    pub fn flush(&self) -> Result<ClusterBarrierReply, SchedulerError> {
+        let mut shard_epochs = Vec::with_capacity(self.clients.len());
+        let mut num_structures = 0;
+        for client in &self.clients {
+            let reply = client.flush()?;
+            shard_epochs.push(reply.epoch);
+            num_structures += reply.num_structures;
+        }
+        Ok(ClusterBarrierReply { epoch: shard_epochs.iter().sum(), shard_epochs, num_structures })
+    }
+
+    /// The merged cluster watch over every shard this client routes to.
+    pub fn watch(&self) -> ClusterWatch {
+        ClusterWatch { watches: self.clients.iter().map(|c| c.watch()).collect() }
+    }
+}
+
+/// Cheap, cloneable typed request handle routing each pair to its owning
+/// shard by normalized content key.
+#[derive(Debug)]
+pub struct ClusterKernelClient<V, E, T: RequestScalar = f32> {
+    clients: Vec<KernelClient<V, E, T>>,
+    hasher: fn(&Graph<V, E>) -> u64,
+}
+
+impl<V, E, T: RequestScalar> Clone for ClusterKernelClient<V, E, T> {
+    fn clone(&self) -> Self {
+        ClusterKernelClient { clients: self.clients.clone(), hasher: self.hasher }
+    }
+}
+
+impl<V, E, T: RequestScalar> ClusterKernelClient<V, E, T> {
+    fn side(&self, g: &Graph<V, E>) -> PairSide {
+        PairSide::new((self.hasher)(g), g.num_vertices() as u32, g.num_edges() as u32)
+    }
+
+    /// The shard index a pair routes to — by normalized [`PairKey`], so
+    /// both orientations of a pair agree.
+    pub fn shard_of(&self, left: &Graph<V, E>, right: &Graph<V, E>) -> usize {
+        let key = PairKey::new(self.side(left), self.side(right));
+        shard_of_key(&key, self.clients.len())
+    }
+
+    /// Request one pair's kernel value from its owning shard, blocking
+    /// while that shard's command channel is full.
+    pub fn request(
+        &self,
+        left: Graph<V, E>,
+        right: Graph<V, E>,
+    ) -> Result<Ticket<KernelResult<T>>, SchedulerError> {
+        if left.num_vertices() == 0 || right.num_vertices() == 0 {
+            return Err(SchedulerError::EmptyStructure);
+        }
+        self.clients[self.shard_of(&left, &right)].request(left, right)
+    }
+
+    /// [`request`](Self::request) with a deadline, mirroring
+    /// [`KernelClient::request_within`].
+    pub fn request_within(
+        &self,
+        left: Graph<V, E>,
+        right: Graph<V, E>,
+        budget: Duration,
+    ) -> Result<Ticket<KernelResult<T>>, SchedulerError> {
+        if left.num_vertices() == 0 || right.num_vertices() == 0 {
+            return Err(SchedulerError::EmptyStructure);
+        }
+        self.clients[self.shard_of(&left, &right)].request_within(left, right, budget)
+    }
+
+    /// [`request`](Self::request) without blocking; a full owning-shard
+    /// channel reports [`SchedulerError::Backpressure`].
+    pub fn try_request(
+        &self,
+        left: Graph<V, E>,
+        right: Graph<V, E>,
+    ) -> Result<Ticket<KernelResult<T>>, SchedulerError> {
+        if left.num_vertices() == 0 || right.num_vertices() == 0 {
+            return Err(SchedulerError::EmptyStructure);
+        }
+        self.clients[self.shard_of(&left, &right)].try_request(left, right)
+    }
+
+    /// Request a whole batch of pairs in submission order, each routed to
+    /// its owning shard. Duplicate pairs coalesce there as usual.
+    pub fn request_all(
+        &self,
+        pairs: impl IntoIterator<Item = (Graph<V, E>, Graph<V, E>)>,
+    ) -> Result<Vec<Ticket<KernelResult<T>>>, SchedulerError> {
+        pairs.into_iter().map(|(l, r)| self.request(l, r)).collect()
+    }
+}
+
+/// A consistent observation of the whole cluster: every shard's epoch
+/// captured in one pass, the cluster epoch their sum.
+#[derive(Debug, Clone)]
+pub struct ClusterSnapshot {
+    /// The cluster epoch of this observation — the sum of `shard_epochs`.
+    /// Per-shard epochs are monotone, so cluster epochs are too.
+    pub epoch: u64,
+    /// Each shard's epoch at capture, by shard index.
+    pub shard_epochs: Vec<u64>,
+    /// Each shard's latest snapshot, by shard index; `None` for a shard
+    /// that has not published yet (or whose unobserved epoch was retired
+    /// while its successor flush runs).
+    pub shards: Vec<Option<VersionedSnapshot>>,
+}
+
+/// Merged consumer handle over every shard's [`SnapshotWatch`]. Cheap to
+/// clone; any number of consumers may poll or wait concurrently.
+#[derive(Debug, Clone)]
+pub struct ClusterWatch {
+    watches: Vec<SnapshotWatch>,
+}
+
+impl ClusterWatch {
+    /// How long one shard's condvar is waited on before the round-robin
+    /// sweep moves to the next shard. Progress on any single shard is
+    /// observed within one slice of its publication.
+    const WAIT_SLICE: Duration = Duration::from_millis(5);
+
+    /// The current cluster epoch: the sum of every shard's epoch.
+    pub fn epoch(&self) -> u64 {
+        self.watches.iter().map(|w| w.epoch()).sum()
+    }
+
+    /// Each shard's current epoch, by shard index.
+    pub fn shard_epochs(&self) -> Vec<u64> {
+        self.watches.iter().map(|w| w.epoch()).collect()
+    }
+
+    /// Whether *every* shard's publisher is gone (no newer cluster
+    /// snapshot will ever arrive).
+    pub fn is_closed(&self) -> bool {
+        self.watches.iter().all(|w| w.is_closed())
+    }
+
+    /// A consistent cluster observation: one capture pass reading every
+    /// shard's epoch (and materializing its latest snapshot, if any).
+    pub fn latest(&self) -> ClusterSnapshot {
+        let mut shard_epochs = Vec::with_capacity(self.watches.len());
+        let mut shards = Vec::with_capacity(self.watches.len());
+        for watch in &self.watches {
+            let versioned = watch.latest();
+            // a shard mid-retirement reports its slot epoch with no
+            // snapshot; the epoch still counts as observed progress
+            shard_epochs.push(versioned.as_ref().map(|v| v.epoch).unwrap_or_else(|| watch.epoch()));
+            shards.push(versioned);
+        }
+        ClusterSnapshot { epoch: shard_epochs.iter().sum(), shard_epochs, shards }
+    }
+
+    /// Block until the cluster epoch is strictly newer than `epoch`, and
+    /// return the consistent observation that crossed it. Any single
+    /// shard's flush bumps the cluster epoch (per-shard epochs are
+    /// monotone and summed). Returns [`WatchClosed`] once every shard's
+    /// publisher is gone and nothing newer than `epoch` remains.
+    pub fn wait_newer(&self, epoch: u64) -> Result<ClusterSnapshot, WatchClosed> {
+        let mut round = 0usize;
+        loop {
+            let observed = self.latest();
+            if observed.epoch > epoch {
+                return Ok(observed);
+            }
+            if self.is_closed() {
+                // the closing shard may have published its final epoch
+                // between the capture above and the closure check
+                let last = self.latest();
+                if last.epoch > epoch {
+                    return Ok(last);
+                }
+                return Err(WatchClosed);
+            }
+            // wait one slice on one shard, rotating so a publication on
+            // any shard is picked up within K slices; a single closed
+            // shard is no error — only all-closed (above) ends the wait
+            let watch = &self.watches[round % self.watches.len()];
+            let _ = watch.wait_newer_timeout(watch.epoch(), Self::WAIT_SLICE);
+            round += 1;
+        }
+    }
+}
+
+/// The cluster's aggregated scrape surface: every shard's registry,
+/// merged with a `shard="k"` label stamped onto each metric.
+#[derive(Debug, Clone)]
+pub struct ClusterTelemetry {
+    registries: Vec<Arc<MetricsRegistry>>,
+}
+
+impl ClusterTelemetry {
+    /// The per-shard registries, by shard index (each shard's service
+    /// forked its own on spawn).
+    pub fn shard_registries(&self) -> &[Arc<MetricsRegistry>] {
+        &self.registries
+    }
+
+    /// One consistent-format capture of the whole cluster: each shard's
+    /// snapshot stamped `shard="k"`, merged and re-sorted. Render with
+    /// `render_prometheus()` / `render_json()` as usual;
+    /// `counter_total(name)` sums a counter across shards.
+    pub fn snapshot(&self) -> TelemetrySnapshot {
+        TelemetrySnapshot::merge(
+            self.registries
+                .iter()
+                .enumerate()
+                .map(|(shard, registry)| {
+                    registry.snapshot().with_label("shard", &shard.to_string())
+                })
+                .collect::<Vec<_>>(),
+        )
+    }
+}

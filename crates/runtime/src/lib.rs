@@ -37,6 +37,14 @@
 //!   answered from the [`PairCache`] without touching the solve lane, and
 //!   expired or dropped tickets are skipped before their solve starts —
 //!   tickets can never hang ([`RequestError::Closed`] on shutdown).
+//! * **[`GramCluster`]** — the sharded serving plane: K schedulers behind
+//!   a content-hash router. Structures route by their own content
+//!   identity, request pairs by normalized [`PairKey`] (both orientations
+//!   land on one shard, so coalescing and symmetric cache answers survive
+//!   sharding), per-shard watches merge into a summed cluster epoch, and
+//!   per-shard telemetry registries aggregate into one scrape surface with
+//!   a `shard="k"` label on every metric. `K = 1` behaves exactly like the
+//!   plain scheduler.
 //! * **Telemetry plane** — both lanes record into the service's
 //!   [`RuntimeMetrics`] hub (an `mgk-telemetry` registry): stage-latency
 //!   histograms for intake → queue wait → drain/group → preparation →
@@ -73,6 +81,7 @@
 //! ```
 
 pub mod cache;
+pub mod cluster;
 pub mod hash;
 pub mod metrics;
 pub mod scheduler;
@@ -81,6 +90,10 @@ pub mod ticket;
 pub mod watch;
 
 pub use cache::{CachedEntry, PairCache, PairKey, PairSide, ReorderCache};
+pub use cluster::{
+    shard_of_key, shard_of_side, ClusterBarrierReply, ClusterClient, ClusterConfig,
+    ClusterKernelClient, ClusterSnapshot, ClusterTelemetry, ClusterWatch, GramCluster,
+};
 pub use hash::{graph_content_hash, ContentHash, Fnv1a};
 pub use metrics::RuntimeMetrics;
 pub use rayon::pool::Pool;

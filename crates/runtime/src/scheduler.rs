@@ -33,7 +33,7 @@
 //! [`Pool`](crate::Pool) — the scheduler thread is a coordinator, not a
 //! compute thread.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::marker::PhantomData;
 use std::sync::mpsc::{self, Receiver, SyncSender, TrySendError};
 use std::sync::Arc;
@@ -45,11 +45,12 @@ use mgk_graph::Graph;
 use mgk_kernels::BaseKernel;
 use mgk_linalg::{Precision, Scalar, TrafficCounters};
 use mgk_telemetry::{Histogram, MetricsRegistry, Stopwatch};
+use rayon::prelude::*;
 
-use crate::cache::{CachedEntry, PairSide};
+use crate::cache::{CachedEntry, PairKey, PairSide};
 use crate::hash::ContentHash;
 use crate::metrics::RuntimeMetrics;
-use crate::service::{precision_of, GramService, GramServiceError, PreparedPair};
+use crate::service::{GramService, GramServiceError, PreparedPair, RequestSolve};
 use crate::ticket::{ticket, RequestError, Ticket, TicketResolver};
 use crate::watch::{snapshot_channel_counted, SnapshotPublisher, SnapshotWatch};
 
@@ -139,6 +140,11 @@ struct KernelRequest<V, E> {
 pub enum KernelResolver {
     F32(TicketResolver<KernelResult<f32>>),
     F64(TicketResolver<KernelResult<f64>>),
+    /// An f64 ticket answered by the mixed-precision refinement path:
+    /// resolves [`KernelResult<f64>`] like [`KernelResolver::F64`], but
+    /// groups under [`Precision::Refined`] so the drain loop routes its
+    /// solve through `GramService::solve_prepared_refined`.
+    Refined(TicketResolver<KernelResult<f64>>),
 }
 
 impl KernelResolver {
@@ -146,6 +152,7 @@ impl KernelResolver {
         match self {
             KernelResolver::F32(_) => Precision::F32,
             KernelResolver::F64(_) => Precision::F64,
+            KernelResolver::Refined(_) => Precision::Refined,
         }
     }
 
@@ -153,6 +160,7 @@ impl KernelResolver {
         match self {
             KernelResolver::F32(r) => r.is_cancelled(),
             KernelResolver::F64(r) => r.is_cancelled(),
+            KernelResolver::Refined(r) => r.is_cancelled(),
         }
     }
 
@@ -160,6 +168,17 @@ impl KernelResolver {
         match self {
             KernelResolver::F32(r) => r.resolve(Err(RequestError::Expired)),
             KernelResolver::F64(r) => r.resolve(Err(RequestError::Expired)),
+            KernelResolver::Refined(r) => r.resolve(Err(RequestError::Expired)),
+        }
+    }
+
+    /// Retag an f64 resolver onto the refinement path. Only
+    /// refined-constructed clients (which are `T = f64` by construction)
+    /// call this; an f32 resolver passes through untouched.
+    fn into_refined(self) -> Self {
+        match self {
+            KernelResolver::F64(r) => KernelResolver::Refined(r),
+            other => other,
         }
     }
 }
@@ -306,6 +325,11 @@ pub struct KernelClient<V, E, T: RequestScalar = f32> {
     tx: SyncSender<Command<V, E>>,
     capacity: usize,
     metrics: RuntimeMetrics,
+    /// Route this client's requests through the mixed-precision refinement
+    /// path ([`Precision::Refined`]) instead of the plain `T`
+    /// instantiation. Only set by refined constructors, which fix
+    /// `T = f64` (refinement produces f64-quality answers).
+    refined: bool,
     _precision: PhantomData<T>,
 }
 
@@ -315,6 +339,7 @@ impl<V, E, T: RequestScalar> Clone for KernelClient<V, E, T> {
             tx: self.tx.clone(),
             capacity: self.capacity,
             metrics: self.metrics.clone(),
+            refined: self.refined,
             _precision: PhantomData,
         }
     }
@@ -356,13 +381,12 @@ impl<V, E, T: RequestScalar> KernelClient<V, E, T> {
             return Err(SchedulerError::EmptyStructure);
         }
         let (ticket, resolver) = ticket::<KernelResult<T>>();
-        let request = KernelRequest {
-            left,
-            right,
-            deadline: None,
-            resolver: T::wrap_resolver(resolver),
-            intake: Stopwatch::start(),
-        };
+        let mut resolver = T::wrap_resolver(resolver);
+        if self.refined {
+            resolver = resolver.into_refined();
+        }
+        let request =
+            KernelRequest { left, right, deadline: None, resolver, intake: Stopwatch::start() };
         self.metrics.queue_depth.inc();
         self.tx.try_send(Command::Request(Box::new(request))).map_err(|e| {
             self.metrics.queue_depth.dec();
@@ -400,13 +424,11 @@ impl<V, E, T: RequestScalar> KernelClient<V, E, T> {
             return Err(SchedulerError::EmptyStructure);
         }
         let (ticket, resolver) = ticket::<KernelResult<T>>();
-        let request = KernelRequest {
-            left,
-            right,
-            deadline,
-            resolver: T::wrap_resolver(resolver),
-            intake: Stopwatch::start(),
-        };
+        let mut resolver = T::wrap_resolver(resolver);
+        if self.refined {
+            resolver = resolver.into_refined();
+        }
+        let request = KernelRequest { left, right, deadline, resolver, intake: Stopwatch::start() };
         self.metrics.queue_depth.inc();
         self.tx.send(Command::Request(Box::new(request))).map_err(|_| {
             self.metrics.queue_depth.dec();
@@ -471,6 +493,25 @@ where
             tx: self.client.tx.clone(),
             capacity: self.client.capacity,
             metrics: self.client.metrics.clone(),
+            refined: false,
+            _precision: PhantomData,
+        }
+    }
+
+    /// A typed request client on the **mixed-precision refinement** path:
+    /// tickets resolve to [`KernelResult<f64>`] — f64-quality values and
+    /// nodal vectors — computed by f32 inner PCG sweeps with f64 residual
+    /// corrections ([`Precision::Refined`]), at a fraction of a plain f64
+    /// solve's bandwidth cost. Refined requests group separately from
+    /// `kernel_client::<f64>()` requests, but the cache entry a refined
+    /// solve folds in answers later f64 *and* refined requests for the
+    /// same pair.
+    pub fn kernel_client_refined(&self) -> KernelClient<V, E, f64> {
+        KernelClient {
+            tx: self.client.tx.clone(),
+            capacity: self.client.capacity,
+            metrics: self.client.metrics.clone(),
+            refined: true,
             _precision: PhantomData,
         }
     }
@@ -669,6 +710,14 @@ fn serve_requests<KV, KE, V, E>(
     }
     drop(drain_span);
 
+    // waves: consecutive groups with *distinct* normalized pair identities
+    // fan their solves out across the worker pool together; a group whose
+    // identity is already claimed by the current wave closes it first, so
+    // same-key groups keep their sequential cache dependency (e.g. the
+    // mirrored orientation of a pair answers, value-only, from the cache
+    // entry its sibling's fold inserts)
+    let mut wave: Vec<ReadyGroup<V, E>> = Vec::new();
+    let mut wave_keys: HashSet<PairKey> = HashSet::new();
     for slot in order {
         let (left, right, tickets) = groups.remove(&slot).expect("group inserted above");
         let (_, precision) = slot;
@@ -688,15 +737,82 @@ fn serve_requests<KV, KE, V, E>(
         if live.is_empty() {
             continue;
         }
-        // one preparation per group, shared by every coalesced ticket
+        // one preparation per group, shared by every coalesced ticket;
+        // runs on the owning thread — it may mutate the reorder cache
         let prepared = service.prepare_pair(&left, &right);
-        match precision {
-            Precision::F32 => answer_group::<f32, KV, KE, V, E>(service, &prepared, live),
-            Precision::F64 => answer_group::<f64, KV, KE, V, E>(service, &prepared, live),
-            Precision::Refined => {
-                debug_assert!(false, "clients only produce f32/f64 request precisions");
-            }
+        if !wave_keys.insert(prepared.key()) {
+            solve_wave(service, std::mem::take(&mut wave));
+            wave_keys.clear();
+            wave_keys.insert(prepared.key());
         }
+        // the cache probe also stays on the owning thread (it touches
+        // recency), before this group enters the parallel fan-out
+        let cached = service.cached_answer(prepared.key(), precision);
+        wave.push(ReadyGroup { prepared, precision, cached, tickets: live });
+    }
+    solve_wave(service, wave);
+}
+
+/// A coalesced request group admitted to the current wave: prepared,
+/// cache-probed, and carrying its surviving tickets.
+struct ReadyGroup<V, E> {
+    prepared: PreparedPair<V, E>,
+    precision: Precision,
+    cached: Option<CachedEntry>,
+    tickets: Vec<LiveTicket>,
+}
+
+/// The typed outcome of one wave group's pure solve, produced on a worker
+/// thread and folded on the owning thread.
+enum WaveSolve {
+    F32(RequestSolve<f32>),
+    F64(RequestSolve<f64>),
+    Refined(RequestSolve<f64>),
+}
+
+/// Solve one wave: the pure solves of all cache-missed groups fan out
+/// across the worker pool in parallel (the service is borrowed shared, so
+/// cache, donors and reorder state are untouchable there), then the folds
+/// and ticket fan-outs run sequentially in wave order on the owning
+/// thread — the single-writer half.
+fn solve_wave<KV, KE, V, E>(service: &mut GramService<KV, KE, V, E>, wave: Vec<ReadyGroup<V, E>>)
+where
+    V: Clone + Send + Sync + ContentHash,
+    E: Copy + Default + Send + Sync + ContentHash,
+    KV: BaseKernel<V> + Clone + Send + Sync,
+    KE: BaseKernel<E> + Clone + Send + Sync,
+{
+    if wave.is_empty() {
+        return;
+    }
+    let outcomes: Vec<(usize, Option<WaveSolve>)> = {
+        let svc: &GramService<KV, KE, V, E> = service;
+        wave.par_iter()
+            .enumerate()
+            .map(|(idx, group)| {
+                if group.cached.is_some() {
+                    return (idx, None);
+                }
+                let solve = match group.precision {
+                    Precision::F32 => WaveSolve::F32(svc.solve_prepared::<f32>(&group.prepared)),
+                    Precision::F64 => WaveSolve::F64(svc.solve_prepared::<f64>(&group.prepared)),
+                    Precision::Refined => {
+                        WaveSolve::Refined(svc.solve_prepared_refined(&group.prepared))
+                    }
+                };
+                (idx, Some(solve))
+            })
+            .collect()
+    };
+    // route every outcome back to its wave slot by index, then fold in
+    // wave order so cache/donor state evolves exactly as a sequential
+    // drain would have left it
+    let mut solves: Vec<Option<WaveSolve>> = wave.iter().map(|_| None).collect();
+    for (idx, solve) in outcomes {
+        solves[idx] = solve;
+    }
+    for (group, solve) in wave.into_iter().zip(solves) {
+        finish_group(service, group, solve);
     }
 }
 
@@ -710,59 +826,80 @@ struct LiveTicket {
     queue_wait_ns: u64,
 }
 
-/// Answer one coalesced group at the instantiation `T`: from the pair
-/// cache when an adequate entry exists, from a single solve otherwise.
-fn answer_group<T, KV, KE, V, E>(
+/// Finish one wave group on the owning thread: fold its solve (or replay
+/// its cache entry), then wake every coalesced ticket with the shared
+/// answer. Groups are precision-homogeneous — each arm resolves exactly
+/// its own resolver variant.
+fn finish_group<KV, KE, V, E>(
     service: &mut GramService<KV, KE, V, E>,
-    prepared: &PreparedPair<V, E>,
-    tickets: Vec<LiveTicket>,
+    group: ReadyGroup<V, E>,
+    solve: Option<WaveSolve>,
 ) where
-    T: RequestScalar,
     V: Clone + Send + Sync + ContentHash,
     E: Copy + Default + Send + Sync + ContentHash,
     KV: BaseKernel<V> + Clone + Send + Sync,
     KE: BaseKernel<E> + Clone + Send + Sync,
 {
-    let result: Result<KernelResult<T>, RequestError> =
-        match service.cached_answer(prepared.key(), precision_of::<T>()) {
-            Some(entry) => {
-                let mut replayed = result_from_entry::<T>(&entry);
-                // preparation ran for this group even though the solve was
-                // skipped; the cache answer still reports that cost
-                replayed.stages.prepare_ns = prepared.prepare_ns();
-                Ok(replayed)
-            }
-            None => service.solve_request::<T>(prepared).map_err(RequestError::Solver),
-        };
+    let ReadyGroup { prepared, precision, cached, tickets } = group;
     let latency = service.metrics().request_latency.clone();
-    // groups are precision-homogeneous, so the conversion runs once; the
-    // fan-out clones the converted result per extra ticket and moves it
-    // into the last one (a burst of k tickets costs k - 1 clones, not 2k)
-    match tickets.first().map(|t| &t.resolver) {
-        Some(KernelResolver::F32(_)) => {
-            fan_out(
-                tickets,
-                result.map(narrow_result),
-                &latency,
-                |resolver, answer| match resolver {
-                    KernelResolver::F32(r) => r.resolve(answer),
-                    KernelResolver::F64(_) => unreachable!("precision-homogeneous group"),
+    match precision {
+        Precision::F32 => {
+            let result: Result<KernelResult<f32>, RequestError> = match cached {
+                Some(entry) => Ok(replay_entry::<f32>(&entry, prepared.prepare_ns())),
+                None => match solve {
+                    Some(WaveSolve::F32(s)) => service
+                        .fold_request_solve(&prepared, s, Precision::F32)
+                        .map_err(RequestError::Solver),
+                    _ => unreachable!("wave solves are precision-matched to their group"),
                 },
-            );
+            };
+            fan_out(tickets, result, &latency, |resolver, answer| match resolver {
+                KernelResolver::F32(r) => r.resolve(answer),
+                _ => unreachable!("precision-homogeneous group"),
+            });
         }
-        Some(KernelResolver::F64(_)) => {
-            fan_out(
-                tickets,
-                result.map(widen_result),
-                &latency,
-                |resolver, answer| match resolver {
-                    KernelResolver::F64(r) => r.resolve(answer),
-                    KernelResolver::F32(_) => unreachable!("precision-homogeneous group"),
+        Precision::F64 => {
+            let result: Result<KernelResult<f64>, RequestError> = match cached {
+                Some(entry) => Ok(replay_entry::<f64>(&entry, prepared.prepare_ns())),
+                None => match solve {
+                    Some(WaveSolve::F64(s)) => service
+                        .fold_request_solve(&prepared, s, Precision::F64)
+                        .map_err(RequestError::Solver),
+                    _ => unreachable!("wave solves are precision-matched to their group"),
                 },
-            );
+            };
+            fan_out(tickets, result, &latency, |resolver, answer| match resolver {
+                KernelResolver::F64(r) => r.resolve(answer),
+                _ => unreachable!("precision-homogeneous group"),
+            });
         }
-        None => {}
+        Precision::Refined => {
+            let result: Result<KernelResult<f64>, RequestError> = match cached {
+                Some(entry) => Ok(replay_entry::<f64>(&entry, prepared.prepare_ns())),
+                None => match solve {
+                    // the entry is tagged Refined, so it answers later f64
+                    // and refined requests for this pair
+                    Some(WaveSolve::Refined(s)) => service
+                        .fold_request_solve(&prepared, s, Precision::Refined)
+                        .map_err(RequestError::Solver),
+                    _ => unreachable!("wave solves are precision-matched to their group"),
+                },
+            };
+            fan_out(tickets, result, &latency, |resolver, answer| match resolver {
+                KernelResolver::Refined(r) => r.resolve(answer),
+                _ => unreachable!("precision-homogeneous group"),
+            });
+        }
     }
+}
+
+/// A cache entry replayed as a typed answer: the stored full-precision
+/// value with the group's preparation cost stamped on (preparation ran
+/// even though the solve was skipped).
+fn replay_entry<T: Scalar>(entry: &CachedEntry, prepare_ns: u64) -> KernelResult<T> {
+    let mut replayed = result_from_entry::<T>(entry);
+    replayed.stages.prepare_ns = prepare_ns;
+    replayed
 }
 
 /// Wake every ticket of a group with one shared answer: clones for all
@@ -805,23 +942,6 @@ fn result_from_entry<T: Scalar>(entry: &CachedEntry) -> KernelResult<T> {
         traffic: TrafficCounters::new(),
         nodal: None,
         stages: StageBreakdown::default(),
-    }
-}
-
-fn narrow_result<T: Scalar>(r: KernelResult<T>) -> KernelResult<f32> {
-    r.narrow()
-}
-
-fn widen_result<T: Scalar>(r: KernelResult<T>) -> KernelResult<f64> {
-    KernelResult {
-        value: r.value.to_f64(),
-        value_f64: r.value_f64,
-        iterations: r.iterations,
-        converged: r.converged,
-        relative_residual: r.relative_residual,
-        traffic: r.traffic,
-        nodal: r.nodal.map(|v| v.iter().map(|&x| x.to_f64()).collect()),
-        stages: r.stages,
     }
 }
 

@@ -976,6 +976,18 @@ where
         &mut self,
         pair: &PreparedPair<V, E>,
     ) -> Result<KernelResult<T>, SolverError> {
+        let solved = self.solve_prepared::<T>(pair);
+        self.fold_request_solve(pair, solved, precision_of::<T>())
+    }
+
+    /// The *pure* half of a request solve: read warm-start candidates from
+    /// the donor pool, run the pair solver at `T`, and report the raw
+    /// outcome without touching the pair cache or the donors. Takes
+    /// `&self`, so the scheduler's drain loop can fan distinct groups out
+    /// across the worker pool concurrently (the stage histogram it records
+    /// into is atomic); the single-writer fold stays on the owning thread
+    /// in [`fold_request_solve`](Self::fold_request_solve).
+    pub fn solve_prepared<T: Scalar>(&self, pair: &PreparedPair<V, E>) -> RequestSolve<T> {
         let donor_key = (pair.left_hash, pair.right.num_vertices());
         let candidates: Vec<&[f32]> = if self.config.warm_start {
             self.donors.candidates(&donor_key).collect()
@@ -991,12 +1003,49 @@ where
         );
         let solve_ns = solve_watch.elapsed_ns();
         self.metrics.stage_solve.record(solve_ns);
-        drop(candidates);
-        match result {
+        RequestSolve { result, warmed, solve_ns }
+    }
+
+    /// [`solve_prepared`](Self::solve_prepared) on the mixed-precision
+    /// refinement path: f32 inner PCG sweeps with f64 residual
+    /// corrections, the f64-quality result un-narrowed. Serves
+    /// [`Precision::Refined`] request groups; fold the outcome with
+    /// `Precision::Refined` so the cache entry answers later f64 (and
+    /// refined) requests.
+    pub fn solve_prepared_refined(&self, pair: &PreparedPair<V, E>) -> RequestSolve<f64> {
+        let donor_key = (pair.left_hash, pair.right.num_vertices());
+        let candidates: Vec<&[f32]> = if self.config.warm_start {
+            self.donors.candidates(&donor_key).collect()
+        } else {
+            Vec::new()
+        };
+        let warmed = !candidates.is_empty();
+        let solve_watch = Stopwatch::start();
+        let result =
+            self.pair_solver.kernel_refined_with_candidates(&pair.left, &pair.right, &candidates);
+        let solve_ns = solve_watch.elapsed_ns();
+        self.metrics.stage_solve.record(solve_ns);
+        RequestSolve { result, warmed, solve_ns }
+    }
+
+    /// The *stateful* half of a request solve: account the outcome and
+    /// fold a success into the pair cache and the donor pool. Must run on
+    /// the thread that owns the service (the scheduler thread) — cache,
+    /// donors and their recency bookkeeping are single-writer. `precision`
+    /// is the tag the cache entry is stored under; pass
+    /// [`Precision::Refined`] for refined solves so the entry's f64-quality
+    /// value is recorded as such.
+    pub fn fold_request_solve<T: Scalar>(
+        &mut self,
+        pair: &PreparedPair<V, E>,
+        solved: RequestSolve<T>,
+        precision: Precision,
+    ) -> Result<KernelResult<T>, SolverError> {
+        match solved.result {
             Ok(mut r) => {
                 self.metrics.request_solves.inc();
                 self.metrics.total_iterations.add(r.iterations as u64);
-                if warmed {
+                if solved.warmed {
                     self.metrics.warm_started.inc();
                 }
                 r.traffic.export_to(&self.metrics.traffic);
@@ -1006,7 +1055,7 @@ where
                     CachedEntry {
                         value: r.value.to_f32(),
                         value_f64: r.value_f64,
-                        precision: precision_of::<T>(),
+                        precision,
                         relative_residual: r.relative_residual,
                         iterations: r.iterations,
                     },
@@ -1014,13 +1063,18 @@ where
                 if self.config.warm_start {
                     if let Some(nodal) = &r.nodal {
                         let narrowed: Vec<f32> = nodal.iter().map(|&v| v.to_f32()).collect();
-                        self.donors.donate(donor_key, pair.right_hash, narrowed, r.iterations);
+                        self.donors.donate(
+                            (pair.left_hash, pair.right.num_vertices()),
+                            pair.right_hash,
+                            narrowed,
+                            r.iterations,
+                        );
                     }
                 }
                 let fold_ns = fold_watch.elapsed_ns();
                 self.metrics.stage_fold.record(fold_ns);
                 r.stages.prepare_ns = pair.prepare_ns;
-                r.stages.solve_ns = solve_ns;
+                r.stages.solve_ns = solved.solve_ns;
                 r.stages.fold_ns = fold_ns;
                 Ok(r)
             }
@@ -1029,6 +1083,14 @@ where
                 Err(e)
             }
         }
+    }
+
+    /// The content hasher this service keys caches and donors by — the
+    /// same pure function a cluster router must use so pair routing agrees
+    /// with every shard's own identity computation (and stays stable
+    /// across restarts).
+    pub fn content_hasher(&self) -> fn(&Graph<V, E>) -> u64 {
+        self.hasher
     }
 
     /// Record request-lane outcomes decided by the scheduler (coalesced,
@@ -1053,6 +1115,17 @@ where
     pub(crate) fn note_request_cancelled(&mut self) {
         self.metrics.requests_cancelled.inc();
     }
+}
+
+/// The raw outcome of the pure half of a request solve
+/// ([`GramService::solve_prepared`]), before its stateful fold
+/// ([`GramService::fold_request_solve`]). Opaque by design: worker threads
+/// produce it, the owning scheduler thread consumes it.
+#[derive(Debug)]
+pub struct RequestSolve<T: Scalar> {
+    result: Result<KernelResult<T>, SolverError>,
+    warmed: bool,
+    solve_ns: u64,
 }
 
 /// A request pair after per-structure preprocessing, carrying its content

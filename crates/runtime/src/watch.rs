@@ -201,6 +201,27 @@ impl SnapshotWatch {
     /// [`WatchClosed`] once the publisher is gone and nothing newer than
     /// `epoch` was ever published.
     pub fn wait_newer(&self, epoch: u64) -> Result<VersionedSnapshot, WatchClosed> {
+        self.wait_newer_until(epoch, None)
+            .map(|v| v.expect("an unbounded wait only returns with a snapshot or closure"))
+    }
+
+    /// [`wait_newer`](Self::wait_newer) with a timeout: `Ok(None)` if no
+    /// strictly newer snapshot was published within `timeout`. A cluster
+    /// watch waits on its shards round-robin through this, so progress on
+    /// *any* shard is observed within one timeout slice.
+    pub fn wait_newer_timeout(
+        &self,
+        epoch: u64,
+        timeout: std::time::Duration,
+    ) -> Result<Option<VersionedSnapshot>, WatchClosed> {
+        self.wait_newer_until(epoch, Some(std::time::Instant::now() + timeout))
+    }
+
+    fn wait_newer_until(
+        &self,
+        epoch: u64,
+        deadline: Option<std::time::Instant>,
+    ) -> Result<Option<VersionedSnapshot>, WatchClosed> {
         let mut slot = self.shared.slot.lock().unwrap();
         loop {
             if slot.epoch > epoch {
@@ -208,7 +229,7 @@ impl SnapshotWatch {
                     let (found, p) = (slot.epoch, Arc::clone(p));
                     drop(slot);
                     if let Some(snapshot) = p.materialize(&self.shared.builds) {
-                        return Ok(VersionedSnapshot { epoch: found, snapshot });
+                        return Ok(Some(VersionedSnapshot { epoch: found, snapshot }));
                     }
                     // the epoch was retired unobserved while its successor
                     // flushes: re-examine the slot; if nothing newer has
@@ -223,7 +244,23 @@ impl SnapshotWatch {
             if slot.closed {
                 return Err(WatchClosed);
             }
-            slot = self.shared.newer.wait(slot).unwrap();
+            match deadline {
+                None => slot = self.shared.newer.wait(slot).unwrap(),
+                Some(deadline) => {
+                    let now = std::time::Instant::now();
+                    if now >= deadline {
+                        return Ok(None);
+                    }
+                    let (next, timeout) =
+                        self.shared.newer.wait_timeout(slot, deadline - now).unwrap();
+                    slot = next;
+                    if timeout.timed_out() {
+                        // one re-examination after the timeout: a publish
+                        // that raced the wakeup must not be missed
+                        continue;
+                    }
+                }
+            }
         }
     }
 }

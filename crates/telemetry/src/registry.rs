@@ -14,27 +14,37 @@ use crate::metrics::{
 /// registration and snapshotting from serialising on one mutex.
 const SHARDS: usize = 8;
 
-/// Identity of a metric: a name plus at most one `key="value"` label pair
-/// (enough for the `stage="solve"` / `phase="queue"` families this
-/// workspace exports).
+/// Identity of a metric: a name plus its `key="value"` label pairs, in the
+/// order they were attached. Registration attaches at most one pair (the
+/// `stage="solve"` / `phase="queue"` families this workspace exports);
+/// aggregation surfaces stack further pairs onto captured samples — e.g. a
+/// cluster scrape stamps `shard="k"` onto every per-shard metric via
+/// [`TelemetrySnapshot::with_label`].
 #[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct MetricKey {
     /// Metric name, e.g. `mgk_stage_duration_seconds`.
     pub name: String,
-    /// Optional single label pair, e.g. `("stage", "solve")`.
-    pub label: Option<(String, String)>,
+    /// Label pairs, e.g. `[("stage", "solve")]`; empty for unlabeled
+    /// metrics.
+    pub labels: Vec<(String, String)>,
 }
 
 impl MetricKey {
     fn new(name: &str, label: Option<(&str, &str)>) -> Self {
-        Self { name: name.to_string(), label: label.map(|(k, v)| (k.to_string(), v.to_string())) }
+        Self {
+            name: name.to_string(),
+            labels: label.map(|(k, v)| (k.to_string(), v.to_string())).into_iter().collect(),
+        }
     }
 
-    /// Render as `name` or `name{key="value"}`.
+    /// Render as `name` or `name{key="value",...}`.
     pub fn render(&self) -> String {
-        match &self.label {
-            None => self.name.clone(),
-            Some((k, v)) => format!("{}{{{}=\"{}\"}}", self.name, k, v),
+        if self.labels.is_empty() {
+            self.name.clone()
+        } else {
+            let labels: Vec<String> =
+                self.labels.iter().map(|(k, v)| format!("{k}=\"{v}\"")).collect();
+            format!("{}{{{}}}", self.name, labels.join(","))
         }
     }
 }
@@ -199,10 +209,15 @@ impl TelemetrySnapshot {
             .iter()
             .find(|s| {
                 s.key.name == name
-                    && match (&s.key.label, label) {
-                        (None, None) => true,
-                        (Some((k, v)), Some((lk, lv))) => k == lk && v == lv,
-                        _ => false,
+                    && match label {
+                        // an unlabeled query addresses the unlabeled sample,
+                        // so a merged (shard-stamped) capture never aliases
+                        // a single-registry one
+                        None => s.key.labels.is_empty(),
+                        // a labeled query matches any sample carrying the
+                        // pair, so `("stage", "solve")` still resolves after
+                        // a `shard="k"` stamp is stacked on
+                        Some((lk, lv)) => s.key.labels.iter().any(|(k, v)| k == lk && v == lv),
                     }
             })
             .map(|s| &s.value)
@@ -237,6 +252,48 @@ impl TelemetrySnapshot {
         }
     }
 
+    /// Sum of every counter named `name`, labeled or not — the aggregate
+    /// view over a merged multi-registry capture (e.g. total request
+    /// solves across every `shard="k"` stamp). `None` if no counter of
+    /// that name exists.
+    pub fn counter_total(&self, name: &str) -> Option<u64> {
+        let mut found = false;
+        let mut total = 0u64;
+        for sample in &self.samples {
+            if sample.key.name == name {
+                if let MetricValue::Counter(v) = &sample.value {
+                    found = true;
+                    total += v;
+                }
+            }
+        }
+        found.then_some(total)
+    }
+
+    /// Append `key="value"` to every sample's label set, consuming the
+    /// capture. The aggregation primitive behind multi-registry scrape
+    /// surfaces: stamp each registry's snapshot with its origin (e.g.
+    /// `shard="2"`), then [`merge`](Self::merge) the stamped captures.
+    pub fn with_label(mut self, key: &str, value: &str) -> Self {
+        for sample in &mut self.samples {
+            sample.key.labels.push((key.to_string(), value.to_string()));
+        }
+        self.samples.sort_by(|a, b| a.key.cmp(&b.key));
+        self
+    }
+
+    /// Merge several captures into one, re-sorted by name then labels so
+    /// renderings stay deterministic (and `# TYPE` lines are emitted once
+    /// per name). Callers keep samples distinguishable by stamping each
+    /// capture via [`with_label`](Self::with_label) first; identical keys
+    /// are kept side by side, not summed.
+    pub fn merge(snapshots: impl IntoIterator<Item = TelemetrySnapshot>) -> Self {
+        let mut samples: Vec<MetricSample> =
+            snapshots.into_iter().flat_map(|s| s.samples).collect();
+        samples.sort_by(|a, b| a.key.cmp(&b.key));
+        TelemetrySnapshot { samples }
+    }
+
     /// Render in the Prometheus text exposition format.
     ///
     /// Histograms record nanoseconds internally but are exposed in seconds
@@ -267,13 +324,10 @@ impl TelemetrySnapshot {
                     out.push_str(&format!("{} {v}\n", sample.key.render()));
                 }
                 MetricValue::Histogram(h) => {
-                    let label = sample.key.label.as_ref();
                     // suffix goes on the name, labels after: `name_bucket{...}`
                     let suffixed = |suffix: &str, le: Option<&str>| {
-                        let mut labels = Vec::new();
-                        if let Some((k, v)) = label {
-                            labels.push(format!("{k}=\"{v}\""));
-                        }
+                        let mut labels: Vec<String> =
+                            sample.key.labels.iter().map(|(k, v)| format!("{k}=\"{v}\"")).collect();
                         if let Some(le) = le {
                             labels.push(format!("le=\"{le}\""));
                         }

@@ -57,14 +57,24 @@ unsafe impl<R: Send> Sync for Slot<R> {}
 /// Run `f(item)` for every item of `items` on the global persistent pool,
 /// handing out items dynamically, and return the results in input order.
 fn dynamic_map<'a, T: Sync, R: Send>(items: &'a [T], f: impl Fn(&'a T) -> R + Sync) -> Vec<R> {
+    dynamic_map_indexed(items, |_, item| f(item))
+}
+
+/// [`dynamic_map`] with the item's index handed to `f` — the engine behind
+/// [`ParEnumerate`], where callers key per-item work (or route results
+/// back) by position.
+fn dynamic_map_indexed<'a, T: Sync, R: Send>(
+    items: &'a [T],
+    f: impl Fn(usize, &'a T) -> R + Sync,
+) -> Vec<R> {
     let n = items.len();
     let threads = current_num_threads().min(n.max(1));
     if threads <= 1 || n <= 1 {
-        return items.iter().map(f).collect();
+        return items.iter().enumerate().map(|(i, item)| f(i, item)).collect();
     }
     let slots: Vec<Slot<R>> = (0..n).map(|_| Slot(UnsafeCell::new(None))).collect();
     pool::Pool::global().run_indexed(n, threads, &|i| {
-        let value = f(&items[i]);
+        let value = f(i, &items[i]);
         // SAFETY: index i is claimed exactly once, so this is the only
         // writer of slots[i], and no reader exists until the region ends.
         unsafe { *slots[i].0.get() = Some(value) };
@@ -111,6 +121,52 @@ impl<'a, T: Sync> ParIter<'a, T> {
         R: Send,
     {
         ParMap { items: self.items, f }
+    }
+
+    /// Pair every element with its index, mirroring
+    /// `IndexedParallelIterator::enumerate`: the subsequent
+    /// [`map`](ParEnumerate::map) closure receives `(usize, &T)`, so
+    /// fan-outs can key per-item work (or route results back to their
+    /// originating slot) by position.
+    pub fn enumerate(self) -> ParEnumerate<'a, T> {
+        ParEnumerate { items: self.items }
+    }
+}
+
+/// Result of [`ParIter::enumerate`]: a parallel iterator over
+/// `(index, &item)` pairs.
+pub struct ParEnumerate<'a, T> {
+    items: &'a [T],
+}
+
+impl<'a, T: Sync> ParEnumerate<'a, T> {
+    /// Map every `(index, &item)` pair through `f` in parallel.
+    pub fn map<R, F>(self, f: F) -> ParEnumerateMap<'a, T, F>
+    where
+        F: Fn((usize, &'a T)) -> R + Sync,
+        R: Send,
+    {
+        ParEnumerateMap { items: self.items, f }
+    }
+}
+
+/// Result of [`ParEnumerate::map`]; evaluated by
+/// [`ParEnumerateMap::collect`].
+pub struct ParEnumerateMap<'a, T, F> {
+    items: &'a [T],
+    f: F,
+}
+
+impl<'a, T: Sync, F> ParEnumerateMap<'a, T, F> {
+    /// Execute the parallel indexed map and collect the results in input
+    /// order.
+    pub fn collect<C, R>(self) -> C
+    where
+        F: Fn((usize, &'a T)) -> R + Sync,
+        R: Send,
+        C: From<Vec<R>>,
+    {
+        C::from(dynamic_map_indexed(self.items, |i, item| (self.f)((i, item))))
     }
 }
 
@@ -259,6 +315,24 @@ mod tests {
         let v: Vec<u64> = (0..1000).collect();
         let out: Vec<u64> = v.par_iter().map(|&x| x * 2).collect();
         assert_eq!(out, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_enumerate_pairs_every_item_with_its_index() {
+        let v: Vec<u64> = (100..612).collect();
+        let out: Vec<(usize, u64)> = v.par_iter().enumerate().map(|(i, &x)| (i, x + 1)).collect();
+        assert_eq!(out.len(), v.len());
+        for (i, (idx, value)) in out.iter().enumerate() {
+            assert_eq!(*idx, i, "indices arrive in input order");
+            assert_eq!(*value, v[i] + 1);
+        }
+        // the degenerate sizes take the serial fast path; same contract
+        let one: Vec<u8> = vec![7];
+        let out: Vec<(usize, u8)> = one.par_iter().enumerate().map(|(i, &x)| (i, x)).collect();
+        assert_eq!(out, vec![(0, 7)]);
+        let empty: Vec<u8> = Vec::new();
+        let out: Vec<usize> = empty.par_iter().enumerate().map(|(i, _)| i).collect();
+        assert!(out.is_empty());
     }
 
     #[test]

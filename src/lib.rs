@@ -30,9 +30,11 @@
 //!   parallel region executes on, the streaming Gram service with
 //!   incremental extension, content-hash entry caching and warm-started
 //!   solves, the background Gram scheduler (microsecond submissions over a
-//!   bounded command channel, versioned snapshot watch), and the
+//!   bounded command channel, versioned snapshot watch), the
 //!   request-scoped `KernelClient` (per-pair tickets with coalescing,
-//!   deadlines, cancellation and typed `KernelResult<T>` answers).
+//!   deadlines, cancellation and typed `KernelResult<T>` answers), and the
+//!   sharded `GramCluster` serving plane (K schedulers behind a
+//!   content-hash router, merged cluster epochs, shard-labeled telemetry).
 //! * [`telemetry`] — the dependency-free observability plane: sharded
 //!   atomic metrics registry (counters, gauges, log-scaled latency
 //!   histograms), RAII stage spans, and Prometheus-text / JSON exposition.
@@ -80,8 +82,9 @@ pub mod prelude {
     pub use mgk_linalg::{LinearOperator, Precision, Scalar, SolveOptions, TrafficCounters};
     pub use mgk_reorder::ReorderMethod;
     pub use mgk_runtime::{
-        GramClient, GramScheduler, GramService, GramServiceConfig, KernelClient, Pool,
-        RequestError, RuntimeMetrics, SchedulerConfig, SnapshotWatch, Ticket,
+        ClusterClient, ClusterConfig, ClusterKernelClient, ClusterWatch, GramClient, GramCluster,
+        GramScheduler, GramService, GramServiceConfig, KernelClient, Pool, RequestError,
+        RuntimeMetrics, SchedulerConfig, SnapshotWatch, Ticket,
     };
     pub use mgk_telemetry::{
         MetricsRegistry, StageBreakdown, TelemetryReporter, TelemetrySnapshot,
