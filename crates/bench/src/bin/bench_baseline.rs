@@ -7,10 +7,10 @@
 //! binary on the same machine and diff the medians to claim wins.
 //!
 //! Each baseline is stamped with its recording conditions — `scale`,
-//! `threads`, the `git_revision` it was recorded at, and whether the
-//! streaming workload ran through the background `scheduler`
-//! (`MGK_BENCH_SCHEDULER=1`) — so a 1-core seed baseline is never confused
-//! with a multi-core or scheduler-decoupled re-record.
+//! `threads`, the host's `cores`, the `git_revision` it was recorded at,
+//! and whether the streaming workload ran through the background
+//! `scheduler` (`MGK_BENCH_SCHEDULER=1`) — so a 1-core seed baseline is
+//! never confused with a multi-core or scheduler-decoupled re-record.
 //!
 //! ```bash
 //! MGK_BENCH_SCALE=1 cargo run --release -p mgk-bench --bin bench_baseline
@@ -118,6 +118,8 @@ fn main() {
     out.push_str(&format!("  \"scale\": {},\n", bench_scale()));
     out.push_str(&format!("  \"threads\": {},\n", rayon::current_num_threads()));
     out.push_str(&format!("  \"git_revision\": \"{}\",\n", json_escape(&git_revision())));
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    out.push_str(&format!("  \"cores\": {cores},\n"));
     out.push_str(&format!("  \"scheduler\": {},\n", scheduler_enabled()));
     out.push_str("  \"median_ns\": {\n");
     for (k, r) in records.iter().enumerate() {

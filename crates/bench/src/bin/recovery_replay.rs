@@ -1,0 +1,202 @@
+//! Cold-vs-warm serving across a restart, and the cost of durability on
+//! the cold path.
+//!
+//! Two questions, one record (`BENCH_recovery.json`, override the path
+//! with `MGK_BENCH_RECOVERY_PATH`):
+//!
+//! * **Is persistence off the hot path?** Cold per-ticket request latency
+//!   is measured A/B — one scheduler with an attached store under the
+//!   default `EveryFlush` fsync policy, one with no store — in
+//!   interleaved blocks, so machine drift hits both arms equally. The
+//!   stamped `cold_p50_regression` is `(on − off) / off`; the acceptance
+//!   bar for the durability plane is ≤ 5%.
+//! * **What does recovery buy?** The store-backed arm's solved pairs are
+//!   re-requested against (a) a cold scheduler with an empty store and
+//!   (b) a warm scheduler recovered from the first arm's directory. The
+//!   stamped cache-answer rates (cold ≈ 0, warm = 1) and the warm p50 —
+//!   cache answers instead of PCG solves — are the measured value of the
+//!   write-ahead log + snapshot recovery.
+//!
+//! Stamped like the other records with `scale`, `threads`, `cores` and
+//! `git_revision`.
+//!
+//! ```bash
+//! MGK_BENCH_SCALE=1 cargo run --release -p mgk-bench --bin recovery_replay
+//! ```
+
+use std::time::Instant;
+
+use mgk_bench::{bench_rng, bench_scale, fmt_duration, git_revision, json_escape, scaled};
+use mgk_core::{MarginalizedKernelSolver, SolverConfig};
+use mgk_datasets::ensembles::EnsembleStream;
+use mgk_graph::{Graph, Unlabeled};
+use mgk_runtime::{
+    DurabilityConfig, GramScheduler, GramService, GramServiceConfig, KernelClient, SchedulerConfig,
+};
+use mgk_store::TempDir;
+
+const GRAPH_NODES: usize = 48;
+const BLOCKS: usize = 8;
+
+type Scheduler =
+    GramScheduler<mgk_kernels::UnitKernel, mgk_kernels::UnitKernel, Unlabeled, Unlabeled>;
+
+fn service() -> GramService<mgk_kernels::UnitKernel, mgk_kernels::UnitKernel, Unlabeled, Unlabeled>
+{
+    GramService::new(
+        MarginalizedKernelSolver::unlabeled(SolverConfig::default()),
+        GramServiceConfig::default(),
+    )
+}
+
+fn p50(latencies_ns: &[u64]) -> u64 {
+    let mut sorted = latencies_ns.to_vec();
+    sorted.sort_unstable();
+    sorted[(sorted.len() - 1) / 2]
+}
+
+/// Request every pair on `kernels`, returning per-ticket latencies.
+fn drive(kernels: &KernelClient<Unlabeled, Unlabeled, f32>, pairs: &[(Graph, Graph)]) -> Vec<u64> {
+    let mut latencies = Vec::with_capacity(pairs.len());
+    for (a, b) in pairs {
+        let start = Instant::now();
+        let ticket = kernels.request(a.clone(), b.clone()).expect("scheduler alive");
+        ticket.wait().expect("request resolves");
+        latencies.push(start.elapsed().as_nanos() as u64);
+    }
+    latencies
+}
+
+fn main() {
+    let per_block = scaled(24, 6);
+    let samples = per_block * BLOCKS;
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+
+    // every probe pair is two fresh structures: each request is one real
+    // cold solve, and the two arms never share a pair
+    let mut stream = EnsembleStream::small_world(GRAPH_NODES, 2, 0.1, bench_rng());
+    let mut fresh_pair = move || {
+        let a = stream.next().expect("endless ensemble");
+        let b = stream.next().expect("endless ensemble");
+        (a, b)
+    };
+
+    println!(
+        "recovery replay: {samples} cold requests per arm in {BLOCKS} interleaved blocks, \
+         {GRAPH_NODES}-node structures, {cores} cores\n"
+    );
+
+    // ---- A/B: cold request latency, store on (EveryFlush) vs store off
+    let store_dir = TempDir::new("bench-recovery").expect("temp store dir");
+    let (on_arm, report) = GramScheduler::spawn_durable(
+        service(),
+        SchedulerConfig::default(),
+        DurabilityConfig::new(store_dir.path()),
+    )
+    .expect("fresh store attaches");
+    assert!(!report.is_warm(), "the A/B arm must start cold");
+    let off_arm: Scheduler = GramScheduler::spawn(service(), SchedulerConfig::default());
+    let on_kernels = on_arm.kernel_client::<f32>();
+    let off_kernels = off_arm.kernel_client::<f32>();
+
+    // one discarded warm-up block per arm: first-touch allocation and the
+    // donor pool's warm-up land outside the measured blocks
+    let warmup: Vec<_> = (0..per_block / 2).map(|_| fresh_pair()).collect();
+    drive(&on_kernels, &warmup);
+    let warmup: Vec<_> = (0..per_block / 2).map(|_| fresh_pair()).collect();
+    drive(&off_kernels, &warmup);
+
+    let mut on_latencies = Vec::with_capacity(samples);
+    let mut off_latencies = Vec::with_capacity(samples);
+    let mut on_pairs_all = Vec::with_capacity(samples);
+    for _ in 0..BLOCKS {
+        let on_pairs: Vec<_> = (0..per_block).map(|_| fresh_pair()).collect();
+        let off_pairs: Vec<_> = (0..per_block).map(|_| fresh_pair()).collect();
+        on_latencies.extend(drive(&on_kernels, &on_pairs));
+        off_latencies.extend(drive(&off_kernels, &off_pairs));
+        on_pairs_all.extend(on_pairs);
+    }
+    let (on_p50, off_p50) = (p50(&on_latencies), p50(&off_latencies));
+    let regression = (on_p50 as f64 - off_p50 as f64) / off_p50 as f64;
+    println!(
+        "cold p50: store on {} vs store off {} — regression {:+.2}% (bar: +5%)",
+        fmt_duration(on_p50 as f64 * 1e-9),
+        fmt_duration(off_p50 as f64 * 1e-9),
+        regression * 100.0
+    );
+    off_arm.join();
+    let on_service = on_arm.join(); // graceful: writes the final snapshot
+    let appends = on_service.stats().store_appends;
+    assert!(appends >= samples, "every cold solve must reach the log");
+
+    // ---- recovery: the same pairs against a cold scheduler vs a warm
+    // restart from the store the first arm just filled
+    let cold_dir = TempDir::new("bench-recovery-cold").expect("temp store dir");
+    let (cold, report) = GramScheduler::spawn_durable(
+        service(),
+        SchedulerConfig::default(),
+        DurabilityConfig::new(cold_dir.path()),
+    )
+    .expect("empty store attaches");
+    assert_eq!(report.replayed, 0);
+    let cold_latencies = drive(&cold.kernel_client::<f32>(), &on_pairs_all);
+    let cold_stats = cold.join().stats();
+    let cold_rate = cold_stats.request_cache_answers as f64 / on_pairs_all.len() as f64;
+
+    let open = Instant::now();
+    let (warm, report) = GramScheduler::spawn_durable(
+        service(),
+        SchedulerConfig::default(),
+        DurabilityConfig::new(store_dir.path()),
+    )
+    .expect("recovery succeeds");
+    let recover_open_ns = open.elapsed().as_nanos() as u64;
+    assert!(report.is_warm(), "the filled store must recover warm");
+    let warm_latencies = drive(&warm.kernel_client::<f32>(), &on_pairs_all);
+    let warm_stats = warm.join().stats();
+    let warm_rate = warm_stats.request_cache_answers as f64 / on_pairs_all.len() as f64;
+    assert_eq!(warm_stats.request_solves, 0, "a warm restart must not re-solve");
+
+    println!(
+        "cache-answer rate over {} replayed requests: cold {:.3} -> warm {:.3}",
+        on_pairs_all.len(),
+        cold_rate,
+        warm_rate
+    );
+    println!(
+        "warm restart: {} entries replayed in {}, warm p50 {} (cold p50 {})",
+        report.replayed,
+        fmt_duration(recover_open_ns as f64 * 1e-9),
+        fmt_duration(p50(&warm_latencies) as f64 * 1e-9),
+        fmt_duration(p50(&cold_latencies) as f64 * 1e-9),
+    );
+
+    let path = std::env::var("MGK_BENCH_RECOVERY_PATH")
+        .unwrap_or_else(|_| "BENCH_recovery.json".to_string());
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"scale\": {},\n", bench_scale()));
+    out.push_str(&format!("  \"threads\": {},\n", rayon::current_num_threads()));
+    out.push_str(&format!("  \"git_revision\": \"{}\",\n", json_escape(&git_revision())));
+    out.push_str(&format!("  \"cores\": {cores},\n"));
+    out.push_str(&format!("  \"graph_nodes\": {GRAPH_NODES},\n"));
+    out.push_str(&format!("  \"cold_requests_per_arm\": {samples},\n"));
+    out.push_str("  \"persistence\": {\n");
+    out.push_str("    \"fsync_policy\": \"every_flush\",\n");
+    out.push_str(&format!("    \"store_on_cold_p50_ns\": {on_p50},\n"));
+    out.push_str(&format!("    \"store_off_cold_p50_ns\": {off_p50},\n"));
+    out.push_str(&format!("    \"cold_p50_regression\": {regression:.4},\n"));
+    out.push_str(&format!("    \"store_appends\": {appends}\n"));
+    out.push_str("  },\n");
+    out.push_str("  \"recovery\": {\n");
+    out.push_str(&format!("    \"requests\": {},\n", on_pairs_all.len()));
+    out.push_str(&format!("    \"replayed\": {},\n", report.replayed));
+    out.push_str(&format!("    \"snapshot_graphs\": {},\n", report.snapshot_graphs));
+    out.push_str(&format!("    \"recover_open_ns\": {recover_open_ns},\n"));
+    out.push_str(&format!("    \"cold_cache_answer_rate\": {cold_rate:.4},\n"));
+    out.push_str(&format!("    \"warm_cache_answer_rate\": {warm_rate:.4},\n"));
+    out.push_str(&format!("    \"cold_p50_ns\": {},\n", p50(&cold_latencies)));
+    out.push_str(&format!("    \"warm_p50_ns\": {}\n", p50(&warm_latencies)));
+    out.push_str("  }\n}\n");
+    std::fs::write(&path, &out).expect("writing the recovery record");
+    println!("wrote {path}");
+}

@@ -19,7 +19,8 @@
 //!
 //! Writes p50/p95 per regime to `BENCH_request_latency.json` (override the
 //! path with `MGK_BENCH_REQUEST_LATENCY_PATH`), stamped like
-//! `BENCH_baseline.json` with `scale`, `threads` and `git_revision`.
+//! `BENCH_baseline.json` with `scale`, `threads`, `cores` and
+//! `git_revision`.
 //!
 //! The run also cross-checks the telemetry plane against itself: the cold
 //! regime's measured p50/p95 must land within one log2 bucket of the
@@ -231,6 +232,8 @@ fn main() {
     out.push_str(&format!("  \"scale\": {},\n", bench_scale()));
     out.push_str(&format!("  \"threads\": {},\n", rayon::current_num_threads()));
     out.push_str(&format!("  \"git_revision\": \"{}\",\n", json_escape(&git_revision())));
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    out.push_str(&format!("  \"cores\": {cores},\n"));
     out.push_str(&format!("  \"graph_nodes\": {GRAPH_NODES},\n"));
     out.push_str(&format!("  \"burst\": {BURST},\n"));
     out.push_str("  \"latency_ns\": {\n");

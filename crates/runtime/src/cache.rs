@@ -233,6 +233,13 @@ impl PairCache {
         let map = &self.map;
         self.recency.compact_if_bloated(map.len(), |k| map.get(k).map(|(t, _)| *t));
     }
+
+    /// Every live entry, in no particular order — the snapshot capture
+    /// path. Does not refresh recency: capturing a snapshot must not
+    /// perturb eviction order.
+    pub fn iter(&self) -> impl Iterator<Item = (&PairKey, &CachedEntry)> {
+        self.map.iter().map(|(key, (_, entry))| (key, entry))
+    }
 }
 
 /// LRU-bounded map from one structure's content identity ([`PairSide`]) to
@@ -307,6 +314,88 @@ impl<T> ReorderCache<T> {
         }
         let stamp = self.recency.touch(key);
         self.map.insert(key, (stamp, prepared));
+        let map = &self.map;
+        self.recency.compact_if_bloated(map.len(), |k| map.get(k).map(|(t, _)| *t));
+    }
+}
+
+/// LRU-bounded side-cache of converged nodal solution vectors, keyed by the
+/// *ordered* (orientation-sensitive) pair of structure identities.
+///
+/// The [`PairCache`] answers a repeated request with the kernel value alone;
+/// callers that asked for the per-vertex-pair solution vector still paid a
+/// full re-solve. This cache keeps the most recent nodal vectors so an `f32`
+/// cache answer can carry its vector too. Orientation matters: the nodal
+/// vector of `(a, b)` is the transpose-permutation of `(b, a)`'s, and
+/// transposing on the fly would cost more than a miss — so `(a, b)` and
+/// `(b, a)` are distinct keys and the mirrored orientation simply misses.
+///
+/// Values are `Arc`-shared with the donor pool, so a cached vector costs one
+/// pointer, not a copy, until a request actually claims it. Hit/miss
+/// counters live with the owner (`ServiceStats::nodal_hits`/`nodal_misses`),
+/// not here.
+#[derive(Debug, Clone)]
+pub struct NodalCache {
+    capacity: usize,
+    map: HashMap<OrderedSides, (u64, SharedNodal)>,
+    recency: Recency<OrderedSides>,
+}
+
+/// An *ordered* (orientation-sensitive) pair of structure identities — the
+/// key space of the [`NodalCache`].
+pub type OrderedSides = (PairSide, PairSide);
+
+/// A nodal solution vector `Arc`-shared between the [`NodalCache`] and the
+/// donor pool.
+pub type SharedNodal = std::sync::Arc<Vec<f32>>;
+
+impl NodalCache {
+    /// An empty cache holding at most `capacity` nodal vectors (0 disables
+    /// the side-cache entirely).
+    pub fn new(capacity: usize) -> Self {
+        NodalCache { capacity, map: HashMap::new(), recency: Recency::new() }
+    }
+
+    /// Number of live vectors.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache holds no vectors.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Maximum number of vectors.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Look up the nodal vector of an *ordered* pair, refreshing its
+    /// recency on a hit.
+    pub fn get(&mut self, key: OrderedSides) -> Option<&SharedNodal> {
+        let stamp_entry = self.map.get_mut(&key)?;
+        stamp_entry.0 = self.recency.touch(key);
+        let map = &self.map;
+        self.recency.compact_if_bloated(map.len(), |k| map.get(k).map(|(t, _)| *t));
+        // reborrow: compaction only touched the recency queue
+        self.map.get(&key).map(|(_, nodal)| nodal)
+    }
+
+    /// Insert (or refresh) an ordered pair's nodal vector, evicting the
+    /// least-recently-used vector when at capacity.
+    pub fn insert(&mut self, key: OrderedSides, nodal: SharedNodal) {
+        if self.capacity == 0 {
+            return;
+        }
+        if self.map.len() >= self.capacity && !self.map.contains_key(&key) {
+            let map = &self.map;
+            if let Some(victim) = self.recency.pop_lru(|k| map.get(k).map(|(t, _)| *t)) {
+                self.map.remove(&victim);
+            }
+        }
+        let stamp = self.recency.touch(key);
+        self.map.insert(key, (stamp, nodal));
         let map = &self.map;
         self.recency.compact_if_bloated(map.len(), |k| map.get(k).map(|(t, _)| *t));
     }
@@ -474,6 +563,49 @@ mod tests {
         c.insert(side(1), 10);
         assert!(c.is_empty());
         assert_eq!(c.get(side(1)), None);
+    }
+
+    #[test]
+    fn nodal_cache_is_orientation_sensitive() {
+        let mut c = NodalCache::new(4);
+        let forward = (side(1), side(2));
+        let mirrored = (side(2), side(1));
+        c.insert(forward, std::sync::Arc::new(vec![1.0, 2.0]));
+        assert!(c.get(mirrored).is_none(), "mirrored orientation must miss, not transpose");
+        assert_eq!(c.get(forward).unwrap().as_slice(), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn nodal_cache_evicts_least_recently_used_at_capacity() {
+        let mut c = NodalCache::new(2);
+        c.insert((side(1), side(1)), std::sync::Arc::new(vec![1.0]));
+        c.insert((side(2), side(2)), std::sync::Arc::new(vec![2.0]));
+        assert!(c.get((side(1), side(1))).is_some()); // refresh 1: LRU is now 2
+        c.insert((side(3), side(3)), std::sync::Arc::new(vec![3.0]));
+        assert_eq!(c.len(), 2, "capacity bound violated");
+        assert!(c.get((side(2), side(2))).is_none(), "2 was the LRU entry");
+        assert!(c.get((side(1), side(1))).is_some());
+        assert!(c.get((side(3), side(3))).is_some());
+    }
+
+    #[test]
+    fn nodal_cache_with_zero_capacity_stores_nothing() {
+        let mut c = NodalCache::new(0);
+        c.insert((side(1), side(2)), std::sync::Arc::new(vec![1.0]));
+        assert!(c.is_empty());
+        assert!(c.get((side(1), side(2))).is_none());
+    }
+
+    #[test]
+    fn pair_cache_iter_walks_live_entries_without_touching_recency() {
+        let mut c = PairCache::new(2);
+        c.insert(key(1, 1), entry(1.0));
+        c.insert(key(2, 2), entry(2.0));
+        assert_eq!(c.iter().count(), 2);
+        let tick_before = c.recency.tick;
+        let total: f32 = c.iter().map(|(_, e)| e.value).sum();
+        assert_eq!(total, 3.0);
+        assert_eq!(c.recency.tick, tick_before, "iteration must not perturb LRU order");
     }
 
     #[test]

@@ -144,6 +144,33 @@ where
         GramCluster { shards, hasher }
     }
 
+    /// [`spawn`](Self::spawn) with durability: each shard gets its own
+    /// [`PairStore`](mgk_store::PairStore) under
+    /// `durability.for_shard(k)` and recovers from it before serving.
+    /// Content-hash routing is restart-stable, so after a restart every
+    /// shard finds exactly the pairs it owned in its previous life.
+    /// Cloning a service always detaches any store (a live WAL handle must
+    /// never be shared), so attaching per shard after the clone is safe.
+    /// Returns the cluster plus one [`RecoveryReport`] per shard, by shard
+    /// index.
+    pub fn spawn_durable(
+        prototype: GramService<KV, KE, V, E>,
+        config: ClusterConfig,
+        durability: crate::persist::DurabilityConfig,
+    ) -> Result<(Self, Vec<crate::persist::RecoveryReport>), mgk_store::StoreError> {
+        let k = config.shards.max(1);
+        let hasher = prototype.content_hasher();
+        let mut shards = Vec::with_capacity(k);
+        let mut reports = Vec::with_capacity(k);
+        for shard in 0..k {
+            let mut service = prototype.clone();
+            let report = service.attach_store(durability.for_shard(shard))?;
+            reports.push(report);
+            shards.push(GramScheduler::spawn(service, config.scheduler));
+        }
+        Ok((GramCluster { shards, hasher }, reports))
+    }
+
     /// Number of shards.
     pub fn num_shards(&self) -> usize {
         self.shards.len()

@@ -45,6 +45,18 @@
 //!   per-shard telemetry registries aggregate into one scrape surface with
 //!   a `shard="k"` label on every metric. `K = 1` behaves exactly like the
 //!   plain scheduler.
+//! * **Durability plane** — attach a per-service
+//!   [`PairStore`](mgk_store::PairStore) via
+//!   [`GramScheduler::spawn_durable`] (or
+//!   [`GramCluster::spawn_durable`], one store directory per shard):
+//!   every solved pair is appended to a checksummed write-ahead log off
+//!   the solve path, epoch-boundary snapshots capture the Arc-shared
+//!   triangle plus the full pair cache through the O(1) copy-on-write
+//!   [`SnapshotSource`], and a restart replays snapshot + WAL tail back
+//!   into the [`PairCache`] so warm requests answer without re-solving.
+//!   A torn final record (crash mid-append) is tolerated and counted;
+//!   checksum mismatches and format-version skew refuse recovery with a
+//!   typed [`StoreError`](mgk_store::StoreError).
 //! * **Telemetry plane** — both lanes record into the service's
 //!   [`RuntimeMetrics`] hub (an `mgk-telemetry` registry): stage-latency
 //!   histograms for intake → queue wait → drain/group → preparation →
@@ -84,18 +96,20 @@ pub mod cache;
 pub mod cluster;
 pub mod hash;
 pub mod metrics;
+pub mod persist;
 pub mod scheduler;
 pub mod service;
 pub mod ticket;
 pub mod watch;
 
-pub use cache::{CachedEntry, PairCache, PairKey, PairSide, ReorderCache};
+pub use cache::{CachedEntry, NodalCache, PairCache, PairKey, PairSide, ReorderCache};
 pub use cluster::{
     shard_of_key, shard_of_side, ClusterBarrierReply, ClusterClient, ClusterConfig,
     ClusterKernelClient, ClusterSnapshot, ClusterTelemetry, ClusterWatch, GramCluster,
 };
 pub use hash::{graph_content_hash, ContentHash, Fnv1a};
 pub use metrics::RuntimeMetrics;
+pub use persist::{DurabilityConfig, RecoveryReport};
 pub use rayon::pool::Pool;
 pub use scheduler::{
     BarrierReply, GramClient, GramScheduler, KernelClient, RequestScalar, SchedulerConfig,

@@ -51,6 +51,20 @@ pub mod names {
     pub const REORDER_MISSES: &str = "mgk_reorder_misses_total";
     /// Snapshots materialized by the watch (counter).
     pub const SNAPSHOT_BUILDS: &str = "mgk_snapshot_builds_total";
+    /// Nodal side-cache hits (counter).
+    pub const NODAL_HITS: &str = "mgk_nodal_cache_hits_total";
+    /// Nodal side-cache misses (counter).
+    pub const NODAL_MISSES: &str = "mgk_nodal_cache_misses_total";
+    /// Records appended to the write-ahead log (counter).
+    pub const STORE_APPENDS: &str = "mgk_store_appends_total";
+    /// Bytes appended to the write-ahead log (counter).
+    pub const STORE_BYTES: &str = "mgk_store_bytes_total";
+    /// `fsync` calls issued by the store (counter).
+    pub const STORE_FSYNCS: &str = "mgk_store_fsyncs_total";
+    /// Entries replayed into the cache at recovery (counter).
+    pub const STORE_REPLAYED: &str = "mgk_store_replayed_total";
+    /// Torn final WAL records skipped at recovery (counter).
+    pub const STORE_TORN_TAIL: &str = "mgk_store_torn_tail_total";
     /// Global-memory bytes moved by solves (counter).
     pub const TRAFFIC_BYTES: &str = "mgk_traffic_global_bytes_total";
     /// Floating-point operations executed by solves (counter).
@@ -110,6 +124,20 @@ pub struct RuntimeMetrics {
     pub reorder_misses: Counter,
     /// Snapshots materialized by the watch.
     pub snapshot_builds: Counter,
+    /// Nodal side-cache hits.
+    pub nodal_hits: Counter,
+    /// Nodal side-cache misses.
+    pub nodal_misses: Counter,
+    /// WAL records appended by the attached store.
+    pub store_appends: Counter,
+    /// WAL bytes appended by the attached store.
+    pub store_bytes: Counter,
+    /// `fsync` calls the attached store issued.
+    pub store_fsyncs: Counter,
+    /// Entries replayed into the cache when a store was attached.
+    pub store_replayed: Counter,
+    /// Torn final WAL records skipped at recovery.
+    pub store_torn_tail: Counter,
     /// Live bytes/flops totals and the derived intensity gauge.
     pub traffic: TrafficTotals,
     /// Commands currently in the scheduler channel.
@@ -128,6 +156,8 @@ pub struct RuntimeMetrics {
     pub stage_fold: Histogram,
     /// Snapshot publication stage latencies.
     pub stage_publish: Histogram,
+    /// Durability boundary latencies (epoch mark + fsync + snapshot).
+    pub stage_persist: Histogram,
     /// End-to-end per-ticket latencies.
     pub request_latency: Histogram,
 }
@@ -158,6 +188,13 @@ impl RuntimeMetrics {
             reorder_hits: registry.counter(names::REORDER_HITS),
             reorder_misses: registry.counter(names::REORDER_MISSES),
             snapshot_builds: registry.counter(names::SNAPSHOT_BUILDS),
+            nodal_hits: registry.counter(names::NODAL_HITS),
+            nodal_misses: registry.counter(names::NODAL_MISSES),
+            store_appends: registry.counter(names::STORE_APPENDS),
+            store_bytes: registry.counter(names::STORE_BYTES),
+            store_fsyncs: registry.counter(names::STORE_FSYNCS),
+            store_replayed: registry.counter(names::STORE_REPLAYED),
+            store_torn_tail: registry.counter(names::STORE_TORN_TAIL),
             traffic: TrafficTotals::new(
                 registry.counter(names::TRAFFIC_BYTES),
                 registry.counter(names::TRAFFIC_FLOPS),
@@ -171,6 +208,7 @@ impl RuntimeMetrics {
             stage_solve: stage("solve"),
             stage_fold: stage("cache_fold"),
             stage_publish: stage("publish"),
+            stage_persist: stage("persist"),
             request_latency: registry.histogram(names::REQUEST_LATENCY),
             registry,
         }
@@ -201,7 +239,7 @@ impl RuntimeMetrics {
         fresh
     }
 
-    fn counter_cells(&self) -> [&Counter; 18] {
+    fn counter_cells(&self) -> [&Counter; 25] {
         [
             &self.admitted,
             &self.jobs_executed,
@@ -221,10 +259,17 @@ impl RuntimeMetrics {
             &self.reorder_hits,
             &self.reorder_misses,
             &self.snapshot_builds,
+            &self.nodal_hits,
+            &self.nodal_misses,
+            &self.store_appends,
+            &self.store_bytes,
+            &self.store_fsyncs,
+            &self.store_replayed,
+            &self.store_torn_tail,
         ]
     }
 
-    fn histogram_cells(&self) -> [&Histogram; 7] {
+    fn histogram_cells(&self) -> [&Histogram; 8] {
         [
             &self.stage_queue_wait,
             &self.stage_drain,
@@ -232,6 +277,7 @@ impl RuntimeMetrics {
             &self.stage_solve,
             &self.stage_fold,
             &self.stage_publish,
+            &self.stage_persist,
             &self.request_latency,
         ]
     }

@@ -479,6 +479,26 @@ where
         GramScheduler { client: GramClient { tx, watch, capacity, metrics }, handle }
     }
 
+    /// [`spawn`](Self::spawn) with a durability plane: attach the store at
+    /// `durability.dir` (recovering whatever a previous life persisted —
+    /// warm cache entries, the epoch counter, the newest snapshot's
+    /// triangle) and only then move the service onto the scheduler thread.
+    ///
+    /// A recovered triangle is published immediately at its snapshot's
+    /// epoch, so watchers see the pre-crash state before the first new
+    /// submission; the version counter resumes past the recovered epoch,
+    /// keeping watch epochs monotone across lives. Returns the scheduler
+    /// plus what recovery found. Refuses a corrupt or version-skewed store
+    /// with the typed error instead of serving from a misread one.
+    pub fn spawn_durable(
+        mut service: GramService<KV, KE, V, E>,
+        config: SchedulerConfig,
+        durability: crate::persist::DurabilityConfig,
+    ) -> Result<(Self, crate::persist::RecoveryReport), mgk_store::StoreError> {
+        let report = service.attach_store(durability)?;
+        Ok((Self::spawn(service, config), report))
+    }
+
     /// A new producer/consumer handle (cheap; clone freely across threads).
     pub fn client(&self) -> GramClient<V, E> {
         self.client.clone()
@@ -562,11 +582,17 @@ where
 {
     let metrics = service.metrics().clone();
 
-    // hand-off state: flush anything already pending, publish warm state
+    // hand-off state: flush anything already pending, publish warm state —
+    // or, on a durable cold start, the triangle recovered from the store's
+    // newest snapshot (at the snapshot's own epoch, strictly below every
+    // epoch a future admitting flush will publish)
     if service.num_pending() > 0 {
         flush_and_publish(&mut service, publisher);
     } else if service.num_structures() > 0 {
         publish(&mut service, publisher);
+    } else if let Some((epoch, source)) = service.take_recovered_source() {
+        let _span = metrics.stage_publish.span();
+        publisher.publish(epoch, source);
     }
 
     loop {
@@ -624,6 +650,9 @@ where
         // same drain see the freshest cache (and before the barrier
         // replies, so a barrier-then-wait consumer cannot outrun them)
         serve_requests(&mut service, requests);
+        // request-lane folds appended to the WAL without a flush boundary
+        // of their own: sync them before the drain cycle ends
+        service.persist_request_boundary();
         for barrier in barriers {
             // a client that gave up waiting is not an error
             let _ = barrier.send(BarrierReply {
@@ -638,6 +667,9 @@ where
             break;
         }
     }
+    // graceful exit: capture a final snapshot so the next life replays a
+    // compact snapshot instead of the whole log tail
+    service.persist_final_snapshot();
     service
 }
 
@@ -845,7 +877,15 @@ fn finish_group<KV, KE, V, E>(
     match precision {
         Precision::F32 => {
             let result: Result<KernelResult<f32>, RequestError> = match cached {
-                Some(entry) => Ok(replay_entry::<f32>(&entry, prepared.prepare_ns())),
+                // a value-only replay, upgraded with the pair's nodal
+                // vector when the side-cache still holds this orientation
+                // (f32 only: a narrowed vector must not answer a request
+                // that was promised f64 accuracy)
+                Some(entry) => {
+                    let mut replayed = replay_entry::<f32>(&entry, prepared.prepare_ns());
+                    replayed.nodal = service.cached_nodal(&prepared);
+                    Ok(replayed)
+                }
                 None => match solve {
                     Some(WaveSolve::F32(s)) => service
                         .fold_request_solve(&prepared, s, Precision::F32)
@@ -1256,15 +1296,21 @@ mod tests {
             direct.value
         );
 
-        // the same pair again: answered from the cache, no second solve
+        // the same pair again: answered from the cache, no second solve —
+        // and the nodal side-cache upgrades the value replay with the
+        // vector the first solve retained for this exact orientation
         let again = kernels.request(graphs[0].clone(), graphs[1].clone()).unwrap();
         let second = again.wait().unwrap();
         assert_eq!(second.value, first.value);
-        assert!(second.nodal.is_none(), "cache answers replay values, not vectors");
+        assert_eq!(
+            second.nodal, first.nodal,
+            "a same-orientation cache answer carries the retained nodal vector"
+        );
 
         let svc = scheduler.join();
         assert_eq!(svc.stats().request_solves, 1);
         assert_eq!(svc.stats().request_cache_answers, 1);
+        assert_eq!(svc.stats().nodal_hits, 1, "the replayed vector came from the side-cache");
     }
 
     #[test]
@@ -1346,6 +1392,10 @@ mod tests {
         assert_eq!(svc.stats().request_solves, 1);
         assert_eq!(svc.stats().request_cache_answers, 1);
         assert_eq!(svc.stats().requests_coalesced, 0, "orientations must not coalesce");
+        // the nodal side-cache is orientation-sensitive too: the mirrored
+        // replay probed it and missed
+        assert_eq!(svc.stats().nodal_hits, 0);
+        assert_eq!(svc.stats().nodal_misses, 1);
     }
 
     #[test]

@@ -48,9 +48,13 @@ use mgk_linalg::{Precision, Scalar};
 use mgk_reorder::ReorderMethod;
 use mgk_telemetry::{MetricsRegistry, Stopwatch};
 
-use crate::cache::{CachedEntry, PairCache, PairKey, PairSide, Recency, ReorderCache};
+use crate::cache::{CachedEntry, NodalCache, PairCache, PairKey, PairSide, Recency, ReorderCache};
 use crate::hash::{graph_content_hash, ContentHash};
 use crate::metrics::RuntimeMetrics;
+use crate::persist::{
+    entry_from_stored, entry_to_stored, side_to_stored, DurabilityConfig, RecoveryReport,
+    ServiceStore, SyncScheduled,
+};
 
 /// Configuration of a [`GramService`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -87,6 +91,12 @@ pub struct GramServiceConfig {
     /// the regime where warm starts pay off beyond the last-donated
     /// structure.
     pub donors_per_key: usize,
+    /// Capacity of the nodal side-cache: converged per-vertex-pair solution
+    /// vectors retained per *ordered* pair identity, so an `f32` cache
+    /// answer can carry its nodal vector instead of forcing a re-solve on
+    /// callers that need it. 0 disables the side-cache (cache answers then
+    /// carry values only, as before).
+    pub nodal_cache_capacity: usize,
 }
 
 impl Default for GramServiceConfig {
@@ -100,6 +110,7 @@ impl Default for GramServiceConfig {
             warm_start: true,
             donor_capacity: 256,
             donors_per_key: 3,
+            nodal_cache_capacity: 128,
         }
     }
 }
@@ -205,6 +216,23 @@ pub struct ServiceStats {
     /// prepared form existed. Bypassed lookups (identity preprocessing,
     /// cache disabled) count in neither bucket.
     pub reorder_misses: usize,
+    /// `f32` cache answers whose nodal vector was served from the nodal
+    /// side-cache.
+    pub nodal_hits: usize,
+    /// `f32` cache answers that wanted a nodal vector but found none
+    /// retained (evicted, mirrored orientation, or never solved on this
+    /// instance).
+    pub nodal_misses: usize,
+    /// Records appended to the attached store's write-ahead log.
+    pub store_appends: usize,
+    /// Bytes appended to the attached store's write-ahead log.
+    pub store_bytes: usize,
+    /// `fsync` calls the attached store issued.
+    pub store_fsyncs: usize,
+    /// Entries replayed into the pair cache when a store was attached.
+    pub store_replayed: usize,
+    /// Torn final WAL records skipped (and truncated) at recovery.
+    pub store_torn_tail: usize,
 }
 
 /// A materialized (dense, symmetric) view of the service's Gram matrix.
@@ -454,6 +482,18 @@ pub struct GramService<KV, KE, V, E> {
     /// Monotone snapshot version: bumped by every flush that admits at
     /// least one structure.
     version: u64,
+    /// Converged nodal vectors per *ordered* pair identity, so `f32` cache
+    /// answers can carry their solution vector (bounded; see
+    /// [`GramServiceConfig::nodal_cache_capacity`]).
+    nodal: NodalCache,
+    /// The attached durability plane, if any: WAL + snapshots under one
+    /// store directory. `None` means a purely in-memory service (the
+    /// default). Dropped (detached) on the first store I/O error — serving
+    /// continues, durability stops.
+    store: Option<ServiceStore>,
+    /// The triangle recovered from the newest store snapshot, held until
+    /// the scheduler publishes it as the initial epoch.
+    recovered: Option<(u64, SnapshotSource)>,
     /// Telemetry hub: the one store behind [`ServiceStats`], the stage
     /// histograms and the live traffic gauges.
     metrics: RuntimeMetrics,
@@ -480,6 +520,12 @@ where
             hasher: self.hasher,
             seen_hashes: self.seen_hashes.clone(),
             version: self.version,
+            nodal: self.nodal.clone(),
+            // a clone must never share (or duplicate) the original's live
+            // WAL handle — two writers would interleave frames. The clone
+            // starts detached; attach_store gives it its own directory.
+            store: None,
+            recovered: None,
             // fresh cells seeded at current values: the clone replays from
             // the same observable counts without writing into the
             // original's registry
@@ -518,6 +564,7 @@ where
             cache: PairCache::new(config.cache_capacity),
             reorder: ReorderCache::new(config.reorder_cache_capacity),
             donors: DonorPool::new(config.donor_capacity, config.donors_per_key),
+            nodal: NodalCache::new(config.nodal_cache_capacity),
             config,
             members: Vec::new(),
             values: Arc::new(Vec::new()),
@@ -525,6 +572,8 @@ where
             hasher: graph_content_hash,
             seen_hashes: HashMap::new(),
             version: 0,
+            store: None,
+            recovered: None,
             metrics: RuntimeMetrics::new(),
         }
     }
@@ -582,6 +631,13 @@ where
             requests_cancelled: m.requests_cancelled.value() as usize,
             reorder_hits: m.reorder_hits.value() as usize,
             reorder_misses: m.reorder_misses.value() as usize,
+            nodal_hits: m.nodal_hits.value() as usize,
+            nodal_misses: m.nodal_misses.value() as usize,
+            store_appends: m.store_appends.value() as usize,
+            store_bytes: m.store_bytes.value() as usize,
+            store_fsyncs: m.store_fsyncs.value() as usize,
+            store_replayed: m.store_replayed.value() as usize,
+            store_torn_tail: m.store_torn_tail.value() as usize,
         }
     }
 
@@ -784,6 +840,10 @@ where
                 self.metrics.cache_hits.inc();
             }
         }
+
+        // durability boundary of the admitting flush: epoch mark, fsync of
+        // everything the batches appended, cadence snapshot when due
+        self.persist_flush_boundary();
         executed
     }
 
@@ -831,18 +891,23 @@ where
                         self.metrics.warm_started.inc();
                     }
                     r.traffic.export_to(&self.metrics.traffic);
-                    self.cache.insert(
-                        key,
-                        CachedEntry {
-                            value: r.value,
-                            value_f64: r.value_f64,
-                            precision,
-                            relative_residual: r.relative_residual,
-                            iterations: r.iterations,
-                        },
-                    );
-                    if self.config.warm_start {
-                        if let Some(nodal) = r.nodal {
+                    let entry = CachedEntry {
+                        value: r.value,
+                        value_f64: r.value_f64,
+                        precision,
+                        relative_residual: r.relative_residual,
+                        iterations: r.iterations,
+                    };
+                    self.persist_pair(key, &entry);
+                    self.cache.insert(key, entry);
+                    if let Some(nodal) = r.nodal {
+                        if self.config.nodal_cache_capacity > 0 {
+                            self.nodal.insert(
+                                (self.members[i].side(), self.members[j].side()),
+                                Arc::new(nodal.clone()),
+                            );
+                        }
+                        if self.config.warm_start {
                             let donor_key = (self.members[i].hash, self.members[j].vertices);
                             self.donors.donate(
                                 donor_key,
@@ -1050,25 +1115,32 @@ where
                 }
                 r.traffic.export_to(&self.metrics.traffic);
                 let fold_watch = Stopwatch::start();
-                self.cache.insert(
-                    pair.key,
-                    CachedEntry {
-                        value: r.value.to_f32(),
-                        value_f64: r.value_f64,
-                        precision,
-                        relative_residual: r.relative_residual,
-                        iterations: r.iterations,
-                    },
-                );
-                if self.config.warm_start {
+                let entry = CachedEntry {
+                    value: r.value.to_f32(),
+                    value_f64: r.value_f64,
+                    precision,
+                    relative_residual: r.relative_residual,
+                    iterations: r.iterations,
+                };
+                self.persist_pair(pair.key, &entry);
+                self.cache.insert(pair.key, entry);
+                if self.config.warm_start || self.config.nodal_cache_capacity > 0 {
                     if let Some(nodal) = &r.nodal {
-                        let narrowed: Vec<f32> = nodal.iter().map(|&v| v.to_f32()).collect();
-                        self.donors.donate(
-                            (pair.left_hash, pair.right.num_vertices()),
-                            pair.right_hash,
-                            narrowed,
-                            r.iterations,
-                        );
+                        // one narrowed vector, Arc-shared between the nodal
+                        // side-cache (request orientation) and the donor pool
+                        let narrowed =
+                            Arc::new(nodal.iter().map(|&v| v.to_f32()).collect::<Vec<f32>>());
+                        if self.config.nodal_cache_capacity > 0 {
+                            self.nodal.insert(pair.ordered_sides(), Arc::clone(&narrowed));
+                        }
+                        if self.config.warm_start {
+                            self.donors.donate(
+                                (pair.left_hash, pair.right.num_vertices()),
+                                pair.right_hash,
+                                narrowed.as_ref().clone(),
+                                r.iterations,
+                            );
+                        }
                     }
                 }
                 let fold_ns = fold_watch.elapsed_ns();
@@ -1115,6 +1187,247 @@ where
     pub(crate) fn note_request_cancelled(&mut self) {
         self.metrics.requests_cancelled.inc();
     }
+
+    /// Attach a durability plane: open (or create) the store at
+    /// `config.dir`, replay everything it recovered into the pair cache,
+    /// resume the version counter from the recovered epoch, and persist
+    /// every solve from here on.
+    ///
+    /// Call before handing the service to a scheduler (or use
+    /// [`GramScheduler::spawn_durable`](crate::GramScheduler::spawn_durable),
+    /// which does both). Replay folds the newest snapshot's entries first
+    /// and the log tail after, so a tail record that re-solved a pair wins.
+    /// A torn final log record — the signature of a crash mid-append — is
+    /// skipped and counted ([`ServiceStats::store_torn_tail`]); checksum
+    /// corruption and format-version skew are refused with the typed
+    /// [`StoreError`](mgk_store::StoreError).
+    pub fn attach_store(
+        &mut self,
+        config: DurabilityConfig,
+    ) -> Result<RecoveryReport, mgk_store::StoreError> {
+        let (store, recovery) = mgk_store::PairStore::open(&config.dir, config.fsync)?;
+        // EveryFlush boundaries group-commit on a dedicated sync thread;
+        // the synchronous policies (EveryRecord, Off) need no helper
+        let syncer = match config.fsync {
+            mgk_store::FsyncPolicy::EveryFlush => {
+                Some(crate::persist::WalSyncer::spawn(store.sync_handle()?))
+            }
+            _ => None,
+        };
+        let mut replayed = 0usize;
+        for stored in recovery.all_entries() {
+            let (key, entry) = entry_from_stored(stored);
+            self.cache.insert(key, entry);
+            replayed += 1;
+        }
+        self.metrics.store_replayed.add(replayed as u64);
+        if recovery.torn_tail {
+            self.metrics.store_torn_tail.inc();
+        }
+        // resume the epoch counter monotonically: the next admitting flush
+        // publishes strictly after everything a previous life published
+        self.version = self.version.max(recovery.epoch);
+        let snapshot_graphs = recovery.snapshot.as_ref().map_or(0, |s| s.num_graphs());
+        if let Some(snap) = recovery.snapshot.as_ref().filter(|s| s.num_graphs() > 0) {
+            // the recovered triangle is published read-only at the
+            // snapshot's own epoch; members are not persisted (labels are
+            // generic), so re-submitting the corpus rebuilds the live
+            // matrix through cache hits
+            self.recovered = Some((
+                snap.epoch,
+                SnapshotSource::from_triangle(
+                    snap.triangle.clone(),
+                    snap.num_graphs(),
+                    self.config.normalize,
+                ),
+            ));
+        }
+        self.store = Some(ServiceStore {
+            store,
+            syncer,
+            snapshot_every: config.snapshot_every,
+            flushes_since_snapshot: 0,
+        });
+        Ok(RecoveryReport {
+            epoch: recovery.epoch,
+            replayed,
+            snapshot_graphs,
+            torn_tail: recovery.torn_tail,
+        })
+    }
+
+    /// Whether a store is currently attached (false after an I/O error
+    /// detached it).
+    pub fn store_attached(&self) -> bool {
+        self.store.is_some()
+    }
+
+    /// The attached store's directory, if any.
+    pub fn store_dir(&self) -> Option<&std::path::Path> {
+        self.store.as_ref().map(crate::persist::store_dir)
+    }
+
+    /// Number of retained nodal vectors (bounded by
+    /// [`GramServiceConfig::nodal_cache_capacity`]).
+    pub fn nodal_cache_len(&self) -> usize {
+        self.nodal.len()
+    }
+
+    /// The triangle recovered from the newest store snapshot, handed to
+    /// the scheduler exactly once for publication as the initial epoch.
+    pub(crate) fn take_recovered_source(&mut self) -> Option<(u64, SnapshotSource)> {
+        self.recovered.take()
+    }
+
+    /// The nodal side-cache lookup behind `f32` cache answers: the vector
+    /// the *ordered* pair solved with, if still retained. Counts hits and
+    /// misses; the mirrored orientation misses by design (its vector would
+    /// need a transpose permutation — costlier than the miss).
+    pub(crate) fn cached_nodal(&mut self, pair: &PreparedPair<V, E>) -> Option<Vec<f32>> {
+        if self.config.nodal_cache_capacity == 0 {
+            return None;
+        }
+        match self.nodal.get(pair.ordered_sides()) {
+            Some(nodal) => {
+                self.metrics.nodal_hits.inc();
+                Some(nodal.as_ref().clone())
+            }
+            None => {
+                self.metrics.nodal_misses.inc();
+                None
+            }
+        }
+    }
+
+    /// Append one solved pair to the WAL (no-op without a store). A store
+    /// I/O error detaches the store — serving continues, durability stops —
+    /// rather than poisoning the solve path.
+    fn persist_pair(&mut self, key: PairKey, entry: &CachedEntry) {
+        let Some(service_store) = self.store.as_mut() else { return };
+        let stored = entry_to_stored(&key, entry);
+        match service_store.store.append_pair(&stored) {
+            Ok(appended) => {
+                self.metrics.store_appends.inc();
+                self.metrics.store_bytes.add(appended.bytes);
+                if appended.synced {
+                    self.metrics.store_fsyncs.inc();
+                }
+            }
+            Err(_) => {
+                self.store = None;
+            }
+        }
+    }
+
+    /// The durability boundary of an admitting flush: append the epoch
+    /// mark, fsync everything the batches appended (under the
+    /// `EveryFlush` policy), and capture a cadence snapshot when due —
+    /// all off the solve path, timed into the `persist` stage histogram.
+    fn persist_flush_boundary(&mut self) {
+        let Some(mut s) = self.store.take() else { return };
+        let watch = Stopwatch::start();
+        s.flushes_since_snapshot += 1;
+        let snapshot_due = s.snapshot_every > 0 && s.flushes_since_snapshot >= s.snapshot_every;
+        let epoch = self.version;
+        let result = (|| -> Result<(u64, u64), mgk_store::StoreError> {
+            let appended = s.store.mark_epoch(epoch)?;
+            let mut fsyncs = u64::from(appended.synced);
+            match &s.syncer {
+                Some(syncer) => match syncer.schedule() {
+                    SyncScheduled::Scheduled => fsyncs += 1,
+                    SyncScheduled::Coalesced => {}
+                    SyncScheduled::Failed => {
+                        return Err(std::io::Error::new(
+                            std::io::ErrorKind::BrokenPipe,
+                            "WAL sync thread died",
+                        )
+                        .into());
+                    }
+                },
+                None => {
+                    if s.store.flush_boundary()? {
+                        fsyncs += 1;
+                    }
+                }
+            }
+            if snapshot_due {
+                s.store.write_snapshot(&self.capture_store_snapshot())?;
+                s.flushes_since_snapshot = 0;
+            }
+            Ok((appended.bytes, fsyncs))
+        })();
+        match result {
+            Ok((bytes, fsyncs)) => {
+                self.metrics.store_appends.inc();
+                self.metrics.store_bytes.add(bytes);
+                self.metrics.store_fsyncs.add(fsyncs);
+                self.store = Some(s);
+            }
+            Err(_) => {
+                // degrade: the store stays detached, serving continues
+            }
+        }
+        self.metrics.stage_persist.record(watch.elapsed_ns());
+    }
+
+    /// The durability boundary of a request drain: sync whatever the
+    /// request-lane folds appended since the last boundary — scheduled on
+    /// the group-commit thread under `EveryFlush`, so the ticket already
+    /// resolved and the next drain's solves overlap the sync's I/O wait.
+    pub(crate) fn persist_request_boundary(&mut self) {
+        let Some(s) = self.store.as_mut() else { return };
+        let watch = Stopwatch::start();
+        match &s.syncer {
+            Some(syncer) => match syncer.schedule() {
+                SyncScheduled::Scheduled => {
+                    self.metrics.store_fsyncs.inc();
+                    self.metrics.stage_persist.record(watch.elapsed_ns());
+                }
+                SyncScheduled::Coalesced => {}
+                SyncScheduled::Failed => {
+                    self.store = None;
+                }
+            },
+            None => match s.store.flush_boundary() {
+                Ok(synced) => {
+                    if synced {
+                        self.metrics.store_fsyncs.inc();
+                        self.metrics.stage_persist.record(watch.elapsed_ns());
+                    }
+                }
+                Err(_) => {
+                    self.store = None;
+                }
+            },
+        }
+    }
+
+    /// Graceful-shutdown snapshot: capture the full serving state so the
+    /// next life replays a snapshot instead of a long log tail.
+    pub(crate) fn persist_final_snapshot(&mut self) {
+        let Some(mut s) = self.store.take() else { return };
+        let watch = Stopwatch::start();
+        let snapshot = self.capture_store_snapshot();
+        if s.store.write_snapshot(&snapshot).is_ok() {
+            s.flushes_since_snapshot = 0;
+            self.store = Some(s);
+        }
+        self.metrics.stage_persist.record(watch.elapsed_ns());
+    }
+
+    /// The current serving state as a store snapshot: epoch, member
+    /// identities, the raw triangle, and every live cache entry. Cache
+    /// entries are captured because request-lane solves never enter the
+    /// triangle — without them, truncating the log after a snapshot would
+    /// silently forget every answered request.
+    fn capture_store_snapshot(&self) -> mgk_store::StoreSnapshot {
+        mgk_store::StoreSnapshot {
+            epoch: self.version,
+            sides: self.members.iter().map(|m| side_to_stored(&m.side())).collect(),
+            triangle: self.values.as_ref().clone(),
+            entries: self.cache.iter().map(|(k, e)| entry_to_stored(k, e)).collect(),
+        }
+    }
 }
 
 /// The raw outcome of the pure half of a request solve
@@ -1153,6 +1466,23 @@ impl<V, E> PreparedPair<V, E> {
     /// cached pointers cost only a hash lookup).
     pub fn prepare_ns(&self) -> u64 {
         self.prepare_ns
+    }
+
+    /// The pair's content identity in *request order* (not normalized) —
+    /// the orientation-sensitive key of the nodal side-cache.
+    pub(crate) fn ordered_sides(&self) -> (PairSide, PairSide) {
+        (
+            PairSide::new(
+                self.left_hash,
+                self.left.num_vertices() as u32,
+                self.left.num_edges() as u32,
+            ),
+            PairSide::new(
+                self.right_hash,
+                self.right.num_vertices() as u32,
+                self.right.num_edges() as u32,
+            ),
+        )
     }
 }
 

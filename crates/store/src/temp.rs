@@ -1,0 +1,73 @@
+//! Per-test (and per-bench) temporary directories with automatic cleanup.
+//!
+//! The workspace takes no external dependencies, so this is the crate's
+//! own minimal `tempfile` stand-in: a uniquely named directory under the
+//! system temp root, removed recursively on drop. Uniqueness comes from
+//! the process id, a monotonic clock reading, and a process-wide counter,
+//! so parallel test runners never collide.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{SystemTime, UNIX_EPOCH};
+
+static NEXT_ID: AtomicU64 = AtomicU64::new(0);
+
+/// A temporary directory removed (recursively) when dropped.
+#[derive(Debug)]
+pub struct TempDir {
+    path: PathBuf,
+}
+
+impl TempDir {
+    /// Create a fresh directory under the system temp root. The prefix
+    /// names the test or tool that owns it, purely for debuggability.
+    pub fn new(prefix: &str) -> std::io::Result<Self> {
+        let nanos =
+            SystemTime::now().duration_since(UNIX_EPOCH).map(|d| d.as_nanos() as u64).unwrap_or(0);
+        let unique = NEXT_ID.fetch_add(1, Ordering::Relaxed);
+        let path = std::env::temp_dir()
+            .join(format!("mgk-{prefix}-{pid}-{nanos:x}-{unique}", pid = std::process::id()));
+        std::fs::create_dir_all(&path)?;
+        Ok(TempDir { path })
+    }
+
+    /// The directory's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        // best effort: a failed cleanup must not panic a passing test
+        let _ = std::fs::remove_dir_all(&self.path);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn directories_are_unique_and_cleaned_up() {
+        let a = TempDir::new("unique").unwrap();
+        let b = TempDir::new("unique").unwrap();
+        assert_ne!(a.path(), b.path());
+        assert!(a.path().is_dir() && b.path().is_dir());
+        let kept = a.path().to_path_buf();
+        drop(a);
+        assert!(!kept.exists(), "drop must remove the directory");
+        assert!(b.path().is_dir(), "sibling must be untouched");
+    }
+
+    #[test]
+    fn cleanup_is_recursive() {
+        let dir = TempDir::new("recursive").unwrap();
+        let nested = dir.path().join("a/b");
+        std::fs::create_dir_all(&nested).unwrap();
+        std::fs::write(nested.join("f.bin"), b"x").unwrap();
+        let kept = dir.path().to_path_buf();
+        drop(dir);
+        assert!(!kept.exists());
+    }
+}

@@ -35,6 +35,10 @@
 //!   deadlines, cancellation and typed `KernelResult<T>` answers), and the
 //!   sharded `GramCluster` serving plane (K schedulers behind a
 //!   content-hash router, merged cluster epochs, shard-labeled telemetry).
+//! * [`store`] — the dependency-free durability plane: an append-only,
+//!   checksummed write-ahead log of solved pair entries plus atomic
+//!   epoch snapshots, with warm recovery (snapshot + WAL tail replay,
+//!   torn-tail tolerance, typed corruption/version-skew errors).
 //! * [`telemetry`] — the dependency-free observability plane: sharded
 //!   atomic metrics registry (counters, gauges, log-scaled latency
 //!   histograms), RAII stage spans, and Prometheus-text / JSON exposition.
@@ -69,6 +73,7 @@ pub use mgk_learn as learn;
 pub use mgk_linalg as linalg;
 pub use mgk_reorder as reorder;
 pub use mgk_runtime as runtime;
+pub use mgk_store as store;
 pub use mgk_telemetry as telemetry;
 pub use mgk_tile as tile;
 
@@ -82,10 +87,11 @@ pub mod prelude {
     pub use mgk_linalg::{LinearOperator, Precision, Scalar, SolveOptions, TrafficCounters};
     pub use mgk_reorder::ReorderMethod;
     pub use mgk_runtime::{
-        ClusterClient, ClusterConfig, ClusterKernelClient, ClusterWatch, GramClient, GramCluster,
-        GramScheduler, GramService, GramServiceConfig, KernelClient, Pool, RequestError,
-        RuntimeMetrics, SchedulerConfig, SnapshotWatch, Ticket,
+        ClusterClient, ClusterConfig, ClusterKernelClient, ClusterWatch, DurabilityConfig,
+        GramClient, GramCluster, GramScheduler, GramService, GramServiceConfig, KernelClient, Pool,
+        RecoveryReport, RequestError, RuntimeMetrics, SchedulerConfig, SnapshotWatch, Ticket,
     };
+    pub use mgk_store::{FsyncPolicy, StoreError};
     pub use mgk_telemetry::{
         MetricsRegistry, StageBreakdown, TelemetryReporter, TelemetrySnapshot,
     };

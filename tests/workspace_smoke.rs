@@ -63,7 +63,7 @@ fn prelude_reexports_resolve() {
     scheduler.join();
 }
 
-/// All twelve crate-level facade modules resolve.
+/// All crate-level facade modules resolve.
 #[test]
 fn facade_modules_resolve() {
     let _ = mgk::graph::DEFAULT_STOPPING_PROBABILITY;
@@ -77,6 +77,7 @@ fn facade_modules_resolve() {
     let _ = mgk::datasets::parse_smiles("CC");
     let _ = mgk::learn::KernelRidgeRegression::fit(&[1.0], &[1.0], 0.1);
     let _ = mgk::runtime::GramServiceConfig::default();
+    let _ = mgk::store::FsyncPolicy::default();
     let _ = mgk::telemetry::MetricsRegistry::new();
 }
 
@@ -94,6 +95,7 @@ fn example_inventory_matches() {
     found.sort();
     let expected = [
         "ablation_walkthrough.rs",
+        "durable_serving.rs",
         "molecular_similarity.rs",
         "property_regression.rs",
         "protein_contact_maps.rs",
