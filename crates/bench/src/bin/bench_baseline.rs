@@ -21,7 +21,7 @@ use std::time::Duration;
 use criterion::Criterion;
 use rayon::prelude::*;
 
-use mgk_bench::{bench_rng, bench_scale, git_revision, json_escape, scaled};
+use mgk_bench::{analyze_clean, bench_rng, bench_scale, git_revision, json_escape, scaled};
 use mgk_core::{GramConfig, GramEngine, MarginalizedKernelSolver, SolverConfig};
 use mgk_datasets::ensembles::EnsembleStream;
 use mgk_graph::{Graph, Unlabeled};
@@ -118,6 +118,7 @@ fn main() {
     out.push_str(&format!("  \"scale\": {},\n", bench_scale()));
     out.push_str(&format!("  \"threads\": {},\n", rayon::current_num_threads()));
     out.push_str(&format!("  \"git_revision\": \"{}\",\n", json_escape(&git_revision())));
+    out.push_str(&format!("  \"analyze_clean\": {},\n", analyze_clean()));
     let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
     out.push_str(&format!("  \"cores\": {cores},\n"));
     out.push_str(&format!("  \"scheduler\": {},\n", scheduler_enabled()));

@@ -23,7 +23,9 @@
 
 use std::time::Instant;
 
-use mgk_bench::{bench_rng, bench_scale, fmt_duration, git_revision, json_escape, scaled};
+use mgk_bench::{
+    analyze_clean, bench_rng, bench_scale, fmt_duration, git_revision, json_escape, scaled,
+};
 use mgk_core::{MarginalizedKernelSolver, SolverConfig};
 use mgk_datasets::ensembles::EnsembleStream;
 use mgk_graph::{Graph, Unlabeled};
@@ -190,6 +192,7 @@ fn main() {
     out.push_str(&format!("  \"scale\": {},\n", bench_scale()));
     out.push_str(&format!("  \"threads\": {},\n", rayon::current_num_threads()));
     out.push_str(&format!("  \"git_revision\": \"{}\",\n", json_escape(&git_revision())));
+    out.push_str(&format!("  \"analyze_clean\": {},\n", analyze_clean()));
     out.push_str(&format!("  \"cores\": {cores},\n"));
     out.push_str(&format!("  \"single_core\": {single_core},\n"));
     if single_core {

@@ -167,6 +167,18 @@ pub fn git_revision() -> String {
     }
 }
 
+/// Whether the workspace is clean under `mgk-analyze --strict`, evaluated
+/// in-process at record time. Stamped into every machine-readable baseline
+/// record next to [`git_revision`]: a baseline captured on a tree with
+/// open lint findings (or a recorded-then-fixed tree) is visibly marked.
+/// `false` also covers the defensive cases (no workspace root found, an
+/// unreadable source file) — a baseline that cannot prove the tree clean
+/// does not get to claim it.
+pub fn analyze_clean() -> bool {
+    let cwd = std::env::current_dir().unwrap_or_else(|_| std::path::PathBuf::from("."));
+    mgk_analyze::workspace_clean_from(&cwd) == Some(true)
+}
+
 /// Format a duration in an engineering-friendly way.
 pub fn fmt_duration(seconds: f64) -> String {
     if seconds >= 3600.0 {

@@ -92,7 +92,7 @@ pub fn estimated_cycles(kind: TileProductKind, nnz1: usize, nnz2: usize, x: usiz
 pub fn select_kind(nnz1: usize, nnz2: usize, x: usize) -> TileProductKind {
     let candidates =
         [TileProductKind::SparseSparse, TileProductKind::DenseSparse, TileProductKind::DenseDense];
-    let mut best = candidates[0];
+    let mut best = TileProductKind::SparseSparse;
     let mut best_cost = f64::INFINITY;
     for &k in &candidates {
         let c = estimated_cycles(k, nnz1, nnz2, x);
@@ -134,6 +134,10 @@ impl KindTable {
     /// `nnz1`/`nnz2` nonzeros.
     #[inline]
     pub fn get(&self, nnz1: usize, nnz2: usize) -> TileProductKind {
+        debug_assert!(
+            nnz1 <= TILE_AREA && nnz2 <= TILE_AREA,
+            "octile populations are at most {TILE_AREA}"
+        );
         self.kinds[nnz1][nnz2]
     }
 }
@@ -195,6 +199,9 @@ impl<E: Copy + Default> TilePanels<E> {
         for (k, (r, c, w, l)) in tile.iter().enumerate() {
             let rm = r * TILE_SIZE + c;
             let tr = c * TILE_SIZE + r;
+            // the bitmap iterator yields r, c < TILE_SIZE and at most
+            // TILE_AREA entries
+            debug_assert!(rm < TILE_AREA && tr < TILE_AREA && k < TILE_AREA);
             panels.weights[rm] = w;
             panels.weights_t[tr] = w;
             panels.labels[rm] = l;
@@ -364,6 +371,8 @@ fn sparse_outer_lanes<T: Scalar, E: Copy + Default, K: BaseKernel<E>>(
     y: &mut [T],
 ) {
     let (dn, dn_panels) = (dense.tile, dense.panels);
+    debug_assert_eq!(p.len(), y.len(), "p and y are both length n*m");
+    debug_assert!(dn_panels.nnz <= TILE_AREA);
     let (srow, scol) = (sp.row as usize * TILE_SIZE, sp.col as usize * TILE_SIZE);
     let (drow, dcol) = (dn.row as usize * TILE_SIZE, dn.col as usize * TILE_SIZE);
     let lanes = TILE_SIZE.min(m.saturating_sub(drow));
@@ -411,6 +420,8 @@ fn dense_rows_direct<T: Scalar, E: Copy + Default, K: BaseKernel<E>>(
     y: &mut [T],
 ) {
     let (dn, dn_panels) = (dense.tile, dense.panels);
+    debug_assert_eq!(p.len(), y.len(), "p and y are both length n*m");
+    debug_assert!(dn_panels.nnz <= TILE_AREA);
     let (srow, scol) = (sp.row as usize * TILE_SIZE, sp.col as usize * TILE_SIZE);
     let (drow, dcol) = (dn.row as usize * TILE_SIZE, dn.col as usize * TILE_SIZE);
     let dimax = TILE_SIZE.min(n.saturating_sub(drow));
@@ -456,6 +467,7 @@ fn dense_dense_blocked<T: Scalar, E: Copy + Default, K: BaseKernel<E>>(
 ) {
     let (t1, panels1) = (s1.tile, s1.panels);
     let (t2, panels2) = (s2.tile, s2.panels);
+    debug_assert_eq!(p.len(), y.len(), "p and y are both length n*m");
     let (row1, col1) = (t1.row as usize * TILE_SIZE, t1.col as usize * TILE_SIZE);
     let (row2, col2) = (t2.row as usize * TILE_SIZE, t2.col as usize * TILE_SIZE);
     let imax = TILE_SIZE.min(n.saturating_sub(row1));

@@ -176,6 +176,8 @@ impl NaiveProduct {
     /// blow-up the paper's Section II-D warns about).
     pub fn new<E: Copy + Default, K: BaseKernel<E>>(data: &DensePairData<E>, kernel: &K) -> Self {
         let (n, m) = (data.n, data.m);
+        debug_assert_eq!(data.a1.len(), n * n, "a1 is the n x n adjacency of the first graph");
+        debug_assert_eq!(data.a2.len(), m * m, "a2 is the m x m adjacency of the second graph");
         let nm = n * m;
         let mut l = vec![0.0f32; nm * nm];
         for i in 0..n {

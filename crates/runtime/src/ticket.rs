@@ -148,7 +148,13 @@ impl<R> Drop for TicketResolver<R> {
         if self.resolved {
             return;
         }
-        let mut state = self.cell.state.lock().unwrap();
+        // poison-tolerant: this drop may run during an unwind (a solve
+        // panicked mid-resolve), and panicking again here would abort the
+        // process — recover the guard and still wake the waiters
+        let mut state = match self.cell.state.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        };
         if state.is_none() {
             *state = Some(Err(RequestError::Closed));
         }

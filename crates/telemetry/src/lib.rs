@@ -284,16 +284,16 @@ mod tests {
     #[test]
     fn prometheus_rendering_is_well_formed() {
         let registry = MetricsRegistry::new();
-        registry.counter("mgk_jobs_total").add(3);
-        registry.gauge("mgk_queue_depth").set(2.0);
+        registry.counter("mgk_pair_solves_total").add(3);
+        registry.gauge("mgk_scheduler_queue_depth").set(2.0);
         let h = registry.histogram_labeled("mgk_stage_duration_seconds", Some(("stage", "solve")));
         h.record(1_000);
         h.record(1_000_000);
         let text = registry.snapshot().render_prometheus();
-        assert!(text.contains("# TYPE mgk_jobs_total counter\n"));
-        assert!(text.contains("mgk_jobs_total 3\n"));
-        assert!(text.contains("# TYPE mgk_queue_depth gauge\n"));
-        assert!(text.contains("mgk_queue_depth 2\n"));
+        assert!(text.contains("# TYPE mgk_pair_solves_total counter\n"));
+        assert!(text.contains("mgk_pair_solves_total 3\n"));
+        assert!(text.contains("# TYPE mgk_scheduler_queue_depth gauge\n"));
+        assert!(text.contains("mgk_scheduler_queue_depth 2\n"));
         assert!(text.contains("# TYPE mgk_stage_duration_seconds histogram\n"));
         assert!(text.contains("mgk_stage_duration_seconds_bucket{stage=\"solve\",le=\"+Inf\"} 2"));
         assert!(text.contains("mgk_stage_duration_seconds_count{stage=\"solve\"} 2\n"));

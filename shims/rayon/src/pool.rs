@@ -204,7 +204,12 @@ impl Pool {
             return;
         }
 
-        // Erase the borrow's lifetime; soundness argument in the module docs.
+        // SAFETY: the transmute erases the borrow's lifetime so the raw
+        // pointer can be shared with worker threads. The borrow outlives
+        // every dereference because this function blocks in
+        // `wait_until_complete` below until all workers have retired the
+        // job, and the post-completion sweep only retires — never runs —
+        // stale pointers; full soundness argument in the module docs.
         let task: *const (dyn Fn(usize) + Sync) =
             unsafe { std::mem::transmute::<&(dyn Fn(usize) + Sync), _>(body) };
         let job = Arc::new(Job {

@@ -1,0 +1,595 @@
+//! Lock-order (MGK101) and condvar-discipline (MGK201/MGK202) lints.
+//!
+//! Both ride one walker that tracks, per function, which lock guards are
+//! held at every token: `let g = recv.lock()...;` binds a guard to `g`,
+//! `drop(g)` and scope exit release it, and an acquisition that is
+//! immediately projected (`recv.lock().unwrap().field`) is a temporary that
+//! dies at the end of its statement.
+//!
+//! A lock's *class* is the final identifier of the receiver chain
+//! (`self.shared.queue.lock()` → `queue`). Classes merge across files —
+//! deliberately conservative: two fields sharing a name share a node in the
+//! lock-order graph, so a cycle is never missed at the cost of a possible
+//! false merge (allowlist it with a justification if one ever appears).
+//!
+//! Condvar waits are recognized by shape, not type: `.wait(guard)` with one
+//! argument and `.wait_timeout(guard, timeout)` / `.wait_while(guard, f)`
+//! with two. `Ticket::wait()` (zero args) and `Child::wait()` never match.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::diag::{Code, Diagnostic};
+use crate::lexer::{Tok, TokKind};
+use crate::parser::{FileModel, FnInfo};
+
+/// One observed "acquired B while holding A" edge.
+#[derive(Debug, Clone)]
+pub struct LockEdge {
+    /// Class held.
+    pub from: String,
+    /// Class acquired under it.
+    pub to: String,
+    /// Site of the inner acquisition.
+    pub file: String,
+    /// Line of the inner acquisition.
+    pub line: u32,
+    /// Enclosing function.
+    pub func: String,
+}
+
+/// Output of the combined walker.
+#[derive(Debug, Default)]
+pub struct LockAnalysis {
+    /// Lock-order edges across the whole workspace.
+    pub edges: Vec<LockEdge>,
+    /// Condvar-discipline findings.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+/// Run the walker over every function of every file.
+pub fn analyze(files: &[FileModel]) -> LockAnalysis {
+    let mut out = LockAnalysis::default();
+    for file in files {
+        let rwlocks = rwlock_names(&file.toks);
+        for f in &file.fns {
+            walk_fn(file, f, &rwlocks, &mut out);
+        }
+    }
+    out
+}
+
+/// Detect cycles in the accumulated lock-order graph and emit MGK101.
+pub fn cycle_diagnostics(edges: &[LockEdge]) -> Vec<Diagnostic> {
+    // adjacency with one representative edge per (from, to)
+    let mut adj: BTreeMap<&str, BTreeMap<&str, &LockEdge>> = BTreeMap::new();
+    for e in edges {
+        adj.entry(&e.from).or_default().entry(&e.to).or_insert(e);
+    }
+    let mut diags = Vec::new();
+    let mut reported: BTreeSet<Vec<String>> = BTreeSet::new();
+    // DFS from every node; color: 0 unvisited, 1 on stack, 2 done
+    let nodes: Vec<&str> = adj.keys().copied().collect();
+    let mut color: BTreeMap<&str, u8> = BTreeMap::new();
+    let mut stack: Vec<&str> = Vec::new();
+
+    fn dfs<'a>(
+        n: &'a str,
+        adj: &BTreeMap<&'a str, BTreeMap<&'a str, &'a LockEdge>>,
+        color: &mut BTreeMap<&'a str, u8>,
+        stack: &mut Vec<&'a str>,
+        reported: &mut BTreeSet<Vec<String>>,
+        diags: &mut Vec<Diagnostic>,
+    ) {
+        color.insert(n, 1);
+        stack.push(n);
+        if let Some(next) = adj.get(n) {
+            for (&m, edge) in next {
+                match color.get(m).copied().unwrap_or(0) {
+                    0 => dfs(m, adj, color, stack, reported, diags),
+                    1 => {
+                        // found a cycle: the stack suffix from m to n, closed
+                        // by the m edge
+                        let pos = stack.iter().position(|&s| s == m).unwrap_or(0);
+                        let mut cycle: Vec<String> =
+                            stack[pos..].iter().map(|s| s.to_string()).collect();
+                        cycle.push(m.to_string());
+                        // canonicalize rotation so each cycle reports once
+                        let mut canon = cycle[..cycle.len() - 1].to_vec();
+                        canon.sort();
+                        if reported.insert(canon) {
+                            let sites: Vec<String> = cycle
+                                .windows(2)
+                                .filter_map(|w| {
+                                    adj.get(w[0].as_str()).and_then(|m| m.get(w[1].as_str())).map(
+                                        |e| {
+                                            format!(
+                                                "{}->{} at {}:{} (fn {})",
+                                                e.from, e.to, e.file, e.line, e.func
+                                            )
+                                        },
+                                    )
+                                })
+                                .collect();
+                            diags.push(Diagnostic::new(
+                                Code::Mgk101,
+                                &edge.file,
+                                edge.line,
+                                format!(
+                                    "lock-order cycle `{}`: {}",
+                                    cycle.join(" -> "),
+                                    sites.join("; ")
+                                ),
+                            ));
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        stack.pop();
+        color.insert(n, 2);
+    }
+
+    for n in nodes {
+        if color.get(n).copied().unwrap_or(0) == 0 {
+            dfs(n, &adj, &mut color, &mut stack, &mut reported, &mut diags);
+        }
+    }
+    diags
+}
+
+/// Names of bindings/fields declared with an `RwLock` type in this file,
+/// so `.read()`/`.write()` on them count as acquisitions (and io traits
+/// with the same method names do not).
+fn rwlock_names(toks: &[Tok]) -> BTreeSet<String> {
+    let mut names = BTreeSet::new();
+    for (i, t) in toks.iter().enumerate() {
+        if !t.is_ident("RwLock") {
+            continue;
+        }
+        // `name: ... RwLock< ...` (field or param) — nearest `ident :`
+        // looking back a few tokens
+        for j in (i.saturating_sub(8)..i).rev() {
+            if toks[j].is_punct(":") && j > 0 && toks[j - 1].kind == TokKind::Ident {
+                names.insert(toks[j - 1].text.clone());
+                break;
+            }
+            // `let name = RwLock::new(...)`
+            if toks[j].is_punct("=") && j > 0 && toks[j - 1].kind == TokKind::Ident {
+                names.insert(toks[j - 1].text.clone());
+                break;
+            }
+        }
+    }
+    names
+}
+
+/// A held guard: binding name (empty for temporaries) plus lock class.
+#[derive(Debug, Clone)]
+struct Guard {
+    binding: String,
+    class: String,
+    /// Block-stack depth the binding lives at; temporaries die at the next
+    /// statement boundary instead.
+    depth: usize,
+    temp: bool,
+}
+
+/// Walk one function body, producing edges and condvar findings.
+fn walk_fn(file: &FileModel, f: &FnInfo, rwlocks: &BTreeSet<String>, out: &mut LockAnalysis) {
+    let toks = &file.toks;
+    let mut guards: Vec<Guard> = Vec::new();
+    // block stack entries: (is_loop)
+    let mut blocks: Vec<bool> = Vec::new();
+    let mut pending_loop = false;
+
+    let mut i = f.body_open;
+    while i <= f.body_close {
+        let t = &toks[i];
+        if t.is_punct("{") {
+            blocks.push(pending_loop);
+            pending_loop = false;
+            guards.retain(|g| !g.temp);
+            i += 1;
+            continue;
+        }
+        if t.is_punct("}") {
+            let depth = blocks.len();
+            blocks.pop();
+            guards.retain(|g| !g.temp && g.depth < depth);
+            i += 1;
+            continue;
+        }
+        if t.is_punct(";") {
+            guards.retain(|g| !g.temp);
+            pending_loop = false;
+            i += 1;
+            continue;
+        }
+        if t.kind == TokKind::Ident && matches!(t.text.as_str(), "while" | "loop" | "for") {
+            pending_loop = true;
+            i += 1;
+            continue;
+        }
+        // drop(binding) releases the guard
+        if t.is_ident("drop")
+            && toks.get(i + 1).map(|t| t.is_punct("(")).unwrap_or(false)
+            && toks.get(i + 2).map(|t| t.kind == TokKind::Ident).unwrap_or(false)
+            && toks.get(i + 3).map(|t| t.is_punct(")")).unwrap_or(false)
+        {
+            let name = toks[i + 2].text.clone();
+            guards.retain(|g| g.binding != name);
+            i += 4;
+            continue;
+        }
+        // method calls: `.lock()`, `.read()`, `.write()`, `.wait*(...)`
+        if t.is_punct(".") && toks.get(i + 1).map(|t| t.kind == TokKind::Ident).unwrap_or(false) {
+            let method = toks[i + 1].text.as_str();
+            let has_parens = toks.get(i + 2).map(|t| t.is_punct("(")).unwrap_or(false);
+            if has_parens {
+                let args = count_args(toks, i + 2);
+                let is_lock = method == "lock" && args == 0;
+                let is_rw = (method == "read" || method == "write")
+                    && args == 0
+                    && receiver_class(toks, i).map(|c| rwlocks.contains(&c)).unwrap_or(false);
+                let is_wait = (method == "wait" && args >= 1)
+                    || ((method == "wait_timeout" || method == "wait_while") && args >= 2);
+                if is_lock || is_rw {
+                    let class = receiver_class(toks, i).unwrap_or_else(|| "<expr>".to_string());
+                    acquire(file, f, toks, i, class, &mut guards, blocks.len(), out);
+                } else if is_wait {
+                    check_wait(file, f, toks, i, &blocks, &mut guards, out);
+                }
+            }
+        }
+        i += 1;
+    }
+}
+
+/// Number of top-level arguments inside the paren group opening at `open`.
+fn count_args(toks: &[Tok], open: usize) -> usize {
+    let mut depth = 0i32;
+    let mut args = 0usize;
+    let mut any = false;
+    for t in &toks[open..] {
+        if t.is_punct("(") || t.is_punct("[") || t.is_punct("{") {
+            depth += 1;
+            continue;
+        }
+        if t.is_punct(")") || t.is_punct("]") || t.is_punct("}") {
+            depth -= 1;
+            if depth == 0 {
+                break;
+            }
+            continue;
+        }
+        if depth == 1 {
+            any = true;
+            if t.is_punct(",") {
+                args += 1;
+            }
+        }
+    }
+    if any {
+        args + 1
+    } else {
+        0
+    }
+}
+
+/// The lock class of the receiver chain ending at the `.` token `dot`:
+/// the final field/method identifier before the call.
+fn receiver_class(toks: &[Tok], dot: usize) -> Option<String> {
+    let mut j = dot.checked_sub(1)?;
+    if toks[j].is_punct(")") {
+        // skip one trailing call group: `self.shard(&key).lock()`
+        let mut depth = 0i32;
+        loop {
+            if toks[j].is_punct(")") {
+                depth += 1;
+            } else if toks[j].is_punct("(") {
+                depth -= 1;
+                if depth == 0 {
+                    j = j.checked_sub(1)?;
+                    break;
+                }
+            }
+            j = j.checked_sub(1)?;
+        }
+    }
+    (toks[j].kind == TokKind::Ident).then(|| toks[j].text.clone())
+}
+
+/// Record an acquisition: edges from every held class, then bind or mark
+/// temporary according to the statement around `dot`.
+#[allow(clippy::too_many_arguments)]
+fn acquire(
+    file: &FileModel,
+    f: &FnInfo,
+    toks: &[Tok],
+    dot: usize,
+    class: String,
+    guards: &mut Vec<Guard>,
+    depth: usize,
+    out: &mut LockAnalysis,
+) {
+    let line = toks[dot].line;
+    let mut held: Vec<String> = guards.iter().map(|g| g.class.clone()).collect();
+    held.dedup();
+    for h in held {
+        if h != class {
+            out.edges.push(LockEdge {
+                from: h,
+                to: class.clone(),
+                file: file.rel_path.clone(),
+                line,
+                func: f.name.clone(),
+            });
+        }
+    }
+    match statement_binding(toks, dot) {
+        Some(binding) => {
+            // a reassignment replaces the binding's previous guard
+            guards.retain(|g| g.binding != binding);
+            guards.push(Guard { binding, class, depth, temp: false });
+        }
+        None => guards.push(Guard { binding: String::new(), class, depth, temp: true }),
+    }
+}
+
+/// If the acquisition at `dot` is bound by its statement (`let g = ...;` or
+/// `g = ...;` with no projection after the call chain), return the binding
+/// identifier; `None` means the guard is a temporary.
+fn statement_binding(toks: &[Tok], dot: usize) -> Option<String> {
+    // forward: skip the call parens and at most a `.unwrap()` / `.expect(..)`
+    // chain; the guard is only bound when the chain result reaches `;` intact
+    let mut j = dot + 2; // at `(` of the call
+    j = skip_group(toks, j)?;
+    loop {
+        match toks.get(j) {
+            Some(t) if t.is_punct(".") => {
+                let name = toks.get(j + 1)?.text.as_str();
+                if name == "unwrap" || name == "expect" {
+                    j = skip_group(toks, j + 2)?;
+                } else {
+                    return None; // projected: `.epoch`, `.push_back(..)`, ...
+                }
+            }
+            Some(t) if t.is_punct(";") => break,
+            Some(t) if t.is_punct("?") => {
+                j += 1;
+            }
+            _ => return None,
+        }
+    }
+    // backward: statement starts after the previous `;`, `{`, or `}`
+    let mut s = dot;
+    while s > 0 {
+        let t = &toks[s - 1];
+        if t.is_punct(";") || t.is_punct("{") || t.is_punct("}") {
+            break;
+        }
+        s -= 1;
+    }
+    let stmt = &toks[s..dot];
+    if let Some(let_pos) = stmt.iter().position(|t| t.is_ident("let")) {
+        // first pattern ident after `let` (skipping `mut`, `(` for tuples):
+        // for `let (next, t) = cv.wait_timeout(..)` the guard is `.0`
+        stmt[let_pos + 1..]
+            .iter()
+            .find(|t| t.kind == TokKind::Ident && t.text != "mut")
+            .map(|t| t.text.clone())
+    } else if stmt.len() >= 2 && stmt[0].kind == TokKind::Ident && stmt[1].is_punct("=") {
+        Some(stmt[0].text.clone())
+    } else {
+        None
+    }
+}
+
+/// Skip a `(...)` group starting at `open`; returns the index after `)`.
+fn skip_group(toks: &[Tok], open: usize) -> Option<usize> {
+    if !toks.get(open)?.is_punct("(") {
+        return Some(open);
+    }
+    let mut depth = 0i32;
+    let mut j = open;
+    while j < toks.len() {
+        if toks[j].is_punct("(") {
+            depth += 1;
+        } else if toks[j].is_punct(")") {
+            depth -= 1;
+            if depth == 0 {
+                return Some(j + 1);
+            }
+        }
+        j += 1;
+    }
+    None
+}
+
+/// Condvar-discipline checks at a `.wait(..)` site.
+fn check_wait(
+    file: &FileModel,
+    f: &FnInfo,
+    toks: &[Tok],
+    dot: usize,
+    blocks: &[bool],
+    guards: &mut Vec<Guard>,
+    out: &mut LockAnalysis,
+) {
+    let line = toks[dot].line;
+    let method = toks[dot + 1].text.clone();
+    // MGK201: the wait must sit inside a while/loop/for re-check
+    if !blocks.iter().any(|&is_loop| is_loop) {
+        out.diagnostics.push(Diagnostic::new(
+            Code::Mgk201,
+            &file.rel_path,
+            line,
+            format!(
+                "`{method}` in fn `{}` is not inside a while/loop re-check; spurious wakeups \
+                 will be observed as resolutions",
+                f.name
+            ),
+        ));
+    }
+    // MGK202: no second lock may be held across the wait (the guard being
+    // waited on is passed as the first argument)
+    let first_arg = toks
+        .get(dot + 3)
+        .filter(|t| t.kind == TokKind::Ident)
+        .map(|t| t.text.clone())
+        .unwrap_or_default();
+    let waited_class = guards.iter().find(|g| g.binding == first_arg).map(|g| g.class.clone());
+    let extra: Vec<&Guard> = guards
+        .iter()
+        .filter(|g| Some(&g.class) != waited_class.as_ref() && !(g.temp && g.binding.is_empty()))
+        .collect();
+    if !extra.is_empty() {
+        let held: Vec<String> = extra.iter().map(|g| g.class.clone()).collect();
+        out.diagnostics.push(Diagnostic::new(
+            Code::Mgk202,
+            &file.rel_path,
+            line,
+            format!(
+                "`{method}` in fn `{}` parks while still holding lock(s) `{}`; waiters on those \
+                 locks deadlock until the wakeup",
+                f.name,
+                held.join("`, `")
+            ),
+        ));
+    }
+    // rebind per the statement shape so wait_timeout's tuple keeps the
+    // guard class held
+    if let Some(class) = waited_class {
+        if let Some(binding) = statement_binding(toks, dot) {
+            guards.retain(|g| g.binding != binding);
+            guards.push(Guard { binding, class, depth: blocks.len(), temp: false });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model(src: &str) -> FileModel {
+        FileModel::parse("fixture.rs", src, false)
+    }
+
+    fn run(src: &str) -> LockAnalysis {
+        analyze(&[model(src)])
+    }
+
+    #[test]
+    fn nested_acquisition_records_an_edge() {
+        let a = run("fn f(&self) { let g = self.alpha.lock().unwrap(); \
+                     self.beta.lock().unwrap().push(1); }");
+        assert_eq!(a.edges.len(), 1);
+        assert_eq!(a.edges[0].from, "alpha");
+        assert_eq!(a.edges[0].to, "beta");
+    }
+
+    #[test]
+    fn projection_is_a_temporary_not_a_held_guard() {
+        // the first guard dies at the end of its statement, so the second
+        // acquisition happens with nothing held
+        let a = run("fn f(&self) { let e = self.alpha.lock().unwrap().epoch; \
+                     let g = self.beta.lock().unwrap(); }");
+        assert!(a.edges.is_empty(), "{:?}", a.edges);
+    }
+
+    #[test]
+    fn drop_releases_the_guard() {
+        let a = run("fn f(&self) { let g = self.alpha.lock().unwrap(); drop(g); \
+                     let h = self.beta.lock().unwrap(); }");
+        assert!(a.edges.is_empty(), "{:?}", a.edges);
+    }
+
+    #[test]
+    fn scope_exit_releases_the_guard() {
+        let a = run("fn f(&self) { { let g = self.alpha.lock().unwrap(); } \
+                     let h = self.beta.lock().unwrap(); }");
+        assert!(a.edges.is_empty(), "{:?}", a.edges);
+    }
+
+    #[test]
+    fn cycle_detection_fires_on_opposed_orders() {
+        let a = run("fn f(&self) { let g = self.alpha.lock().unwrap(); \
+                     let h = self.beta.lock().unwrap(); }\n\
+                     fn g(&self) { let h = self.beta.lock().unwrap(); \
+                     let g = self.alpha.lock().unwrap(); }");
+        let diags = cycle_diagnostics(&a.edges);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].code, Code::Mgk101);
+        assert!(diags[0].message.contains("alpha"));
+        assert!(diags[0].message.contains("beta"));
+    }
+
+    #[test]
+    fn consistent_order_is_clean() {
+        let a = run("fn f(&self) { let g = self.alpha.lock().unwrap(); \
+                     let h = self.beta.lock().unwrap(); }\n\
+                     fn g(&self) { let g = self.alpha.lock().unwrap(); \
+                     let h = self.beta.lock().unwrap(); }");
+        assert!(cycle_diagnostics(&a.edges).is_empty());
+    }
+
+    #[test]
+    fn condvar_wait_outside_a_loop_is_flagged() {
+        let a = run("fn f(&self) { let mut g = self.m.lock().unwrap(); \
+                     g = self.cv.wait(g).unwrap(); }");
+        assert!(a.diagnostics.iter().any(|d| d.code == Code::Mgk201), "{:?}", a.diagnostics);
+    }
+
+    #[test]
+    fn condvar_wait_inside_while_is_clean() {
+        let a = run("fn f(&self) { let mut g = self.m.lock().unwrap(); \
+                     while !*g { g = self.cv.wait(g).unwrap(); } }");
+        assert!(a.diagnostics.is_empty(), "{:?}", a.diagnostics);
+    }
+
+    #[test]
+    fn ticket_style_zero_arg_wait_is_not_a_condvar() {
+        let a = run("fn f(t: &Ticket<u32>) { let v = t.wait(); }");
+        assert!(a.diagnostics.is_empty(), "{:?}", a.diagnostics);
+    }
+
+    #[test]
+    fn one_arg_wait_timeout_is_not_a_condvar() {
+        // Ticket::wait_timeout(Duration) has one argument; Condvar's has two
+        let a = run("fn f(t: &Ticket<u32>) { let v = t.wait_timeout(d); }");
+        assert!(a.diagnostics.is_empty(), "{:?}", a.diagnostics);
+    }
+
+    #[test]
+    fn wait_under_a_second_lock_is_flagged() {
+        let a = run("fn f(&self) { let outer = self.alpha.lock().unwrap(); \
+                     let mut g = self.m.lock().unwrap(); \
+                     loop { g = self.cv.wait(g).unwrap(); } }");
+        assert!(a.diagnostics.iter().any(|d| d.code == Code::Mgk202), "{:?}", a.diagnostics);
+    }
+
+    #[test]
+    fn wait_timeout_tuple_rebinding_keeps_the_guard_held() {
+        let a = run("fn f(&self) { let mut state = self.m.lock().unwrap(); \
+                     loop { let (next, t) = self.cv.wait_timeout(state, d).unwrap(); \
+                     state = next; let inner = self.beta.lock().unwrap(); } }");
+        // beta acquired while the waited guard is held: one edge m -> beta
+        assert!(a.edges.iter().any(|e| e.from == "m" && e.to == "beta"), "{:?}", a.edges);
+        assert!(a.diagnostics.is_empty(), "{:?}", a.diagnostics);
+    }
+
+    #[test]
+    fn rwlock_read_write_count_as_acquisitions() {
+        let a = run("struct S { table: RwLock<u32> } fn f(s: &S, o: &S) { \
+                     let g = s.table.write().unwrap(); let h = o.other.lock().unwrap(); }");
+        assert!(a.edges.iter().any(|e| e.from == "table" && e.to == "other"), "{:?}", a.edges);
+    }
+
+    #[test]
+    fn io_write_is_not_an_acquisition() {
+        let a = run("fn f(w: &mut W) { let g = self.m.lock().unwrap(); \
+                     w.file.write(buf).unwrap(); }");
+        assert!(a.edges.is_empty(), "{:?}", a.edges);
+    }
+}

@@ -1,0 +1,327 @@
+//! Metric-vocabulary lint (MGK601/602/603).
+//!
+//! The canonical metric vocabulary lives in the `pub mod names` constants of
+//! `crates/runtime/src/metrics.rs`. Every name must be `mgk_`-prefixed
+//! snake_case with a recognized unit suffix (MGK601), declared exactly once
+//! (MGK602), and every `mgk_*` name referenced from test code or the README
+//! must exist in the vocabulary (MGK603) so docs and assertions cannot
+//! drift from what the registry actually exports.
+
+use std::collections::BTreeMap;
+
+use crate::diag::{Code, Diagnostic};
+use crate::lexer::TokKind;
+use crate::parser::FileModel;
+
+/// Registration/lookup methods whose first literal argument is a metric
+/// name.
+const REG_METHODS: &[&str] = &[
+    "counter",
+    "counter_labeled",
+    "counter_total",
+    "gauge",
+    "histogram",
+    "histogram_labeled",
+    "adopt_counter",
+];
+
+/// Recognized unit suffixes (prometheus conventions plus the repo's
+/// dimensionless gauges).
+const UNIT_SUFFIXES: &[&str] = &[
+    "_total",
+    "_seconds",
+    "_bytes",
+    "_ns",
+    "_ratio",
+    "_depth",
+    "_busy",
+    "_flops_per_byte",
+    "_count",
+];
+
+/// Result of the vocabulary pass: diagnostics plus the canonical name set
+/// (sorted), which the report publishes.
+pub struct VocabAnalysis {
+    /// MGK601/602/603 findings.
+    pub diagnostics: Vec<Diagnostic>,
+    /// The collected vocabulary.
+    pub vocabulary: Vec<String>,
+}
+
+/// Run the lint. `readme` is the repository README text (metric names cited
+/// in docs are held to the same membership rule as test assertions).
+pub fn analyze(files: &[FileModel], readme: Option<(&str, &str)>) -> VocabAnalysis {
+    let mut diags = Vec::new();
+    // name -> first declaration site
+    let mut vocab: BTreeMap<String, (String, u32)> = BTreeMap::new();
+
+    // Pass 1: canonical declarations (`pub const X: &str = "mgk_.."` inside
+    // a `names` module) and literal registration arguments in non-test code.
+    for file in files {
+        collect_declared(file, &mut vocab, &mut diags);
+    }
+    for file in files {
+        collect_registered(file, &mut vocab, &mut diags);
+    }
+
+    // Pass 2: membership of names cited from test code and the README.
+    for file in files {
+        for (i, t) in file.toks.iter().enumerate() {
+            if t.kind != TokKind::Str || !file.in_test(i) {
+                continue;
+            }
+            let Some(name) = t.str_contents() else { continue };
+            if looks_like_metric(name) && !vocab.contains_key(name) {
+                diags.push(Diagnostic::new(
+                    Code::Mgk603,
+                    &file.rel_path,
+                    t.line,
+                    format!(
+                        "test references metric `{name}` which is not in the canonical \
+                         vocabulary (crates/runtime/src/metrics.rs `names`)"
+                    ),
+                ));
+            }
+        }
+    }
+    if let Some((readme_path, readme_text)) = readme {
+        for (lineno, line) in readme_text.lines().enumerate() {
+            for word in scrape_metric_words(line) {
+                if !vocab.contains_key(word) {
+                    diags.push(Diagnostic::new(
+                        Code::Mgk603,
+                        readme_path,
+                        (lineno + 1) as u32,
+                        format!(
+                            "README cites metric `{word}` which is not in the canonical \
+                             vocabulary (crates/runtime/src/metrics.rs `names`)"
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+
+    VocabAnalysis { diagnostics: diags, vocabulary: vocab.into_keys().collect() }
+}
+
+/// Collect `const NAME: &str = "…"` declarations inside any `names` module
+/// (non-test), shape-checking each and flagging duplicates.
+fn collect_declared(
+    file: &FileModel,
+    vocab: &mut BTreeMap<String, (String, u32)>,
+    diags: &mut Vec<Diagnostic>,
+) {
+    let toks = &file.toks;
+    for i in 0..toks.len() {
+        if !toks[i].is_ident("const") || file.in_test(i) {
+            continue;
+        }
+        if !file.mod_path_at[i].iter().any(|m| m == "names") {
+            continue;
+        }
+        // const IDENT : … = Str ;
+        let Some(_) = toks.get(i + 1).filter(|t| t.kind == TokKind::Ident) else { continue };
+        let mut j = i + 2;
+        while j < toks.len() && !toks[j].is_punct("=") && !toks[j].is_punct(";") {
+            j += 1;
+        }
+        let Some(lit) = toks.get(j + 1).filter(|t| t.kind == TokKind::Str) else { continue };
+        let Some(value) = lit.str_contents() else { continue };
+        if let Some(reason) = shape_error(value) {
+            diags.push(Diagnostic::new(
+                Code::Mgk601,
+                &file.rel_path,
+                lit.line,
+                format!("metric `{value}` {reason}"),
+            ));
+        }
+        if let Some((first_file, first_line)) = vocab.get(value) {
+            diags.push(Diagnostic::new(
+                Code::Mgk602,
+                &file.rel_path,
+                lit.line,
+                format!("metric `{value}` already declared at {first_file}:{first_line}"),
+            ));
+        } else {
+            vocab.insert(value.to_string(), (file.rel_path.clone(), lit.line));
+        }
+    }
+}
+
+/// Collect literal first arguments of registration/lookup calls in non-test
+/// code; shape-check and add them to the vocabulary.
+fn collect_registered(
+    file: &FileModel,
+    vocab: &mut BTreeMap<String, (String, u32)>,
+    diags: &mut Vec<Diagnostic>,
+) {
+    let toks = &file.toks;
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if t.kind != TokKind::Ident
+            || !REG_METHODS.contains(&t.text.as_str())
+            || file.in_test(i)
+            || i == 0
+            || !toks[i - 1].is_punct(".")
+            || !toks.get(i + 1).map(|n| n.is_punct("(")).unwrap_or(false)
+        {
+            continue;
+        }
+        let Some(lit) = toks.get(i + 2).filter(|t| t.kind == TokKind::Str) else { continue };
+        let Some(value) = lit.str_contents() else { continue };
+        if let Some(reason) = shape_error(value) {
+            diags.push(Diagnostic::new(
+                Code::Mgk601,
+                &file.rel_path,
+                lit.line,
+                format!("metric `{value}` {reason}"),
+            ));
+        }
+        vocab.entry(value.to_string()).or_insert((file.rel_path.clone(), lit.line));
+    }
+}
+
+/// Why `name` violates the vocabulary shape, if it does.
+fn shape_error(name: &str) -> Option<&'static str> {
+    if !name.starts_with("mgk_") {
+        return Some("is missing the `mgk_` prefix");
+    }
+    if !name.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_') {
+        return Some("is not snake_case (only [a-z0-9_] allowed)");
+    }
+    if name.contains("__") || name.ends_with('_') {
+        return Some("has empty snake_case segments");
+    }
+    if !UNIT_SUFFIXES.iter().any(|s| name.ends_with(s)) {
+        return Some(
+            "lacks a recognized unit suffix (_total, _seconds, _bytes, _ns, _ratio, _depth, \
+             _busy, _flops_per_byte, _count)",
+        );
+    }
+    None
+}
+
+/// True when a cited string is plausibly a metric name: `mgk_`-prefixed
+/// snake_case *with a unit suffix*. The suffix requirement keeps crate
+/// names (`mgk_core`) and CLI flags out of the membership check.
+fn looks_like_metric(s: &str) -> bool {
+    s.starts_with("mgk_")
+        && s.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_')
+        && UNIT_SUFFIXES.iter().any(|suf| s.ends_with(suf))
+}
+
+/// Scrape metric-shaped words from one README line (split on everything
+/// that cannot be part of a name).
+fn scrape_metric_words(line: &str) -> Vec<&str> {
+    line.split(|c: char| !(c.is_ascii_alphanumeric() || c == '_'))
+        .filter(|w| looks_like_metric(w))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(srcs: &[(&str, &str, bool)], readme: Option<&str>) -> VocabAnalysis {
+        let files: Vec<FileModel> =
+            srcs.iter().map(|(p, s, t)| FileModel::parse(p, s, *t)).collect();
+        analyze(&files, readme.map(|r| ("README.md", r)))
+    }
+
+    #[test]
+    fn well_shaped_vocabulary_is_clean() {
+        let a = run(
+            &[(
+                "metrics.rs",
+                "pub mod names { pub const A: &str = \"mgk_pair_solves_total\"; \
+                 pub const B: &str = \"mgk_stage_duration_seconds\"; }",
+                false,
+            )],
+            None,
+        );
+        assert!(a.diagnostics.is_empty(), "{:?}", a.diagnostics);
+        assert_eq!(a.vocabulary.len(), 2);
+    }
+
+    #[test]
+    fn missing_prefix_and_missing_unit_are_flagged() {
+        let a = run(
+            &[(
+                "metrics.rs",
+                "pub mod names { pub const A: &str = \"pair_solves_total\"; \
+                 pub const B: &str = \"mgk_pair_solves\"; }",
+                false,
+            )],
+            None,
+        );
+        assert_eq!(a.diagnostics.iter().filter(|d| d.code == Code::Mgk601).count(), 2);
+    }
+
+    #[test]
+    fn duplicate_declaration_is_flagged_once_at_the_second_site() {
+        let a = run(
+            &[(
+                "metrics.rs",
+                "pub mod names { pub const A: &str = \"mgk_x_total\"; \
+                 pub const B: &str = \"mgk_x_total\"; }",
+                false,
+            )],
+            None,
+        );
+        let dups: Vec<_> = a.diagnostics.iter().filter(|d| d.code == Code::Mgk602).collect();
+        assert_eq!(dups.len(), 1, "{:?}", a.diagnostics);
+        assert!(dups[0].message.contains("metrics.rs:1"));
+    }
+
+    #[test]
+    fn registration_literals_join_the_vocabulary_and_are_shape_checked() {
+        let a = run(
+            &[(
+                "svc.rs",
+                "fn f(m: &M) { m.counter(\"BadName_total\"); m.gauge(\"mgk_q_depth\"); }",
+                false,
+            )],
+            None,
+        );
+        assert_eq!(a.diagnostics.iter().filter(|d| d.code == Code::Mgk601).count(), 1);
+        assert!(a.vocabulary.contains(&"mgk_q_depth".to_string()));
+    }
+
+    #[test]
+    fn test_reference_to_unknown_metric_is_flagged() {
+        let a = run(
+            &[
+                ("metrics.rs", "pub mod names { pub const A: &str = \"mgk_x_total\"; }", false),
+                (
+                    "t.rs",
+                    "fn check(s: &S) { assert!(s.counter(\"mgk_phantom_total\").is_some()); \
+                     assert!(s.counter(\"mgk_x_total\").is_some()); }",
+                    true,
+                ),
+            ],
+            None,
+        );
+        let m: Vec<_> = a.diagnostics.iter().filter(|d| d.code == Code::Mgk603).collect();
+        assert_eq!(m.len(), 1, "{:?}", a.diagnostics);
+        assert!(m[0].message.contains("mgk_phantom_total"));
+    }
+
+    #[test]
+    fn readme_citations_are_membership_checked_but_crate_names_are_not() {
+        let a = run(
+            &[("metrics.rs", "pub mod names { pub const A: &str = \"mgk_x_total\"; }", false)],
+            Some("The `mgk_core` crate exports `mgk_x_total` and `mgk_ghost_total`."),
+        );
+        let m: Vec<_> = a.diagnostics.iter().filter(|d| d.code == Code::Mgk603).collect();
+        assert_eq!(m.len(), 1, "{:?}", a.diagnostics);
+        assert!(m[0].message.contains("mgk_ghost_total"));
+        assert_eq!(m[0].file, "README.md");
+    }
+
+    #[test]
+    fn non_mgk_strings_in_tests_are_ignored() {
+        let a = run(&[("t.rs", "fn t() { let s = \"some ordinary string_total\"; }", true)], None);
+        assert!(a.diagnostics.is_empty(), "{:?}", a.diagnostics);
+    }
+}

@@ -1,0 +1,158 @@
+//! Unsafe-audit lint (MGK301): every `unsafe` site needs an adjacent
+//! `// SAFETY:` comment, and the full inventory is emitted in the report so
+//! review can diff the workspace's unsafe surface across revisions.
+
+use crate::diag::{Code, Diagnostic, UnsafeSite};
+use crate::parser::FileModel;
+
+/// Scan every file for `unsafe` tokens, classify the site, and check for
+/// an adjacent `SAFETY:` comment.
+pub fn analyze(files: &[FileModel]) -> (Vec<Diagnostic>, Vec<UnsafeSite>) {
+    let mut diags = Vec::new();
+    let mut inventory = Vec::new();
+    for file in files {
+        for (i, t) in file.toks.iter().enumerate() {
+            if !t.is_ident("unsafe") {
+                continue;
+            }
+            let kind = match file.toks.get(i + 1) {
+                Some(n) if n.is_ident("impl") => "impl",
+                Some(n) if n.is_ident("fn") => "fn",
+                Some(n) if n.is_ident("trait") => "trait",
+                Some(n) if n.is_punct("{") => "block",
+                // `unsafe extern`, `pub unsafe fn` orderings, etc.
+                _ => "block",
+            };
+            let documented = has_safety_comment(file, t.line);
+            inventory.push(UnsafeSite {
+                file: file.rel_path.clone(),
+                line: t.line,
+                kind,
+                documented,
+            });
+            if !documented {
+                diags.push(Diagnostic::new(
+                    Code::Mgk301,
+                    &file.rel_path,
+                    t.line,
+                    format!(
+                        "`unsafe` {kind} without an adjacent `// SAFETY:` comment documenting \
+                         the invariant it relies on"
+                    ),
+                ));
+            }
+        }
+    }
+    (diags, inventory)
+}
+
+/// An `unsafe` site at `line` is documented when a comment containing
+/// `SAFETY` sits on the same line or immediately above, with only comment
+/// lines, attributes, or further single-line `unsafe impl` items between
+/// (one `// SAFETY:` comment may govern an adjacent `unsafe impl Send` /
+/// `unsafe impl Sync` pair).
+fn has_safety_comment(file: &FileModel, line: u32) -> bool {
+    let line_text = |l: u32| file.lines.get((l as usize).saturating_sub(1)).map(|s| s.trim());
+    // trailing comment on the same line
+    if let Some(text) = line_text(line) {
+        if text.contains("// SAFETY") || text.contains("//SAFETY") {
+            return true;
+        }
+    }
+    let mut l = line.saturating_sub(1);
+    while l >= 1 {
+        if let Some(c) = file.comment_on_line(l) {
+            if c.text.contains("SAFETY") {
+                return true;
+            }
+            l = c.line_start.saturating_sub(1);
+            continue;
+        }
+        match line_text(l) {
+            Some(t) if t.starts_with("#[") || t.starts_with("#![") => l -= 1,
+            Some(t) if t.starts_with("unsafe impl") => l -= 1,
+            // the `unsafe` may sit on a continuation line of a statement
+            // whose head (`let x: T =`, an open call, a chained operator)
+            // is what the SAFETY comment precedes
+            Some(t)
+                if t.ends_with('=')
+                    || t.ends_with('(')
+                    || t.ends_with(',')
+                    || t.ends_with("&&")
+                    || t.ends_with("||") =>
+            {
+                l -= 1
+            }
+            _ => return false,
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str) -> (Vec<Diagnostic>, Vec<UnsafeSite>) {
+        analyze(&[FileModel::parse("fixture.rs", src, false)])
+    }
+
+    #[test]
+    fn undocumented_unsafe_block_is_flagged() {
+        let (diags, inv) = run("fn f(p: *const u8) -> u8 {\n    unsafe { *p }\n}");
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, Code::Mgk301);
+        assert_eq!(inv.len(), 1);
+        assert!(!inv[0].documented);
+        assert_eq!(inv[0].kind, "block");
+    }
+
+    #[test]
+    fn adjacent_safety_comment_passes() {
+        let (diags, inv) =
+            run("fn f(p: *const u8) -> u8 {\n    // SAFETY: caller guarantees p is valid\n    \
+             unsafe { *p }\n}");
+        assert!(diags.is_empty(), "{diags:?}");
+        assert!(inv[0].documented);
+    }
+
+    #[test]
+    fn multi_line_safety_comment_passes() {
+        let (diags, _) = run("// SAFETY: the pointer is only dereferenced between claim\n\
+             // and retirement, see the module docs\n\
+             unsafe impl Send for Job {}");
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn one_comment_covers_an_adjacent_impl_pair() {
+        let (diags, inv) = run("// SAFETY: distinct indices write distinct slots\n\
+             unsafe impl Send for Job {}\n\
+             unsafe impl Sync for Job {}");
+        assert!(diags.is_empty(), "{diags:?}");
+        assert_eq!(inv.len(), 2);
+        assert!(inv.iter().all(|s| s.documented));
+    }
+
+    #[test]
+    fn comment_above_a_multi_line_statement_head_counts() {
+        let (diags, inv) =
+            run("fn f(b: &B) {\n    // SAFETY: the borrow outlives every dereference\n    \
+             let task: *const (dyn Fn() + Sync) =\n        unsafe { std::mem::transmute(b) };\n}");
+        assert!(diags.is_empty(), "{diags:?}");
+        assert!(inv[0].documented);
+    }
+
+    #[test]
+    fn unrelated_comment_does_not_count() {
+        let (diags, _) = run("// erases the lifetime, see module docs\nlet t = unsafe { x() };");
+        assert_eq!(diags.len(), 1);
+    }
+
+    #[test]
+    fn unsafe_in_a_string_is_not_a_site() {
+        let (diags, inv) = run("fn f() { let s = \"unsafe { }\"; }");
+        assert!(diags.is_empty());
+        assert!(inv.is_empty());
+    }
+}

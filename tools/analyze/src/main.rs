@@ -1,0 +1,124 @@
+//! CLI for mgk-analyze.
+//!
+//! ```text
+//! cargo run -p mgk-analyze -- [--strict] [--json [PATH]] [--root DIR] [--allowlist FILE]
+//! ```
+//!
+//! Exit code 0 when the tree is clean (no active findings), 1 otherwise,
+//! 2 on I/O or usage errors. `--strict` additionally fails on stale or
+//! malformed allowlist entries (MGK001) — CI runs in this mode.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use mgk_analyze::{find_workspace_root, run, Config};
+
+fn main() -> ExitCode {
+    let mut strict = false;
+    let mut json: Option<Option<PathBuf>> = None;
+    let mut root_arg: Option<PathBuf> = None;
+    let mut allowlist_arg: Option<PathBuf> = None;
+
+    let mut args = std::env::args().skip(1).peekable();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--strict" => strict = true,
+            "--json" => {
+                let path = match args.peek() {
+                    Some(next) if !next.starts_with("--") => args.next().map(PathBuf::from),
+                    _ => None,
+                };
+                json = Some(path);
+            }
+            "--root" => match args.next() {
+                Some(dir) => root_arg = Some(PathBuf::from(dir)),
+                None => return usage("--root requires a directory"),
+            },
+            "--allowlist" => match args.next() {
+                Some(file) => allowlist_arg = Some(PathBuf::from(file)),
+                None => return usage("--allowlist requires a file"),
+            },
+            "--help" | "-h" => {
+                println!(
+                    "mgk-analyze: workspace concurrency & invariant lints\n\n\
+                     USAGE: mgk-analyze [--strict] [--json [PATH]] [--root DIR] [--allowlist FILE]\n\n\
+                     Codes: MGK001 stale allowlist entry (strict), MGK101 lock-order cycle,\n\
+                     MGK201/202 condvar discipline, MGK301 undocumented unsafe,\n\
+                     MGK401/402/403 panic surface, MGK501 shim parity, MGK601-603 metric vocabulary."
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    let root = match root_arg {
+        Some(dir) => dir,
+        None => {
+            let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+            match find_workspace_root(&cwd) {
+                Some(dir) => dir,
+                None => {
+                    eprintln!("mgk-analyze: no workspace root found above {}", cwd.display());
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
+
+    let mut cfg = Config::for_root(&root);
+    cfg.strict = strict;
+    if let Some(path) = allowlist_arg {
+        cfg.allowlist = path;
+    }
+
+    let report = match run(&cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("mgk-analyze: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    for d in report.active() {
+        println!("{}", d.render());
+    }
+    let allowlisted = report.diagnostics.iter().filter(|d| d.allowlisted.is_some()).count();
+    let documented = report.unsafe_inventory.iter().filter(|u| u.documented).count();
+    eprintln!(
+        "mgk-analyze: {} files, {} lock-order edges, {} unsafe sites ({} documented), \
+         {} metrics, {} active findings, {} allowlisted",
+        report.files_scanned,
+        report.lock_edges.len(),
+        report.unsafe_inventory.len(),
+        documented,
+        report.metric_vocabulary.len(),
+        report.active().count(),
+        allowlisted,
+    );
+
+    if let Some(dest) = json {
+        let rendered = report.render_json();
+        match dest {
+            Some(path) => {
+                if let Err(e) = std::fs::write(&path, rendered) {
+                    eprintln!("mgk-analyze: failed to write {}: {e}", path.display());
+                    return ExitCode::from(2);
+                }
+                eprintln!("mgk-analyze: JSON report written to {}", path.display());
+            }
+            None => print!("{rendered}"),
+        }
+    }
+
+    if report.clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("mgk-analyze: {msg}\nUSAGE: mgk-analyze [--strict] [--json [PATH]] [--root DIR] [--allowlist FILE]");
+    ExitCode::from(2)
+}

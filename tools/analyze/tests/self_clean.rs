@@ -1,0 +1,81 @@
+//! Integration tests: the analyzer against the real workspace (must be
+//! clean under `--strict`) and against a seeded temporary workspace (the
+//! lints must actually fire end-to-end, and the allowlist must waive and
+//! then go stale as designed).
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use mgk_analyze::{find_workspace_root, run, workspace_clean_from, Config};
+
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).ancestors().nth(2).unwrap().to_path_buf()
+}
+
+#[test]
+fn workspace_is_clean_under_strict() {
+    let root = repo_root();
+    let mut cfg = Config::for_root(&root);
+    cfg.strict = true;
+    let report = run(&cfg).expect("analysis of the workspace succeeds");
+    let findings: Vec<String> = report.active().map(|d| d.render()).collect();
+    assert!(
+        findings.is_empty(),
+        "the workspace must stay clean under --strict:\n{}",
+        findings.join("\n")
+    );
+    // sanity: the scan actually covered the tree
+    assert!(report.files_scanned > 100, "only {} files scanned", report.files_scanned);
+    assert!(!report.metric_vocabulary.is_empty());
+    assert!(
+        report.unsafe_inventory.iter().all(|u| u.documented),
+        "every unsafe site carries a SAFETY comment: {:?}",
+        report.unsafe_inventory
+    );
+    assert!(workspace_clean_from(&root) == Some(true));
+}
+
+#[test]
+fn seeded_violations_fire_and_the_allowlist_waives_them() {
+    let dir = std::env::temp_dir().join(format!("mgk-analyze-it-{}", std::process::id()));
+    let src = dir.join("crates/hot/src");
+    fs::create_dir_all(&src).unwrap();
+    fs::write(dir.join("Cargo.toml"), "[workspace]\n").unwrap();
+    fs::write(src.join("service.rs"), "pub fn serve(x: Option<u8>) -> u8 {\n    x.unwrap()\n}\n")
+        .unwrap();
+    fs::write(src.join("glue.rs"), "pub fn f(p: *const u8) -> u8 {\n    unsafe { *p }\n}\n")
+        .unwrap();
+
+    assert_eq!(find_workspace_root(&src), Some(dir.clone()));
+
+    // both seeded findings fire with stable codes at the right lines
+    let mut cfg = Config::for_root(&dir);
+    cfg.strict = true;
+    let report = run(&cfg).expect("analysis of the seeded tree succeeds");
+    let rendered: Vec<String> = report.active().map(|d| d.render()).collect();
+    assert!(
+        rendered.iter().any(|r| r.starts_with("MGK401 crates/hot/src/service.rs:2")),
+        "{rendered:?}"
+    );
+    assert!(
+        rendered.iter().any(|r| r.starts_with("MGK301 crates/hot/src/glue.rs:2")),
+        "{rendered:?}"
+    );
+    assert_eq!(workspace_clean_from(&src), Some(false));
+
+    // an allowlist entry with a justification waives one finding; a stale
+    // entry becomes an MGK001 finding under --strict
+    fs::write(
+        dir.join("analyze.allow"),
+        "MGK401 | service.rs | unwrap | demo waiver for the integration test\n\
+         MGK301 | nonexistent.rs | | stale entry that matches nothing\n",
+    )
+    .unwrap();
+    let report = run(&cfg).unwrap();
+    let active: Vec<&str> = report.active().map(|d| d.code.as_str()).collect();
+    assert!(!active.contains(&"MGK401"), "{active:?}");
+    assert!(active.contains(&"MGK301"), "{active:?}");
+    assert!(active.contains(&"MGK001"), "stale waiver must surface: {active:?}");
+
+    fs::remove_dir_all(&dir).unwrap();
+}
